@@ -1,0 +1,36 @@
+//! Criterion bench behind the accumulation-buffer study (paper Fig. 18/19):
+//! bank-conflict simulation with and without the operand collector.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsstc_sim::{AccumulationBuffer, OtcConfig};
+use std::hint::black_box;
+
+fn scatter_trace(instructions: usize, accesses_per_instr: usize) -> Vec<Vec<usize>> {
+    // Deterministic pseudo-random scatter across a 32x32 partial matrix.
+    let mut state = 0x1234_5678_9abc_def0u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 1024) as usize
+    };
+    (0..instructions).map(|_| (0..accesses_per_instr).map(|_| next()).collect()).collect()
+}
+
+fn bench_accumulation_buffer(c: &mut Criterion) {
+    let buffer = AccumulationBuffer::from_otc(&OtcConfig::paper());
+    let mut group = c.benchmark_group("accum_buffer_scatter");
+    for &instrs in &[16usize, 128, 1024] {
+        let trace = scatter_trace(instrs, 16);
+        group.bench_with_input(BenchmarkId::new("without_collector", instrs), &trace, |b, t| {
+            b.iter(|| black_box(buffer.simulate_without_collector(t)));
+        });
+        group.bench_with_input(BenchmarkId::new("with_collector", instrs), &trace, |b, t| {
+            b.iter(|| black_box(buffer.simulate_with_collector(t)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_accumulation_buffer);
+criterion_main!(benches);

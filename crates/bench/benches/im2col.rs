@@ -1,0 +1,36 @@
+//! Criterion bench behind Table III: wall-clock time of the three im2col
+//! implementations on the ResNet-18 layer at several feature-map sparsities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsstc_kernels::im2col::{BitmapIm2col, CsrIm2col, DenseIm2col};
+use dsstc_models::activation_feature_map;
+use dsstc_tensor::ConvShape;
+use std::hint::black_box;
+
+fn bench_im2col(c: &mut Criterion) {
+    // A reduced 28x28x32 version of the Table III layer keeps Criterion's
+    // iteration counts reasonable; the harness binary runs the full layer.
+    let shape = ConvShape::square(28, 32, 32, 3, 1, 1);
+    let mut group = c.benchmark_group("table3_im2col");
+    for &sparsity in &[0.0, 0.5, 0.99] {
+        let input = activation_feature_map(&shape, sparsity, 42);
+        let dense = DenseIm2col::new();
+        group.bench_with_input(BenchmarkId::new("dense", sparsity), &input, |b, input| {
+            b.iter(|| black_box(dense.lower(input, &shape)));
+        });
+        let csr = CsrIm2col::new();
+        let csr_enc = csr.encode(&input);
+        group.bench_with_input(BenchmarkId::new("csr", sparsity), &csr_enc, |b, enc| {
+            b.iter(|| black_box(csr.lower(enc, &shape)));
+        });
+        let bitmap = BitmapIm2col::new();
+        let bitmap_enc = bitmap.encode(&input);
+        group.bench_with_input(BenchmarkId::new("bitmap", sparsity), &bitmap_enc, |b, enc| {
+            b.iter(|| black_box(bitmap.lower(enc, &shape)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_im2col);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench behind Figure 22: cost of estimating whole-network
+//! inference for each evaluated DNN.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsstc::InferenceEstimator;
+use dsstc_models::networks;
+use std::hint::black_box;
+
+fn bench_network_estimation(c: &mut Criterion) {
+    let estimator = InferenceEstimator::v100();
+    let mut group = c.benchmark_group("fig22_network_estimation");
+    group.sample_size(10);
+    for network in [networks::resnet18(), networks::bert_base(), networks::rnn_lm()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(network.name().to_string()),
+            &network,
+            |b, net| b.iter(|| black_box(estimator.estimate_network(net))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_network_estimation);
+criterion_main!(benches);

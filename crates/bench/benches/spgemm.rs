@@ -1,0 +1,46 @@
+//! Criterion bench behind Figure 21: modelled SpGEMM cost-evaluation across
+//! schemes, plus the functional warp-level SpGEMM kernel itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsstc::DualSideSparseTensorCore;
+use dsstc_kernels::bitmap_spgemm::BitmapSpGemm;
+use dsstc_kernels::dense_gemm::DenseGemm;
+use dsstc_sim::GpuConfig;
+use dsstc_tensor::{GemmShape, Matrix, SparsityPattern};
+use std::hint::black_box;
+
+fn bench_scheme_estimation(c: &mut Criterion) {
+    let engine = DualSideSparseTensorCore::v100();
+    let shape = GemmShape::new(2048, 2048, 2048);
+    let mut group = c.benchmark_group("fig21_estimation");
+    group.sample_size(10);
+    for &(a, b) in &[(0.0, 0.0), (0.5, 0.5), (0.9, 0.99)] {
+        group.bench_with_input(
+            BenchmarkId::new("dual_side_estimate", format!("a{a}_b{b}")),
+            &(a, b),
+            |bench, &(a, b)| bench.iter(|| black_box(engine.estimate_spgemm(shape, a, b))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_functional_spgemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("functional_spgemm_256");
+    group.sample_size(10);
+    let dense_kernel = DenseGemm::new(GpuConfig::v100());
+    let bitmap_kernel = BitmapSpGemm::new(GpuConfig::v100());
+    for &sparsity in &[0.5, 0.9, 0.99] {
+        let a = Matrix::random_sparse(256, 256, sparsity, SparsityPattern::Uniform, 1);
+        let b = Matrix::random_sparse(256, 256, sparsity, SparsityPattern::Uniform, 2);
+        group.bench_with_input(BenchmarkId::new("dense_reference", sparsity), &(&a, &b), |bench, (a, b)| {
+            bench.iter(|| black_box(dense_kernel.execute(a, b)))
+        });
+        group.bench_with_input(BenchmarkId::new("bitmap_outer_product", sparsity), &(&a, &b), |bench, (a, b)| {
+            bench.iter(|| black_box(bitmap_kernel.execute(a, b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheme_estimation, bench_functional_spgemm);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench behind the warp-level skip model (paper Fig. 5/6): cost
+//! of evaluating warp-tile OHMMA-skip counts across sparsity levels, and the
+//! functional warp-level SpGEMM step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsstc_formats::{BitmapMatrix, VectorLayout};
+use dsstc_kernels::bitmap_spgemm::warp::{warp_spgemm, warp_tile_profile};
+use dsstc_sim::OtcConfig;
+use dsstc_tensor::{Matrix, SparsityPattern};
+use std::hint::black_box;
+
+fn bench_warp_tile_profile(c: &mut Criterion) {
+    let otc = OtcConfig::paper();
+    let mut group = c.benchmark_group("warp_tile_profile");
+    for &nnz in &[32usize, 20, 8, 1] {
+        let a = vec![nnz; 16];
+        let b = vec![nnz; 16];
+        group.bench_with_input(BenchmarkId::from_parameter(nnz), &nnz, |bench, _| {
+            bench.iter(|| black_box(warp_tile_profile(&a, &b, 32, &otc, true)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_warp_spgemm_functional(c: &mut Criterion) {
+    let mut group = c.benchmark_group("warp_spgemm_32x32x16");
+    for &sparsity in &[0.0, 0.5, 0.9] {
+        let a = Matrix::random_sparse(32, 16, sparsity, SparsityPattern::Uniform, 3);
+        let b = Matrix::random_sparse(16, 32, sparsity, SparsityPattern::Uniform, 4);
+        let a_enc = BitmapMatrix::encode(&a, VectorLayout::ColumnMajor);
+        let b_enc = BitmapMatrix::encode(&b, VectorLayout::RowMajor);
+        group.bench_with_input(BenchmarkId::from_parameter(sparsity), &sparsity, |bench, _| {
+            bench.iter(|| {
+                let mut acc = Matrix::zeros(32, 32);
+                warp_spgemm(&a_enc, &b_enc, &mut acc);
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_warp_tile_profile, bench_warp_spgemm_functional);
+criterion_main!(benches);

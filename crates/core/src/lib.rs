@@ -1,0 +1,56 @@
+//! # Dual-side Sparse Tensor Core
+//!
+//! A Rust reproduction of *"Dual-side Sparse Tensor Core"* (ISCA 2021): a
+//! GPU Tensor Core extension that exploits **both** weight and activation
+//! sparsity for sparse GEMM (SpGEMM) and sparse convolution (SpCONV) by
+//! combining an **outer-product** computation primitive with a **bitmap**
+//! sparse encoding.
+//!
+//! The workspace is organised as a stack of crates — dense tensors
+//! ([`dsstc_tensor`]), sparse encodings ([`dsstc_formats`]), a V100-like
+//! timing model ([`dsstc_sim`]), the GEMM/convolution kernels and baselines
+//! ([`dsstc_kernels`]), DNN workload tables ([`dsstc_models`]) and the
+//! hardware-overhead model ([`dsstc_hwmodel`]). This crate is the façade a
+//! downstream user works with:
+//!
+//! * [`DualSideSparseTensorCore`] — run or estimate individual SpGEMM /
+//!   SpCONV operations and compare them against the baselines, and
+//! * [`inference`] — estimate end-to-end network inference for the five
+//!   evaluated DNNs under every execution scheme of the paper's Fig. 22.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dsstc::DualSideSparseTensorCore;
+//! use dsstc_tensor::{Matrix, SparsityPattern};
+//!
+//! let dsstc = DualSideSparseTensorCore::v100();
+//!
+//! // A sparse activation matrix and a pruned weight matrix.
+//! let a = Matrix::random_sparse(256, 256, 0.7, SparsityPattern::Uniform, 1);
+//! let b = Matrix::random_sparse(256, 256, 0.8, SparsityPattern::Uniform, 2);
+//!
+//! // Functionally correct SpGEMM...
+//! let result = dsstc.spgemm(&a, &b);
+//! assert!(result.output.approx_eq(&a.matmul(&b), 1e-2));
+//!
+//! // ...with a modelled speedup over the dense Tensor Core baseline.
+//! assert!(result.speedup_over_dense > 1.0);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod engine;
+pub mod inference;
+
+pub use crate::engine::{DualSideSparseTensorCore, SpGemmResult, SparsityComparison};
+pub use crate::inference::{GemmScheme, InferenceEstimator, LayerEstimate, NetworkReport, SchemeTime};
+
+// Re-export the component crates so downstream users need only one
+// dependency.
+pub use dsstc_formats as formats;
+pub use dsstc_hwmodel as hwmodel;
+pub use dsstc_kernels as kernels;
+pub use dsstc_models as models;
+pub use dsstc_sim as sim;
+pub use dsstc_tensor as tensor;

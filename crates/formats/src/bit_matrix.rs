@@ -1,0 +1,358 @@
+//! A packed 2-D bit matrix.
+//!
+//! This is the "bitmap" half of the paper's two-tuple encoding. Bits are
+//! packed into 64-bit words per row so that the operations the hardware
+//! performs on bitmaps — population counts (`POPC`), row shifts for the
+//! sparse im2col (Fig. 11b), and 1-bit outer products (`BOHMMA`) — map to a
+//! handful of word operations.
+
+use dsstc_tensor::Matrix;
+
+/// A dense `rows x cols` matrix of bits, packed row-major into `u64` words.
+///
+/// # Example
+/// ```
+/// use dsstc_formats::BitMatrix;
+/// let mut b = BitMatrix::new(4, 70);
+/// b.set(3, 69, true);
+/// assert!(b.get(3, 69));
+/// assert_eq!(b.count_ones(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl std::fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "BitMatrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            let bits: String = (0..self.cols.min(64)).map(|c| if self.get(r, c) { '1' } else { '0' }).collect();
+            writeln!(f, "  {bits}{}", if self.cols > 64 { "..." } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl BitMatrix {
+    /// Creates an all-zero bit matrix.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "bit matrix dimensions must be non-zero");
+        let words_per_row = cols.div_ceil(64);
+        BitMatrix { rows, cols, words_per_row, words: vec![0; rows * words_per_row] }
+    }
+
+    /// Builds the non-zero mask of a dense matrix.
+    pub fn from_matrix(m: &Matrix) -> Self {
+        let mut b = BitMatrix::new(m.rows(), m.cols());
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                if m[(r, c)] != 0.0 {
+                    b.set(r, c, true);
+                }
+            }
+        }
+        b
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads bit `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics when out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        assert!(row < self.rows && col < self.cols, "bit index out of bounds");
+        let word = self.words[row * self.words_per_row + col / 64];
+        (word >> (col % 64)) & 1 == 1
+    }
+
+    /// Writes bit `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics when out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: bool) {
+        assert!(row < self.rows && col < self.cols, "bit index out of bounds");
+        let idx = row * self.words_per_row + col / 64;
+        let mask = 1u64 << (col % 64);
+        if value {
+            self.words[idx] |= mask;
+        } else {
+            self.words[idx] &= !mask;
+        }
+    }
+
+    /// Total number of set bits (a matrix-wide `POPC`).
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of set bits in one row.
+    ///
+    /// # Panics
+    /// Panics if `row >= rows()`.
+    pub fn row_count_ones(&self, row: usize) -> usize {
+        assert!(row < self.rows, "row out of bounds");
+        self.row_words(row).iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of set bits in one column.
+    ///
+    /// # Panics
+    /// Panics if `col >= cols()`.
+    pub fn col_count_ones(&self, col: usize) -> usize {
+        assert!(col < self.cols, "column out of bounds");
+        (0..self.rows).filter(|&r| self.get(r, col)).count()
+    }
+
+    /// The packed words of one row.
+    ///
+    /// # Panics
+    /// Panics if `row >= rows()`.
+    pub fn row_words(&self, row: usize) -> &[u64] {
+        assert!(row < self.rows, "row out of bounds");
+        &self.words[row * self.words_per_row..(row + 1) * self.words_per_row]
+    }
+
+    /// Number of set bits in row `row` strictly before column `col` — the
+    /// prefix popcount used to turn a bit position into a condensed value
+    /// offset (paper Fig. 11b, step S3).
+    ///
+    /// # Panics
+    /// Panics if `row >= rows()` or `col > cols()`.
+    pub fn rank(&self, row: usize, col: usize) -> usize {
+        assert!(row < self.rows && col <= self.cols, "rank index out of bounds");
+        let words = self.row_words(row);
+        let full_words = col / 64;
+        let mut count: usize = words[..full_words].iter().map(|w| w.count_ones() as usize).sum();
+        let rem = col % 64;
+        if rem > 0 {
+            let mask = (1u64 << rem) - 1;
+            count += (words[full_words] & mask).count_ones() as usize;
+        }
+        count
+    }
+
+    /// Column indices of the set bits of one row, ascending.
+    pub fn row_set_bits(&self, row: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.row_count_ones(row));
+        for (wi, &word) in self.row_words(row).iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                let col = wi * 64 + bit;
+                if col < self.cols {
+                    out.push(col);
+                }
+                w &= w - 1;
+            }
+        }
+        out
+    }
+
+    /// Row indices of the set bits of one column, ascending.
+    pub fn col_set_bits(&self, col: usize) -> Vec<usize> {
+        (0..self.rows).filter(|&r| self.get(r, col)).collect()
+    }
+
+    /// 1-bit outer product of a column of `a_bits` with a row of `b_bits`:
+    /// the resulting `rows x cols` bitmap has bit `(i, j)` set iff
+    /// `a_col[i] && b_row[j]`. This is what the `BOHMMA` instruction computes
+    /// for the multiply-bitmap step (paper Fig. 2c).
+    pub fn outer_product(a_col: &[bool], b_row: &[bool]) -> BitMatrix {
+        assert!(!a_col.is_empty() && !b_row.is_empty(), "operands must be non-empty");
+        let mut out = BitMatrix::new(a_col.len(), b_row.len());
+        for (i, &a) in a_col.iter().enumerate() {
+            if !a {
+                continue;
+            }
+            for (j, &b) in b_row.iter().enumerate() {
+                if b {
+                    out.set(i, j, true);
+                }
+            }
+        }
+        out
+    }
+
+    /// Bitwise OR with another bitmap of the same shape (accumulating the
+    /// sparsity pattern of merged partial matrices).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn or_assign(&mut self, other: &BitMatrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// Whether no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Extracts a `tile_rows x tile_cols` sub-bitmap at `(row0, col0)`,
+    /// padded with zeros past the edges.
+    pub fn tile(&self, row0: usize, col0: usize, tile_rows: usize, tile_cols: usize) -> BitMatrix {
+        let mut out = BitMatrix::new(tile_rows, tile_cols);
+        for r in 0..tile_rows {
+            for c in 0..tile_cols {
+                let (rr, cc) = (row0 + r, col0 + c);
+                if rr < self.rows && cc < self.cols && self.get(rr, cc) {
+                    out.set(r, c, true);
+                }
+            }
+        }
+        out
+    }
+
+    /// Storage size of this bitmap in bytes (1 bit per element, rounded up to
+    /// whole words per row), as charged by the memory-traffic model.
+    pub fn storage_bytes(&self) -> u64 {
+        (self.rows * self.words_per_row * 8) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsstc_tensor::SparsityPattern;
+
+    #[test]
+    fn new_is_all_zero() {
+        let b = BitMatrix::new(5, 100);
+        assert_eq!(b.count_ones(), 0);
+        assert!(b.is_empty());
+        assert!(!b.get(4, 99));
+    }
+
+    #[test]
+    fn set_get_across_word_boundaries() {
+        let mut b = BitMatrix::new(2, 130);
+        for &c in &[0usize, 63, 64, 127, 128, 129] {
+            b.set(1, c, true);
+            assert!(b.get(1, c), "column {c}");
+        }
+        assert_eq!(b.row_count_ones(1), 6);
+        assert_eq!(b.row_count_ones(0), 0);
+        b.set(1, 64, false);
+        assert!(!b.get(1, 64));
+        assert_eq!(b.count_ones(), 5);
+    }
+
+    #[test]
+    fn from_matrix_matches_nnz() {
+        let m = Matrix::random_sparse(33, 65, 0.7, SparsityPattern::Uniform, 5);
+        let b = BitMatrix::from_matrix(&m);
+        assert_eq!(b.count_ones(), m.nnz());
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                assert_eq!(b.get(r, c), m[(r, c)] != 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn rank_counts_prefix_ones() {
+        let mut b = BitMatrix::new(1, 200);
+        for c in [3usize, 64, 70, 150] {
+            b.set(0, c, true);
+        }
+        assert_eq!(b.rank(0, 0), 0);
+        assert_eq!(b.rank(0, 3), 0);
+        assert_eq!(b.rank(0, 4), 1);
+        assert_eq!(b.rank(0, 65), 2);
+        assert_eq!(b.rank(0, 151), 4);
+        assert_eq!(b.rank(0, 200), 4);
+    }
+
+    #[test]
+    fn rank_is_consistent_with_row_set_bits() {
+        let m = Matrix::random_sparse(4, 150, 0.5, SparsityPattern::Uniform, 9);
+        let b = BitMatrix::from_matrix(&m);
+        for r in 0..4 {
+            let set = b.row_set_bits(r);
+            for (i, &c) in set.iter().enumerate() {
+                assert_eq!(b.rank(r, c), i, "row {r} col {c}");
+            }
+            assert_eq!(b.rank(r, 150), set.len());
+        }
+    }
+
+    #[test]
+    fn row_and_col_set_bits() {
+        let mut b = BitMatrix::new(3, 3);
+        b.set(0, 1, true);
+        b.set(2, 1, true);
+        b.set(2, 2, true);
+        assert_eq!(b.row_set_bits(2), vec![1, 2]);
+        assert_eq!(b.col_set_bits(1), vec![0, 2]);
+        assert_eq!(b.col_count_ones(1), 2);
+        assert_eq!(b.col_count_ones(0), 0);
+    }
+
+    #[test]
+    fn outer_product_bitmap() {
+        let a = [true, false, true];
+        let b = [false, true];
+        let p = BitMatrix::outer_product(&a, &b);
+        assert_eq!(p.rows(), 3);
+        assert_eq!(p.cols(), 2);
+        assert!(p.get(0, 1));
+        assert!(p.get(2, 1));
+        assert!(!p.get(1, 1));
+        assert!(!p.get(0, 0));
+        assert_eq!(p.count_ones(), 2);
+    }
+
+    #[test]
+    fn or_assign_unions_patterns() {
+        let mut a = BitMatrix::new(2, 2);
+        a.set(0, 0, true);
+        let mut b = BitMatrix::new(2, 2);
+        b.set(1, 1, true);
+        a.or_assign(&b);
+        assert!(a.get(0, 0) && a.get(1, 1));
+        assert_eq!(a.count_ones(), 2);
+    }
+
+    #[test]
+    fn tile_extraction_pads_with_zeros() {
+        let mut b = BitMatrix::new(4, 4);
+        b.set(3, 3, true);
+        let t = b.tile(2, 2, 4, 4);
+        assert!(t.get(1, 1));
+        assert_eq!(t.count_ones(), 1);
+    }
+
+    #[test]
+    fn storage_bytes_rounds_to_words() {
+        let b = BitMatrix::new(4, 65);
+        // 2 words per row * 4 rows * 8 bytes.
+        assert_eq!(b.storage_bytes(), 64);
+    }
+
+    #[test]
+    fn debug_format_is_nonempty() {
+        let b = BitMatrix::new(2, 4);
+        assert!(format!("{b:?}").contains("BitMatrix 2x4"));
+    }
+}

@@ -1,0 +1,235 @@
+//! Compressed Sparse Row (CSR) — the baseline encoding.
+//!
+//! The paper compares its bitmap format against CSR for both im2col
+//! (Table III) and SpGEMM (cuSparse, Fig. 21). The crucial architectural
+//! difference is captured by [`CsrMatrix::dependent_loads_per_access`]: each
+//! non-zero access through CSR needs two extra data-dependent index reads
+//! (row pointer, column index), which is what makes CSR-encoded im2col one to
+//! two orders of magnitude slower than bitmap-encoded im2col at moderate
+//! sparsity.
+
+use dsstc_tensor::Matrix;
+
+use crate::StorageFootprint;
+
+/// A sparse matrix in CSR format: `row_ptr`, `col_idx`, `values`.
+///
+/// # Example
+/// ```
+/// use dsstc_tensor::Matrix;
+/// use dsstc_formats::CsrMatrix;
+/// let dense = Matrix::from_rows(&[&[0.0, 5.0], &[7.0, 0.0]]);
+/// let csr = CsrMatrix::encode(&dense);
+/// assert_eq!(csr.nnz(), 2);
+/// assert_eq!(csr.decode(), dense);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Encodes a dense matrix into CSR.
+    pub fn encode(dense: &Matrix) -> Self {
+        let (rows, cols) = (dense.rows(), dense.cols());
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for r in 0..rows {
+            for c in 0..cols {
+                let x = dense[(r, c)];
+                if x != 0.0 {
+                    col_idx.push(c);
+                    values.push(x);
+                }
+            }
+            row_ptr.push(values.len());
+        }
+        CsrMatrix { rows, cols, row_ptr, col_idx, values }
+    }
+
+    /// Builds a CSR matrix directly from its three arrays.
+    ///
+    /// # Panics
+    /// Panics if the arrays are inconsistent (wrong lengths, non-monotone row
+    /// pointers, or column indices out of range).
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f32>,
+    ) -> Self {
+        assert_eq!(row_ptr.len(), rows + 1, "row_ptr must have rows+1 entries");
+        assert_eq!(col_idx.len(), values.len(), "col_idx and values must have equal length");
+        assert_eq!(*row_ptr.last().unwrap(), values.len(), "last row_ptr must equal nnz");
+        assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]), "row_ptr must be non-decreasing");
+        assert!(col_idx.iter().all(|&c| c < cols), "column index out of range");
+        CsrMatrix { rows, cols, row_ptr, col_idx, values }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of zero elements.
+    pub fn sparsity(&self) -> f64 {
+        1.0 - self.nnz() as f64 / (self.rows * self.cols) as f64
+    }
+
+    /// The row-pointer array (length `rows + 1`).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The column-index array.
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// The non-zero values.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Iterator over `(col, value)` pairs of one row.
+    ///
+    /// # Panics
+    /// Panics if `row >= rows()`.
+    pub fn row_iter(&self, row: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        assert!(row < self.rows, "row out of bounds");
+        let range = self.row_ptr[row]..self.row_ptr[row + 1];
+        range.map(move |i| (self.col_idx[i], self.values[i]))
+    }
+
+    /// Number of non-zeros in one row.
+    pub fn row_nnz(&self, row: usize) -> usize {
+        assert!(row < self.rows, "row out of bounds");
+        self.row_ptr[row + 1] - self.row_ptr[row]
+    }
+
+    /// Reconstructs the dense matrix.
+    pub fn decode(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                m[(r, c)] = v;
+            }
+        }
+        m
+    }
+
+    /// Reads element `(row, col)` by scanning the row (as the hardware-less
+    /// baseline would).
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        self.row_iter(row).find(|&(c, _)| c == col).map_or(0.0, |(_, v)| v)
+    }
+
+    /// Storage footprint: FP16 values, 4-byte column indices, 4-byte row
+    /// pointers.
+    pub fn storage(&self) -> StorageFootprint {
+        StorageFootprint {
+            value_bytes: self.nnz() as u64 * 2,
+            metadata_bytes: (self.col_idx.len() * 4 + self.row_ptr.len() * 4) as u64,
+        }
+    }
+
+    /// Extra data-dependent memory reads CSR needs per non-zero access
+    /// compared with the bitmap format (row pointer + column index), the
+    /// quantity the paper blames for CSR im2col's slowdown (Section VI-B).
+    pub fn dependent_loads_per_access(&self) -> u32 {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsstc_tensor::SparsityPattern;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let dense = Matrix::random_sparse(41, 29, 0.85, SparsityPattern::Uniform, 2);
+        let csr = CsrMatrix::encode(&dense);
+        assert_eq!(csr.decode(), dense);
+        assert_eq!(csr.nnz(), dense.nnz());
+    }
+
+    #[test]
+    fn row_iter_and_nnz() {
+        let dense = Matrix::from_rows(&[
+            &[0.0, 1.0, 0.0],
+            &[0.0, 0.0, 0.0],
+            &[2.0, 0.0, 3.0],
+        ]);
+        let csr = CsrMatrix::encode(&dense);
+        assert_eq!(csr.row_nnz(0), 1);
+        assert_eq!(csr.row_nnz(1), 0);
+        assert_eq!(csr.row_nnz(2), 2);
+        let row2: Vec<(usize, f32)> = csr.row_iter(2).collect();
+        assert_eq!(row2, vec![(0, 2.0), (2, 3.0)]);
+    }
+
+    #[test]
+    fn get_scans_row() {
+        let dense = Matrix::from_rows(&[&[0.0, 4.0, 0.0, 9.0]]);
+        let csr = CsrMatrix::encode(&dense);
+        assert_eq!(csr.get(0, 1), 4.0);
+        assert_eq!(csr.get(0, 2), 0.0);
+        assert_eq!(csr.get(0, 3), 9.0);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let csr = CsrMatrix::from_parts(2, 3, vec![0, 1, 2], vec![2, 0], vec![5.0, 6.0]);
+        assert_eq!(csr.get(0, 2), 5.0);
+        assert_eq!(csr.get(1, 0), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row_ptr must have")]
+    fn from_parts_bad_row_ptr_len_panics() {
+        let _ = CsrMatrix::from_parts(2, 3, vec![0, 1], vec![0], vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column index out of range")]
+    fn from_parts_bad_col_idx_panics() {
+        let _ = CsrMatrix::from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let dense = Matrix::zeros(3, 3);
+        let csr = CsrMatrix::encode(&dense);
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.sparsity(), 1.0);
+        assert_eq!(csr.decode(), dense);
+    }
+
+    #[test]
+    fn storage_footprint_grows_with_nnz_unlike_bitmap() {
+        let sparse = Matrix::random_sparse(64, 64, 0.95, SparsityPattern::Uniform, 1);
+        let dense = Matrix::random_sparse(64, 64, 0.10, SparsityPattern::Uniform, 1);
+        let s1 = CsrMatrix::encode(&sparse).storage();
+        let s2 = CsrMatrix::encode(&dense).storage();
+        assert!(s2.metadata_bytes > s1.metadata_bytes);
+        assert_eq!(CsrMatrix::encode(&sparse).dependent_loads_per_access(), 2);
+    }
+}

@@ -1,0 +1,274 @@
+//! Bitmap-encoded convolution feature maps (paper Fig. 11b).
+//!
+//! The sparse implicit im2col keeps the input feature map in global memory in
+//! this compact form: per (channel, row) a bit row marking non-zero pixels, a
+//! **row offset** giving where that row's non-zeros start in the value
+//! array, and the condensed non-zero values themselves. The im2col kernel
+//! then works on the bitmap with shifts/masks/popcounts and uses the row
+//! offset plus a prefix popcount to find each value — no per-element
+//! index loads as CSR would need.
+
+use dsstc_tensor::{ConvShape, FeatureMap};
+
+use crate::bit_matrix::BitMatrix;
+use crate::StorageFootprint;
+
+/// A `C x H x W` feature map in bitmap encoding.
+///
+/// # Example
+/// ```
+/// use dsstc_tensor::{ConvShape, FeatureMap};
+/// use dsstc_formats::BitmapFeatureMap;
+///
+/// let shape = ConvShape::square(8, 3, 4, 3, 1, 1);
+/// let fm = FeatureMap::random_sparse(&shape, 0.7, 1);
+/// let enc = BitmapFeatureMap::encode(&fm);
+/// assert_eq!(enc.decode(), fm);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct BitmapFeatureMap {
+    channels: usize,
+    height: usize,
+    width: usize,
+    /// One bit per pixel; logical index `(c * height + y, x)`.
+    bitmap: BitMatrix,
+    /// Condensed non-zero values in (channel, row, column) scan order.
+    values: Vec<f32>,
+    /// `row_offsets[c * height + y]` = index into `values` where row `(c, y)`
+    /// starts; length `channels * height + 1`.
+    row_offsets: Vec<usize>,
+}
+
+impl BitmapFeatureMap {
+    /// Encodes a dense feature map.
+    pub fn encode(fm: &FeatureMap) -> Self {
+        let (channels, height, width) = (fm.channels(), fm.height(), fm.width());
+        let mut bitmap = BitMatrix::new(channels * height, width);
+        let mut values = Vec::new();
+        let mut row_offsets = Vec::with_capacity(channels * height + 1);
+        row_offsets.push(0);
+        for c in 0..channels {
+            for y in 0..height {
+                for x in 0..width {
+                    let v = fm.get(c, y, x);
+                    if v != 0.0 {
+                        bitmap.set(c * height + y, x, true);
+                        values.push(v);
+                    }
+                }
+                row_offsets.push(values.len());
+            }
+        }
+        BitmapFeatureMap { channels, height, width, bitmap, values, row_offsets }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Feature-map height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Feature-map width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Shape sanity-check against a convolution descriptor.
+    pub fn matches_shape(&self, shape: &ConvShape) -> bool {
+        self.channels == shape.c && self.height == shape.h && self.width == shape.w
+    }
+
+    /// Number of non-zero pixels.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of zero pixels.
+    pub fn sparsity(&self) -> f64 {
+        1.0 - self.nnz() as f64 / (self.channels * self.height * self.width) as f64
+    }
+
+    /// The pixel bitmap row for `(channel, y)` as packed words.
+    ///
+    /// # Panics
+    /// Panics when out of bounds.
+    pub fn row_bits(&self, channel: usize, y: usize) -> &[u64] {
+        assert!(channel < self.channels && y < self.height, "row out of bounds");
+        self.bitmap.row_words(channel * self.height + y)
+    }
+
+    /// Whether pixel `(channel, y, x)` is non-zero.
+    pub fn bit(&self, channel: usize, y: usize, x: usize) -> bool {
+        assert!(channel < self.channels && y < self.height && x < self.width, "index out of bounds");
+        self.bitmap.get(channel * self.height + y, x)
+    }
+
+    /// Start offset of row `(channel, y)`'s values in the condensed value
+    /// array — the "row offset" field of Fig. 11b.
+    pub fn row_offset(&self, channel: usize, y: usize) -> usize {
+        assert!(channel < self.channels && y < self.height, "row out of bounds");
+        self.row_offsets[channel * self.height + y]
+    }
+
+    /// Number of non-zeros in row `(channel, y)` (the row's POPC).
+    pub fn row_nnz(&self, channel: usize, y: usize) -> usize {
+        let idx = channel * self.height + y;
+        self.row_offsets[idx + 1] - self.row_offsets[idx]
+    }
+
+    /// The condensed non-zero values of row `(channel, y)`.
+    pub fn row_values(&self, channel: usize, y: usize) -> &[f32] {
+        let idx = channel * self.height + y;
+        &self.values[self.row_offsets[idx]..self.row_offsets[idx + 1]]
+    }
+
+    /// Reads pixel `(channel, y, x)` via bitmap rank + row offset — the exact
+    /// access path of the bitmap im2col (one popcount, no dependent index
+    /// loads).
+    pub fn get(&self, channel: usize, y: usize, x: usize) -> f32 {
+        if !self.bit(channel, y, x) {
+            return 0.0;
+        }
+        let row = channel * self.height + y;
+        let rank = self.bitmap.rank(row, x);
+        self.values[self.row_offsets[row] + rank]
+    }
+
+    /// Reads pixel treating out-of-bounds coordinates as zero (padding).
+    pub fn get_padded(&self, channel: usize, y: isize, x: isize) -> f32 {
+        if channel >= self.channels
+            || y < 0
+            || x < 0
+            || y as usize >= self.height
+            || x as usize >= self.width
+        {
+            0.0
+        } else {
+            self.get(channel, y as usize, x as usize)
+        }
+    }
+
+    /// Reconstructs the dense feature map.
+    pub fn decode(&self) -> FeatureMap {
+        let mut fm = FeatureMap::zeros(self.channels, self.height, self.width);
+        for c in 0..self.channels {
+            for y in 0..self.height {
+                let mut vi = self.row_offset(c, y);
+                for x in 0..self.width {
+                    if self.bit(c, y, x) {
+                        fm.set(c, y, x, self.values[vi]);
+                        vi += 1;
+                    }
+                }
+            }
+        }
+        fm
+    }
+
+    /// Storage footprint: FP16 values + per-pixel bitmap + 4-byte row
+    /// offsets.
+    pub fn storage(&self) -> StorageFootprint {
+        StorageFootprint {
+            value_bytes: self.nnz() as u64 * 2,
+            metadata_bytes: self.bitmap.storage_bytes() + self.row_offsets.len() as u64 * 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsstc_tensor::Matrix;
+
+    fn paper_feature_map() -> FeatureMap {
+        // The 3x6 feature map of paper Fig. 11a.
+        FeatureMap::from_channels(&[Matrix::from_rows(&[
+            &[0.0, 4.0, 0.0, 2.0, 3.0, 0.0],
+            &[0.0, 0.0, 5.0, 0.0, 0.0, 2.0],
+            &[6.0, 0.0, 0.0, 0.0, 3.0, 0.0],
+        ])])
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let shape = ConvShape::square(9, 5, 2, 3, 1, 1);
+        let fm = FeatureMap::random_sparse(&shape, 0.6, 17);
+        let enc = BitmapFeatureMap::encode(&fm);
+        assert_eq!(enc.decode(), fm);
+        assert_eq!(enc.nnz(), fm.nnz());
+        assert!(enc.matches_shape(&shape));
+    }
+
+    #[test]
+    fn paper_example_rows() {
+        let enc = BitmapFeatureMap::encode(&paper_feature_map());
+        // Row 0 of Fig. 11: bitmap 010110, values [4, 2, 3].
+        assert_eq!(enc.row_values(0, 0), &[4.0, 2.0, 3.0]);
+        assert_eq!(enc.row_nnz(0, 0), 3);
+        assert_eq!(enc.row_offset(0, 0), 0);
+        // Row 1: values [5, 2], starting after row 0's 3 values.
+        assert_eq!(enc.row_values(0, 1), &[5.0, 2.0]);
+        assert_eq!(enc.row_offset(0, 1), 3);
+        // Row 2: values [6, 3].
+        assert_eq!(enc.row_values(0, 2), &[6.0, 3.0]);
+        assert_eq!(enc.row_offset(0, 2), 5);
+    }
+
+    #[test]
+    fn bit_and_get_accessors_agree_with_dense() {
+        let fm = paper_feature_map();
+        let enc = BitmapFeatureMap::encode(&fm);
+        for y in 0..3 {
+            for x in 0..6 {
+                assert_eq!(enc.bit(0, y, x), fm.get(0, y, x) != 0.0);
+                assert_eq!(enc.get(0, y, x), fm.get(0, y, x));
+            }
+        }
+    }
+
+    #[test]
+    fn padded_access() {
+        let enc = BitmapFeatureMap::encode(&paper_feature_map());
+        assert_eq!(enc.get_padded(0, -1, 0), 0.0);
+        assert_eq!(enc.get_padded(0, 0, 6), 0.0);
+        assert_eq!(enc.get_padded(0, 0, 1), 4.0);
+        assert_eq!(enc.get_padded(1, 0, 0), 0.0); // channel out of range
+    }
+
+    #[test]
+    fn multi_channel_row_offsets_are_cumulative() {
+        let shape = ConvShape::square(4, 3, 1, 1, 1, 0);
+        let fm = FeatureMap::random_sparse(&shape, 0.5, 23);
+        let enc = BitmapFeatureMap::encode(&fm);
+        let mut expected = 0;
+        for c in 0..3 {
+            for y in 0..4 {
+                assert_eq!(enc.row_offset(c, y), expected);
+                expected += enc.row_nnz(c, y);
+            }
+        }
+        assert_eq!(expected, enc.nnz());
+    }
+
+    #[test]
+    fn all_zero_feature_map() {
+        let fm = FeatureMap::zeros(2, 3, 3);
+        let enc = BitmapFeatureMap::encode(&fm);
+        assert_eq!(enc.nnz(), 0);
+        assert!((enc.sparsity() - 1.0).abs() < 1e-12);
+        assert_eq!(enc.decode(), fm);
+    }
+
+    #[test]
+    fn storage_footprint() {
+        let enc = BitmapFeatureMap::encode(&paper_feature_map());
+        let s = enc.storage();
+        assert_eq!(s.value_bytes, 7 * 2);
+        // 3 rows of bitmap (1 word each) + 4 row offsets * 4 bytes.
+        assert_eq!(s.metadata_bytes, 3 * 8 + 4 * 4);
+    }
+}

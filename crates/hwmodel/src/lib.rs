@@ -1,0 +1,33 @@
+//! Analytical hardware area / power model for the dual-side sparse Tensor
+//! Core extensions (paper Section VI-E, Table IV).
+//!
+//! The paper estimates its overhead with CACTI 7 at 22 nm scaled to 12 nm
+//! plus RTL estimates for the operand collector and the extra FP32 adders.
+//! This crate re-derives the same table from first-order component models:
+//!
+//! * [`sram`]: a CACTI-style SRAM macro model (area/leakage per bit plus
+//!   per-bank and per-port overheads),
+//! * [`logic`]: FP32 adder arrays and the operand-collector crossbar/queues,
+//! * [`tech`]: technology scaling between nodes (after Stillmaker & Baas),
+//! * [`overhead`]: the composition of the three Table IV modules and their
+//!   percentage of the V100 die and TDP.
+//!
+//! # Example
+//! ```
+//! use dsstc_hwmodel::overhead::DsstcOverhead;
+//! let table = DsstcOverhead::paper_configuration();
+//! let total = table.total();
+//! assert!(total.area_mm2 < 20.0);
+//! assert!(total.power_w < 6.0);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod logic;
+pub mod overhead;
+pub mod sram;
+pub mod tech;
+
+pub use crate::overhead::{DsstcOverhead, ModuleOverhead};
+pub use crate::sram::SramMacro;
+pub use crate::tech::TechnologyNode;

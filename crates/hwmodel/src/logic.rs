@@ -1,0 +1,138 @@
+//! Logic component models: FP32 adder arrays and the operand collector.
+//!
+//! These stand in for the paper's RTL estimates. Constants are quoted at
+//! 12 nm directly (the node the RTL was synthesised for) and calibrated so
+//! the Table IV module figures are reproduced by the paper's component
+//! counts.
+
+use crate::tech::TechnologyNode;
+
+/// Area of one FP32 adder at 12 nm, in µm².
+const FP32_ADDER_AREA_UM2_12NM: f64 = 95.0;
+/// Energy per FP32 addition at 12 nm, in joules.
+const FP32_ADD_ENERGY_J_12NM: f64 = 1.2e-12;
+/// Area of one operand-collector queue entry (flop + control) at 12 nm, µm².
+const QUEUE_ENTRY_AREA_UM2_12NM: f64 = 25.0;
+/// Area of one crossbar cross-point (per data bit) at 12 nm, µm².
+const CROSSBAR_POINT_AREA_UM2_12NM: f64 = 0.16;
+/// Switching power per operand-collector instance at full activity, watts
+/// at 12 nm.
+const COLLECTOR_DYNAMIC_W_12NM: f64 = 1.4e-3;
+
+/// An array of FP32 adders (the extra accumulate stage the FEOP units need).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fp32AdderArray {
+    /// Number of adders on the whole device.
+    pub count: u64,
+}
+
+impl Fp32AdderArray {
+    /// Creates an adder array description.
+    pub fn new(count: u64) -> Self {
+        Fp32AdderArray { count }
+    }
+
+    /// Total area at the given node, in mm².
+    pub fn area_mm2(&self, node: TechnologyNode) -> f64 {
+        let at_12 = self.count as f64 * FP32_ADDER_AREA_UM2_12NM / 1e6;
+        rescale_from_12nm_area(at_12, node)
+    }
+
+    /// Total power at the given node assuming every adder fires once per
+    /// cycle at `clock_ghz`, in watts.
+    pub fn power_w(&self, node: TechnologyNode, clock_ghz: f64, activity: f64) -> f64 {
+        let at_12 = self.count as f64 * FP32_ADD_ENERGY_J_12NM * clock_ghz * 1e9 * activity;
+        rescale_from_12nm_power(at_12, node)
+    }
+}
+
+/// The operand collector added in front of the accumulation-buffer banks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OperandCollector {
+    /// Number of collector instances on the device (one per sub-core).
+    pub instances: u64,
+    /// Banks each collector arbitrates.
+    pub banks: u32,
+    /// Pending-instruction queue depth.
+    pub queue_depth: u32,
+    /// Data width per access in bits.
+    pub data_bits: u32,
+}
+
+impl OperandCollector {
+    /// Creates a collector description.
+    pub fn new(instances: u64, banks: u32, queue_depth: u32, data_bits: u32) -> Self {
+        OperandCollector { instances, banks, queue_depth, data_bits }
+    }
+
+    /// Total area at the given node, in mm².
+    pub fn area_mm2(&self, node: TechnologyNode) -> f64 {
+        let queues = self.banks as f64 * self.queue_depth as f64 * self.data_bits as f64 / 32.0
+            * QUEUE_ENTRY_AREA_UM2_12NM;
+        let crossbar =
+            self.banks as f64 * self.banks as f64 * self.data_bits as f64 * CROSSBAR_POINT_AREA_UM2_12NM;
+        let at_12 = self.instances as f64 * (queues + crossbar) / 1e6;
+        rescale_from_12nm_area(at_12, node)
+    }
+
+    /// Total power at the given node, in watts.
+    pub fn power_w(&self, node: TechnologyNode, activity: f64) -> f64 {
+        let at_12 = self.instances as f64 * COLLECTOR_DYNAMIC_W_12NM * activity;
+        rescale_from_12nm_power(at_12, node)
+    }
+}
+
+fn rescale_from_12nm_area(area_at_12: f64, node: TechnologyNode) -> f64 {
+    area_at_12 * node.area_factor_vs_22nm() / TechnologyNode::Nm12.area_factor_vs_22nm()
+}
+
+fn rescale_from_12nm_power(power_at_12: f64, node: TechnologyNode) -> f64 {
+    power_at_12 * node.power_factor_vs_22nm() / TechnologyNode::Nm12.power_factor_vs_22nm()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adder_array_matches_paper_scale() {
+        // Two extra accumulate adders per Tensor Core: 1280 adders.
+        let adders = Fp32AdderArray::new(1280);
+        let area = adders.area_mm2(TechnologyNode::Nm12);
+        assert!((area - 0.121).abs() < 0.03, "got {area} mm2");
+        let power = adders.power_w(TechnologyNode::Nm12, 1.53, 1.0);
+        assert!((power - 2.35).abs() < 0.5, "got {power} W");
+    }
+
+    #[test]
+    fn collector_matches_paper_scale() {
+        let collector = OperandCollector::new(320, 16, 8, 36);
+        let area = collector.area_mm2(TechnologyNode::Nm12);
+        assert!((area - 1.51).abs() < 0.4, "got {area} mm2");
+        let power = collector.power_w(TechnologyNode::Nm12, 1.0);
+        assert!((power - 0.46).abs() < 0.15, "got {power} W");
+    }
+
+    #[test]
+    fn area_grows_on_larger_nodes() {
+        let adders = Fp32AdderArray::new(1000);
+        assert!(adders.area_mm2(TechnologyNode::Nm22) > adders.area_mm2(TechnologyNode::Nm12));
+    }
+
+    #[test]
+    fn power_scales_with_activity_and_clock() {
+        let adders = Fp32AdderArray::new(1000);
+        let full = adders.power_w(TechnologyNode::Nm12, 1.5, 1.0);
+        let half = adders.power_w(TechnologyNode::Nm12, 1.5, 0.5);
+        assert!((full / half - 2.0).abs() < 1e-9);
+        let slow = adders.power_w(TechnologyNode::Nm12, 0.75, 1.0);
+        assert!((full / slow - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collector_area_scales_with_banks_squared_for_crossbar() {
+        let small = OperandCollector::new(1, 8, 8, 32).area_mm2(TechnologyNode::Nm12);
+        let large = OperandCollector::new(1, 32, 8, 32).area_mm2(TechnologyNode::Nm12);
+        assert!(large > 3.0 * small);
+    }
+}

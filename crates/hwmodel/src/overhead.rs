@@ -1,0 +1,188 @@
+//! Composition of the Table IV hardware-overhead estimate.
+
+use crate::logic::{Fp32AdderArray, OperandCollector};
+use crate::sram::SramMacro;
+use crate::tech::TechnologyNode;
+
+/// V100 die area in mm² (the denominator of the paper's 1.5 % figure).
+pub const V100_DIE_AREA_MM2: f64 = 815.0;
+/// V100 TDP in watts (the denominator of the paper's 1.6 % figure).
+pub const V100_TDP_W: f64 = 250.0;
+
+/// Area and power of one added hardware module.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModuleOverhead {
+    /// Module name as it appears in Table IV.
+    pub name: String,
+    /// Area in mm² at the target node.
+    pub area_mm2: f64,
+    /// Power in watts at the target node.
+    pub power_w: f64,
+}
+
+impl ModuleOverhead {
+    /// Creates a module entry.
+    pub fn new(name: &str, area_mm2: f64, power_w: f64) -> Self {
+        ModuleOverhead { name: name.to_string(), area_mm2, power_w }
+    }
+}
+
+/// The complete overhead estimate for the dual-side sparse Tensor Core.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DsstcOverhead {
+    node: TechnologyNode,
+    modules: Vec<ModuleOverhead>,
+}
+
+impl DsstcOverhead {
+    /// Builds the estimate for the paper's configuration: 80 SMs x 4
+    /// sub-cores, two extra FP32 accumulate adders per Tensor Core, one
+    /// 16-bank 4 KB accumulation buffer and one operand collector per
+    /// sub-core, at 12 nm and 1.53 GHz.
+    pub fn paper_configuration() -> Self {
+        Self::for_configuration(TechnologyNode::Nm12, 80, 4, 2, 1.53)
+    }
+
+    /// Builds the estimate for an arbitrary GPU configuration.
+    ///
+    /// `tensor_cores_per_sub_core` extra adder pairs are charged per Tensor
+    /// Core; one accumulation buffer + operand collector is charged per
+    /// sub-core.
+    pub fn for_configuration(
+        node: TechnologyNode,
+        num_sms: u64,
+        sub_cores_per_sm: u64,
+        tensor_cores_per_sub_core: u64,
+        clock_ghz: f64,
+    ) -> Self {
+        let sub_cores = num_sms * sub_cores_per_sm;
+        let tensor_cores = sub_cores * tensor_cores_per_sub_core;
+
+        let adders = Fp32AdderArray::new(tensor_cores * 2);
+        // Accumulation-buffer accesses: 16 x 4-byte writes per cycle per
+        // sub-core at a representative 50 % duty cycle.
+        let buffer = SramMacro::new(4 * 1024, 16);
+        let buffer_bandwidth = 64.0 * clock_ghz * 1e9 * 0.5;
+        let collector = OperandCollector::new(sub_cores, 16, 8, 36);
+
+        let modules = vec![
+            ModuleOverhead::new(
+                "Float Point Adders",
+                adders.area_mm2(node),
+                adders.power_w(node, clock_ghz, 1.0),
+            ),
+            ModuleOverhead::new(
+                "Accumulation Operand Collector",
+                collector.area_mm2(node),
+                collector.power_w(node, 1.0),
+            ),
+            ModuleOverhead::new(
+                "Shared Accumulation Buffer",
+                buffer.area_mm2(node) * sub_cores as f64,
+                buffer.power_w(node, buffer_bandwidth) * sub_cores as f64,
+            ),
+        ];
+        DsstcOverhead { node, modules }
+    }
+
+    /// The target technology node.
+    pub fn node(&self) -> TechnologyNode {
+        self.node
+    }
+
+    /// The per-module rows of Table IV.
+    pub fn modules(&self) -> &[ModuleOverhead] {
+        &self.modules
+    }
+
+    /// The "Total overhead" row.
+    pub fn total(&self) -> ModuleOverhead {
+        ModuleOverhead {
+            name: "Total overhead on V100".to_string(),
+            area_mm2: self.modules.iter().map(|m| m.area_mm2).sum(),
+            power_w: self.modules.iter().map(|m| m.power_w).sum(),
+        }
+    }
+
+    /// Total area as a fraction of the V100 die.
+    pub fn area_fraction_of_v100(&self) -> f64 {
+        self.total().area_mm2 / V100_DIE_AREA_MM2
+    }
+
+    /// Total power as a fraction of the V100 TDP.
+    pub fn power_fraction_of_v100(&self) -> f64 {
+        self.total().power_w / V100_TDP_W
+    }
+
+    /// Renders the estimate as a Table IV-style text table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<34} {:>14} {:>18}\n",
+            "Module Name", "Area (mm^2)", "Power (W)"
+        ));
+        for m in &self.modules {
+            out.push_str(&format!("{:<34} {:>14.3} {:>18.2}\n", m.name, m.area_mm2, m.power_w));
+        }
+        let total = self.total();
+        out.push_str(&format!(
+            "{:<34} {:>9.3} ({:.1}%) {:>12.2} ({:.2}%)\n",
+            total.name,
+            total.area_mm2,
+            100.0 * self.area_fraction_of_v100(),
+            total.power_w,
+            100.0 * self.power_fraction_of_v100(),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_total_is_close_to_table_iv() {
+        let o = DsstcOverhead::paper_configuration();
+        let total = o.total();
+        assert!((total.area_mm2 - 12.8).abs() < 2.5, "area {}", total.area_mm2);
+        assert!((total.power_w - 3.9).abs() < 1.2, "power {}", total.power_w);
+        assert!(o.area_fraction_of_v100() < 0.02);
+        assert!(o.power_fraction_of_v100() < 0.025);
+    }
+
+    #[test]
+    fn buffer_dominates_area_adders_dominate_power() {
+        let o = DsstcOverhead::paper_configuration();
+        let buffer = &o.modules()[2];
+        let adders = &o.modules()[0];
+        assert!(buffer.area_mm2 > adders.area_mm2 * 10.0);
+        assert!(adders.power_w > buffer.power_w);
+    }
+
+    #[test]
+    fn three_modules_match_table_iv_rows() {
+        let o = DsstcOverhead::paper_configuration();
+        let names: Vec<&str> = o.modules().iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["Float Point Adders", "Accumulation Operand Collector", "Shared Accumulation Buffer"]
+        );
+    }
+
+    #[test]
+    fn smaller_gpu_has_proportionally_smaller_overhead() {
+        let full = DsstcOverhead::paper_configuration();
+        let half = DsstcOverhead::for_configuration(TechnologyNode::Nm12, 40, 4, 2, 1.53);
+        assert!(half.total().area_mm2 < full.total().area_mm2 * 0.6);
+    }
+
+    #[test]
+    fn rendered_table_contains_all_rows_and_percentages() {
+        let table = DsstcOverhead::paper_configuration().render_table();
+        assert!(table.contains("Float Point Adders"));
+        assert!(table.contains("Shared Accumulation Buffer"));
+        assert!(table.contains("Total overhead"));
+        assert!(table.contains('%'));
+    }
+}

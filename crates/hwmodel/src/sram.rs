@@ -1,0 +1,100 @@
+//! CACTI-style SRAM macro model.
+//!
+//! Small, heavily banked scratchpads (like the 4 KB accumulation buffer) are
+//! periphery-dominated, so the model charges an effective area per bit that
+//! includes the local decoders/sense amplifiers plus a fixed overhead per
+//! bank, and a power made of per-bit leakage plus per-byte access energy.
+//! The 22 nm constants are calibrated so that the paper's CACTI 7 numbers
+//! for the shared accumulation buffer are reproduced after scaling to 12 nm.
+
+use crate::tech::TechnologyNode;
+
+/// Effective area of one SRAM bit (cell + local periphery) at 22 nm, in µm².
+const BIT_AREA_UM2_22NM: f64 = 2.0;
+/// Fixed periphery overhead per bank at 22 nm, in µm².
+const BANK_OVERHEAD_UM2_22NM: f64 = 2000.0;
+/// Leakage per bit at 22 nm, in watts.
+const LEAKAGE_PER_BIT_W_22NM: f64 = 15e-9;
+/// Dynamic access energy per byte at 22 nm, in joules.
+const ACCESS_ENERGY_PER_BYTE_J_22NM: f64 = 0.07e-12;
+
+/// One SRAM macro (e.g. a single accumulation buffer instance).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SramMacro {
+    /// Capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Number of independently addressed banks.
+    pub banks: u32,
+}
+
+impl SramMacro {
+    /// Creates a macro description.
+    ///
+    /// # Panics
+    /// Panics if the capacity or bank count is zero.
+    pub fn new(capacity_bytes: u64, banks: u32) -> Self {
+        assert!(capacity_bytes > 0 && banks > 0, "capacity and banks must be non-zero");
+        SramMacro { capacity_bytes, banks }
+    }
+
+    /// Area of one macro instance at the given node, in mm².
+    pub fn area_mm2(&self, node: TechnologyNode) -> f64 {
+        let bits = self.capacity_bytes as f64 * 8.0;
+        let area_um2_22 = bits * BIT_AREA_UM2_22NM + self.banks as f64 * BANK_OVERHEAD_UM2_22NM;
+        node.scale_area_from_22nm(area_um2_22 / 1e6)
+    }
+
+    /// Power of one macro instance at the given node, in watts, assuming
+    /// `bytes_per_second` of sustained access bandwidth.
+    pub fn power_w(&self, node: TechnologyNode, bytes_per_second: f64) -> f64 {
+        let bits = self.capacity_bytes as f64 * 8.0;
+        let leakage = bits * LEAKAGE_PER_BIT_W_22NM;
+        let dynamic = bytes_per_second * ACCESS_ENERGY_PER_BYTE_J_22NM;
+        node.scale_power_from_22nm(leakage + dynamic)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn accum_buffer() -> SramMacro {
+        SramMacro::new(4 * 1024, 16)
+    }
+
+    #[test]
+    fn area_scales_with_capacity() {
+        let small = SramMacro::new(1024, 4).area_mm2(TechnologyNode::Nm22);
+        let large = SramMacro::new(8 * 1024, 4).area_mm2(TechnologyNode::Nm22);
+        assert!(large > 4.0 * small);
+    }
+
+    #[test]
+    fn area_includes_per_bank_overhead() {
+        let few = SramMacro::new(4096, 1).area_mm2(TechnologyNode::Nm22);
+        let many = SramMacro::new(4096, 32).area_mm2(TechnologyNode::Nm22);
+        assert!(many > few);
+    }
+
+    #[test]
+    fn accumulation_buffer_instance_is_about_0_035_mm2_at_12nm() {
+        // 320 instances must land near the paper's 11.2 mm² total.
+        let per_instance = accum_buffer().area_mm2(TechnologyNode::Nm12);
+        let total = per_instance * 320.0;
+        assert!((total - 11.2).abs() < 1.5, "total {total} mm2");
+    }
+
+    #[test]
+    fn power_has_leakage_floor_and_grows_with_bandwidth() {
+        let idle = accum_buffer().power_w(TechnologyNode::Nm12, 0.0);
+        assert!(idle > 0.0);
+        let busy = accum_buffer().power_w(TechnologyNode::Nm12, 64.0 * 1.53e9);
+        assert!(busy > idle);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = SramMacro::new(0, 4);
+    }
+}

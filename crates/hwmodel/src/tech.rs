@@ -1,0 +1,104 @@
+//! Technology nodes and inter-node scaling.
+//!
+//! The paper runs CACTI at 22 nm and scales the results to 12 nm using the
+//! equations of Stillmaker & Baas ("Scaling equations for the accurate
+//! prediction of CMOS device performance from 180 nm to 7 nm"). Only the
+//! area and power scaling factors are needed here.
+
+/// A CMOS technology node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TechnologyNode {
+    /// 40 nm (used by the SpArch comparison in Section II-C).
+    Nm40,
+    /// 22 nm (CACTI's native node in the paper).
+    Nm22,
+    /// 16 nm.
+    Nm16,
+    /// 12 nm (the V100's node, Table IV's target).
+    Nm12,
+}
+
+impl TechnologyNode {
+    /// Feature size in nanometres.
+    pub fn nanometres(&self) -> f64 {
+        match self {
+            TechnologyNode::Nm40 => 40.0,
+            TechnologyNode::Nm22 => 22.0,
+            TechnologyNode::Nm16 => 16.0,
+            TechnologyNode::Nm12 => 12.0,
+        }
+    }
+
+    /// Relative logic/SRAM area versus the 22 nm reference node
+    /// (area scales roughly with the square of the feature size, damped by
+    /// the slower SRAM scaling of FinFET nodes).
+    pub fn area_factor_vs_22nm(&self) -> f64 {
+        let ratio = self.nanometres() / 22.0;
+        // Exponent 1.7 rather than 2.0 reflects the sub-quadratic SRAM/logic
+        // scaling reported by Stillmaker & Baas for post-22 nm nodes.
+        ratio.powf(1.7)
+    }
+
+    /// Relative dynamic power versus 22 nm at constant frequency
+    /// (capacitance shrinks with area, supply voltage drops slowly).
+    pub fn power_factor_vs_22nm(&self) -> f64 {
+        let ratio = self.nanometres() / 22.0;
+        ratio.powf(1.3)
+    }
+
+    /// Scales an area figure quoted at 22 nm to this node.
+    pub fn scale_area_from_22nm(&self, area_mm2: f64) -> f64 {
+        area_mm2 * self.area_factor_vs_22nm()
+    }
+
+    /// Scales a power figure quoted at 22 nm to this node.
+    pub fn scale_power_from_22nm(&self, power_w: f64) -> f64 {
+        power_w * self.power_factor_vs_22nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_node_scales_to_itself() {
+        assert!((TechnologyNode::Nm22.area_factor_vs_22nm() - 1.0).abs() < 1e-12);
+        assert!((TechnologyNode::Nm22.power_factor_vs_22nm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smaller_nodes_shrink_area_and_power() {
+        let a12 = TechnologyNode::Nm12.area_factor_vs_22nm();
+        assert!(a12 < 1.0 && a12 > 0.2, "got {a12}");
+        let p12 = TechnologyNode::Nm12.power_factor_vs_22nm();
+        assert!(p12 < 1.0 && p12 > 0.3, "got {p12}");
+        // Area shrinks faster than power.
+        assert!(a12 < p12);
+    }
+
+    #[test]
+    fn larger_nodes_grow() {
+        assert!(TechnologyNode::Nm40.area_factor_vs_22nm() > 1.5);
+    }
+
+    #[test]
+    fn scaling_helpers_apply_factors() {
+        let node = TechnologyNode::Nm12;
+        assert!((node.scale_area_from_22nm(10.0) - 10.0 * node.area_factor_vs_22nm()).abs() < 1e-12);
+        assert!((node.scale_power_from_22nm(2.0) - 2.0 * node.power_factor_vs_22nm()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_across_nodes() {
+        let nodes = [
+            TechnologyNode::Nm40,
+            TechnologyNode::Nm22,
+            TechnologyNode::Nm16,
+            TechnologyNode::Nm12,
+        ];
+        for pair in nodes.windows(2) {
+            assert!(pair[0].area_factor_vs_22nm() > pair[1].area_factor_vs_22nm());
+        }
+    }
+}

@@ -1,0 +1,707 @@
+//! The paper's dual-side sparse GEMM: bitmap encoding + outer product.
+//!
+//! [`BitmapSpGemm`] is the device-level kernel (Section III-C): the GEMM is
+//! tiled into 128x128 thread-block tiles made of 32x32x16 warp tiles, the
+//! operands are held in the two-level bitmap encoding, warp tiles whose
+//! warp-bit is 0 on either side are skipped outright, and every surviving
+//! warp tile runs the warp-level algorithm of [`warp`] — predicated OHMMAs
+//! on condensed operands plus the gather-accumulate-scatter merge in the
+//! OTC accumulation buffer.
+
+pub mod warp;
+
+use dsstc_formats::{TwoLevelBitmapMatrix, VectorLayout};
+use dsstc_sim::{AccumulationBuffer, GpuConfig, OtcStepCost, WorkloadProfile};
+use dsstc_tensor::{GemmShape, Matrix};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::tiling::{GemmTiling, TrafficInputs};
+use warp::{warp_spgemm, warp_tile_profile};
+
+/// Description of a synthetic (statistically sampled) SpGEMM problem, used
+/// when the matrices are too large to materialise — the Fig. 21 sparsity
+/// sweep and the Fig. 22 network layers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SyntheticGemmSpec {
+    /// GEMM shape.
+    pub shape: GemmShape,
+    /// Fraction of zeros in the A (activation) operand.
+    pub a_sparsity: f64,
+    /// Fraction of zeros in the B (weight) operand.
+    pub b_sparsity: f64,
+    /// How clustered the A operand's non-zeros are: the fraction of
+    /// condensed 32-element vectors that are *entirely empty*, with the
+    /// surviving non-zeros concentrated in the remaining vectors so the
+    /// overall sparsity is preserved. `0.0` (the default) is the uniform,
+    /// pessimistic case; real pruned checkpoints exhibit exactly this kind
+    /// of unevenness (paper Fig. 6), which the per-step and warp-level
+    /// skipping exploit.
+    pub a_clustering: f64,
+    /// Clustering of the B operand's non-zeros (same definition).
+    pub b_clustering: f64,
+    /// Overrides the DRAM footprint of the A operand (e.g. the original
+    /// feature map instead of the lowered matrix for implicit im2col).
+    pub a_bytes_override: Option<u64>,
+    /// Overrides the DRAM footprint of the B operand.
+    pub b_bytes_override: Option<u64>,
+    /// Seed for the per-tile non-zero count sampling.
+    pub seed: u64,
+}
+
+impl SyntheticGemmSpec {
+    /// Creates a spec with uniform (unclustered) operands and no footprint
+    /// overrides.
+    pub fn new(shape: GemmShape, a_sparsity: f64, b_sparsity: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&a_sparsity) && (0.0..=1.0).contains(&b_sparsity), "sparsity must be in [0,1]");
+        SyntheticGemmSpec {
+            shape,
+            a_sparsity,
+            b_sparsity,
+            a_clustering: 0.0,
+            b_clustering: 0.0,
+            a_bytes_override: None,
+            b_bytes_override: None,
+            seed,
+        }
+    }
+
+    /// Sets the clustering of both operands' non-zeros (see
+    /// [`Self::a_clustering`]).
+    ///
+    /// # Panics
+    /// Panics if a clustering is outside `[0, 1)` or would require the
+    /// surviving vectors to be denser than 100 %.
+    pub fn with_clustering(mut self, a_clustering: f64, b_clustering: f64) -> Self {
+        assert!((0.0..1.0).contains(&a_clustering) && (0.0..1.0).contains(&b_clustering), "clustering must be in [0,1)");
+        assert!(
+            (1.0 - self.a_sparsity) <= (1.0 - a_clustering) + 1e-12,
+            "A clustering {a_clustering} incompatible with density {}",
+            1.0 - self.a_sparsity
+        );
+        assert!(
+            (1.0 - self.b_sparsity) <= (1.0 - b_clustering) + 1e-12,
+            "B clustering {b_clustering} incompatible with density {}",
+            1.0 - self.b_sparsity
+        );
+        self.a_clustering = a_clustering;
+        self.b_clustering = b_clustering;
+        self
+    }
+
+    /// Creates a spec with the operands oriented so that the **sparser** one
+    /// sits on the column-condensed A side of the outer product.
+    ///
+    /// The A side skips at 8-element (25 %) granularity and triggers the
+    /// whole-step skip when its condensed column is empty, whereas the B side
+    /// only skips at 16-element (50 %) granularity (paper Section III-B3), so
+    /// a GEMM library built on this kernel computes `D^T = B^T * A^T`
+    /// whenever the B operand is the sparser one. The byte footprints follow
+    /// their operands through the swap.
+    pub fn oriented(
+        shape: GemmShape,
+        a_sparsity: f64,
+        b_sparsity: f64,
+        a_bytes: Option<u64>,
+        b_bytes: Option<u64>,
+        seed: u64,
+    ) -> Self {
+        let mut spec = if b_sparsity > a_sparsity {
+            let mut s = Self::new(GemmShape::new(shape.n, shape.m, shape.k), b_sparsity, a_sparsity, seed);
+            s.a_bytes_override = b_bytes;
+            s.b_bytes_override = a_bytes;
+            s
+        } else {
+            let mut s = Self::new(shape, a_sparsity, b_sparsity, seed);
+            s.a_bytes_override = a_bytes;
+            s.b_bytes_override = b_bytes;
+            s
+        };
+        // The output footprint is M*N*4 either way; nothing else changes.
+        spec.seed = seed;
+        spec
+    }
+}
+
+/// Configuration knobs of the dual-side SpGEMM, exposed for the ablation
+/// benches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BitmapSpGemmOptions {
+    /// Whether the accumulation buffer has the operand collector
+    /// (paper Fig. 19/20). Disabling it inflates merge bank conflicts.
+    pub operand_collector: bool,
+    /// Whether the two-level (warp bitmap) encoding is used. Disabling it
+    /// falls back to the one-level encoding of Fig. 8a: no whole-tile
+    /// skipping and partial-matrix scatters that spill past the local
+    /// accumulation buffer.
+    pub two_level: bool,
+}
+
+impl Default for BitmapSpGemmOptions {
+    fn default() -> Self {
+        BitmapSpGemmOptions { operand_collector: true, two_level: true }
+    }
+}
+
+/// Extra statistics the dual-side SpGEMM reports alongside its profile.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpGemmStats {
+    /// Warp-tile x k-slice steps skipped entirely thanks to the warp bitmap.
+    pub skipped_warp_tiles: u64,
+    /// Total warp-tile x k-slice steps of the launch.
+    pub total_warp_tiles: u64,
+    /// OHMMA instructions skipped by predication inside surviving tiles.
+    pub skipped_ohmma: u64,
+    /// OHMMA instructions a dense outer-product execution would have issued.
+    pub dense_ohmma: u64,
+}
+
+impl SpGemmStats {
+    /// Fraction of dense OHMMA work avoided by predication inside surviving
+    /// tiles (whole-tile skips avoid their OHMMAs implicitly and are counted
+    /// in [`Self::skipped_warp_tiles`]).
+    pub fn compute_savings(&self) -> f64 {
+        if self.dense_ohmma == 0 {
+            return 0.0;
+        }
+        self.skipped_ohmma as f64 / self.dense_ohmma as f64
+    }
+}
+
+/// The dual-side sparse GEMM kernel (this paper's method).
+#[derive(Clone, Debug)]
+pub struct BitmapSpGemm {
+    config: GpuConfig,
+    tiling: GemmTiling,
+    options: BitmapSpGemmOptions,
+}
+
+impl BitmapSpGemm {
+    /// Creates the kernel with the paper's default options.
+    pub fn new(config: GpuConfig) -> Self {
+        BitmapSpGemm { config, tiling: GemmTiling::paper_spgemm(), options: BitmapSpGemmOptions::default() }
+    }
+
+    /// Overrides the ablation options.
+    pub fn with_options(mut self, options: BitmapSpGemmOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The options in use.
+    pub fn options(&self) -> BitmapSpGemmOptions {
+        self.options
+    }
+
+    /// Builds the workload profile (and skip statistics) of `A * B` for
+    /// dense input matrices of arbitrary sparsity.
+    pub fn profile_with_stats(&self, a: &Matrix, b: &Matrix) -> (WorkloadProfile, SpGemmStats) {
+        assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+        let shape = GemmShape::new(a.rows(), b.cols(), a.cols());
+        let (wm, wn, wk) = (self.tiling.warp_m, self.tiling.warp_n, self.tiling.warp_k);
+        let grid_m = shape.m.div_ceil(wm);
+        let grid_n = shape.n.div_ceil(wn);
+        let grid_k = shape.k.div_ceil(wk);
+
+        // Per-tile, per-step condensed non-zero counts, gathered in one pass
+        // over each operand.
+        let mut a_counts = vec![vec![0usize; wk]; grid_m * grid_k];
+        let mut a_tile_nnz = vec![0u32; grid_m * grid_k];
+        for r in 0..shape.m {
+            for c in 0..shape.k {
+                if a[(r, c)] != 0.0 {
+                    let idx = (r / wm) * grid_k + c / wk;
+                    a_counts[idx][c % wk] += 1;
+                    a_tile_nnz[idx] += 1;
+                }
+            }
+        }
+        let mut b_counts = vec![vec![0usize; wk]; grid_k * grid_n];
+        let mut b_tile_nnz = vec![0u32; grid_k * grid_n];
+        for r in 0..shape.k {
+            for c in 0..shape.n {
+                if b[(r, c)] != 0.0 {
+                    let idx = (r / wk) * grid_n + c / wn;
+                    b_counts[idx][r % wk] += 1;
+                    b_tile_nnz[idx] += 1;
+                }
+            }
+        }
+
+        let otc = &self.config.otc;
+        let mut profile = WorkloadProfile::new(format!("bitmap-spgemm-{shape}"));
+        let mut stats = SpGemmStats {
+            total_warp_tiles: (grid_m * grid_n * grid_k) as u64,
+            ..Default::default()
+        };
+        let mut partial_nnz_total: u64 = 0;
+
+        for im in 0..grid_m {
+            for kk in 0..grid_k {
+                let a_idx = im * grid_k + kk;
+                let a_empty = a_tile_nnz[a_idx] == 0;
+                for jn in 0..grid_n {
+                    let b_idx = kk * grid_n + jn;
+                    if self.options.two_level && (a_empty || b_tile_nnz[b_idx] == 0) {
+                        stats.skipped_warp_tiles += 1;
+                        stats.dense_ohmma += (wk as u64)
+                            * dsstc_sim::OtcStepCost::dense_ohmma_count(wm.max(wn), otc);
+                        profile.scalar_ops += 1; // warp-bitmap check
+                        continue;
+                    }
+                    let tile = warp_tile_profile(
+                        &a_counts[a_idx],
+                        &b_counts[b_idx],
+                        wm.max(wn),
+                        otc,
+                        self.options.operand_collector,
+                    );
+                    profile.ohmma_instructions += tile.cost.steps.ohmma_issued;
+                    profile.bohmma_instructions += tile.cost.steps.bohmma;
+                    profile.popc_instructions += tile.cost.steps.popc;
+                    profile.merge_cycles += tile.cost.steps.merge_cycles;
+                    profile.accum_conflict_cycles += tile.conflict_cycles;
+                    profile.scalar_ops += 32; // tile address generation
+                    partial_nnz_total += tile.cost.steps.partial_nnz;
+                    stats.skipped_ohmma += tile.cost.steps.ohmma_skipped;
+                    stats.dense_ohmma += tile.cost.dense_ohmma(wm.max(wn), otc);
+                }
+            }
+        }
+
+        // DRAM traffic with the two-level encoded operand footprints.
+        let a_nnz: u64 = a_tile_nnz.iter().map(|&x| x as u64).sum();
+        let b_nnz: u64 = b_tile_nnz.iter().map(|&x| x as u64).sum();
+        let a_bytes = a_nnz * 2 + ((shape.m * shape.k) as u64).div_ceil(8) + (grid_m * grid_k) as u64 / 8 + 1;
+        let b_bytes = b_nnz * 2 + ((shape.k * shape.n) as u64).div_ceil(8) + (grid_k * grid_n) as u64 / 8 + 1;
+        let d_bytes = (shape.m * shape.n) as u64 * 4;
+        let traffic = self.tiling.dram_traffic(&TrafficInputs {
+            a_bytes,
+            b_bytes,
+            d_bytes,
+            shape,
+            l2_bytes: self.config.l2_bytes as u64,
+            concurrent_blocks: (self.config.num_sms * self.config.max_blocks_per_sm) as u64,
+        });
+        profile.dram_bytes_read = traffic.read_bytes;
+        profile.dram_bytes_written = traffic.write_bytes;
+        profile.shared_bytes = a_bytes + b_bytes; // staged once per resident tile
+        profile.thread_blocks = self.tiling.grid_blocks(&shape);
+
+        if !self.options.two_level {
+            // One-level encoding (Fig. 8a): partial-matrix non-zeros scatter
+            // beyond the warp's local buffer and have to round-trip through
+            // the memory hierarchy.
+            profile.shared_bytes += partial_nnz_total * 8;
+            profile.scalar_ops += partial_nnz_total * 2;
+        }
+
+        (profile, stats)
+    }
+
+    /// Builds only the workload profile of `A * B`.
+    pub fn profile(&self, a: &Matrix, b: &Matrix) -> WorkloadProfile {
+        self.profile_with_stats(a, b).0
+    }
+
+    /// Builds the workload profile of a large SpGEMM from a *statistical*
+    /// description of its operands instead of materialised matrices.
+    ///
+    /// Per-tile, per-step non-zero counts are drawn from the binomial
+    /// distribution implied by the operand sparsities (non-zeros placed
+    /// uniformly at random), which is the distribution the materialised path
+    /// produces for [`dsstc_tensor::SparsityPattern::Uniform`] data. A
+    /// 33x33 lookup table of step costs keeps the warp-tile sweep cheap even
+    /// for 4096-cubed problems.
+    pub fn profile_synthetic(&self, spec: &SyntheticGemmSpec) -> (WorkloadProfile, SpGemmStats) {
+        let shape = spec.shape;
+        let (wm, wn, wk) = (self.tiling.warp_m, self.tiling.warp_n, self.tiling.warp_k);
+        let grid_m = shape.m.div_ceil(wm);
+        let grid_n = shape.n.div_ceil(wn);
+        let grid_k = shape.k.div_ceil(wk);
+        let otc = &self.config.otc;
+        let warp_dim = wm.max(wn);
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+
+        // Sample per-(im,kk) A-step and per-(kk,jn) B-step non-zero counts.
+        let a_density = 1.0 - spec.a_sparsity;
+        let b_density = 1.0 - spec.b_sparsity;
+        // With clustering `q`, a fraction `q` of condensed vectors is empty
+        // and the survivors carry the non-zeros at density `d / (1 - q)`,
+        // preserving the overall sparsity (paper Fig. 6's uneven case).
+        let sample_counts =
+            |rng: &mut StdRng, vec_len: usize, steps: usize, density: f64, clustering: f64| -> Vec<u16> {
+                let boosted = (density / (1.0 - clustering)).min(1.0);
+                (0..steps)
+                    .map(|_| {
+                        if clustering > 0.0 && rng.random_bool(clustering) {
+                            0
+                        } else {
+                            sample_binomial(rng, vec_len, boosted)
+                        }
+                    })
+                    .collect()
+            };
+        let mut a_counts: Vec<Vec<u16>> = Vec::with_capacity(grid_m * grid_k);
+        for im in 0..grid_m {
+            let rows = wm.min(shape.m - im * wm);
+            for kk in 0..grid_k {
+                let steps = wk.min(shape.k - kk * wk);
+                a_counts.push(sample_counts(&mut rng, rows, steps, a_density, spec.a_clustering));
+            }
+        }
+        let mut b_counts: Vec<Vec<u16>> = Vec::with_capacity(grid_k * grid_n);
+        for kk in 0..grid_k {
+            let steps = wk.min(shape.k - kk * wk);
+            for jn in 0..grid_n {
+                let cols = wn.min(shape.n - jn * wn);
+                // One count per step; each counts non-zeros across `cols`.
+                b_counts.push(sample_counts(&mut rng, cols, steps, b_density, spec.b_clustering));
+            }
+        }
+
+        // Lookup table of step costs indexed by (a_nnz, b_nnz).
+        let table: Vec<OtcStepCost> = (0..=warp_dim)
+            .flat_map(|a| (0..=warp_dim).map(move |b| (a, b)))
+            .map(|(a, b)| OtcStepCost::for_vectors(a, b, warp_dim, otc))
+            .collect();
+        let step_cost = |a: u16, b: u16| -> &OtcStepCost { &table[a as usize * (warp_dim + 1) + b as usize] };
+
+        let buffer = AccumulationBuffer::from_otc(otc);
+        let conflict_factor = buffer.conflict_factor_estimate(16, self.options.operand_collector);
+
+        let mut profile = WorkloadProfile::new(format!("bitmap-spgemm-synthetic-{shape}"));
+        let mut stats = SpGemmStats {
+            total_warp_tiles: (grid_m * grid_n * grid_k) as u64,
+            ..Default::default()
+        };
+        let mut partial_nnz_total = 0u64;
+        let dense_per_step = OtcStepCost::dense_ohmma_count(warp_dim, otc);
+
+        for im in 0..grid_m {
+            for kk in 0..grid_k {
+                let a_steps = &a_counts[im * grid_k + kk];
+                let a_empty = a_steps.iter().all(|&c| c == 0);
+                for jn in 0..grid_n {
+                    let b_steps = &b_counts[kk * grid_n + jn];
+                    stats.dense_ohmma += dense_per_step * a_steps.len() as u64;
+                    if self.options.two_level && (a_empty || b_steps.iter().all(|&c| c == 0)) {
+                        stats.skipped_warp_tiles += 1;
+                        profile.scalar_ops += 1;
+                        continue;
+                    }
+                    let mut merge = 0u64;
+                    for (&a, &b) in a_steps.iter().zip(b_steps) {
+                        let c = step_cost(a, b);
+                        profile.ohmma_instructions += c.ohmma_issued;
+                        profile.bohmma_instructions += c.bohmma;
+                        profile.popc_instructions += c.popc;
+                        merge += c.merge_cycles;
+                        partial_nnz_total += c.partial_nnz;
+                        stats.skipped_ohmma += c.ohmma_skipped;
+                    }
+                    profile.merge_cycles += merge;
+                    profile.accum_conflict_cycles += ((conflict_factor - 1.0) * merge as f64).round() as u64;
+                    profile.scalar_ops += 32;
+                }
+            }
+        }
+
+        // Encoded operand footprints (values + element bitmap + warp bitmap).
+        let a_nnz = ((shape.m * shape.k) as f64 * a_density) as u64;
+        let b_nnz = ((shape.k * shape.n) as f64 * b_density) as u64;
+        let a_bytes = spec.a_bytes_override.unwrap_or(
+            a_nnz * 2 + ((shape.m * shape.k) as u64).div_ceil(8) + ((grid_m * grid_k) as u64).div_ceil(8),
+        );
+        let b_bytes = spec.b_bytes_override.unwrap_or(
+            b_nnz * 2 + ((shape.k * shape.n) as u64).div_ceil(8) + ((grid_k * grid_n) as u64).div_ceil(8),
+        );
+        let d_bytes = (shape.m * shape.n) as u64 * 4;
+        let traffic = self.tiling.dram_traffic(&TrafficInputs {
+            a_bytes,
+            b_bytes,
+            d_bytes,
+            shape,
+            l2_bytes: self.config.l2_bytes as u64,
+            concurrent_blocks: (self.config.num_sms * self.config.max_blocks_per_sm) as u64,
+        });
+        profile.dram_bytes_read = traffic.read_bytes;
+        profile.dram_bytes_written = traffic.write_bytes;
+        profile.shared_bytes = a_bytes + b_bytes;
+        profile.thread_blocks = self.tiling.grid_blocks(&shape);
+        if !self.options.two_level {
+            profile.shared_bytes += partial_nnz_total * 8;
+            profile.scalar_ops += partial_nnz_total * 2;
+        }
+        (profile, stats)
+    }
+
+    /// Functionally computes `A * B` with the warp-level outer-product
+    /// algorithm over two-level bitmap operands, returning the product and
+    /// the profile.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions disagree.
+    pub fn execute(&self, a: &Matrix, b: &Matrix) -> (Matrix, WorkloadProfile) {
+        assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+        let (wm, wn, wk) = (self.tiling.warp_m, self.tiling.warp_n, self.tiling.warp_k);
+        let a_enc = TwoLevelBitmapMatrix::encode(&a.to_f16_precision(), wm, wk, VectorLayout::ColumnMajor);
+        let b_enc = TwoLevelBitmapMatrix::encode(&b.to_f16_precision(), wk, wn, VectorLayout::RowMajor);
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for im in 0..a_enc.grid_rows() {
+            for jn in 0..b_enc.grid_cols() {
+                let mut acc = Matrix::zeros(wm, wn);
+                for kk in 0..a_enc.grid_cols() {
+                    let (a_tile, b_tile) = match (a_enc.tile(im, kk), b_enc.tile(kk, jn)) {
+                        (Some(a_tile), Some(b_tile)) => (a_tile, b_tile),
+                        _ => continue, // warp-bit 0 on either side: skip
+                    };
+                    warp_spgemm(a_tile, b_tile, &mut acc);
+                }
+                out.set_tile(im * wm, jn * wn, &acc);
+            }
+        }
+        let profile = self.profile(a, b);
+        (out, profile)
+    }
+}
+
+/// Samples a `Binomial(n, p)` count: exact Bernoulli summation for small
+/// variance, a clamped normal approximation otherwise (fast enough to sweep
+/// 4096-cubed problems while keeping the per-tile statistics faithful).
+fn sample_binomial(rng: &mut StdRng, n: usize, p: f64) -> u16 {
+    if p <= 0.0 || n == 0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n as u16;
+    }
+    let variance = n as f64 * p * (1.0 - p);
+    if variance < 9.0 {
+        let mut c = 0u16;
+        for _ in 0..n {
+            if rng.random_bool(p) {
+                c += 1;
+            }
+        }
+        return c;
+    }
+    // Box-Muller normal approximation.
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    let value = (n as f64 * p + z * variance.sqrt()).round();
+    value.clamp(0.0, n as f64) as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense_gemm::DenseGemm;
+    use dsstc_sim::GpuTimingModel;
+    use dsstc_tensor::SparsityPattern;
+
+    fn kernel() -> BitmapSpGemm {
+        BitmapSpGemm::new(GpuConfig::v100())
+    }
+
+    fn random(m: usize, n: usize, s: f64, seed: u64) -> Matrix {
+        Matrix::random_sparse(m, n, s, SparsityPattern::Uniform, seed)
+    }
+
+    #[test]
+    fn execute_matches_dense_reference_across_sparsities() {
+        for (sa, sb) in [(0.0, 0.0), (0.5, 0.5), (0.9, 0.0), (0.0, 0.9), (0.95, 0.95)] {
+            let a = random(64, 48, sa, 1);
+            let b = random(48, 96, sb, 2);
+            let (out, _) = kernel().execute(&a, &b);
+            assert!(out.approx_eq(&a.matmul(&b), 1e-2), "sparsity ({sa},{sb})");
+        }
+    }
+
+    #[test]
+    fn execute_handles_ragged_shapes() {
+        let a = random(50, 30, 0.7, 3);
+        let b = random(30, 70, 0.6, 4);
+        let (out, _) = kernel().execute(&a, &b);
+        assert!(out.approx_eq(&a.matmul(&b), 1e-2));
+    }
+
+    #[test]
+    fn dense_inputs_issue_as_many_ohmmas_as_the_inner_product_kernel() {
+        let a = random(128, 128, 0.0, 5);
+        let b = random(128, 128, 0.0, 6);
+        let p = kernel().profile(&a, &b);
+        let dense_hmma = (128u64 * 128 * 128) / 128;
+        assert_eq!(p.ohmma_instructions, dense_hmma);
+        assert_eq!(p.hmma_instructions, 0);
+        assert!(p.bohmma_instructions > 0);
+    }
+
+    #[test]
+    fn sparsity_reduces_issued_ohmmas() {
+        let a_dense = random(128, 128, 0.0, 7);
+        let b_dense = random(128, 128, 0.0, 8);
+        let a_sparse = random(128, 128, 0.9, 7);
+        let b_sparse = random(128, 128, 0.9, 8);
+        let p_dense = kernel().profile(&a_dense, &b_dense);
+        let p_dual = kernel().profile(&a_sparse, &b_sparse);
+        assert!(p_dual.ohmma_instructions < p_dense.ohmma_instructions / 4);
+    }
+
+    #[test]
+    fn skip_stats_track_empty_tiles() {
+        // A entirely zero except one 32x16 tile.
+        let mut a = Matrix::zeros(64, 32);
+        a[(0, 0)] = 1.0;
+        let b = random(32, 64, 0.0, 9);
+        let (_, stats) = kernel().profile_with_stats(&a, &b);
+        assert_eq!(stats.total_warp_tiles, 2 * 2 * 2);
+        // 3 of the 4 A tiles are empty; each empty A tile kills grid_n = 2
+        // warp tiles.
+        assert_eq!(stats.skipped_warp_tiles, 6);
+        assert!(stats.compute_savings() > 0.0);
+    }
+
+    #[test]
+    fn dual_side_speedup_on_99_percent_sparsity_is_large() {
+        let model = GpuTimingModel::v100();
+        let shape = GemmShape::new(1024, 1024, 1024);
+        let dense_est = model.estimate(&DenseGemm::new(GpuConfig::v100()).profile(&shape));
+        let a = random(1024, 1024, 0.99, 11);
+        let b = random(1024, 1024, 0.99, 12);
+        let est = model.estimate(&kernel().profile(&a, &b));
+        let speedup = est.speedup_over(&dense_est);
+        assert!(speedup > 3.0, "expected a large dual-side speedup, got {speedup}x");
+    }
+
+    #[test]
+    fn dense_inputs_are_only_modestly_slower_than_cutlass() {
+        let model = GpuTimingModel::v100();
+        let shape = GemmShape::new(1024, 1024, 1024);
+        let dense_est = model.estimate(&DenseGemm::new(GpuConfig::v100()).profile(&shape));
+        let a = random(1024, 1024, 0.0, 13);
+        let b = random(1024, 1024, 0.0, 14);
+        let est = model.estimate(&kernel().profile(&a, &b));
+        // Ratio of our time to the dense baseline's: the bitmap/outer-product
+        // overheads on fully dense inputs should stay below ~50%.
+        let ratio = est.time_us() / dense_est.time_us();
+        assert!(ratio > 0.9 && ratio < 1.5, "got {ratio}x of CUTLASS time");
+    }
+
+    #[test]
+    fn ablation_disabling_two_level_is_never_faster() {
+        let a = random(256, 256, 0.95, 15);
+        let b = random(256, 256, 0.95, 16);
+        let model = GpuTimingModel::v100();
+        let base = model.estimate(&kernel().profile(&a, &b));
+        let one_level = kernel()
+            .with_options(BitmapSpGemmOptions { operand_collector: true, two_level: false });
+        let est = model.estimate(&one_level.profile(&a, &b));
+        assert!(est.time_us() >= base.time_us());
+    }
+
+    #[test]
+    fn ablation_disabling_operand_collector_adds_conflicts() {
+        let a = random(256, 256, 0.5, 17);
+        let b = random(256, 256, 0.5, 18);
+        let with = kernel().profile(&a, &b);
+        let without = kernel()
+            .with_options(BitmapSpGemmOptions { operand_collector: false, two_level: true })
+            .profile(&a, &b);
+        assert!(without.accum_conflict_cycles > with.accum_conflict_cycles);
+    }
+
+    #[test]
+    fn profile_and_execute_report_identical_profiles() {
+        let a = random(96, 64, 0.8, 19);
+        let b = random(64, 96, 0.7, 20);
+        let k = kernel();
+        let (_, exec_profile) = k.execute(&a, &b);
+        let profile = k.profile(&a, &b);
+        assert_eq!(exec_profile, profile);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mismatched_shapes_panic() {
+        let _ = kernel().profile(&Matrix::zeros(4, 4), &Matrix::zeros(8, 8));
+    }
+
+    #[test]
+    fn synthetic_profile_tracks_materialised_profile() {
+        // The synthetic (sampled) path should agree with the exact path to
+        // within sampling noise on instruction counts.
+        let shape = GemmShape::new(512, 512, 512);
+        let a = random(512, 512, 0.7, 41);
+        let b = random(512, 512, 0.5, 42);
+        let exact = kernel().profile(&a, &b);
+        let (synthetic, _) =
+            kernel().profile_synthetic(&SyntheticGemmSpec::new(shape, 0.7, 0.5, 43));
+        let ratio = synthetic.ohmma_instructions as f64 / exact.ohmma_instructions as f64;
+        assert!((0.85..=1.15).contains(&ratio), "OHMMA ratio {ratio}");
+        let merge_ratio = synthetic.merge_cycles as f64 / exact.merge_cycles as f64;
+        assert!((0.8..=1.2).contains(&merge_ratio), "merge ratio {merge_ratio}");
+    }
+
+    #[test]
+    fn synthetic_profile_is_deterministic_and_respects_overrides() {
+        let shape = GemmShape::new(256, 256, 256);
+        let spec = SyntheticGemmSpec::new(shape, 0.9, 0.9, 7);
+        let k = kernel();
+        let (p1, s1) = k.profile_synthetic(&spec);
+        let (p2, s2) = k.profile_synthetic(&spec);
+        assert_eq!(p1, p2);
+        assert_eq!(s1, s2);
+        let mut small = spec;
+        small.a_bytes_override = Some(1024);
+        small.b_bytes_override = Some(1024);
+        let (p3, _) = k.profile_synthetic(&small);
+        assert!(p3.dram_bytes_read < p1.dram_bytes_read);
+    }
+
+    #[test]
+    fn clustered_weights_skip_more_and_run_faster() {
+        // Same overall sparsity, but with 60% of the weight vectors entirely
+        // empty (paper Fig. 6's uneven distribution): more OHMMAs are
+        // skipped and the modelled time drops.
+        use dsstc_sim::GpuTimingModel;
+        let shape = GemmShape::new(1024, 1024, 1024);
+        let uniform = SyntheticGemmSpec::new(shape, 0.9, 0.0, 3);
+        let clustered = SyntheticGemmSpec::new(shape, 0.9, 0.0, 3).with_clustering(0.6, 0.0);
+        let k = kernel();
+        let (p_uniform, s_uniform) = k.profile_synthetic(&uniform);
+        let (p_clustered, s_clustered) = k.profile_synthetic(&clustered);
+        assert!(p_clustered.ohmma_instructions < p_uniform.ohmma_instructions);
+        assert!(s_clustered.skipped_warp_tiles >= s_uniform.skipped_warp_tiles);
+        let model = GpuTimingModel::v100();
+        assert!(model.estimate(&p_clustered).time_us() <= model.estimate(&p_uniform).time_us());
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible with density")]
+    fn clustering_denser_than_possible_panics() {
+        let shape = GemmShape::new(64, 64, 64);
+        let _ = SyntheticGemmSpec::new(shape, 0.1, 0.0, 1).with_clustering(0.5, 0.0);
+    }
+
+    #[test]
+    fn sample_binomial_edge_cases_and_mean() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(sample_binomial(&mut rng, 32, 0.0), 0);
+        assert_eq!(sample_binomial(&mut rng, 32, 1.0), 32);
+        assert_eq!(sample_binomial(&mut rng, 0, 0.5), 0);
+        let n = 32;
+        let p = 0.5;
+        let mut total = 0u64;
+        let trials = 2000;
+        for _ in 0..trials {
+            let v = sample_binomial(&mut rng, n, p);
+            assert!(v <= n as u16);
+            total += v as u64;
+        }
+        let mean = total as f64 / trials as f64;
+        assert!((mean - 16.0).abs() < 0.5, "mean {mean}");
+    }
+}

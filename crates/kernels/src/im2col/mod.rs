@@ -1,0 +1,173 @@
+//! im2col lowering of convolution inputs — dense, CSR and bitmap variants.
+//!
+//! All variants produce the same logical lowered matrix
+//! (`out_h*out_w x K*K*C`, row = output pixel, column = `(c*K + ky)*K + kx`)
+//! so they can be checked against each other and against direct convolution;
+//! they differ in how the data is found and what the access pattern costs,
+//! which is what Table III of the paper measures.
+
+pub mod bitmap;
+pub mod csr;
+pub mod dense;
+
+use dsstc_sim::WorkloadProfile;
+use dsstc_tensor::ConvShape;
+
+pub use bitmap::BitmapIm2col;
+pub use csr::CsrIm2col;
+pub use dense::DenseIm2col;
+
+/// Architectural cost of performing one im2col lowering, in the same units
+/// the timing model consumes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Im2colCost {
+    /// Scalar/ALU operations (address conversion, shifts, masks, searches).
+    pub scalar_ops: u64,
+    /// Population-count operations (bitmap variant only).
+    pub popc_ops: u64,
+    /// Bytes read from DRAM while lowering.
+    pub dram_bytes_read: u64,
+    /// Bytes written to DRAM (explicit lowering materialises the matrix;
+    /// implicit lowering writes nothing).
+    pub dram_bytes_written: u64,
+}
+
+impl Im2colCost {
+    /// Converts the cost into a standalone kernel profile (used when im2col
+    /// runs as its own kernel, i.e. the *explicit* schemes).
+    pub fn into_profile(self, name: &str, shape: &ConvShape) -> WorkloadProfile {
+        let mut p = WorkloadProfile::new(name);
+        p.scalar_ops = self.scalar_ops;
+        p.popc_instructions = self.popc_ops;
+        p.dram_bytes_read = self.dram_bytes_read;
+        p.dram_bytes_written = self.dram_bytes_written;
+        // One thread block per 32 output rows keeps the launch reasonably
+        // parallel for all layer sizes.
+        p.thread_blocks = ((shape.out_h() * shape.out_w()) as u64).div_ceil(32).max(1);
+        p
+    }
+
+    /// Folds the cost into an existing GEMM profile (the *implicit* schemes
+    /// fuse address generation into the GEMM main loop).
+    pub fn fold_into(self, profile: &mut WorkloadProfile) {
+        profile.scalar_ops += self.scalar_ops;
+        profile.popc_instructions += self.popc_ops;
+        // Implicit lowering never materialises the lowered matrix; its reads
+        // replace the GEMM's A-operand reads, which the conv driver accounts
+        // for, so only the op counts are folded here.
+    }
+}
+
+/// Flattens convolution weights (`N` output channels of `C x K x K`) into
+/// the `K*K*C x N` matrix that multiplies the lowered feature map.
+///
+/// # Panics
+/// Panics if the weight shapes do not match `shape`.
+pub fn flatten_weights(weights: &[dsstc_tensor::FeatureMap], shape: &ConvShape) -> dsstc_tensor::Matrix {
+    assert_eq!(weights.len(), shape.n, "output channel count mismatch");
+    let rows = shape.k * shape.k * shape.c;
+    let mut out = dsstc_tensor::Matrix::zeros(rows, shape.n);
+    for (n, w) in weights.iter().enumerate() {
+        assert_eq!(
+            (w.channels(), w.height(), w.width()),
+            (shape.c, shape.k, shape.k),
+            "weight {n} shape mismatch"
+        );
+        for c in 0..shape.c {
+            for ky in 0..shape.k {
+                for kx in 0..shape.k {
+                    out[((c * shape.k + ky) * shape.k + kx, n)] = w.get(c, ky, kx);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsstc_tensor::{FeatureMap, Matrix};
+
+    #[test]
+    fn cost_into_profile_copies_fields() {
+        let cost = Im2colCost { scalar_ops: 10, popc_ops: 3, dram_bytes_read: 100, dram_bytes_written: 50 };
+        let shape = ConvShape::square(8, 2, 2, 3, 1, 1);
+        let p = cost.into_profile("im2col", &shape);
+        assert_eq!(p.scalar_ops, 10);
+        assert_eq!(p.popc_instructions, 3);
+        assert_eq!(p.dram_bytes_read, 100);
+        assert_eq!(p.dram_bytes_written, 50);
+        assert!(p.thread_blocks >= 1);
+    }
+
+    #[test]
+    fn cost_fold_into_adds_ops_only() {
+        let cost = Im2colCost { scalar_ops: 10, popc_ops: 3, dram_bytes_read: 100, dram_bytes_written: 50 };
+        let mut p = WorkloadProfile::new("gemm");
+        p.scalar_ops = 5;
+        p.dram_bytes_read = 7;
+        cost.fold_into(&mut p);
+        assert_eq!(p.scalar_ops, 15);
+        assert_eq!(p.popc_instructions, 3);
+        assert_eq!(p.dram_bytes_read, 7);
+    }
+
+    #[test]
+    fn flatten_weights_layout() {
+        let shape = ConvShape::square(4, 2, 3, 2, 1, 0);
+        let mut w0 = FeatureMap::zeros(2, 2, 2);
+        w0.set(1, 1, 0, 7.0); // c=1, ky=1, kx=0
+        let w1 = FeatureMap::zeros(2, 2, 2);
+        let w2 = FeatureMap::zeros(2, 2, 2);
+        let flat = flatten_weights(&[w0, w1, w2], &shape);
+        assert_eq!(flat.rows(), 8);
+        assert_eq!(flat.cols(), 3);
+        assert_eq!(flat[((1 * 2 + 1) * 2 + 0, 0)], 7.0);
+        assert_eq!(flat.nnz(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "output channel count")]
+    fn flatten_weights_validates_count() {
+        let shape = ConvShape::square(4, 1, 2, 1, 1, 0);
+        let _ = flatten_weights(&[FeatureMap::zeros(1, 1, 1)], &shape);
+    }
+
+    #[test]
+    fn lowered_times_flattened_weights_equals_direct_conv() {
+        // End-to-end sanity for the shared layout conventions.
+        let shape = ConvShape::square(6, 3, 4, 3, 1, 1);
+        let input = FeatureMap::random_sparse(&shape, 0.4, 11);
+        let weights: Vec<FeatureMap> = (0..shape.n)
+            .map(|n| {
+                let mut w = FeatureMap::zeros(shape.c, shape.k, shape.k);
+                for c in 0..shape.c {
+                    for ky in 0..shape.k {
+                        for kx in 0..shape.k {
+                            w.set(c, ky, kx, ((n + c + ky + kx) % 3) as f32 - 1.0);
+                        }
+                    }
+                }
+                w
+            })
+            .collect();
+        let lowered = dense::DenseIm2col::new().lower(&input, &shape);
+        let flat = flatten_weights(&weights, &shape);
+        let gemm_out = lowered.matmul(&flat);
+        let direct = input.conv2d_reference(&weights, &shape);
+        for n in 0..shape.n {
+            for oy in 0..shape.out_h() {
+                for ox in 0..shape.out_w() {
+                    let expect = direct.get(n, oy, ox);
+                    let got = gemm_out[(oy * shape.out_w() + ox, n)];
+                    assert!(
+                        (expect - got).abs() < 1e-3,
+                        "mismatch at n={n} oy={oy} ox={ox}: {expect} vs {got}"
+                    );
+                }
+            }
+        }
+        let _ = Matrix::zeros(1, 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Synthetic activation generation.
+//!
+//! Activation sparsity is *dynamic*: it is created at run time by ReLU and
+//! changes with every input (Section II-A of the paper). These generators
+//! reproduce that mechanism — pre-activation values are drawn from a
+//! zero-symmetric distribution whose offset is chosen so that applying ReLU
+//! leaves approximately the requested fraction of zeros — so the tensors the
+//! kernels consume have the statistical structure of real feature maps
+//! rather than hand-placed zeros.
+
+use dsstc_tensor::{ConvShape, FeatureMap, Matrix};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generates a post-ReLU activation matrix of the given shape whose sparsity
+/// is approximately `target_sparsity`.
+///
+/// # Panics
+/// Panics if `target_sparsity` is outside `[0, 1]`.
+pub fn activation_matrix(rows: usize, cols: usize, target_sparsity: f64, seed: u64) -> Matrix {
+    assert!((0.0..=1.0).contains(&target_sparsity), "sparsity must be in [0,1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Matrix::zeros(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            m[(r, c)] = pre_activation(&mut rng, target_sparsity).max(0.0);
+        }
+    }
+    m
+}
+
+/// Generates a post-ReLU activation feature map matching a convolution
+/// layer's input shape.
+///
+/// # Panics
+/// Panics if `target_sparsity` is outside `[0, 1]`.
+pub fn activation_feature_map(shape: &ConvShape, target_sparsity: f64, seed: u64) -> FeatureMap {
+    assert!((0.0..=1.0).contains(&target_sparsity), "sparsity must be in [0,1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut fm = FeatureMap::zeros(shape.c, shape.h, shape.w);
+    for c in 0..shape.c {
+        for y in 0..shape.h {
+            for x in 0..shape.w {
+                fm.set(c, y, x, pre_activation(&mut rng, target_sparsity).max(0.0));
+            }
+        }
+    }
+    fm
+}
+
+/// Draws one pre-activation value: negative (and therefore zeroed by ReLU)
+/// with probability `target_sparsity`, otherwise a positive magnitude.
+fn pre_activation(rng: &mut StdRng, target_sparsity: f64) -> f32 {
+    if rng.random_bool(target_sparsity) {
+        -rng.random_range(0.01f32..1.0)
+    } else {
+        rng.random_range(0.01f32..1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activation_matrix_hits_target_sparsity() {
+        for &s in &[0.0, 0.45, 0.8, 0.98] {
+            let m = activation_matrix(128, 128, s, 7);
+            assert!((m.sparsity() - s).abs() < 0.03, "target {s}, got {}", m.sparsity());
+        }
+    }
+
+    #[test]
+    fn activation_values_are_non_negative() {
+        let m = activation_matrix(64, 64, 0.5, 8);
+        assert!(m.as_slice().iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn activation_feature_map_matches_shape_and_sparsity() {
+        let shape = ConvShape::square(28, 32, 64, 3, 1, 1);
+        let fm = activation_feature_map(&shape, 0.6, 9);
+        assert_eq!(fm.channels(), 32);
+        assert_eq!(fm.height(), 28);
+        assert!((fm.sparsity() - 0.6).abs() < 0.03);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = activation_matrix(32, 32, 0.5, 1);
+        let b = activation_matrix(32, 32, 0.5, 1);
+        let c = activation_matrix(32, 32, 0.5, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "sparsity must be in")]
+    fn invalid_sparsity_panics() {
+        let _ = activation_matrix(4, 4, -0.1, 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Layer and network descriptors.
+
+use dsstc_tensor::{ConvShape, GemmShape};
+
+/// What kind of computation a layer performs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// A 2-D convolution (lowered to GEMM via im2col at run time).
+    Conv(ConvShape),
+    /// A plain matrix multiplication (fully-connected, attention or LSTM
+    /// gate matrices).
+    Gemm(GemmShape),
+}
+
+impl LayerKind {
+    /// Multiply-accumulate count of the dense layer.
+    pub fn macs(&self) -> u64 {
+        match self {
+            LayerKind::Conv(c) => c.macs(),
+            LayerKind::Gemm(g) => g.macs(),
+        }
+    }
+
+    /// The GEMM the layer maps onto the Tensor Cores (identity for GEMM
+    /// layers, the im2col-lowered shape for convolutions).
+    pub fn lowered_gemm(&self) -> GemmShape {
+        match self {
+            LayerKind::Conv(c) => c.lowered_gemm(),
+            LayerKind::Gemm(g) => *g,
+        }
+    }
+
+    /// Whether this is a convolution layer.
+    pub fn is_conv(&self) -> bool {
+        matches!(self, LayerKind::Conv(_))
+    }
+}
+
+/// One network layer with its measured sparsity ratios.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Layer {
+    /// Layer name as plotted in Fig. 22 (e.g. `"conv3-2"`, `"FFN-1"`).
+    pub name: String,
+    /// Computation shape.
+    pub kind: LayerKind,
+    /// Fraction of zero weights after pruning.
+    pub weight_sparsity: f64,
+    /// Fraction of zero input activations (ReLU-induced for CNNs/RNNs,
+    /// near-zero for GELU-based BERT).
+    pub activation_sparsity: f64,
+}
+
+impl Layer {
+    /// Creates a convolution layer.
+    ///
+    /// # Panics
+    /// Panics if a sparsity is outside `[0, 1]`.
+    pub fn conv(name: &str, shape: ConvShape, weight_sparsity: f64, activation_sparsity: f64) -> Self {
+        Self::validate(weight_sparsity, activation_sparsity);
+        Layer { name: name.to_string(), kind: LayerKind::Conv(shape), weight_sparsity, activation_sparsity }
+    }
+
+    /// Creates a GEMM layer.
+    ///
+    /// # Panics
+    /// Panics if a sparsity is outside `[0, 1]`.
+    pub fn gemm(name: &str, shape: GemmShape, weight_sparsity: f64, activation_sparsity: f64) -> Self {
+        Self::validate(weight_sparsity, activation_sparsity);
+        Layer { name: name.to_string(), kind: LayerKind::Gemm(shape), weight_sparsity, activation_sparsity }
+    }
+
+    fn validate(w: f64, a: f64) {
+        assert!((0.0..=1.0).contains(&w), "weight sparsity must be in [0,1]");
+        assert!((0.0..=1.0).contains(&a), "activation sparsity must be in [0,1]");
+    }
+
+    /// Dense multiply-accumulate count.
+    pub fn macs(&self) -> u64 {
+        self.kind.macs()
+    }
+
+    /// MACs that remain when both operand sparsities are exploited
+    /// perfectly (the loose theoretical bound Fig. 22 plots).
+    pub fn effective_macs(&self) -> u64 {
+        let keep = (1.0 - self.weight_sparsity) * (1.0 - self.activation_sparsity);
+        (self.macs() as f64 * keep).ceil() as u64
+    }
+}
+
+/// A whole network: an ordered list of layers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Network {
+    name: String,
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Creates a network from its layers.
+    ///
+    /// # Panics
+    /// Panics if `layers` is empty.
+    pub fn new(name: &str, layers: Vec<Layer>) -> Self {
+        assert!(!layers.is_empty(), "a network needs at least one layer");
+        Network { name: name.to_string(), layers }
+    }
+
+    /// Network name ("VGG-16", "BERT-base encoder", ...).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layers in execution order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Whether the network contains convolution layers (decides whether the
+    /// Fig. 22 comparison uses the five conv schemes or the three GEMM
+    /// schemes).
+    pub fn has_conv_layers(&self) -> bool {
+        self.layers.iter().any(|l| l.kind.is_conv())
+    }
+
+    /// Total dense MACs over all layers.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(Layer::macs).sum()
+    }
+
+    /// Average weight sparsity weighted by layer MACs.
+    pub fn mean_weight_sparsity(&self) -> f64 {
+        let total = self.total_macs() as f64;
+        self.layers.iter().map(|l| l.weight_sparsity * l.macs() as f64).sum::<f64>() / total
+    }
+
+    /// Average activation sparsity weighted by layer MACs.
+    pub fn mean_activation_sparsity(&self) -> f64 {
+        let total = self.total_macs() as f64;
+        self.layers.iter().map(|l| l.activation_sparsity * l.macs() as f64).sum::<f64>() / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv_layer() -> Layer {
+        Layer::conv("c1", ConvShape::square(56, 64, 64, 3, 1, 1), 0.8, 0.5)
+    }
+
+    #[test]
+    fn layer_macs_and_lowered_shape() {
+        let l = conv_layer();
+        assert_eq!(l.macs(), l.kind.lowered_gemm().macs());
+        assert!(l.kind.is_conv());
+        let g = Layer::gemm("fc", GemmShape::new(64, 1000, 4096), 0.9, 0.0);
+        assert!(!g.kind.is_conv());
+        assert_eq!(g.macs(), 64 * 1000 * 4096);
+    }
+
+    #[test]
+    fn effective_macs_scale_with_both_sparsities() {
+        let l = conv_layer();
+        let keep = 0.2 * 0.5;
+        let expected = (l.macs() as f64 * keep).ceil() as u64;
+        assert_eq!(l.effective_macs(), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight sparsity")]
+    fn invalid_sparsity_panics() {
+        let _ = Layer::conv("bad", ConvShape::square(8, 1, 1, 3, 1, 1), 1.2, 0.0);
+    }
+
+    #[test]
+    fn network_aggregates() {
+        let n = Network::new(
+            "toy",
+            vec![conv_layer(), Layer::gemm("fc", GemmShape::new(64, 10, 64), 0.5, 0.0)],
+        );
+        assert_eq!(n.name(), "toy");
+        assert_eq!(n.layers().len(), 2);
+        assert!(n.has_conv_layers());
+        assert_eq!(n.total_macs(), n.layers()[0].macs() + n.layers()[1].macs());
+        assert!(n.mean_weight_sparsity() > 0.5 && n.mean_weight_sparsity() < 0.9);
+        assert!(n.mean_activation_sparsity() < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_network_panics() {
+        let _ = Network::new("empty", vec![]);
+    }
+}

@@ -1,0 +1,35 @@
+//! DNN workload definitions for the dual-side sparse Tensor Core evaluation.
+//!
+//! The paper evaluates five networks (Table II / Fig. 22): VGG-16,
+//! ResNet-18 and Mask R-CNN (convolutional, pruned with AGP), a 2+4-layer
+//! LSTM language model (AGP) and the BERT-base encoder (movement pruning).
+//! This crate provides:
+//!
+//! * per-layer shape tables for those networks ([`networks`]),
+//! * the pruning schemes used to create weight sparsity ([`pruning`]), and
+//! * synthetic activation generators that reproduce the ReLU-induced
+//!   activation sparsity the accelerator exploits ([`activation`]).
+//!
+//! The real checkpoints and datasets are not reproducible here (and the
+//! accelerator never sees accuracy anyway); what matters architecturally is
+//! each layer's *shape* and *sparsity*, which these tables encode with
+//! values in the ranges the paper reports.
+//!
+//! # Example
+//! ```
+//! use dsstc_models::networks;
+//! let vgg = networks::vgg16();
+//! assert!(vgg.layers().len() >= 10);
+//! assert!(vgg.total_macs() > 1_000_000_000);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod activation;
+pub mod layer;
+pub mod networks;
+pub mod pruning;
+
+pub use crate::activation::{activation_feature_map, activation_matrix};
+pub use crate::layer::{Layer, LayerKind, Network};
+pub use crate::pruning::{agp_target_sparsity, prune_magnitude, prune_n_of_m, AgpSchedule};

@@ -1,0 +1,243 @@
+//! Hardware configuration of the modelled GPU.
+//!
+//! Defaults follow the Tesla V100 the paper models in Accel-Sim (80 SMs,
+//! 4 sub-cores per SM, 2 Tensor Cores per sub-core, 1530 MHz, 900 GB/s HBM2)
+//! plus the paper's OTC extensions (4 KB multi-bank accumulation buffer,
+//! 128-way parallel accumulators, operand collector).
+
+/// Configuration of the Outer-product Tensor Core extensions (Section V).
+#[derive(Clone, Debug, PartialEq)]
+pub struct OtcConfig {
+    /// Rows of the per-OTC outer-product tile (8 in the paper).
+    pub tile_m: usize,
+    /// Columns covered by the two cooperating OTCs per OHMMA (16).
+    pub tile_n: usize,
+    /// Accumulation buffer capacity in bytes (4 KB = 32x32 FP32).
+    pub accum_buffer_bytes: usize,
+    /// Number of single-ported banks in the accumulation buffer.
+    pub accum_banks: usize,
+    /// Parallel FP32 accumulators servicing the merge (128 in the paper).
+    pub accum_parallelism: usize,
+    /// Queue depth of the operand collector in front of the banks.
+    pub operand_collector_depth: usize,
+    /// How many times larger a binary (1-bit) tile is than the FP16 tile for
+    /// the same instruction slot (16, inherited from Volta's binary ops).
+    pub binary_speedup: usize,
+}
+
+impl OtcConfig {
+    /// The configuration used throughout the paper.
+    pub fn paper() -> Self {
+        OtcConfig {
+            tile_m: 8,
+            tile_n: 16,
+            accum_buffer_bytes: 4 * 1024,
+            accum_banks: 16,
+            accum_parallelism: 128,
+            operand_collector_depth: 8,
+            binary_speedup: 16,
+        }
+    }
+
+    /// Warp-tile side length supported by the accumulation buffer
+    /// (`sqrt(bytes / 4)` FP32 elements, 32 for the 4 KB buffer).
+    pub fn warp_tile_dim(&self) -> usize {
+        let elems = self.accum_buffer_bytes / 4;
+        (elems as f64).sqrt() as usize
+    }
+}
+
+impl Default for OtcConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Top-level GPU configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GpuConfig {
+    /// Human-readable name ("Tesla V100").
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Sub-cores (processing blocks) per SM.
+    pub sub_cores_per_sm: usize,
+    /// Tensor Cores per sub-core.
+    pub tensor_cores_per_sub_core: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// DRAM bandwidth in GB/s.
+    pub dram_bandwidth_gbs: f64,
+    /// L2 capacity in bytes.
+    pub l2_bytes: usize,
+    /// Shared memory per SM in bytes.
+    pub shared_mem_per_sm_bytes: usize,
+    /// Maximum resident thread blocks per SM used by the occupancy model.
+    pub max_blocks_per_sm: usize,
+    /// FP32 CUDA cores per SM (scalar-op throughput per cycle).
+    pub fp32_lanes_per_sm: usize,
+    /// Integer/POPC lanes per SM.
+    pub int_lanes_per_sm: usize,
+    /// Fixed kernel-launch overhead in microseconds.
+    pub kernel_launch_overhead_us: f64,
+    /// Multiply-accumulates one tensor-core instruction retires
+    /// (4x4x4 = 64 for Volta HMMA, and the OTC's 8x8x1 FEOP is sized to
+    /// match).
+    pub macs_per_tc_instruction: usize,
+    /// Outer-product Tensor Core extension parameters.
+    pub otc: OtcConfig,
+}
+
+impl GpuConfig {
+    /// The Tesla V100 configuration modelled in the paper.
+    pub fn v100() -> Self {
+        GpuConfig {
+            name: "Tesla V100".to_string(),
+            num_sms: 80,
+            sub_cores_per_sm: 4,
+            tensor_cores_per_sub_core: 2,
+            clock_ghz: 1.53,
+            dram_bandwidth_gbs: 900.0,
+            l2_bytes: 6 * 1024 * 1024,
+            shared_mem_per_sm_bytes: 96 * 1024,
+            max_blocks_per_sm: 2,
+            fp32_lanes_per_sm: 64,
+            int_lanes_per_sm: 64,
+            kernel_launch_overhead_us: 2.0,
+            macs_per_tc_instruction: 64,
+            otc: OtcConfig::paper(),
+        }
+    }
+
+    /// A deliberately small configuration handy for fast unit tests.
+    pub fn tiny() -> Self {
+        GpuConfig {
+            name: "tiny-test-gpu".to_string(),
+            num_sms: 2,
+            sub_cores_per_sm: 2,
+            tensor_cores_per_sub_core: 2,
+            clock_ghz: 1.0,
+            dram_bandwidth_gbs: 100.0,
+            l2_bytes: 256 * 1024,
+            shared_mem_per_sm_bytes: 64 * 1024,
+            max_blocks_per_sm: 2,
+            fp32_lanes_per_sm: 32,
+            int_lanes_per_sm: 32,
+            kernel_launch_overhead_us: 1.0,
+            macs_per_tc_instruction: 64,
+            otc: OtcConfig::paper(),
+        }
+    }
+
+    /// Total Tensor Cores on the device (640 for V100).
+    pub fn total_tensor_cores(&self) -> usize {
+        self.num_sms * self.sub_cores_per_sm * self.tensor_cores_per_sub_core
+    }
+
+    /// Tensor-core instructions the whole device can issue per cycle.
+    ///
+    /// One warp-level tensor instruction is issued per sub-core per cycle;
+    /// the two Tensor Cores in a sub-core cooperate on it (paper Fig. 13).
+    pub fn tc_issue_per_cycle(&self) -> f64 {
+        (self.num_sms * self.sub_cores_per_sm) as f64
+    }
+
+    /// FP32 scalar operations the device retires per cycle.
+    pub fn scalar_ops_per_cycle(&self) -> f64 {
+        (self.num_sms * self.fp32_lanes_per_sm) as f64
+    }
+
+    /// Integer/POPC operations the device retires per cycle.
+    pub fn int_ops_per_cycle(&self) -> f64 {
+        (self.num_sms * self.int_lanes_per_sm) as f64
+    }
+
+    /// DRAM bytes transferred per core-clock cycle at peak bandwidth.
+    pub fn dram_bytes_per_cycle(&self) -> f64 {
+        self.dram_bandwidth_gbs / self.clock_ghz
+    }
+
+    /// Shared-memory bytes per cycle (128 B/cycle per SM on Volta).
+    pub fn shared_bytes_per_cycle(&self) -> f64 {
+        (self.num_sms * 128) as f64
+    }
+
+    /// Peak dense FP16 tensor throughput in TFLOPS, for sanity checks.
+    pub fn peak_tensor_tflops(&self) -> f64 {
+        // 2 FLOPs per MAC. Each issued instruction drives both Tensor Cores
+        // of a sub-core (2 x macs_per_tc_instruction MACs).
+        let macs_per_cycle = self.tc_issue_per_cycle()
+            * (self.tensor_cores_per_sub_core * self.macs_per_tc_instruction) as f64;
+        2.0 * macs_per_cycle * self.clock_ghz / 1e3
+    }
+
+    /// Converts a cycle count into microseconds.
+    pub fn cycles_to_us(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_ghz * 1e3)
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self::v100()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_has_640_tensor_cores() {
+        let cfg = GpuConfig::v100();
+        assert_eq!(cfg.total_tensor_cores(), 640);
+        assert_eq!(cfg.num_sms, 80);
+    }
+
+    #[test]
+    fn v100_peak_tflops_is_about_125() {
+        let cfg = GpuConfig::v100();
+        let tflops = cfg.peak_tensor_tflops();
+        assert!((tflops - 125.0).abs() < 5.0, "got {tflops} TFLOPS");
+    }
+
+    #[test]
+    fn dram_bytes_per_cycle() {
+        let cfg = GpuConfig::v100();
+        let b = cfg.dram_bytes_per_cycle();
+        assert!((b - 588.2).abs() < 1.0, "got {b}");
+    }
+
+    #[test]
+    fn otc_warp_tile_dim_is_32() {
+        assert_eq!(OtcConfig::paper().warp_tile_dim(), 32);
+    }
+
+    #[test]
+    fn otc_tile_matches_inner_product_multiplier_count() {
+        // 8x8x1 outer product uses the same 64 FP16 multipliers as 4x4x4.
+        let otc = OtcConfig::paper();
+        assert_eq!(otc.tile_m * 8, 64);
+        let cfg = GpuConfig::v100();
+        assert_eq!(cfg.macs_per_tc_instruction, 64);
+    }
+
+    #[test]
+    fn cycles_to_us_roundtrip() {
+        let cfg = GpuConfig::v100();
+        // 1530 cycles at 1.53 GHz = 1 us.
+        assert!((cfg.cycles_to_us(1530.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_is_v100() {
+        assert_eq!(GpuConfig::default(), GpuConfig::v100());
+        assert_eq!(OtcConfig::default(), OtcConfig::paper());
+    }
+
+    #[test]
+    fn tiny_config_is_smaller() {
+        let tiny = GpuConfig::tiny();
+        assert!(tiny.total_tensor_cores() < GpuConfig::v100().total_tensor_cores());
+    }
+}

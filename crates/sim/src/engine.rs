@@ -1,0 +1,223 @@
+//! The roofline-style timing engine.
+//!
+//! [`GpuTimingModel::estimate`] converts a [`WorkloadProfile`] (device-wide
+//! event counts) into cycles: each hardware resource — tensor-core issue,
+//! scalar/POPC pipelines, DRAM, shared memory, the accumulation-buffer merge
+//! path — contributes `events / peak_rate` cycles, the critical path is the
+//! maximum over resources (they overlap in a well-pipelined kernel), an
+//! occupancy factor penalises launches with too few thread blocks to fill
+//! the machine, and a fixed launch overhead is added. This mirrors how the
+//! paper's speedups arise: skipped OHMMAs shrink the tensor term, bitmap
+//! metadata shrinks the DRAM term, bank conflicts inflate the merge term,
+//! and small layers stay bound by data movement and overhead.
+
+use crate::config::GpuConfig;
+use crate::stats::{Bottleneck, KernelEstimate, WorkloadProfile};
+
+/// The timing model for one GPU configuration.
+#[derive(Clone, Debug)]
+pub struct GpuTimingModel {
+    config: GpuConfig,
+}
+
+impl GpuTimingModel {
+    /// Creates a model for `config`.
+    pub fn new(config: GpuConfig) -> Self {
+        GpuTimingModel { config }
+    }
+
+    /// Convenience constructor for the paper's V100 configuration.
+    pub fn v100() -> Self {
+        Self::new(GpuConfig::v100())
+    }
+
+    /// The underlying configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Fraction of the machine a launch with `thread_blocks` blocks can keep
+    /// busy (1.0 when there are at least `num_sms * max_blocks_per_sm`
+    /// blocks).
+    pub fn occupancy(&self, thread_blocks: u64) -> f64 {
+        if thread_blocks == 0 {
+            return 1.0;
+        }
+        let full = (self.config.num_sms * self.config.max_blocks_per_sm) as f64;
+        (thread_blocks as f64 / full).min(1.0)
+    }
+
+    /// Estimates the execution time of one kernel launch.
+    pub fn estimate(&self, profile: &WorkloadProfile) -> KernelEstimate {
+        let cfg = &self.config;
+        let occupancy = self.occupancy(profile.thread_blocks).max(1e-6);
+
+        let tensor_cycles = profile.tensor_instructions() as f64 / cfg.tc_issue_per_cycle();
+        let scalar_cycles = (profile.scalar_ops as f64 / cfg.scalar_ops_per_cycle())
+            .max(profile.popc_instructions as f64 / cfg.int_ops_per_cycle());
+        let dram_cycles = profile.dram_bytes() as f64 / cfg.dram_bytes_per_cycle();
+        let shared_cycles = profile.shared_bytes as f64 / cfg.shared_bytes_per_cycle();
+        // Merge work is expressed by kernels in warp-cycles; one merge engine
+        // exists per sub-core, so the device retires `tc_issue_per_cycle`
+        // warp-cycles of merge work per clock.
+        let merge_cycles =
+            (profile.merge_cycles + profile.accum_conflict_cycles) as f64 / cfg.tc_issue_per_cycle();
+
+        // Compute-side resources are scaled by occupancy (idle SMs cannot
+        // help); DRAM is a shared resource but a handful of blocks cannot
+        // saturate it either, so it gets the same treatment with a floor.
+        let resources = [
+            (Bottleneck::TensorCore, tensor_cycles / occupancy),
+            (Bottleneck::Scalar, scalar_cycles / occupancy),
+            (Bottleneck::Dram, dram_cycles / occupancy.max(0.25)),
+            (Bottleneck::SharedMemory, shared_cycles / occupancy),
+            (Bottleneck::Merge, merge_cycles / occupancy),
+        ];
+        let (mut bottleneck, critical_cycles) = resources
+            .iter()
+            .cloned()
+            .fold((Bottleneck::TensorCore, 0.0f64), |acc, (b, c)| if c > acc.1 { (b, c) } else { acc });
+
+        let overhead_cycles = cfg.kernel_launch_overhead_us * cfg.clock_ghz * 1e3;
+        let total_cycles = critical_cycles + overhead_cycles;
+        if overhead_cycles >= critical_cycles {
+            bottleneck = Bottleneck::Parallelism;
+        }
+
+        KernelEstimate {
+            name: profile.name.clone(),
+            tensor_cycles,
+            scalar_cycles,
+            dram_cycles,
+            shared_cycles,
+            merge_cycles,
+            total_cycles,
+            total_us: cfg.cycles_to_us(total_cycles),
+            bottleneck,
+        }
+    }
+
+    /// Estimates a sequence of kernels executed back to back (e.g. explicit
+    /// im2col followed by GEMM, or all layers of a network) and returns the
+    /// summed time in microseconds.
+    pub fn estimate_sequence(&self, profiles: &[WorkloadProfile]) -> f64 {
+        profiles.iter().map(|p| self.estimate(p).total_us).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> GpuTimingModel {
+        GpuTimingModel::v100()
+    }
+
+    #[test]
+    fn empty_profile_costs_only_launch_overhead() {
+        let est = model().estimate(&WorkloadProfile::new("empty"));
+        assert!((est.total_us - 2.0).abs() < 1e-9);
+        assert_eq!(est.bottleneck, Bottleneck::Parallelism);
+    }
+
+    #[test]
+    fn dense_4096_gemm_is_near_peak_tflops() {
+        // 4096^3 dense GEMM: HMMA count = MNK / 128 MACs per issued
+        // instruction-pair... here macs per instruction slot = 128 (two TCs).
+        let m = model();
+        let macs: u64 = 4096 * 4096 * 4096;
+        let mut p = WorkloadProfile::new("dense-gemm");
+        p.hmma_instructions = macs / 128;
+        p.dram_bytes_read = 300 << 20; // generous L2-reused traffic
+        p.dram_bytes_written = 64 << 20;
+        p.thread_blocks = 32 * 32;
+        let est = m.estimate(&p);
+        let flops = 2.0 * macs as f64;
+        let tflops = flops / (est.total_us * 1e-6) / 1e12;
+        assert!(tflops > 80.0 && tflops <= 130.0, "got {tflops} TFLOPS");
+        assert_eq!(est.bottleneck, Bottleneck::TensorCore);
+    }
+
+    #[test]
+    fn halving_tensor_work_halves_compute_bound_time() {
+        let m = model();
+        let mut p = WorkloadProfile::new("a");
+        p.ohmma_instructions = 100_000_000;
+        p.thread_blocks = 10_000;
+        let t1 = m.estimate(&p).total_us;
+        p.ohmma_instructions = 50_000_000;
+        let t2 = m.estimate(&p).total_us;
+        let ratio = (t1 - 2.0) / (t2 - 2.0); // subtract launch overhead
+        assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn memory_bound_kernel_reports_dram_bottleneck() {
+        let m = model();
+        let mut p = WorkloadProfile::new("memcpy-like");
+        p.dram_bytes_read = 1 << 30;
+        p.dram_bytes_written = 1 << 30;
+        p.thread_blocks = 10_000;
+        p.hmma_instructions = 1000;
+        let est = m.estimate(&p);
+        assert_eq!(est.bottleneck, Bottleneck::Dram);
+        // 2 GiB at 900 GB/s ~ 2.4 ms.
+        assert!(est.time_ms() > 2.0 && est.time_ms() < 3.0, "got {} ms", est.time_ms());
+    }
+
+    #[test]
+    fn low_occupancy_inflates_time() {
+        let m = model();
+        let mut p = WorkloadProfile::new("small");
+        p.ohmma_instructions = 1_000_000;
+        p.thread_blocks = 160; // fills the machine
+        let full = m.estimate(&p).total_us;
+        p.thread_blocks = 16; // 10% occupancy
+        let starved = m.estimate(&p).total_us;
+        assert!(starved > full * 5.0, "full {full} starved {starved}");
+    }
+
+    #[test]
+    fn merge_conflicts_add_cycles() {
+        let m = model();
+        let mut p = WorkloadProfile::new("merge-bound");
+        p.merge_cycles = 10_000_000;
+        p.thread_blocks = 10_000;
+        let base = m.estimate(&p).total_us;
+        p.accum_conflict_cycles = 10_000_000;
+        let with_conflicts = m.estimate(&p).total_us;
+        assert!(with_conflicts > base * 1.8);
+        assert_eq!(m.estimate(&p).bottleneck, Bottleneck::Merge);
+    }
+
+    #[test]
+    fn occupancy_saturates_at_one() {
+        let m = model();
+        assert!((m.occupancy(1_000_000) - 1.0).abs() < 1e-12);
+        assert!(m.occupancy(1) < 0.01);
+        assert!((m.occupancy(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequence_sums_kernel_times() {
+        let m = model();
+        let mut p = WorkloadProfile::new("k");
+        p.ohmma_instructions = 1_000_000;
+        p.thread_blocks = 1000;
+        let single = m.estimate(&p).total_us;
+        let seq = m.estimate_sequence(&[p.clone(), p.clone(), p]);
+        assert!((seq - 3.0 * single).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scalar_and_popc_pipelines_are_modelled() {
+        let m = model();
+        let mut p = WorkloadProfile::new("scalar");
+        p.scalar_ops = 1_000_000_000;
+        p.thread_blocks = 10_000;
+        let est = m.estimate(&p);
+        assert_eq!(est.bottleneck, Bottleneck::Scalar);
+        // 1e9 ops at 5120 ops/cycle ~ 195k cycles ~ 128 us.
+        assert!(est.total_us > 100.0 && est.total_us < 200.0);
+    }
+}

@@ -1,0 +1,247 @@
+//! ISA extensions of the dual-side sparse Tensor Core (paper Section V,
+//! Fig. 14-17).
+//!
+//! The paper adds three things to the machine ISA: the dense outer-product
+//! `OHMMA.8161`, the binary outer-product `BOHMMA.32321`, and the warp-level
+//! `SpWMMA` API that compiles into one `BOHMMA`, two `POPC`s and eight
+//! predicated `OHMMA`s per 32x32x1 set. This module models that compilation
+//! step so kernels (and tests) can reason about exactly which machine
+//! instructions a warp issues for given operand sparsity.
+
+use crate::config::OtcConfig;
+
+/// One machine-level instruction of the extended ISA.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MachineInstruction {
+    /// Original inner-product `HMMA.884`: an 8x8x4 matrix-multiply step.
+    Hmma884,
+    /// Outer-product `OHMMA.8161`: an 8x16x1 step; `predicate` tells whether
+    /// the predication bit enables (`true`) or skips (`false`) it.
+    Ohmma8161 {
+        /// Predication bit (`@p` in Fig. 17): `false` means skipped.
+        predicate: bool,
+    },
+    /// Binary outer-product `BOHMMA.32321` on 1-bit operands.
+    Bohmma32321,
+    /// Population count over a 32-bit bitmap word.
+    Popc,
+    /// Global-memory load of a 128-byte sector.
+    LoadGlobal,
+    /// Shared-memory load.
+    LoadShared,
+    /// Global-memory store of a 128-byte sector.
+    StoreGlobal,
+}
+
+impl MachineInstruction {
+    /// Whether the instruction actually occupies an issue slot (skipped
+    /// OHMMAs do not).
+    pub fn issues(&self) -> bool {
+        !matches!(self, MachineInstruction::Ohmma8161 { predicate: false })
+    }
+
+    /// SASS-like textual form, for debugging and the quickstart example.
+    pub fn mnemonic(&self) -> String {
+        match self {
+            MachineInstruction::Hmma884 => "HMMA.884.F32.F32".to_string(),
+            MachineInstruction::Ohmma8161 { predicate } => {
+                let p = if *predicate { "@p1" } else { "@!p1(skip)" };
+                format!("{p} HMMA.OHMMA.8161.F32.F32")
+            }
+            MachineInstruction::Bohmma32321 => "HMMA.BOHMMA.32321.B32.B32".to_string(),
+            MachineInstruction::Popc => "POPC.B32".to_string(),
+            MachineInstruction::LoadGlobal => "LDG.E.128".to_string(),
+            MachineInstruction::LoadShared => "LDS.128".to_string(),
+            MachineInstruction::StoreGlobal => "STG.E.128".to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for MachineInstruction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.mnemonic())
+    }
+}
+
+/// Computes the per-OHMMA predicate mask for one 32x32x1 set, given the
+/// population counts of the condensed A column and B row.
+///
+/// The warp-tile output is covered by a grid of
+/// `warp_dim/tile_m x warp_dim/tile_n` OHMMA instructions (4 x 2 = 8 for the
+/// paper's parameters), laid out row-group-major. An OHMMA is enabled iff
+/// its row group still contains condensed A non-zeros **and** its column
+/// group still contains condensed B non-zeros (paper Fig. 15).
+pub fn predicate_mask(a_nnz: usize, b_nnz: usize, warp_dim: usize, otc: &OtcConfig) -> Vec<bool> {
+    assert!(a_nnz <= warp_dim && b_nnz <= warp_dim, "nnz cannot exceed warp dimension");
+    let row_groups = warp_dim.div_ceil(otc.tile_m);
+    let col_groups = warp_dim.div_ceil(otc.tile_n);
+    let active_rows = a_nnz.div_ceil(otc.tile_m);
+    let active_cols = b_nnz.div_ceil(otc.tile_n);
+    let mut mask = Vec::with_capacity(row_groups * col_groups);
+    for r in 0..row_groups {
+        for c in 0..col_groups {
+            mask.push(r < active_rows && c < active_cols && a_nnz > 0 && b_nnz > 0);
+        }
+    }
+    mask
+}
+
+/// The machine-instruction expansion of one SpWMMA set (a 32x32x1 outer
+/// product step), as the hardware's decoder would emit it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpWmmaSet {
+    /// Population count of the A-column bitmap.
+    pub a_nnz: usize,
+    /// Population count of the B-row bitmap.
+    pub b_nnz: usize,
+    /// The emitted instruction stream (POPCs, BOHMMA, predicated OHMMAs).
+    pub instructions: Vec<MachineInstruction>,
+}
+
+impl SpWmmaSet {
+    /// Expands one set for the given operand population counts.
+    pub fn expand(a_nnz: usize, b_nnz: usize, warp_dim: usize, otc: &OtcConfig) -> Self {
+        let mut instructions = vec![MachineInstruction::Popc, MachineInstruction::Popc];
+        if a_nnz > 0 && b_nnz > 0 {
+            instructions.push(MachineInstruction::Bohmma32321);
+            for predicate in predicate_mask(a_nnz, b_nnz, warp_dim, otc) {
+                instructions.push(MachineInstruction::Ohmma8161 { predicate });
+            }
+        }
+        SpWmmaSet { a_nnz, b_nnz, instructions }
+    }
+
+    /// Number of instructions that occupy issue slots.
+    pub fn issued(&self) -> usize {
+        self.instructions.iter().filter(|i| i.issues()).count()
+    }
+
+    /// Number of OHMMA instructions skipped by predication.
+    pub fn skipped_ohmma(&self) -> usize {
+        self.instructions
+            .iter()
+            .filter(|i| matches!(i, MachineInstruction::Ohmma8161 { predicate: false }))
+            .count()
+    }
+}
+
+/// A sequence of machine instructions issued by one warp, with counting
+/// helpers. Kernels use this mainly for debugging and for the quickstart
+/// example; the timing model consumes aggregate counts.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WarpProgram {
+    instructions: Vec<MachineInstruction>,
+}
+
+impl WarpProgram {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        WarpProgram::default()
+    }
+
+    /// Appends one instruction.
+    pub fn push(&mut self, instruction: MachineInstruction) {
+        self.instructions.push(instruction);
+    }
+
+    /// Appends a whole SpWMMA set expansion.
+    pub fn push_set(&mut self, set: &SpWmmaSet) {
+        self.instructions.extend_from_slice(&set.instructions);
+    }
+
+    /// All instructions, in issue order.
+    pub fn instructions(&self) -> &[MachineInstruction] {
+        &self.instructions
+    }
+
+    /// Number of instructions that occupy issue slots.
+    pub fn issued(&self) -> usize {
+        self.instructions.iter().filter(|i| i.issues()).count()
+    }
+
+    /// Number of instructions of an exact kind (for OHMMA, only enabled ones
+    /// are counted).
+    pub fn count(&self, kind: &MachineInstruction) -> usize {
+        self.instructions.iter().filter(|i| *i == kind).count()
+    }
+
+    /// Renders the program as SASS-like text, one instruction per line.
+    pub fn listing(&self) -> String {
+        self.instructions.iter().map(|i| i.mnemonic()).collect::<Vec<_>>().join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn otc() -> OtcConfig {
+        OtcConfig::paper()
+    }
+
+    #[test]
+    fn dense_set_enables_all_eight_ohmmas() {
+        let set = SpWmmaSet::expand(32, 32, 32, &otc());
+        assert_eq!(set.instructions.len(), 2 + 1 + 8);
+        assert_eq!(set.skipped_ohmma(), 0);
+        assert_eq!(set.issued(), 11);
+    }
+
+    #[test]
+    fn paper_fig15_set4_enables_three() {
+        // POPC 20 on A, 12 on B: OHMMA 0/2/4 enabled in the paper's
+        // numbering; in our row-group-major order that is 3 enabled of 8.
+        let set = SpWmmaSet::expand(20, 12, 32, &otc());
+        let enabled = set.instructions.iter().filter(|i| matches!(i, MachineInstruction::Ohmma8161 { predicate: true })).count();
+        assert_eq!(enabled, 3);
+        assert_eq!(set.skipped_ohmma(), 5);
+    }
+
+    #[test]
+    fn empty_operand_emits_only_popcs() {
+        let set = SpWmmaSet::expand(0, 32, 32, &otc());
+        assert_eq!(set.instructions, vec![MachineInstruction::Popc, MachineInstruction::Popc]);
+        assert_eq!(set.issued(), 2);
+    }
+
+    #[test]
+    fn predicate_mask_shape_and_ordering() {
+        let mask = predicate_mask(9, 17, 32, &otc());
+        assert_eq!(mask.len(), 8);
+        // 9 A-non-zeros -> 2 row groups active; 17 B-non-zeros -> 2 column
+        // groups active; mask is row-group-major.
+        assert_eq!(mask, vec![true, true, true, true, false, false, false, false]);
+        let mask = predicate_mask(32, 16, 32, &otc());
+        assert_eq!(mask, vec![true, false, true, false, true, false, true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn predicate_mask_validates_nnz() {
+        let _ = predicate_mask(40, 0, 32, &otc());
+    }
+
+    #[test]
+    fn mnemonics_and_display() {
+        assert!(MachineInstruction::Bohmma32321.to_string().contains("BOHMMA.32321"));
+        assert!(MachineInstruction::Ohmma8161 { predicate: false }.to_string().contains("skip"));
+        assert!(MachineInstruction::Ohmma8161 { predicate: true }.issues());
+        assert!(!MachineInstruction::Ohmma8161 { predicate: false }.issues());
+        assert!(MachineInstruction::Popc.issues());
+    }
+
+    #[test]
+    fn warp_program_counts_and_listing() {
+        let mut prog = WarpProgram::new();
+        prog.push_set(&SpWmmaSet::expand(20, 11, 32, &otc()));
+        prog.push(MachineInstruction::StoreGlobal);
+        assert_eq!(prog.count(&MachineInstruction::Popc), 2);
+        assert_eq!(prog.count(&MachineInstruction::Bohmma32321), 1);
+        assert_eq!(prog.count(&MachineInstruction::Ohmma8161 { predicate: true }), 3);
+        assert_eq!(prog.issued(), 2 + 1 + 3 + 1);
+        let listing = prog.listing();
+        assert!(listing.contains("BOHMMA"));
+        assert!(listing.contains("STG"));
+        assert_eq!(prog.instructions().len(), 12);
+    }
+}

@@ -1,0 +1,192 @@
+//! Workload profiles (event counts) and kernel time estimates.
+
+/// Event counts collected by a kernel implementation for one launch.
+///
+/// Every field is a device-wide total; the timing model divides by the
+/// corresponding peak rate. Fields default to zero so kernels only fill in
+/// what they use.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WorkloadProfile {
+    /// Kernel name for reports.
+    pub name: String,
+    /// Inner-product Tensor Core instructions (`HMMA.884`).
+    pub hmma_instructions: u64,
+    /// Outer-product Tensor Core instructions (`OHMMA.8161`) actually issued
+    /// (i.e. after predication-based skipping).
+    pub ohmma_instructions: u64,
+    /// Binary outer-product instructions (`BOHMMA.32321`).
+    pub bohmma_instructions: u64,
+    /// Population-count instructions.
+    pub popc_instructions: u64,
+    /// Scalar FP32/ALU operations (address generation, im2col shifts, CSR
+    /// index arithmetic, scalar multiply-accumulate in non-tensor kernels).
+    pub scalar_ops: u64,
+    /// Extra cycles spent on accumulation-buffer bank conflicts during the
+    /// sparse merge (already expressed in cycles by the kernel).
+    pub accum_conflict_cycles: u64,
+    /// Cycles spent in gather/accumulate/scatter merges (excluding
+    /// conflicts), expressed device-wide like instruction counts.
+    pub merge_cycles: u64,
+    /// Bytes read from DRAM (after the kernel's own L2-reuse accounting).
+    pub dram_bytes_read: u64,
+    /// Bytes written to DRAM.
+    pub dram_bytes_written: u64,
+    /// Bytes moved through shared memory.
+    pub shared_bytes: u64,
+    /// Independent thread blocks launched (limits achievable parallelism).
+    pub thread_blocks: u64,
+}
+
+impl WorkloadProfile {
+    /// Creates an empty profile with the given kernel name.
+    pub fn new(name: impl Into<String>) -> Self {
+        WorkloadProfile { name: name.into(), ..Default::default() }
+    }
+
+    /// Sum of all tensor-core instructions.
+    pub fn tensor_instructions(&self) -> u64 {
+        self.hmma_instructions + self.ohmma_instructions + self.bohmma_instructions
+    }
+
+    /// Total DRAM traffic.
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_bytes_read + self.dram_bytes_written
+    }
+
+    /// Accumulates another profile into this one (used when a layer runs
+    /// several kernels, e.g. im2col + GEMM, or a network runs many layers).
+    pub fn merge(&mut self, other: &WorkloadProfile) {
+        self.hmma_instructions += other.hmma_instructions;
+        self.ohmma_instructions += other.ohmma_instructions;
+        self.bohmma_instructions += other.bohmma_instructions;
+        self.popc_instructions += other.popc_instructions;
+        self.scalar_ops += other.scalar_ops;
+        self.accum_conflict_cycles += other.accum_conflict_cycles;
+        self.merge_cycles += other.merge_cycles;
+        self.dram_bytes_read += other.dram_bytes_read;
+        self.dram_bytes_written += other.dram_bytes_written;
+        self.shared_bytes += other.shared_bytes;
+        self.thread_blocks += other.thread_blocks;
+    }
+}
+
+/// Which resource bounds the kernel according to the model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Bottleneck {
+    /// Tensor-core instruction issue.
+    TensorCore,
+    /// Scalar / integer pipelines.
+    Scalar,
+    /// DRAM bandwidth.
+    Dram,
+    /// Shared-memory bandwidth.
+    SharedMemory,
+    /// Accumulation-buffer merge (including bank conflicts).
+    Merge,
+    /// Not enough thread blocks to fill the machine / launch overhead.
+    Parallelism,
+}
+
+impl std::fmt::Display for Bottleneck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Bottleneck::TensorCore => "tensor-core issue",
+            Bottleneck::Scalar => "scalar pipeline",
+            Bottleneck::Dram => "DRAM bandwidth",
+            Bottleneck::SharedMemory => "shared-memory bandwidth",
+            Bottleneck::Merge => "accumulation-buffer merge",
+            Bottleneck::Parallelism => "parallelism / launch overhead",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The timing model's estimate for one kernel launch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelEstimate {
+    /// Kernel name (copied from the profile).
+    pub name: String,
+    /// Cycles attributed to tensor-core issue.
+    pub tensor_cycles: f64,
+    /// Cycles attributed to scalar + POPC work.
+    pub scalar_cycles: f64,
+    /// Cycles attributed to DRAM traffic.
+    pub dram_cycles: f64,
+    /// Cycles attributed to shared-memory traffic.
+    pub shared_cycles: f64,
+    /// Cycles attributed to the merge pipeline (incl. bank conflicts).
+    pub merge_cycles: f64,
+    /// Final modelled execution time in cycles (critical path + overheads).
+    pub total_cycles: f64,
+    /// Final modelled execution time in microseconds.
+    pub total_us: f64,
+    /// The dominant resource.
+    pub bottleneck: Bottleneck,
+}
+
+impl KernelEstimate {
+    /// Modelled execution time in microseconds.
+    pub fn time_us(&self) -> f64 {
+        self.total_us
+    }
+
+    /// Modelled execution time in milliseconds.
+    pub fn time_ms(&self) -> f64 {
+        self.total_us / 1e3
+    }
+
+    /// Speedup of this estimate relative to `baseline` (>1 means this kernel
+    /// is faster).
+    pub fn speedup_over(&self, baseline: &KernelEstimate) -> f64 {
+        baseline.total_us / self.total_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_merge_accumulates_all_fields() {
+        let mut a = WorkloadProfile::new("a");
+        a.hmma_instructions = 1;
+        a.dram_bytes_read = 10;
+        a.thread_blocks = 2;
+        let mut b = WorkloadProfile::new("b");
+        b.hmma_instructions = 2;
+        b.ohmma_instructions = 5;
+        b.dram_bytes_written = 7;
+        b.thread_blocks = 3;
+        a.merge(&b);
+        assert_eq!(a.hmma_instructions, 3);
+        assert_eq!(a.ohmma_instructions, 5);
+        assert_eq!(a.dram_bytes(), 17);
+        assert_eq!(a.thread_blocks, 5);
+        assert_eq!(a.tensor_instructions(), 8);
+    }
+
+    #[test]
+    fn bottleneck_display() {
+        assert_eq!(Bottleneck::Dram.to_string(), "DRAM bandwidth");
+        assert_eq!(Bottleneck::TensorCore.to_string(), "tensor-core issue");
+    }
+
+    #[test]
+    fn estimate_speedup() {
+        let fast = KernelEstimate {
+            name: "fast".into(),
+            tensor_cycles: 0.0,
+            scalar_cycles: 0.0,
+            dram_cycles: 0.0,
+            shared_cycles: 0.0,
+            merge_cycles: 0.0,
+            total_cycles: 100.0,
+            total_us: 1.0,
+            bottleneck: Bottleneck::TensorCore,
+        };
+        let slow = KernelEstimate { name: "slow".into(), total_us: 4.0, ..fast.clone() };
+        assert!((fast.speedup_over(&slow) - 4.0).abs() < 1e-12);
+        assert!((slow.speedup_over(&fast) - 0.25).abs() < 1e-12);
+        assert!((slow.time_ms() - 0.004).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,233 @@
+//! Minimal IEEE-754 binary16 (half precision) emulation.
+//!
+//! The Tensor Core multiplies FP16 operands and accumulates in FP32. The
+//! timing model never needs real half-precision arithmetic, but the
+//! functional model rounds operand values through FP16 storage so that the
+//! numerical behaviour (and the tolerance needed when checking outer-product
+//! vs inner-product results) matches what the hardware would produce.
+
+use std::fmt;
+
+/// A 16-bit IEEE-754 binary16 value stored as its bit pattern.
+///
+/// Only the conversions to/from `f32` needed by the functional GEMM model are
+/// provided; arithmetic is always carried out in `f32` after widening, which
+/// is exactly what the FP16-multiply / FP32-accumulate datapath does.
+///
+/// # Example
+/// ```
+/// use dsstc_tensor::f16;
+/// let x = f16::from_f32(1.5);
+/// assert_eq!(x.to_f32(), 1.5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[allow(non_camel_case_types)]
+pub struct f16(u16);
+
+impl f16 {
+    /// Positive zero.
+    pub const ZERO: f16 = f16(0);
+    /// One.
+    pub const ONE: f16 = f16(0x3C00);
+    /// Largest finite value (65504.0).
+    pub const MAX: f16 = f16(0x7BFF);
+
+    /// Creates a half from its raw bit pattern.
+    pub const fn from_bits(bits: u16) -> Self {
+        f16(bits)
+    }
+
+    /// Returns the raw bit pattern.
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts an `f32` to the nearest representable half (round to nearest
+    /// even), saturating to infinity on overflow.
+    pub fn from_f32(value: f32) -> Self {
+        let bits = value.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let mantissa = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Inf or NaN.
+            let payload = if mantissa != 0 { 0x0200 } else { 0 };
+            return f16(sign | 0x7C00 | payload);
+        }
+
+        // Re-bias exponent: f32 bias 127, f16 bias 15.
+        let unbiased = exp - 127;
+        if unbiased > 15 {
+            // Overflow to infinity.
+            return f16(sign | 0x7C00);
+        }
+        if unbiased >= -14 {
+            // Normalised half.
+            let half_exp = ((unbiased + 15) as u16) << 10;
+            let shifted = mantissa >> 13;
+            let round_bit = (mantissa >> 12) & 1;
+            let sticky = (mantissa & 0x0FFF) != 0;
+            let mut half = sign | half_exp | shifted as u16;
+            if round_bit == 1 && (sticky || (shifted & 1) == 1) {
+                half = half.wrapping_add(1);
+            }
+            return f16(half);
+        }
+        if unbiased >= -24 {
+            // Subnormal half.
+            let full_mantissa = mantissa | 0x0080_0000;
+            let shift = (-14 - unbiased) as u32 + 13;
+            let shifted = full_mantissa >> shift;
+            let round_mask = 1u32 << (shift - 1);
+            let mut half = sign | shifted as u16;
+            let remainder = full_mantissa & ((1u32 << shift) - 1);
+            if remainder > round_mask || (remainder == round_mask && (shifted & 1) == 1) {
+                half = half.wrapping_add(1);
+            }
+            return f16(half);
+        }
+        // Underflow to signed zero.
+        f16(sign)
+    }
+
+    /// Widens the half to `f32` exactly.
+    pub fn to_f32(self) -> f32 {
+        let sign = u32::from(self.0 & 0x8000) << 16;
+        let exp = u32::from(self.0 >> 10) & 0x1F;
+        let mantissa = u32::from(self.0 & 0x03FF);
+
+        let bits = if exp == 0 {
+            if mantissa == 0 {
+                sign
+            } else {
+                // Subnormal: normalise.
+                let mut e = 0i32;
+                let mut m = mantissa;
+                while m & 0x0400 == 0 {
+                    m <<= 1;
+                    e -= 1;
+                }
+                m &= 0x03FF;
+                let exp32 = (127 - 15 + e + 1) as u32;
+                sign | (exp32 << 23) | (m << 13)
+            }
+        } else if exp == 0x1F {
+            sign | 0x7F80_0000 | (mantissa << 13)
+        } else {
+            let exp32 = exp + 127 - 15;
+            sign | (exp32 << 23) | (mantissa << 13)
+        };
+        f32::from_bits(bits)
+    }
+
+    /// Rounds an `f32` through half precision and back, emulating storage of
+    /// an FP16 operand.
+    pub fn round_f32(value: f32) -> f32 {
+        Self::from_f32(value).to_f32()
+    }
+
+    /// Whether the value is exactly zero (either sign).
+    pub fn is_zero(self) -> bool {
+        self.0 & 0x7FFF == 0
+    }
+}
+
+impl fmt::Debug for f16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f16({})", self.to_f32())
+    }
+}
+
+impl fmt::Display for f16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl From<f32> for f16 {
+    fn from(value: f32) -> Self {
+        f16::from_f32(value)
+    }
+}
+
+impl From<f16> for f32 {
+    fn from(value: f16) -> Self {
+        value.to_f32()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_roundtrip() {
+        assert_eq!(f16::from_f32(0.0).to_bits(), 0);
+        assert_eq!(f16::from_f32(-0.0).to_bits(), 0x8000);
+        assert!(f16::from_f32(0.0).is_zero());
+        assert!(f16::from_f32(-0.0).is_zero());
+    }
+
+    #[test]
+    fn one_and_small_integers_are_exact() {
+        for v in [1.0f32, 2.0, 3.0, 4.0, 0.5, 0.25, -1.0, -17.0, 2048.0] {
+            assert_eq!(f16::round_f32(v), v, "value {v} should be exact in f16");
+        }
+    }
+
+    #[test]
+    fn max_value() {
+        assert_eq!(f16::MAX.to_f32(), 65504.0);
+        assert_eq!(f16::from_f32(65504.0).to_bits(), f16::MAX.to_bits());
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert!(f16::from_f32(1e9).to_f32().is_infinite());
+        assert!(f16::from_f32(-1e9).to_f32().is_infinite());
+    }
+
+    #[test]
+    fn nan_propagates() {
+        assert!(f16::from_f32(f32::NAN).to_f32().is_nan());
+    }
+
+    #[test]
+    fn subnormal_roundtrip() {
+        // Smallest positive subnormal half = 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(f16::from_f32(tiny).to_f32(), tiny);
+        // Values below half the smallest subnormal flush to zero.
+        assert_eq!(f16::from_f32(2.0f32.powi(-26)).to_f32(), 0.0);
+    }
+
+    #[test]
+    fn rounding_is_to_nearest_even() {
+        // 1.0 + 2^-11 is exactly between 1.0 and the next representable half
+        // (1.0 + 2^-10); round-to-nearest-even keeps 1.0.
+        let v = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(f16::round_f32(v), 1.0);
+        // Slightly above the midpoint rounds up.
+        let v = 1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-16);
+        assert_eq!(f16::round_f32(v), 1.0 + 2.0f32.powi(-10));
+    }
+
+    #[test]
+    fn ordering_of_magnitudes_is_preserved() {
+        let mut prev = 0.0;
+        for i in 1..100 {
+            let v = i as f32 * 0.37;
+            let r = f16::round_f32(v);
+            assert!(r >= prev, "rounded sequence must be monotone");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let x = f16::from_f32(1.5);
+        assert_eq!(format!("{x}"), "1.5");
+        assert_eq!(format!("{x:?}"), "f16(1.5)");
+    }
+}

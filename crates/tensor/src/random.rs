@@ -1,0 +1,328 @@
+//! Synthetic sparse data generation.
+//!
+//! The paper evaluates on pruned weights (structured or magnitude pruning)
+//! and on activations whose zeros come from ReLU. The generators here
+//! reproduce the *distributional* properties that matter to the
+//! architecture: overall sparsity ratio, per-column/row balance, block-wise
+//! unevenness (which the warp-tiling exploits, Fig. 6), and 2:4 / vector-wise
+//! structure for the single-side baselines.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::matrix::Matrix;
+
+/// How the zeros of a synthetic sparse matrix are distributed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum SparsityPattern {
+    /// Every element is zero independently with probability `sparsity`
+    /// (models magnitude-pruned weights and generic activations).
+    #[default]
+    Uniform,
+    /// Sparsity varies from block to block: half the 32x32 blocks get
+    /// `sparsity + spread`, the other half `sparsity - spread` (clamped).
+    /// Models the uneven non-zero distribution of real feature maps that the
+    /// warp-level skipping exploits (paper Fig. 6).
+    BlockUneven,
+    /// Structured 2:4 pruning along rows: in every group of 4 consecutive
+    /// elements at most 2 are non-zero (Ampere sparse Tensor Core style).
+    /// The requested sparsity is ignored and fixed at 50%.
+    TwoOutOfFour,
+    /// Vector-wise pruning with a fixed 75% ratio: in every group of 32
+    /// consecutive row elements exactly 8 survive (Sparse Tensor Core [72]).
+    VectorWise75,
+    /// Whole rows are zero with probability `sparsity` (models token-level
+    /// activation sparsity in NLP models).
+    RowStructured,
+}
+
+/// Builder for random (optionally sparse) matrices.
+///
+/// # Example
+/// ```
+/// use dsstc_tensor::{RandomMatrixBuilder, SparsityPattern};
+/// let m = RandomMatrixBuilder::new(128, 64)
+///     .sparsity(0.9)
+///     .pattern(SparsityPattern::BlockUneven)
+///     .seed(7)
+///     .build();
+/// assert_eq!(m.rows(), 128);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RandomMatrixBuilder {
+    rows: usize,
+    cols: usize,
+    sparsity: f64,
+    pattern: SparsityPattern,
+    seed: u64,
+    value_range: (f32, f32),
+    block_spread: f64,
+}
+
+impl RandomMatrixBuilder {
+    /// Creates a builder for a `rows x cols` matrix; defaults to a dense
+    /// matrix with values in `[-1, 1]` and seed 0.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        RandomMatrixBuilder {
+            rows,
+            cols,
+            sparsity: 0.0,
+            pattern: SparsityPattern::Uniform,
+            seed: 0,
+            value_range: (-1.0, 1.0),
+            block_spread: 0.2,
+        }
+    }
+
+    /// Target fraction of zeros in `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if outside `[0, 1]`.
+    pub fn sparsity(mut self, sparsity: f64) -> Self {
+        assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0,1]");
+        self.sparsity = sparsity;
+        self
+    }
+
+    /// Zero-placement pattern.
+    pub fn pattern(mut self, pattern: SparsityPattern) -> Self {
+        self.pattern = pattern;
+        self
+    }
+
+    /// RNG seed (generation is fully deterministic given the seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Range non-zero values are drawn from (uniformly).
+    pub fn value_range(mut self, low: f32, high: f32) -> Self {
+        assert!(low < high, "value range must be non-empty");
+        self.value_range = (low, high);
+        self
+    }
+
+    /// Per-block sparsity spread used by [`SparsityPattern::BlockUneven`].
+    pub fn block_spread(mut self, spread: f64) -> Self {
+        assert!((0.0..=0.5).contains(&spread), "spread must be in [0, 0.5]");
+        self.block_spread = spread;
+        self
+    }
+
+    /// Generates the matrix.
+    pub fn build(&self) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        match self.pattern {
+            SparsityPattern::Uniform => self.fill_uniform(&mut m, &mut rng, self.sparsity),
+            SparsityPattern::BlockUneven => self.fill_block_uneven(&mut m, &mut rng),
+            SparsityPattern::TwoOutOfFour => self.fill_n_of_m(&mut m, &mut rng, 2, 4),
+            SparsityPattern::VectorWise75 => self.fill_n_of_m(&mut m, &mut rng, 8, 32),
+            SparsityPattern::RowStructured => self.fill_row_structured(&mut m, &mut rng),
+        }
+        m
+    }
+
+    fn draw_value(&self, rng: &mut StdRng) -> f32 {
+        let (lo, hi) = self.value_range;
+        loop {
+            let v: f32 = rng.random_range(lo..hi);
+            // Never emit an exact zero for a "non-zero" slot.
+            if v != 0.0 {
+                return v;
+            }
+        }
+    }
+
+    fn fill_uniform(&self, m: &mut Matrix, rng: &mut StdRng, sparsity: f64) {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if rng.random_bool(1.0 - sparsity) {
+                    m[(r, c)] = self.draw_value(rng);
+                }
+            }
+        }
+    }
+
+    fn fill_block_uneven(&self, m: &mut Matrix, rng: &mut StdRng) {
+        const BLOCK: usize = 32;
+        let hi = (self.sparsity + self.block_spread).min(1.0);
+        let lo = (self.sparsity - self.block_spread).max(0.0);
+        for br in (0..self.rows).step_by(BLOCK) {
+            for bc in (0..self.cols).step_by(BLOCK) {
+                let block_sparsity = if rng.random_bool(0.5) { hi } else { lo };
+                for r in br..(br + BLOCK).min(self.rows) {
+                    for c in bc..(bc + BLOCK).min(self.cols) {
+                        if rng.random_bool(1.0 - block_sparsity) {
+                            m[(r, c)] = self.draw_value(rng);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Keeps exactly `keep` non-zeros in every group of `group` consecutive
+    /// row elements (the trailing partial group keeps proportionally fewer).
+    fn fill_n_of_m(&self, m: &mut Matrix, rng: &mut StdRng, keep: usize, group: usize) {
+        for r in 0..self.rows {
+            for g0 in (0..self.cols).step_by(group) {
+                let glen = group.min(self.cols - g0);
+                let gkeep = (keep * glen).div_ceil(group).min(glen);
+                // Choose `gkeep` distinct positions within the group.
+                let mut positions: Vec<usize> = (0..glen).collect();
+                for i in 0..gkeep {
+                    let j = rng.random_range(i..glen);
+                    positions.swap(i, j);
+                }
+                for &p in &positions[..gkeep] {
+                    m[(r, g0 + p)] = self.draw_value(rng);
+                }
+            }
+        }
+    }
+
+    fn fill_row_structured(&self, m: &mut Matrix, rng: &mut StdRng) {
+        for r in 0..self.rows {
+            if rng.random_bool(self.sparsity) {
+                continue; // whole row zero
+            }
+            for c in 0..self.cols {
+                m[(r, c)] = self.draw_value(rng);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_by_default() {
+        let m = RandomMatrixBuilder::new(16, 16).seed(1).build();
+        assert_eq!(m.nnz(), 256);
+    }
+
+    #[test]
+    fn uniform_sparsity_close_to_target() {
+        for &s in &[0.25, 0.5, 0.9, 0.99] {
+            let m = RandomMatrixBuilder::new(128, 128).sparsity(s).seed(3).build();
+            assert!(
+                (m.sparsity() - s).abs() < 0.05,
+                "target {s}, got {}",
+                m.sparsity()
+            );
+        }
+    }
+
+    #[test]
+    fn fully_sparse_and_fully_dense_edges() {
+        let z = RandomMatrixBuilder::new(8, 8).sparsity(1.0).seed(0).build();
+        assert_eq!(z.nnz(), 0);
+        let d = RandomMatrixBuilder::new(8, 8).sparsity(0.0).seed(0).build();
+        assert_eq!(d.nnz(), 64);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = RandomMatrixBuilder::new(32, 32).sparsity(0.5).seed(9).build();
+        let b = RandomMatrixBuilder::new(32, 32).sparsity(0.5).seed(9).build();
+        let c = RandomMatrixBuilder::new(32, 32).sparsity(0.5).seed(10).build();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn two_out_of_four_structure() {
+        let m = RandomMatrixBuilder::new(16, 64)
+            .pattern(SparsityPattern::TwoOutOfFour)
+            .seed(5)
+            .build();
+        // Exactly 2 non-zeros in every aligned group of 4.
+        for r in 0..m.rows() {
+            for g0 in (0..m.cols()).step_by(4) {
+                let nnz = (0..4).filter(|&i| m[(r, g0 + i)] != 0.0).count();
+                assert_eq!(nnz, 2, "row {r} group {g0}");
+            }
+        }
+        assert!((m.sparsity() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vector_wise_75_structure() {
+        let m = RandomMatrixBuilder::new(8, 128)
+            .pattern(SparsityPattern::VectorWise75)
+            .seed(5)
+            .build();
+        for r in 0..m.rows() {
+            for g0 in (0..m.cols()).step_by(32) {
+                let nnz = (0..32).filter(|&i| m[(r, g0 + i)] != 0.0).count();
+                assert_eq!(nnz, 8, "row {r} group {g0}");
+            }
+        }
+        assert!((m.sparsity() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn n_of_m_handles_ragged_tail_groups() {
+        // 10 columns with group 4: tail group has 2 columns.
+        let m = RandomMatrixBuilder::new(4, 10)
+            .pattern(SparsityPattern::TwoOutOfFour)
+            .seed(2)
+            .build();
+        for r in 0..4 {
+            let tail_nnz = (8..10).filter(|&c| m[(r, c)] != 0.0).count();
+            assert!(tail_nnz <= 2);
+        }
+    }
+
+    #[test]
+    fn row_structured_rows_all_or_nothing() {
+        let m = RandomMatrixBuilder::new(64, 32)
+            .pattern(SparsityPattern::RowStructured)
+            .sparsity(0.5)
+            .seed(11)
+            .build();
+        for r in 0..m.rows() {
+            let nnz = m.row(r).iter().filter(|&&x| x != 0.0).count();
+            assert!(nnz == 0 || nnz == m.cols(), "row {r} has {nnz} non-zeros");
+        }
+    }
+
+    #[test]
+    fn block_uneven_produces_varied_block_densities() {
+        let m = RandomMatrixBuilder::new(128, 128)
+            .pattern(SparsityPattern::BlockUneven)
+            .sparsity(0.5)
+            .block_spread(0.4)
+            .seed(13)
+            .build();
+        let mut densities = Vec::new();
+        for br in (0..128).step_by(32) {
+            for bc in (0..128).step_by(32) {
+                densities.push(m.tile(br, bc, 32, 32).density());
+            }
+        }
+        let min = densities.iter().cloned().fold(f64::MAX, f64::min);
+        let max = densities.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max - min > 0.3, "blocks should differ: min {min} max {max}");
+        // Overall sparsity still close to target.
+        assert!((m.sparsity() - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn value_range_respected() {
+        let m = RandomMatrixBuilder::new(32, 32).value_range(2.0, 3.0).seed(4).build();
+        for &v in m.as_slice() {
+            assert!((2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sparsity must be in")]
+    fn invalid_sparsity_panics() {
+        let _ = RandomMatrixBuilder::new(4, 4).sparsity(1.5);
+    }
+}

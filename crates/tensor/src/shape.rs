@@ -1,0 +1,209 @@
+//! Problem-shape descriptors shared by kernels, models and the bench harness.
+
+/// The shape of a (possibly sparse) GEMM `D = A (MxK) * B (KxN) + C`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct GemmShape {
+    /// Rows of A / D.
+    pub m: usize,
+    /// Columns of B / D.
+    pub n: usize,
+    /// Inner (reduction) dimension.
+    pub k: usize,
+}
+
+impl GemmShape {
+    /// Creates a shape.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn new(m: usize, n: usize, k: usize) -> Self {
+        assert!(m > 0 && n > 0 && k > 0, "GEMM dimensions must be non-zero");
+        GemmShape { m, n, k }
+    }
+
+    /// Total multiply-accumulate operations of the dense problem.
+    pub fn macs(&self) -> u64 {
+        self.m as u64 * self.n as u64 * self.k as u64
+    }
+
+    /// FLOPs (2 per MAC) of the dense problem.
+    pub fn flops(&self) -> u64 {
+        2 * self.macs()
+    }
+
+    /// Bytes touched by a dense FP16 GEMM reading A and B once and writing D
+    /// in FP32 (a lower bound used by roofline-style checks).
+    pub fn min_bytes_fp16(&self) -> u64 {
+        let a = (self.m * self.k) as u64 * 2;
+        let b = (self.k * self.n) as u64 * 2;
+        let d = (self.m * self.n) as u64 * 4;
+        a + b + d
+    }
+}
+
+impl std::fmt::Display for GemmShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}x{}", self.m, self.n, self.k)
+    }
+}
+
+/// The shape of a 2-D convolution layer.
+///
+/// Follows the paper's notation: `C` input channels of `H x W` feature maps,
+/// `N` output channels, `K x K` kernels, stride `S`, symmetric zero padding
+/// `P`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ConvShape {
+    /// Input feature-map height.
+    pub h: usize,
+    /// Input feature-map width.
+    pub w: usize,
+    /// Input channels.
+    pub c: usize,
+    /// Output channels.
+    pub n: usize,
+    /// Kernel height/width.
+    pub k: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding on each border.
+    pub padding: usize,
+}
+
+impl ConvShape {
+    /// Creates a convolution shape.
+    ///
+    /// # Panics
+    /// Panics if a dimension or the stride is zero, or if the kernel (with
+    /// padding) does not fit in the input.
+    pub fn new(h: usize, w: usize, c: usize, n: usize, k: usize, stride: usize, padding: usize) -> Self {
+        assert!(h > 0 && w > 0 && c > 0 && n > 0 && k > 0 && stride > 0, "dimensions must be non-zero");
+        assert!(h + 2 * padding >= k && w + 2 * padding >= k, "kernel larger than padded input");
+        ConvShape { h, w, c, n, k, stride, padding }
+    }
+
+    /// Square-input convenience constructor (`H = W`).
+    pub fn square(hw: usize, c: usize, n: usize, k: usize, stride: usize, padding: usize) -> Self {
+        Self::new(hw, hw, c, n, k, stride, padding)
+    }
+
+    /// Output feature-map height.
+    pub fn out_h(&self) -> usize {
+        (self.h + 2 * self.padding - self.k) / self.stride + 1
+    }
+
+    /// Output feature-map width.
+    pub fn out_w(&self) -> usize {
+        (self.w + 2 * self.padding - self.k) / self.stride + 1
+    }
+
+    /// The GEMM this convolution lowers to under im2col:
+    /// `(out_h*out_w) x N x (K*K*C)`.
+    pub fn lowered_gemm(&self) -> GemmShape {
+        GemmShape::new(self.out_h() * self.out_w(), self.n, self.k * self.k * self.c)
+    }
+
+    /// Multiply-accumulate count of the dense convolution.
+    pub fn macs(&self) -> u64 {
+        self.lowered_gemm().macs()
+    }
+
+    /// Elements in the lowered (im2col-expanded) feature map.
+    pub fn lowered_elements(&self) -> u64 {
+        (self.out_h() * self.out_w()) as u64 * (self.k * self.k * self.c) as u64
+    }
+
+    /// Elements in the original input feature map.
+    pub fn input_elements(&self) -> u64 {
+        (self.h * self.w * self.c) as u64
+    }
+
+    /// Data-expansion factor of explicit im2col (≈ K*K for stride 1).
+    pub fn im2col_expansion(&self) -> f64 {
+        self.lowered_elements() as f64 / self.input_elements() as f64
+    }
+}
+
+impl std::fmt::Display for ConvShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}x{}x{} -> {} ch, {}x{} kernel, stride {}, pad {}",
+            self.h, self.w, self.c, self.n, self.k, self.k, self.stride, self.padding
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_macs_and_flops() {
+        let s = GemmShape::new(4, 5, 6);
+        assert_eq!(s.macs(), 120);
+        assert_eq!(s.flops(), 240);
+        assert_eq!(s.to_string(), "4x5x6");
+    }
+
+    #[test]
+    fn gemm_min_bytes() {
+        let s = GemmShape::new(2, 2, 2);
+        // A: 4*2 + B: 4*2 + D: 4*4 = 32 bytes.
+        assert_eq!(s.min_bytes_fp16(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn gemm_zero_dim_panics() {
+        let _ = GemmShape::new(0, 1, 1);
+    }
+
+    #[test]
+    fn conv_output_dims_no_padding() {
+        let c = ConvShape::new(6, 6, 3, 8, 3, 1, 0);
+        assert_eq!(c.out_h(), 4);
+        assert_eq!(c.out_w(), 4);
+    }
+
+    #[test]
+    fn conv_output_dims_padding_and_stride() {
+        // The classic "same" conv: 56x56, k=3, pad=1, stride=1.
+        let c = ConvShape::square(56, 128, 128, 3, 1, 1);
+        assert_eq!(c.out_h(), 56);
+        assert_eq!(c.out_w(), 56);
+        // Strided downsampling conv.
+        let c = ConvShape::square(56, 64, 128, 3, 2, 1);
+        assert_eq!(c.out_h(), 28);
+    }
+
+    #[test]
+    fn conv_lowered_gemm_matches_paper_formula() {
+        let c = ConvShape::square(56, 128, 128, 3, 1, 1);
+        let g = c.lowered_gemm();
+        assert_eq!(g.m, 56 * 56);
+        assert_eq!(g.n, 128);
+        assert_eq!(g.k, 3 * 3 * 128);
+    }
+
+    #[test]
+    fn conv_im2col_expansion_close_to_k_squared() {
+        let c = ConvShape::square(56, 128, 128, 3, 1, 1);
+        let e = c.im2col_expansion();
+        assert!(e > 8.0 && e <= 9.0, "expansion {e} should approach K*K = 9");
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel larger")]
+    fn conv_kernel_too_large_panics() {
+        let _ = ConvShape::new(2, 2, 1, 1, 5, 1, 0);
+    }
+
+    #[test]
+    fn conv_1x1_kernel() {
+        let c = ConvShape::square(14, 256, 512, 1, 1, 0);
+        assert_eq!(c.out_h(), 14);
+        assert_eq!(c.lowered_gemm().k, 256);
+        assert!((c.im2col_expansion() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,312 @@
+//! CHW feature maps (single image) used by the convolution kernels.
+//!
+//! The paper's convolution pipeline operates on one input image at a time
+//! (batch size 1 inference), so a 3-D `C x H x W` container is sufficient;
+//! batching is handled by looping at the layer level.
+
+use crate::matrix::Matrix;
+use crate::random::{RandomMatrixBuilder, SparsityPattern};
+use crate::shape::ConvShape;
+
+/// A `C x H x W` feature map stored channel-major (each channel is a dense
+/// row-major `H x W` plane).
+///
+/// # Example
+/// ```
+/// use dsstc_tensor::FeatureMap;
+/// let fm = FeatureMap::zeros(3, 8, 8);
+/// assert_eq!(fm.channels(), 3);
+/// assert_eq!(fm.get(2, 7, 7), 0.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct FeatureMap {
+    channels: usize,
+    height: usize,
+    width: usize,
+    data: Vec<f32>,
+}
+
+impl FeatureMap {
+    /// Creates a zero-filled feature map.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn zeros(channels: usize, height: usize, width: usize) -> Self {
+        assert!(channels > 0 && height > 0 && width > 0, "dimensions must be non-zero");
+        FeatureMap { channels, height, width, data: vec![0.0; channels * height * width] }
+    }
+
+    /// Builds a feature map from per-channel matrices.
+    ///
+    /// # Panics
+    /// Panics if the channel list is empty or shapes disagree.
+    pub fn from_channels(planes: &[Matrix]) -> Self {
+        assert!(!planes.is_empty(), "at least one channel required");
+        let (h, w) = (planes[0].rows(), planes[0].cols());
+        let mut fm = FeatureMap::zeros(planes.len(), h, w);
+        for (c, plane) in planes.iter().enumerate() {
+            assert_eq!((plane.rows(), plane.cols()), (h, w), "channel shapes must agree");
+            for r in 0..h {
+                for col in 0..w {
+                    fm.set(c, r, col, plane[(r, col)]);
+                }
+            }
+        }
+        fm
+    }
+
+    /// Random sparse feature map matching a convolution's input shape.
+    pub fn random_sparse(shape: &ConvShape, sparsity: f64, seed: u64) -> Self {
+        let mut planes = Vec::with_capacity(shape.c);
+        for c in 0..shape.c {
+            planes.push(
+                RandomMatrixBuilder::new(shape.h, shape.w)
+                    .sparsity(sparsity)
+                    .pattern(SparsityPattern::Uniform)
+                    .seed(seed.wrapping_add(c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                    .build(),
+            );
+        }
+        FeatureMap::from_channels(&planes)
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Height of each channel plane.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Width of each channel plane.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Reads element `(c, y, x)`.
+    ///
+    /// # Panics
+    /// Panics when out of bounds.
+    pub fn get(&self, c: usize, y: usize, x: usize) -> f32 {
+        assert!(c < self.channels && y < self.height && x < self.width, "index out of bounds");
+        self.data[(c * self.height + y) * self.width + x]
+    }
+
+    /// Reads element `(c, y, x)` treating out-of-bounds coordinates (from
+    /// padding) as zero. `y`/`x` are signed for this reason.
+    pub fn get_padded(&self, c: usize, y: isize, x: isize) -> f32 {
+        if c >= self.channels || y < 0 || x < 0 || y as usize >= self.height || x as usize >= self.width {
+            0.0
+        } else {
+            self.data[(c * self.height + y as usize) * self.width + x as usize]
+        }
+    }
+
+    /// Writes element `(c, y, x)`.
+    ///
+    /// # Panics
+    /// Panics when out of bounds.
+    pub fn set(&mut self, c: usize, y: usize, x: usize, value: f32) {
+        assert!(c < self.channels && y < self.height && x < self.width, "index out of bounds");
+        self.data[(c * self.height + y) * self.width + x] = value;
+    }
+
+    /// Returns channel `c` as a dense matrix.
+    ///
+    /// # Panics
+    /// Panics if `c >= self.channels()`.
+    pub fn channel(&self, c: usize) -> Matrix {
+        assert!(c < self.channels, "channel out of bounds");
+        let start = c * self.height * self.width;
+        Matrix::from_vec(self.height, self.width, self.data[start..start + self.height * self.width].to_vec())
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the feature map contains no elements (never true — dimensions
+    /// are validated non-zero — but provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of non-zero elements.
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|&&x| x != 0.0).count()
+    }
+
+    /// Fraction of zero elements.
+    pub fn sparsity(&self) -> f64 {
+        1.0 - self.nnz() as f64 / self.len() as f64
+    }
+
+    /// Applies ReLU in place and returns the resulting sparsity.
+    pub fn relu_in_place(&mut self) -> f64 {
+        for v in &mut self.data {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        self.sparsity()
+    }
+
+    /// Direct (reference) convolution of this feature map with `weights`,
+    /// where `weights[n]` holds output channel `n` as a `C x K x K` feature
+    /// map. Returns the output feature map of shape `N x out_h x out_w`.
+    ///
+    /// # Panics
+    /// Panics if the weight shapes do not match `shape`, or if `shape`'s
+    /// input dimensions do not match this feature map.
+    pub fn conv2d_reference(&self, weights: &[FeatureMap], shape: &ConvShape) -> FeatureMap {
+        assert_eq!(self.channels, shape.c, "input channel mismatch");
+        assert_eq!(self.height, shape.h, "input height mismatch");
+        assert_eq!(self.width, shape.w, "input width mismatch");
+        assert_eq!(weights.len(), shape.n, "output channel mismatch");
+        for w in weights {
+            assert_eq!((w.channels, w.height, w.width), (shape.c, shape.k, shape.k), "weight shape mismatch");
+        }
+        let (oh, ow) = (shape.out_h(), shape.out_w());
+        let mut out = FeatureMap::zeros(shape.n, oh, ow);
+        for n in 0..shape.n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for c in 0..shape.c {
+                        for ky in 0..shape.k {
+                            for kx in 0..shape.k {
+                                let iy = (oy * shape.stride + ky) as isize - shape.padding as isize;
+                                let ix = (ox * shape.stride + kx) as isize - shape.padding as isize;
+                                acc += self.get_padded(c, iy, ix) * weights[n].get(c, ky, kx);
+                            }
+                        }
+                    }
+                    out.set(n, oy, ox, acc);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape_and_access() {
+        let mut fm = FeatureMap::zeros(2, 3, 4);
+        assert_eq!(fm.len(), 24);
+        assert!(!fm.is_empty());
+        fm.set(1, 2, 3, 7.0);
+        assert_eq!(fm.get(1, 2, 3), 7.0);
+        assert_eq!(fm.nnz(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let fm = FeatureMap::zeros(1, 2, 2);
+        let _ = fm.get(0, 2, 0);
+    }
+
+    #[test]
+    fn padded_access_returns_zero_outside() {
+        let mut fm = FeatureMap::zeros(1, 2, 2);
+        fm.set(0, 0, 0, 3.0);
+        assert_eq!(fm.get_padded(0, -1, 0), 0.0);
+        assert_eq!(fm.get_padded(0, 0, 5), 0.0);
+        assert_eq!(fm.get_padded(0, 0, 0), 3.0);
+    }
+
+    #[test]
+    fn channel_roundtrip() {
+        let planes = vec![
+            Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]),
+            Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]),
+        ];
+        let fm = FeatureMap::from_channels(&planes);
+        assert_eq!(fm.channel(0), planes[0]);
+        assert_eq!(fm.channel(1), planes[1]);
+    }
+
+    #[test]
+    fn relu_generates_sparsity() {
+        let planes = vec![Matrix::from_rows(&[&[-1.0, 2.0], &[3.0, -4.0]])];
+        let mut fm = FeatureMap::from_channels(&planes);
+        let s = fm.relu_in_place();
+        assert!((s - 0.5).abs() < 1e-12);
+        assert_eq!(fm.get(0, 0, 0), 0.0);
+        assert_eq!(fm.get(0, 1, 0), 3.0);
+    }
+
+    #[test]
+    fn random_sparse_matches_conv_shape() {
+        let shape = ConvShape::square(8, 4, 2, 3, 1, 1);
+        let fm = FeatureMap::random_sparse(&shape, 0.6, 42);
+        assert_eq!(fm.channels(), 4);
+        assert_eq!(fm.height(), 8);
+        assert!((fm.sparsity() - 0.6).abs() < 0.15);
+    }
+
+    #[test]
+    fn conv2d_identity_kernel_copies_input() {
+        // 1x1 kernel with weight 1.0 reproduces the input.
+        let shape = ConvShape::square(4, 1, 1, 1, 1, 0);
+        let input = FeatureMap::random_sparse(&shape, 0.3, 1);
+        let mut w = FeatureMap::zeros(1, 1, 1);
+        w.set(0, 0, 0, 1.0);
+        let out = input.conv2d_reference(&[w], &shape);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn conv2d_known_sum_kernel() {
+        // All-ones 2x2 kernel computes sliding-window sums.
+        let shape = ConvShape::square(3, 1, 1, 2, 1, 0);
+        let mut input = FeatureMap::zeros(1, 3, 3);
+        let mut v = 1.0;
+        for y in 0..3 {
+            for x in 0..3 {
+                input.set(0, y, x, v);
+                v += 1.0;
+            }
+        }
+        let mut w = FeatureMap::zeros(1, 2, 2);
+        for y in 0..2 {
+            for x in 0..2 {
+                w.set(0, y, x, 1.0);
+            }
+        }
+        let out = input.conv2d_reference(&[w], &shape);
+        // Windows: [1,2,4,5]=12, [2,3,5,6]=16, [4,5,7,8]=24, [5,6,8,9]=28.
+        assert_eq!(out.get(0, 0, 0), 12.0);
+        assert_eq!(out.get(0, 0, 1), 16.0);
+        assert_eq!(out.get(0, 1, 0), 24.0);
+        assert_eq!(out.get(0, 1, 1), 28.0);
+    }
+
+    #[test]
+    fn conv2d_with_padding_preserves_spatial_size() {
+        let shape = ConvShape::square(5, 2, 3, 3, 1, 1);
+        let input = FeatureMap::random_sparse(&shape, 0.5, 3);
+        let weights: Vec<FeatureMap> = (0..3)
+            .map(|n| {
+                let s = ConvShape::square(3, 2, 1, 1, 1, 0);
+                let _ = s;
+                let mut w = FeatureMap::zeros(2, 3, 3);
+                w.set(0, 1, 1, n as f32 + 1.0);
+                w
+            })
+            .collect();
+        let out = input.conv2d_reference(&weights, &shape);
+        assert_eq!(out.channels(), 3);
+        assert_eq!(out.height(), 5);
+        assert_eq!(out.width(), 5);
+        // Centre-tap kernels scale the first input channel.
+        assert_eq!(out.get(1, 2, 2), 2.0 * input.get(0, 2, 2));
+    }
+}

@@ -1,0 +1,48 @@
+//! Quickstart: run one dual-side sparse GEMM, inspect its speedup, and look
+//! at the machine instructions one warp issues for a sparse SpWMMA set.
+//!
+//! Run with `cargo run --release -p dsstc --example quickstart`.
+
+use dsstc::DualSideSparseTensorCore;
+use dsstc_sim::{OtcConfig, SpWmmaSet};
+use dsstc_tensor::{Matrix, SparsityPattern};
+
+fn main() {
+    let dsstc = DualSideSparseTensorCore::v100();
+
+    // A sparse activation matrix (70% zeros, as a ReLU layer would produce)
+    // and an AGP-pruned weight matrix (85% zeros).
+    let activations = Matrix::random_sparse(512, 512, 0.70, SparsityPattern::Uniform, 1);
+    let weights = Matrix::random_sparse(512, 512, 0.85, SparsityPattern::Uniform, 2);
+
+    let result = dsstc.spgemm(&activations, &weights);
+    let reference = activations.matmul(&weights);
+    println!("== Dual-side sparse GEMM (512x512x512) ==");
+    println!("result matches the dense reference: {}", result.output.approx_eq(&reference, 1e-2));
+    println!("modelled time:        {:>8.2} us", result.time_us);
+    println!("dense Tensor Core:    {:>8.2} us", result.dense_time_us);
+    println!("speedup:              {:>8.2}x", result.speedup_over_dense);
+    println!();
+
+    // The ISA-level view of one 32x32x1 SpWMMA set: POPC results of 20 (A)
+    // and 11 (B) non-zeros let the hardware skip 5 of the 8 OHMMAs
+    // (paper Fig. 5 / Fig. 15).
+    let set = SpWmmaSet::expand(20, 11, 32, &OtcConfig::paper());
+    println!("== Machine instructions for one sparse SpWMMA set (a_nnz=20, b_nnz=11) ==");
+    for instruction in &set.instructions {
+        println!("  {instruction}");
+    }
+    println!("issued: {}, OHMMAs skipped: {}", set.issued(), set.skipped_ohmma());
+    println!();
+
+    // Hardware cost of the extension (Table IV).
+    let overhead = dsstc.hardware_overhead();
+    println!("== Hardware overhead ==");
+    println!(
+        "total: {:.2} mm^2 ({:.1}% of the V100 die), {:.2} W ({:.1}% of TDP)",
+        overhead.total().area_mm2,
+        100.0 * overhead.area_fraction_of_v100(),
+        overhead.total().power_w,
+        100.0 * overhead.power_fraction_of_v100()
+    );
+}

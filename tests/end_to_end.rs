@@ -1,0 +1,99 @@
+//! End-to-end network estimation tests: the Fig. 22 reports for all five
+//! evaluated networks are internally consistent and reproduce the paper's
+//! qualitative findings.
+
+use dsstc::InferenceEstimator;
+use dsstc_models::networks;
+
+#[test]
+fn cnn_reports_have_five_schemes_and_dual_side_wins_overall() {
+    let estimator = InferenceEstimator::v100();
+    for network in [networks::vgg16(), networks::resnet18(), networks::mask_rcnn()] {
+        let report = estimator.estimate_network(&network);
+        assert_eq!(report.layers.len(), network.layers().len(), "{}", network.name());
+        for layer in &report.layers {
+            assert!(layer.is_conv);
+            assert_eq!(layer.schemes.len(), 5);
+            // Times are positive and the Dense Implicit baseline has
+            // speedup exactly 1.
+            assert!(layer.schemes.iter().all(|s| s.time_us > 0.0));
+            assert!((layer.schemes[1].speedup - 1.0).abs() < 1e-9);
+        }
+        assert!(
+            report.full_model_dual_speedup > 1.0,
+            "{}: {}",
+            network.name(),
+            report.full_model_dual_speedup
+        );
+        assert!(report.full_model_dual_speedup > report.full_model_single_speedup, "{}", network.name());
+    }
+}
+
+#[test]
+fn nlp_reports_have_three_schemes_and_exceed_the_fixed_ratio_cap() {
+    let estimator = InferenceEstimator::v100();
+    for network in [networks::bert_base(), networks::rnn_lm()] {
+        let report = estimator.estimate_network(&network);
+        for layer in &report.layers {
+            assert!(!layer.is_conv);
+            assert_eq!(layer.schemes.len(), 3);
+        }
+        // The single-side baseline is architecturally capped near 2x; the
+        // dual-side design is not.
+        assert!(report.full_model_single_speedup < 2.5, "{}", network.name());
+        assert!(
+            report.full_model_dual_speedup > report.full_model_single_speedup,
+            "{}",
+            network.name()
+        );
+    }
+}
+
+#[test]
+fn dual_side_speedups_respect_the_theoretical_bound() {
+    let estimator = InferenceEstimator::v100();
+    for network in networks::all_networks() {
+        let report = estimator.estimate_network(&network);
+        for layer in &report.layers {
+            assert!(
+                layer.dual_side_speedup() <= layer.theoretical_speedup * 1.05,
+                "{} / {}: {} > {}",
+                network.name(),
+                layer.name,
+                layer.dual_side_speedup(),
+                layer.theoretical_speedup
+            );
+        }
+    }
+}
+
+#[test]
+fn deeper_cnn_layers_with_more_sparsity_speed_up_more() {
+    // Within VGG-16 the later layers are sparser on both sides, so their
+    // dual-side speedup should generally exceed the first conv layer's.
+    let estimator = InferenceEstimator::v100();
+    let report = estimator.estimate_network(&networks::vgg16());
+    let first = report.layers.first().unwrap().dual_side_speedup();
+    let late = report.layers[report.layers.len() - 3].dual_side_speedup();
+    assert!(late > first, "late {late} vs first {first}");
+}
+
+#[test]
+fn rendered_tables_mention_every_layer_and_scheme() {
+    let estimator = InferenceEstimator::v100();
+    let report = estimator.estimate_network(&networks::resnet18());
+    let table = report.render_table();
+    assert!(table.contains("Dense Implicit"));
+    assert!(table.contains("Dual Sparse Implicit"));
+    for layer in networks::resnet18().layers() {
+        assert!(table.contains(&layer.name), "missing layer {}", layer.name);
+    }
+}
+
+#[test]
+fn estimates_are_reproducible_across_runs() {
+    let estimator = InferenceEstimator::v100();
+    let a = estimator.estimate_network(&networks::bert_base());
+    let b = estimator.estimate_network(&networks::bert_base());
+    assert_eq!(a, b);
+}

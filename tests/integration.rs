@@ -1,0 +1,123 @@
+//! Cross-crate integration tests: realistic data flows from the model /
+//! pruning crates through the encodings and kernels to the timing model.
+
+use dsstc::DualSideSparseTensorCore;
+use dsstc_formats::{BitmapMatrix, CsrMatrix, TwoLevelBitmapMatrix, VectorLayout};
+use dsstc_kernels::conv::{ConvKernel, ConvScheme, ConvWorkload};
+use dsstc_kernels::im2col::{BitmapIm2col, CsrIm2col, DenseIm2col};
+use dsstc_models::{activation_feature_map, activation_matrix, prune_magnitude, prune_n_of_m};
+use dsstc_sim::{GpuConfig, GpuTimingModel};
+use dsstc_tensor::{ConvShape, GemmShape, Matrix, SparsityPattern};
+
+#[test]
+fn pruned_weights_and_relu_activations_flow_through_the_full_stack() {
+    // Models crate produces the data...
+    let activations = activation_matrix(128, 96, 0.65, 3);
+    let dense_weights = Matrix::random_sparse(96, 64, 0.0, SparsityPattern::Uniform, 4);
+    let weights = prune_magnitude(&dense_weights, 0.85);
+
+    // ...the engine runs the dual-side SpGEMM on it...
+    let engine = DualSideSparseTensorCore::v100();
+    let result = engine.spgemm(&activations, &weights);
+
+    // ...and the result matches the dense reference while being modelled
+    // faster than the dense Tensor Core.
+    assert!(result.output.approx_eq(&activations.matmul(&weights), 1e-2));
+    assert!(result.speedup_over_dense > 1.0, "speedup {}", result.speedup_over_dense);
+}
+
+#[test]
+fn every_encoding_roundtrips_the_same_pruned_weight_matrix() {
+    let weights = prune_n_of_m(&Matrix::random_sparse(64, 96, 0.0, SparsityPattern::Uniform, 9), 8, 32);
+    assert_eq!(BitmapMatrix::encode(&weights, VectorLayout::ColumnMajor).decode(), weights);
+    assert_eq!(BitmapMatrix::encode(&weights, VectorLayout::RowMajor).decode(), weights);
+    assert_eq!(CsrMatrix::encode(&weights).decode(), weights);
+    assert_eq!(TwoLevelBitmapMatrix::encode(&weights, 32, 16, VectorLayout::ColumnMajor).decode(), weights);
+}
+
+#[test]
+fn all_three_im2col_variants_agree_on_a_relu_sparse_feature_map() {
+    let shape = ConvShape::square(14, 8, 4, 3, 1, 1);
+    let input = activation_feature_map(&shape, 0.55, 11);
+    let dense = DenseIm2col::new().lower(&input, &shape);
+    let csr = CsrIm2col::new();
+    let bitmap = BitmapIm2col::new();
+    assert_eq!(csr.lower(&csr.encode(&input), &shape), dense);
+    assert_eq!(bitmap.lower(&bitmap.encode(&input), &shape), dense);
+}
+
+#[test]
+fn conv_scheme_ordering_matches_the_paper_on_a_sparse_resnet_layer() {
+    let model = GpuTimingModel::v100();
+    let driver = ConvKernel::new(GpuConfig::v100());
+    let workload = ConvWorkload::new(ConvShape::square(28, 128, 128, 3, 1, 1), 0.65, 0.8);
+    let t = |s| driver.estimate_us(&model, &workload, s);
+    let dense_explicit = t(ConvScheme::DenseExplicit);
+    let dense_implicit = t(ConvScheme::DenseImplicit);
+    let dual = t(ConvScheme::DualSparseImplicit);
+    // Fig. 22's consistent ordering: implicit beats explicit, dual-side
+    // sparse beats dense.
+    assert!(dense_implicit < dense_explicit);
+    assert!(dual < dense_implicit);
+    // And the theoretical bound is not exceeded.
+    let bound = 1.0 / ((1.0 - 0.65) * (1.0 - 0.8));
+    assert!(dense_implicit / dual <= bound);
+}
+
+#[test]
+fn figure21_key_relationships_hold_at_reduced_scale() {
+    let engine = DualSideSparseTensorCore::v100();
+    let shape = GemmShape::new(1024, 1024, 1024);
+    // Dense/dense: our method is within ~1.5x of CUTLASS (small overhead).
+    let dense_dense = engine.compare_schemes(shape, 0.0, 0.0);
+    assert!(dense_dense.dual_side_us <= dense_dense.dense_us * 1.5);
+    // A 50% / B 0%: we are already faster than dense (paper: crossover ~25%).
+    let half = engine.compare_schemes(shape, 0.5, 0.0);
+    assert!(half.dual_side_us < half.dense_us);
+    // A 0% / B 99%: clear speedup even with one dense side (the paper's
+    // 13.4x is measured at 4096^3 where the dense baseline is fully
+    // compute-bound; at this reduced 1024^3 scale the launch/memory floor
+    // compresses the ratio).
+    let one_side = engine.compare_schemes(shape, 0.0, 0.99);
+    assert!(one_side.dual_side_speedup() > 2.0, "got {}", one_side.dual_side_speedup());
+    // Very sparse dual-side clearly beats the fixed-ratio baseline (again
+    // the margin widens at the paper's 4096^3 scale).
+    let very_sparse = engine.compare_schemes(shape, 0.95, 0.95);
+    assert!(
+        very_sparse.dual_side_us < very_sparse.vector_sparse_us * 0.8,
+        "dual {} vs vector-sparse {}",
+        very_sparse.dual_side_us,
+        very_sparse.vector_sparse_us
+    );
+    // cuSparse loses to dense at moderate sparsity.
+    let moderate = engine.compare_schemes(shape, 0.75, 0.75);
+    if let Some(cusparse) = moderate.cusparse_us {
+        assert!(cusparse > moderate.dense_us);
+    }
+}
+
+#[test]
+fn hardware_overhead_scales_with_the_gpu_and_stays_small() {
+    let v100 = DualSideSparseTensorCore::v100().hardware_overhead();
+    assert!(v100.area_fraction_of_v100() > 0.005 && v100.area_fraction_of_v100() < 0.02);
+    let mut half_config = GpuConfig::v100();
+    half_config.num_sms = 40;
+    let half = DualSideSparseTensorCore::new(half_config).hardware_overhead();
+    assert!(half.total().area_mm2 < v100.total().area_mm2);
+}
+
+#[test]
+fn ablations_never_improve_on_the_full_design() {
+    use dsstc_kernels::bitmap_spgemm::{BitmapSpGemm, BitmapSpGemmOptions, SyntheticGemmSpec};
+    let model = GpuTimingModel::v100();
+    let spec = SyntheticGemmSpec::new(GemmShape::new(1024, 1024, 1024), 0.85, 0.85, 5);
+    let time = |opts: BitmapSpGemmOptions| {
+        let (p, _) = BitmapSpGemm::new(GpuConfig::v100()).with_options(opts).profile_synthetic(&spec);
+        model.estimate(&p).time_us()
+    };
+    let full = time(BitmapSpGemmOptions { operand_collector: true, two_level: true });
+    let no_collector = time(BitmapSpGemmOptions { operand_collector: false, two_level: true });
+    let one_level = time(BitmapSpGemmOptions { operand_collector: true, two_level: false });
+    assert!(no_collector >= full);
+    assert!(one_level >= full);
+}
