@@ -32,12 +32,16 @@ fn bench_functional_spgemm(c: &mut Criterion) {
     for &sparsity in &[0.5, 0.9, 0.99] {
         let a = Matrix::random_sparse(256, 256, sparsity, SparsityPattern::Uniform, 1);
         let b = Matrix::random_sparse(256, 256, sparsity, SparsityPattern::Uniform, 2);
-        group.bench_with_input(BenchmarkId::new("dense_reference", sparsity), &(&a, &b), |bench, (a, b)| {
-            bench.iter(|| black_box(dense_kernel.execute(a, b)))
-        });
-        group.bench_with_input(BenchmarkId::new("bitmap_outer_product", sparsity), &(&a, &b), |bench, (a, b)| {
-            bench.iter(|| black_box(bitmap_kernel.execute(a, b)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("dense_reference", sparsity),
+            &(&a, &b),
+            |bench, (a, b)| bench.iter(|| black_box(dense_kernel.execute(a, b))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bitmap_outer_product", sparsity),
+            &(&a, &b),
+            |bench, (a, b)| bench.iter(|| black_box(bitmap_kernel.execute(a, b))),
+        );
     }
     group.finish();
 }

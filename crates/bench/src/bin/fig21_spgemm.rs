@@ -24,7 +24,10 @@ fn main() {
 
     println!("Figure 21: SpGEMM execution time (us), 4096x4096x4096");
     println!("CUTLASS dense baseline: {dense_us:.1} us");
-    println!("Sparse Tensor Core [72] (fixed 75% weight sparsity): {vector_us:.1} us ({:.2}x)", dense_us / vector_us);
+    println!(
+        "Sparse Tensor Core [72] (fixed 75% weight sparsity): {vector_us:.1} us ({:.2}x)",
+        dense_us / vector_us
+    );
     println!();
 
     // Our method: one curve per B sparsity.
@@ -70,16 +73,14 @@ fn main() {
     for &a in &[0.90, 0.95, 0.99, 0.999] {
         let a_mat = Matrix::random_sparse(1024, 1024, a, SparsityPattern::Uniform, 7);
         let b_mat = Matrix::random_sparse(1024, 1024, 0.99, SparsityPattern::Uniform, 8);
-        let profile = cusparse_kernel.profile(&CsrMatrix::encode(&a_mat), &CsrMatrix::encode(&b_mat));
+        let profile =
+            cusparse_kernel.profile(&CsrMatrix::encode(&a_mat), &CsrMatrix::encode(&b_mat));
         let us = engine.timing_model().estimate(&profile).time_us() * scale;
-        println!(
-            "  A={:>6.1}%  {:>10.1} us   ({:.2}x vs CUTLASS)",
-            a * 100.0,
-            us,
-            dense_us / us
-        );
+        println!("  A={:>6.1}%  {:>10.1} us   ({:.2}x vs CUTLASS)", a * 100.0, us, dense_us / us);
     }
     println!();
-    println!("(paper reference points: ours 13.4x at A=0%/B=99%, 23x at A=99.9%/B=99%; \
-              cuSparse only beats CUTLASS above ~95% A sparsity)");
+    println!(
+        "(paper reference points: ours 13.4x at A=0%/B=99%, 23x at A=99.9%/B=99%; \
+              cuSparse only beats CUTLASS above ~95% A sparsity)"
+    );
 }

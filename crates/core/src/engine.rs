@@ -1,12 +1,12 @@
 //! The top-level façade: run and estimate dual-side sparse operations.
 
+use dsstc_formats::CsrMatrix;
 use dsstc_hwmodel::DsstcOverhead;
 use dsstc_kernels::bitmap_spgemm::{BitmapSpGemm, BitmapSpGemmOptions, SyntheticGemmSpec};
 use dsstc_kernels::conv::{ConvKernel, ConvScheme, ConvWorkload};
 use dsstc_kernels::csr_spgemm::CsrSpGemm;
 use dsstc_kernels::dense_gemm::DenseGemm;
 use dsstc_kernels::vector_sparse::VectorSparseGemm;
-use dsstc_formats::CsrMatrix;
 use dsstc_sim::{GpuConfig, GpuTimingModel, KernelEstimate};
 use dsstc_tensor::{FeatureMap, GemmShape, Matrix};
 
@@ -113,7 +113,12 @@ impl DualSideSparseTensorCore {
     /// for a problem described by shape and operand sparsities. The sparser
     /// operand is automatically mapped to the column-condensed A side of the
     /// outer product (the side with the finer skip granularity).
-    pub fn estimate_spgemm(&self, shape: GemmShape, a_sparsity: f64, b_sparsity: f64) -> KernelEstimate {
+    pub fn estimate_spgemm(
+        &self,
+        shape: GemmShape,
+        a_sparsity: f64,
+        b_sparsity: f64,
+    ) -> KernelEstimate {
         let spec = SyntheticGemmSpec::oriented(
             shape,
             a_sparsity,
@@ -130,15 +135,34 @@ impl DualSideSparseTensorCore {
     ///
     /// The cuSparse entry is only produced for problems up to 1024 on a side
     /// (larger CSR operands are expensive to materialise); `None` otherwise.
-    pub fn compare_schemes(&self, shape: GemmShape, a_sparsity: f64, b_sparsity: f64) -> SparsityComparison {
+    pub fn compare_schemes(
+        &self,
+        shape: GemmShape,
+        a_sparsity: f64,
+        b_sparsity: f64,
+    ) -> SparsityComparison {
         let dense = self.model.estimate(&DenseGemm::new(self.config.clone()).profile(&shape));
-        let vector =
-            self.model.estimate(&VectorSparseGemm::new(self.config.clone()).profile(&shape, b_sparsity));
+        let vector = self
+            .model
+            .estimate(&VectorSparseGemm::new(self.config.clone()).profile(&shape, b_sparsity));
         let dual = self.estimate_spgemm(shape, a_sparsity, b_sparsity);
         let cusparse_us = if shape.m <= 1024 && shape.n <= 1024 && shape.k <= 1024 {
-            let a = Matrix::random_sparse(shape.m, shape.k, a_sparsity, dsstc_tensor::SparsityPattern::Uniform, 91);
-            let b = Matrix::random_sparse(shape.k, shape.n, b_sparsity, dsstc_tensor::SparsityPattern::Uniform, 92);
-            let profile = CsrSpGemm::new(self.config.clone()).profile(&CsrMatrix::encode(&a), &CsrMatrix::encode(&b));
+            let a = Matrix::random_sparse(
+                shape.m,
+                shape.k,
+                a_sparsity,
+                dsstc_tensor::SparsityPattern::Uniform,
+                91,
+            );
+            let b = Matrix::random_sparse(
+                shape.k,
+                shape.n,
+                b_sparsity,
+                dsstc_tensor::SparsityPattern::Uniform,
+                92,
+            );
+            let profile = CsrSpGemm::new(self.config.clone())
+                .profile(&CsrMatrix::encode(&a), &CsrMatrix::encode(&b));
             Some(self.model.estimate(&profile).time_us())
         } else {
             None
@@ -265,7 +289,9 @@ mod tests {
         for n in 0..3 {
             for oy in 0..shape.out_h() {
                 for ox in 0..shape.out_w() {
-                    assert!((out[(oy * shape.out_w() + ox, n)] - reference.get(n, oy, ox)).abs() < 1e-2);
+                    assert!(
+                        (out[(oy * shape.out_w() + ox, n)] - reference.get(n, oy, ox)).abs() < 1e-2
+                    );
                 }
             }
         }

@@ -143,7 +143,8 @@ impl InferenceEstimator {
     pub fn estimate_layer(&self, layer: &Layer) -> LayerEstimate {
         match layer.kind {
             LayerKind::Conv(shape) => {
-                let workload = ConvWorkload::new(shape, layer.activation_sparsity, layer.weight_sparsity);
+                let workload =
+                    ConvWorkload::new(shape, layer.activation_sparsity, layer.weight_sparsity);
                 let driver = ConvKernel::new(self.config.clone());
                 let times: Vec<(ConvScheme, f64)> = ConvScheme::ALL
                     .iter()
@@ -153,7 +154,11 @@ impl InferenceEstimator {
                 let baseline = times[1].1;
                 let schemes = times
                     .iter()
-                    .map(|(s, t)| SchemeTime { scheme: s.to_string(), time_us: *t, speedup: baseline / t })
+                    .map(|(s, t)| SchemeTime {
+                        scheme: s.to_string(),
+                        time_us: *t,
+                        speedup: baseline / t,
+                    })
                     .collect();
                 LayerEstimate {
                     name: layer.name.clone(),
@@ -163,7 +168,7 @@ impl InferenceEstimator {
                 }
             }
             LayerKind::Gemm(shape) => {
-                let times = vec![
+                let times = [
                     (GemmScheme::Dense, self.gemm_dense_us(shape)),
                     (GemmScheme::SingleSparse, self.gemm_single_us(shape, layer.weight_sparsity)),
                     (
@@ -174,7 +179,11 @@ impl InferenceEstimator {
                 let baseline = times[0].1;
                 let schemes = times
                     .iter()
-                    .map(|(s, t)| SchemeTime { scheme: s.to_string(), time_us: *t, speedup: baseline / t })
+                    .map(|(s, t)| SchemeTime {
+                        scheme: s.to_string(),
+                        time_us: *t,
+                        speedup: baseline / t,
+                    })
                     .collect();
                 LayerEstimate {
                     name: layer.name.clone(),
@@ -188,7 +197,8 @@ impl InferenceEstimator {
 
     /// Estimates every layer of a network and the full-model speedups.
     pub fn estimate_network(&self, network: &Network) -> NetworkReport {
-        let layers: Vec<LayerEstimate> = network.layers().iter().map(|l| self.estimate_layer(l)).collect();
+        let layers: Vec<LayerEstimate> =
+            network.layers().iter().map(|l| self.estimate_layer(l)).collect();
         let baseline_total: f64 = layers
             .iter()
             .map(|l| if l.is_conv { l.schemes[1].time_us } else { l.schemes[0].time_us })

@@ -14,9 +14,11 @@
 //! downstream user works with:
 //!
 //! * [`DualSideSparseTensorCore`] — run or estimate individual SpGEMM /
-//!   SpCONV operations and compare them against the baselines, and
+//!   SpCONV operations and compare them against the baselines,
 //! * [`inference`] — estimate end-to-end network inference for the five
-//!   evaluated DNNs under every execution scheme of the paper's Fig. 22.
+//!   evaluated DNNs under every execution scheme of the paper's Fig. 22, and
+//! * [`serve`] — a batched, multi-threaded inference serving runtime with a
+//!   pre-encoded model repository ([`serve::InferenceServer`]).
 //!
 //! # Quickstart
 //!
@@ -44,7 +46,9 @@ pub mod engine;
 pub mod inference;
 
 pub use crate::engine::{DualSideSparseTensorCore, SpGemmResult, SparsityComparison};
-pub use crate::inference::{GemmScheme, InferenceEstimator, LayerEstimate, NetworkReport, SchemeTime};
+pub use crate::inference::{
+    GemmScheme, InferenceEstimator, LayerEstimate, NetworkReport, SchemeTime,
+};
 
 // Re-export the component crates so downstream users need only one
 // dependency.
@@ -52,5 +56,6 @@ pub use dsstc_formats as formats;
 pub use dsstc_hwmodel as hwmodel;
 pub use dsstc_kernels as kernels;
 pub use dsstc_models as models;
+pub use dsstc_serve as serve;
 pub use dsstc_sim as sim;
 pub use dsstc_tensor as tensor;

@@ -30,7 +30,8 @@ impl std::fmt::Debug for BitMatrix {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "BitMatrix {}x{} [", self.rows, self.cols)?;
         for r in 0..self.rows.min(8) {
-            let bits: String = (0..self.cols.min(64)).map(|c| if self.get(r, c) { '1' } else { '0' }).collect();
+            let bits: String =
+                (0..self.cols.min(64)).map(|c| if self.get(r, c) { '1' } else { '0' }).collect();
             writeln!(f, "  {bits}{}", if self.cols > 64 { "..." } else { "" })?;
         }
         if self.rows > 8 {

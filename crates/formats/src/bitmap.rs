@@ -309,7 +309,7 @@ mod tests {
         let s = enc.storage();
         assert_eq!(s.value_bytes, enc.nnz() as u64 * 2);
         assert_eq!(s.metadata_bytes, 64 * 8); // one u64 word per row
-        // Bitmap metadata stays fixed as sparsity changes; CSR's would not.
+                                              // Bitmap metadata stays fixed as sparsity changes; CSR's would not.
         let denser = Matrix::random_sparse(64, 64, 0.1, SparsityPattern::Uniform, 8);
         let enc2 = BitmapMatrix::encode(&denser, VectorLayout::ColumnMajor);
         assert_eq!(enc2.storage().metadata_bytes, s.metadata_bytes);

@@ -173,11 +173,7 @@ mod tests {
 
     #[test]
     fn row_iter_and_nnz() {
-        let dense = Matrix::from_rows(&[
-            &[0.0, 1.0, 0.0],
-            &[0.0, 0.0, 0.0],
-            &[2.0, 0.0, 3.0],
-        ]);
+        let dense = Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[0.0, 0.0, 0.0], &[2.0, 0.0, 3.0]]);
         let csr = CsrMatrix::encode(&dense);
         assert_eq!(csr.row_nnz(0), 1);
         assert_eq!(csr.row_nnz(1), 0);

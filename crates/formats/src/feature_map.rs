@@ -103,7 +103,10 @@ impl BitmapFeatureMap {
 
     /// Whether pixel `(channel, y, x)` is non-zero.
     pub fn bit(&self, channel: usize, y: usize, x: usize) -> bool {
-        assert!(channel < self.channels && y < self.height && x < self.width, "index out of bounds");
+        assert!(
+            channel < self.channels && y < self.height && x < self.width,
+            "index out of bounds"
+        );
         self.bitmap.get(channel * self.height + y, x)
     }
 

@@ -48,7 +48,12 @@ impl TwoLevelBitmapMatrix {
     ///
     /// # Panics
     /// Panics if either tile dimension is zero.
-    pub fn encode(dense: &Matrix, tile_rows: usize, tile_cols: usize, layout: VectorLayout) -> Self {
+    pub fn encode(
+        dense: &Matrix,
+        tile_rows: usize,
+        tile_cols: usize,
+        layout: VectorLayout,
+    ) -> Self {
         assert!(tile_rows > 0 && tile_cols > 0, "tile dimensions must be non-zero");
         let rows = dense.rows();
         let cols = dense.cols();
@@ -135,7 +140,10 @@ impl TwoLevelBitmapMatrix {
     /// # Panics
     /// Panics if the tile coordinates are outside the grid.
     pub fn tile(&self, tile_row: usize, tile_col: usize) -> Option<&BitmapMatrix> {
-        assert!(tile_row < self.grid_rows() && tile_col < self.grid_cols(), "tile index out of bounds");
+        assert!(
+            tile_row < self.grid_rows() && tile_col < self.grid_cols(),
+            "tile index out of bounds"
+        );
         self.tile_index[tile_row * self.grid_cols() + tile_col].map(|i| &self.tiles[i])
     }
 
@@ -167,10 +175,8 @@ impl TwoLevelBitmapMatrix {
     /// Storage footprint: per-tile values and element bitmaps, plus the
     /// warp-bitmap (1 bit per tile, padded to words).
     pub fn storage(&self) -> StorageFootprint {
-        let mut total = StorageFootprint {
-            value_bytes: 0,
-            metadata_bytes: self.warp_bitmap.storage_bytes(),
-        };
+        let mut total =
+            StorageFootprint { value_bytes: 0, metadata_bytes: self.warp_bitmap.storage_bytes() };
         for t in &self.tiles {
             let s = t.storage();
             total.value_bytes += s.value_bytes;

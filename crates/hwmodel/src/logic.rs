@@ -69,8 +69,10 @@ impl OperandCollector {
     pub fn area_mm2(&self, node: TechnologyNode) -> f64 {
         let queues = self.banks as f64 * self.queue_depth as f64 * self.data_bits as f64 / 32.0
             * QUEUE_ENTRY_AREA_UM2_12NM;
-        let crossbar =
-            self.banks as f64 * self.banks as f64 * self.data_bits as f64 * CROSSBAR_POINT_AREA_UM2_12NM;
+        let crossbar = self.banks as f64
+            * self.banks as f64
+            * self.data_bits as f64
+            * CROSSBAR_POINT_AREA_UM2_12NM;
         let at_12 = self.instances as f64 * (queues + crossbar) / 1e6;
         rescale_from_12nm_area(at_12, node)
     }

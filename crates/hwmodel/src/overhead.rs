@@ -117,10 +117,7 @@ impl DsstcOverhead {
     /// Renders the estimate as a Table IV-style text table.
     pub fn render_table(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!(
-            "{:<34} {:>14} {:>18}\n",
-            "Module Name", "Area (mm^2)", "Power (W)"
-        ));
+        out.push_str(&format!("{:<34} {:>14} {:>18}\n", "Module Name", "Area (mm^2)", "Power (W)"));
         for m in &self.modules {
             out.push_str(&format!("{:<34} {:>14.3} {:>18.2}\n", m.name, m.area_mm2, m.power_w));
         }
@@ -166,7 +163,11 @@ mod tests {
         let names: Vec<&str> = o.modules().iter().map(|m| m.name.as_str()).collect();
         assert_eq!(
             names,
-            vec!["Float Point Adders", "Accumulation Operand Collector", "Shared Accumulation Buffer"]
+            vec![
+                "Float Point Adders",
+                "Accumulation Operand Collector",
+                "Shared Accumulation Buffer"
+            ]
         );
     }
 

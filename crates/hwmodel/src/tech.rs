@@ -85,8 +85,12 @@ mod tests {
     #[test]
     fn scaling_helpers_apply_factors() {
         let node = TechnologyNode::Nm12;
-        assert!((node.scale_area_from_22nm(10.0) - 10.0 * node.area_factor_vs_22nm()).abs() < 1e-12);
-        assert!((node.scale_power_from_22nm(2.0) - 2.0 * node.power_factor_vs_22nm()).abs() < 1e-12);
+        assert!(
+            (node.scale_area_from_22nm(10.0) - 10.0 * node.area_factor_vs_22nm()).abs() < 1e-12
+        );
+        assert!(
+            (node.scale_power_from_22nm(2.0) - 2.0 * node.power_factor_vs_22nm()).abs() < 1e-12
+        );
     }
 
     #[test]

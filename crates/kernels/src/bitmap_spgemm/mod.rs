@@ -53,7 +53,10 @@ impl SyntheticGemmSpec {
     /// Creates a spec with uniform (unclustered) operands and no footprint
     /// overrides.
     pub fn new(shape: GemmShape, a_sparsity: f64, b_sparsity: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&a_sparsity) && (0.0..=1.0).contains(&b_sparsity), "sparsity must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&a_sparsity) && (0.0..=1.0).contains(&b_sparsity),
+            "sparsity must be in [0,1]"
+        );
         SyntheticGemmSpec {
             shape,
             a_sparsity,
@@ -73,7 +76,10 @@ impl SyntheticGemmSpec {
     /// Panics if a clustering is outside `[0, 1)` or would require the
     /// surviving vectors to be denser than 100 %.
     pub fn with_clustering(mut self, a_clustering: f64, b_clustering: f64) -> Self {
-        assert!((0.0..1.0).contains(&a_clustering) && (0.0..1.0).contains(&b_clustering), "clustering must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&a_clustering) && (0.0..1.0).contains(&b_clustering),
+            "clustering must be in [0,1)"
+        );
         assert!(
             (1.0 - self.a_sparsity) <= (1.0 - a_clustering) + 1e-12,
             "A clustering {a_clustering} incompatible with density {}",
@@ -107,7 +113,8 @@ impl SyntheticGemmSpec {
         seed: u64,
     ) -> Self {
         let mut spec = if b_sparsity > a_sparsity {
-            let mut s = Self::new(GemmShape::new(shape.n, shape.m, shape.k), b_sparsity, a_sparsity, seed);
+            let mut s =
+                Self::new(GemmShape::new(shape.n, shape.m, shape.k), b_sparsity, a_sparsity, seed);
             s.a_bytes_override = b_bytes;
             s.b_bytes_override = a_bytes;
             s
@@ -179,7 +186,11 @@ pub struct BitmapSpGemm {
 impl BitmapSpGemm {
     /// Creates the kernel with the paper's default options.
     pub fn new(config: GpuConfig) -> Self {
-        BitmapSpGemm { config, tiling: GemmTiling::paper_spgemm(), options: BitmapSpGemmOptions::default() }
+        BitmapSpGemm {
+            config,
+            tiling: GemmTiling::paper_spgemm(),
+            options: BitmapSpGemmOptions::default(),
+        }
     }
 
     /// Overrides the ablation options.
@@ -272,8 +283,10 @@ impl BitmapSpGemm {
         // DRAM traffic with the two-level encoded operand footprints.
         let a_nnz: u64 = a_tile_nnz.iter().map(|&x| x as u64).sum();
         let b_nnz: u64 = b_tile_nnz.iter().map(|&x| x as u64).sum();
-        let a_bytes = a_nnz * 2 + ((shape.m * shape.k) as u64).div_ceil(8) + (grid_m * grid_k) as u64 / 8 + 1;
-        let b_bytes = b_nnz * 2 + ((shape.k * shape.n) as u64).div_ceil(8) + (grid_k * grid_n) as u64 / 8 + 1;
+        let a_bytes =
+            a_nnz * 2 + ((shape.m * shape.k) as u64).div_ceil(8) + (grid_m * grid_k) as u64 / 8 + 1;
+        let b_bytes =
+            b_nnz * 2 + ((shape.k * shape.n) as u64).div_ceil(8) + (grid_k * grid_n) as u64 / 8 + 1;
         let d_bytes = (shape.m * shape.n) as u64 * 4;
         let traffic = self.tiling.dram_traffic(&TrafficInputs {
             a_bytes,
@@ -314,9 +327,32 @@ impl BitmapSpGemm {
     /// 33x33 lookup table of step costs keeps the warp-tile sweep cheap even
     /// for 4096-cubed problems.
     pub fn profile_synthetic(&self, spec: &SyntheticGemmSpec) -> (WorkloadProfile, SpGemmStats) {
+        self.profile_synthetic_capped(spec, usize::MAX)
+    }
+
+    /// Like [`Self::profile_synthetic`], but samples at most `max_m_tiles`
+    /// warp-tile rows of the M dimension and scales the compute-side events
+    /// to the full grid (DRAM traffic and launch geometry stay analytic and
+    /// exact).
+    ///
+    /// The per-tile non-zero counts are i.i.d. across tile rows, so the
+    /// scaled profile converges on the exact one while costing
+    /// `O(max_m_tiles)` instead of `O(M / warp_m)` — this is what lets a
+    /// serving layer price large batched GEMMs per batch size at request
+    /// rate.
+    ///
+    /// # Panics
+    /// Panics if `max_m_tiles` is zero.
+    pub fn profile_synthetic_capped(
+        &self,
+        spec: &SyntheticGemmSpec,
+        max_m_tiles: usize,
+    ) -> (WorkloadProfile, SpGemmStats) {
+        assert!(max_m_tiles > 0, "at least one M tile row must be sampled");
         let shape = spec.shape;
         let (wm, wn, wk) = (self.tiling.warp_m, self.tiling.warp_n, self.tiling.warp_k);
-        let grid_m = shape.m.div_ceil(wm);
+        let full_grid_m = shape.m.div_ceil(wm);
+        let grid_m = full_grid_m.min(max_m_tiles);
         let grid_n = shape.n.div_ceil(wn);
         let grid_k = shape.k.div_ceil(wk);
         let otc = &self.config.otc;
@@ -329,19 +365,23 @@ impl BitmapSpGemm {
         // With clustering `q`, a fraction `q` of condensed vectors is empty
         // and the survivors carry the non-zeros at density `d / (1 - q)`,
         // preserving the overall sparsity (paper Fig. 6's uneven case).
-        let sample_counts =
-            |rng: &mut StdRng, vec_len: usize, steps: usize, density: f64, clustering: f64| -> Vec<u16> {
-                let boosted = (density / (1.0 - clustering)).min(1.0);
-                (0..steps)
-                    .map(|_| {
-                        if clustering > 0.0 && rng.random_bool(clustering) {
-                            0
-                        } else {
-                            sample_binomial(rng, vec_len, boosted)
-                        }
-                    })
-                    .collect()
-            };
+        let sample_counts = |rng: &mut StdRng,
+                             vec_len: usize,
+                             steps: usize,
+                             density: f64,
+                             clustering: f64|
+         -> Vec<u16> {
+            let boosted = (density / (1.0 - clustering)).min(1.0);
+            (0..steps)
+                .map(|_| {
+                    if clustering > 0.0 && rng.random_bool(clustering) {
+                        0
+                    } else {
+                        sample_binomial(rng, vec_len, boosted)
+                    }
+                })
+                .collect()
+        };
         let mut a_counts: Vec<Vec<u16>> = Vec::with_capacity(grid_m * grid_k);
         for im in 0..grid_m {
             let rows = wm.min(shape.m - im * wm);
@@ -365,14 +405,15 @@ impl BitmapSpGemm {
             .flat_map(|a| (0..=warp_dim).map(move |b| (a, b)))
             .map(|(a, b)| OtcStepCost::for_vectors(a, b, warp_dim, otc))
             .collect();
-        let step_cost = |a: u16, b: u16| -> &OtcStepCost { &table[a as usize * (warp_dim + 1) + b as usize] };
+        let step_cost =
+            |a: u16, b: u16| -> &OtcStepCost { &table[a as usize * (warp_dim + 1) + b as usize] };
 
         let buffer = AccumulationBuffer::from_otc(otc);
         let conflict_factor = buffer.conflict_factor_estimate(16, self.options.operand_collector);
 
         let mut profile = WorkloadProfile::new(format!("bitmap-spgemm-synthetic-{shape}"));
         let mut stats = SpGemmStats {
-            total_warp_tiles: (grid_m * grid_n * grid_k) as u64,
+            total_warp_tiles: (full_grid_m * grid_n * grid_k) as u64,
             ..Default::default()
         };
         let mut partial_nnz_total = 0u64;
@@ -401,20 +442,42 @@ impl BitmapSpGemm {
                         stats.skipped_ohmma += c.ohmma_skipped;
                     }
                     profile.merge_cycles += merge;
-                    profile.accum_conflict_cycles += ((conflict_factor - 1.0) * merge as f64).round() as u64;
+                    profile.accum_conflict_cycles +=
+                        ((conflict_factor - 1.0) * merge as f64).round() as u64;
                     profile.scalar_ops += 32;
                 }
             }
+        }
+
+        // Scale the sampled compute-side events to the full M grid; the
+        // memory-side quantities below are analytic over the full shape.
+        if grid_m < full_grid_m {
+            let scale = full_grid_m as f64 / grid_m as f64;
+            let scale_u = |v: u64| (v as f64 * scale).round() as u64;
+            profile.ohmma_instructions = scale_u(profile.ohmma_instructions);
+            profile.bohmma_instructions = scale_u(profile.bohmma_instructions);
+            profile.popc_instructions = scale_u(profile.popc_instructions);
+            profile.merge_cycles = scale_u(profile.merge_cycles);
+            profile.accum_conflict_cycles = scale_u(profile.accum_conflict_cycles);
+            profile.scalar_ops = scale_u(profile.scalar_ops);
+            partial_nnz_total = scale_u(partial_nnz_total);
+            stats.skipped_warp_tiles = scale_u(stats.skipped_warp_tiles);
+            stats.skipped_ohmma = scale_u(stats.skipped_ohmma);
+            stats.dense_ohmma = scale_u(stats.dense_ohmma);
         }
 
         // Encoded operand footprints (values + element bitmap + warp bitmap).
         let a_nnz = ((shape.m * shape.k) as f64 * a_density) as u64;
         let b_nnz = ((shape.k * shape.n) as f64 * b_density) as u64;
         let a_bytes = spec.a_bytes_override.unwrap_or(
-            a_nnz * 2 + ((shape.m * shape.k) as u64).div_ceil(8) + ((grid_m * grid_k) as u64).div_ceil(8),
+            a_nnz * 2
+                + ((shape.m * shape.k) as u64).div_ceil(8)
+                + ((full_grid_m * grid_k) as u64).div_ceil(8),
         );
         let b_bytes = spec.b_bytes_override.unwrap_or(
-            b_nnz * 2 + ((shape.k * shape.n) as u64).div_ceil(8) + ((grid_k * grid_n) as u64).div_ceil(8),
+            b_nnz * 2
+                + ((shape.k * shape.n) as u64).div_ceil(8)
+                + ((grid_k * grid_n) as u64).div_ceil(8),
         );
         let d_bytes = (shape.m * shape.n) as u64 * 4;
         let traffic = self.tiling.dram_traffic(&TrafficInputs {
@@ -436,18 +499,64 @@ impl BitmapSpGemm {
         (profile, stats)
     }
 
-    /// Functionally computes `A * B` with the warp-level outer-product
-    /// algorithm over two-level bitmap operands, returning the product and
-    /// the profile.
+    /// Encodes the A (activation) operand of an SpGEMM into the two-level
+    /// bitmap layout this kernel's warp tiling expects (column-major
+    /// condensed vectors, `warp_m x warp_k` tiles), rounding values to FP16
+    /// storage precision first.
+    pub fn encode_a(&self, a: &Matrix) -> TwoLevelBitmapMatrix {
+        TwoLevelBitmapMatrix::encode(
+            &a.to_f16_precision(),
+            self.tiling.warp_m,
+            self.tiling.warp_k,
+            VectorLayout::ColumnMajor,
+        )
+    }
+
+    /// Encodes the B (weight) operand of an SpGEMM into the two-level bitmap
+    /// layout this kernel's warp tiling expects (row-major condensed
+    /// vectors, `warp_k x warp_n` tiles), rounding values to FP16 storage
+    /// precision first.
+    ///
+    /// A model-serving stack encodes its pruned weights once with this and
+    /// reuses the encoding across requests (the paper encodes weights
+    /// offline for the same reason).
+    pub fn encode_b(&self, b: &Matrix) -> TwoLevelBitmapMatrix {
+        TwoLevelBitmapMatrix::encode(
+            &b.to_f16_precision(),
+            self.tiling.warp_k,
+            self.tiling.warp_n,
+            VectorLayout::RowMajor,
+        )
+    }
+
+    /// Functionally computes `A * B` over operands that are **already** in
+    /// the two-level bitmap encoding (see [`Self::encode_a`] /
+    /// [`Self::encode_b`]), skipping warp tiles whose warp-bit is 0 on
+    /// either side.
     ///
     /// # Panics
-    /// Panics if the inner dimensions disagree.
-    pub fn execute(&self, a: &Matrix, b: &Matrix) -> (Matrix, WorkloadProfile) {
-        assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    /// Panics if the operands' inner dimensions disagree or their tile
+    /// shapes do not match this kernel's warp tiling.
+    pub fn execute_encoded(
+        &self,
+        a_enc: &TwoLevelBitmapMatrix,
+        b_enc: &TwoLevelBitmapMatrix,
+    ) -> Matrix {
+        assert_eq!(a_enc.cols(), b_enc.rows(), "inner dimensions must agree");
         let (wm, wn, wk) = (self.tiling.warp_m, self.tiling.warp_n, self.tiling.warp_k);
-        let a_enc = TwoLevelBitmapMatrix::encode(&a.to_f16_precision(), wm, wk, VectorLayout::ColumnMajor);
-        let b_enc = TwoLevelBitmapMatrix::encode(&b.to_f16_precision(), wk, wn, VectorLayout::RowMajor);
-        let mut out = Matrix::zeros(a.rows(), b.cols());
+        assert!(
+            a_enc.tile_rows() == wm && a_enc.tile_cols() == wk,
+            "A operand tiling {}x{} does not match the kernel's {wm}x{wk}",
+            a_enc.tile_rows(),
+            a_enc.tile_cols()
+        );
+        assert!(
+            b_enc.tile_rows() == wk && b_enc.tile_cols() == wn,
+            "B operand tiling {}x{} does not match the kernel's {wk}x{wn}",
+            b_enc.tile_rows(),
+            b_enc.tile_cols()
+        );
+        let mut out = Matrix::zeros(a_enc.rows(), b_enc.cols());
         for im in 0..a_enc.grid_rows() {
             for jn in 0..b_enc.grid_cols() {
                 let mut acc = Matrix::zeros(wm, wn);
@@ -461,6 +570,18 @@ impl BitmapSpGemm {
                 out.set_tile(im * wm, jn * wn, &acc);
             }
         }
+        out
+    }
+
+    /// Functionally computes `A * B` with the warp-level outer-product
+    /// algorithm over two-level bitmap operands, returning the product and
+    /// the profile.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions disagree.
+    pub fn execute(&self, a: &Matrix, b: &Matrix) -> (Matrix, WorkloadProfile) {
+        assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+        let out = self.execute_encoded(&self.encode_a(a), &self.encode_b(b));
         let profile = self.profile(a, b);
         (out, profile)
     }
@@ -661,6 +782,35 @@ mod tests {
     }
 
     #[test]
+    fn capped_synthetic_profile_tracks_the_exact_one() {
+        use dsstc_sim::GpuTimingModel;
+        let spec = SyntheticGemmSpec::new(GemmShape::new(4096, 512, 512), 0.7, 0.85, 11);
+        let k = kernel();
+        let (exact, exact_stats) = k.profile_synthetic(&spec);
+        let (capped, capped_stats) = k.profile_synthetic_capped(&spec, 16);
+        // Memory-side quantities are analytic and must agree exactly.
+        assert_eq!(capped.dram_bytes_read, exact.dram_bytes_read);
+        assert_eq!(capped.thread_blocks, exact.thread_blocks);
+        assert_eq!(capped_stats.total_warp_tiles, exact_stats.total_warp_tiles);
+        // Compute-side quantities are scaled samples: close, not identical.
+        let ratio = capped.ohmma_instructions as f64 / exact.ohmma_instructions as f64;
+        assert!((0.9..=1.1).contains(&ratio), "OHMMA ratio {ratio}");
+        let model = GpuTimingModel::v100();
+        let t_ratio = model.estimate(&capped).time_us() / model.estimate(&exact).time_us();
+        assert!((0.9..=1.1).contains(&t_ratio), "time ratio {t_ratio}");
+        // An uncapped call is bit-identical to profile_synthetic.
+        let (uncapped, _) = k.profile_synthetic_capped(&spec, usize::MAX);
+        assert_eq!(uncapped, exact);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one M tile row")]
+    fn zero_cap_panics() {
+        let spec = SyntheticGemmSpec::new(GemmShape::new(64, 64, 64), 0.5, 0.5, 1);
+        let _ = kernel().profile_synthetic_capped(&spec, 0);
+    }
+
+    #[test]
     fn clustered_weights_skip_more_and_run_faster() {
         // Same overall sparsity, but with 60% of the weight vectors entirely
         // empty (paper Fig. 6's uneven distribution): more OHMMAs are
@@ -683,6 +833,30 @@ mod tests {
     fn clustering_denser_than_possible_panics() {
         let shape = GemmShape::new(64, 64, 64);
         let _ = SyntheticGemmSpec::new(shape, 0.1, 0.0, 1).with_clustering(0.5, 0.0);
+    }
+
+    #[test]
+    fn execute_encoded_reuses_a_pre_encoded_weight_operand() {
+        // A serving stack encodes the weight matrix once and replays it
+        // against many activation batches; the results must match the dense
+        // reference every time.
+        let k = kernel();
+        let b = random(48, 96, 0.8, 21);
+        let b_enc = k.encode_b(&b);
+        for seed in 0..3 {
+            let a = random(64, 48, 0.6, 30 + seed);
+            let out = k.execute_encoded(&k.encode_a(&a), &b_enc);
+            assert!(out.approx_eq(&a.matmul(&b), 1e-2), "batch seed {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the kernel's")]
+    fn execute_encoded_rejects_foreign_tilings() {
+        let k = kernel();
+        let a = TwoLevelBitmapMatrix::encode(&Matrix::zeros(8, 8), 8, 8, VectorLayout::ColumnMajor);
+        let b = k.encode_b(&Matrix::zeros(8, 8));
+        let _ = k.execute_encoded(&a, &b);
     }
 
     #[test]

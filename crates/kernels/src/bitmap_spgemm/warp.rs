@@ -90,7 +90,11 @@ mod tests {
     use super::*;
     use dsstc_tensor::SparsityPattern;
 
-    fn encode_pair(sparsity_a: f64, sparsity_b: f64, k: usize) -> (Matrix, Matrix, BitmapMatrix, BitmapMatrix) {
+    fn encode_pair(
+        sparsity_a: f64,
+        sparsity_b: f64,
+        k: usize,
+    ) -> (Matrix, Matrix, BitmapMatrix, BitmapMatrix) {
         let a = Matrix::random_sparse(32, k, sparsity_a, SparsityPattern::Uniform, 7);
         let b = Matrix::random_sparse(k, 32, sparsity_b, SparsityPattern::Uniform, 8);
         let a_enc = BitmapMatrix::encode(&a, VectorLayout::ColumnMajor);

@@ -133,25 +133,28 @@ impl ConvKernel {
         let seed = layer_seed(workload);
         match scheme {
             ConvScheme::DenseExplicit => {
-                let im2col = dense_im2col.explicit_cost(shape).into_profile("explicit-im2col", shape);
+                let im2col =
+                    dense_im2col.explicit_cost(shape).into_profile("explicit-im2col", shape);
                 // The GEMM reads the materialised lowered matrix (default
                 // operand bytes of the dense profile).
                 let gemm_profile = DenseGemm::new(self.config.clone()).profile(&gemm);
                 vec![im2col, gemm_profile]
             }
             ConvScheme::DenseImplicit => {
-                let mut gemm_profile = DenseGemm::new(self.config.clone()).profile_with_operand_bytes(
-                    &gemm,
-                    feature_map_bytes_dense(shape),
-                    weight_bytes_dense(&gemm),
-                );
+                let mut gemm_profile = DenseGemm::new(self.config.clone())
+                    .profile_with_operand_bytes(
+                        &gemm,
+                        feature_map_bytes_dense(shape),
+                        weight_bytes_dense(&gemm),
+                    );
                 dense_im2col.implicit_cost(shape).fold_into(&mut gemm_profile);
                 vec![gemm_profile]
             }
             ConvScheme::SingleSparseExplicit => {
-                let im2col = dense_im2col.explicit_cost(shape).into_profile("explicit-im2col", shape);
-                let gemm_profile =
-                    VectorSparseGemm::new(self.config.clone()).profile(&gemm, workload.weight_sparsity);
+                let im2col =
+                    dense_im2col.explicit_cost(shape).into_profile("explicit-im2col", shape);
+                let gemm_profile = VectorSparseGemm::new(self.config.clone())
+                    .profile(&gemm, workload.weight_sparsity);
                 vec![im2col, gemm_profile]
             }
             ConvScheme::SingleSparseImplicit | ConvScheme::DualSparseImplicit => {
@@ -173,10 +176,8 @@ impl ConvKernel {
                 let (mut gemm_profile, _) =
                     BitmapSpGemm::new(self.config.clone()).profile_synthetic(&spec);
                 // Implicit bitmap im2col is fused into the GEMM main loop.
-                let encoded_cost_input = FeatureMapCostProxy {
-                    sparsity: activation_sparsity,
-                    shape: *shape,
-                };
+                let encoded_cost_input =
+                    FeatureMapCostProxy { sparsity: activation_sparsity, shape: *shape };
                 encoded_cost_input.implicit_cost().fold_into(&mut gemm_profile);
                 vec![gemm_profile]
             }
@@ -184,7 +185,12 @@ impl ConvKernel {
     }
 
     /// Modelled execution time of the layer under the scheme, in µs.
-    pub fn estimate_us(&self, model: &GpuTimingModel, workload: &ConvWorkload, scheme: ConvScheme) -> f64 {
+    pub fn estimate_us(
+        &self,
+        model: &GpuTimingModel,
+        workload: &ConvWorkload,
+        scheme: ConvScheme,
+    ) -> f64 {
         model.estimate_sequence(&self.profiles(workload, scheme))
     }
 
@@ -286,7 +292,8 @@ mod tests {
         let model = GpuTimingModel::v100();
         let w = resnet_layer();
         let d = driver();
-        let times: Vec<f64> = ConvScheme::ALL.iter().map(|&s| d.estimate_us(&model, &w, s)).collect();
+        let times: Vec<f64> =
+            ConvScheme::ALL.iter().map(|&s| d.estimate_us(&model, &w, s)).collect();
         let dual = times[4];
         for (i, &t) in times.iter().enumerate().take(4) {
             assert!(dual <= t, "dual ({dual}) should beat {} ({t})", ConvScheme::ALL[i]);
@@ -340,7 +347,10 @@ mod tests {
                 for ox in 0..shape.out_w() {
                     let got = out[(oy * shape.out_w() + ox, n)];
                     let expect = reference.get(n, oy, ox);
-                    assert!((got - expect).abs() < 1e-2, "n={n} oy={oy} ox={ox}: {got} vs {expect}");
+                    assert!(
+                        (got - expect).abs() < 1e-2,
+                        "n={n} oy={oy} ox={ox}: {got} vs {expect}"
+                    );
                 }
             }
         }

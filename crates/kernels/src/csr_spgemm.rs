@@ -83,10 +83,10 @@ impl CsrSpGemm {
         let a_bytes = a.storage().total();
         let b_bytes = b.storage().total();
         let out_bytes = out_nnz * 8 + (a.rows() as u64 + 1) * 4; // CSR output
-        // The runtime also has to build A's CSR from the dense activation
-        // matrix (activations are produced dense by the previous layer), and
-        // both phases re-read the operands; the numeric phase additionally
-        // streams a per-row workspace of the output width.
+                                                                 // The runtime also has to build A's CSR from the dense activation
+                                                                 // matrix (activations are produced dense by the previous layer), and
+                                                                 // both phases re-read the operands; the numeric phase additionally
+                                                                 // streams a per-row workspace of the output width.
         let dense_a_bytes = (shape.m * shape.k) as u64 * 2;
         let workspace_bytes = (shape.m * shape.n) as u64 * 4;
         p.dram_bytes_read = dense_a_bytes + 2 * (a_bytes + b_bytes) + workspace_bytes;
@@ -121,7 +121,13 @@ mod tests {
     use dsstc_tensor::SparsityPattern;
 
     fn csr(rows: usize, cols: usize, sparsity: f64, seed: u64) -> CsrMatrix {
-        CsrMatrix::encode(&Matrix::random_sparse(rows, cols, sparsity, SparsityPattern::Uniform, seed))
+        CsrMatrix::encode(&Matrix::random_sparse(
+            rows,
+            cols,
+            sparsity,
+            SparsityPattern::Uniform,
+            seed,
+        ))
     }
 
     #[test]

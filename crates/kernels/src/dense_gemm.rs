@@ -53,7 +53,12 @@ impl DenseGemm {
     /// The implicit-im2col convolution schemes use this: the GEMM's logical A
     /// operand is the lowered feature map, but what is actually resident in
     /// DRAM (and therefore read) is the original, non-expanded feature map.
-    pub fn profile_with_operand_bytes(&self, shape: &GemmShape, a_bytes: u64, b_bytes: u64) -> WorkloadProfile {
+    pub fn profile_with_operand_bytes(
+        &self,
+        shape: &GemmShape,
+        a_bytes: u64,
+        b_bytes: u64,
+    ) -> WorkloadProfile {
         let mut p = WorkloadProfile::new(format!("dense-gemm-{shape}"));
         p.hmma_instructions = shape.macs().div_ceil(self.macs_per_instruction());
         p.thread_blocks = self.tiling.grid_blocks(shape);
@@ -79,7 +84,8 @@ impl DenseGemm {
         p.shared_bytes = p.thread_blocks * k_iters * tile_bytes;
         // Address generation and ld/st issue: a handful of scalar ops per
         // staged tile row.
-        p.scalar_ops = p.thread_blocks * k_iters * (self.tiling.block_m + self.tiling.block_n) as u64;
+        p.scalar_ops =
+            p.thread_blocks * k_iters * (self.tiling.block_m + self.tiling.block_n) as u64;
         p
     }
 

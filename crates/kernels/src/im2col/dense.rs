@@ -134,7 +134,9 @@ mod tests {
         assert_eq!(lowered.rows(), 16);
         // Output pixel (0,0): the window's centre is (0,0) so the input
         // value appears at kernel position (1,1).
-        assert_eq!(lowered[(0, 1 * 3 + 1)], 9.0);
+        #[allow(clippy::identity_op)] // written as ky * k + kx for clarity
+        let centre = 1 * 3 + 1;
+        assert_eq!(lowered[(0, centre)], 9.0);
         // Kernel position (0,0) falls outside the image: zero.
         assert_eq!(lowered[(0, 0)], 0.0);
     }

@@ -63,7 +63,10 @@ impl Im2colCost {
 ///
 /// # Panics
 /// Panics if the weight shapes do not match `shape`.
-pub fn flatten_weights(weights: &[dsstc_tensor::FeatureMap], shape: &ConvShape) -> dsstc_tensor::Matrix {
+pub fn flatten_weights(
+    weights: &[dsstc_tensor::FeatureMap],
+    shape: &ConvShape,
+) -> dsstc_tensor::Matrix {
     assert_eq!(weights.len(), shape.n, "output channel count mismatch");
     let rows = shape.k * shape.k * shape.c;
     let mut out = dsstc_tensor::Matrix::zeros(rows, shape.n);
@@ -91,7 +94,12 @@ mod tests {
 
     #[test]
     fn cost_into_profile_copies_fields() {
-        let cost = Im2colCost { scalar_ops: 10, popc_ops: 3, dram_bytes_read: 100, dram_bytes_written: 50 };
+        let cost = Im2colCost {
+            scalar_ops: 10,
+            popc_ops: 3,
+            dram_bytes_read: 100,
+            dram_bytes_written: 50,
+        };
         let shape = ConvShape::square(8, 2, 2, 3, 1, 1);
         let p = cost.into_profile("im2col", &shape);
         assert_eq!(p.scalar_ops, 10);
@@ -103,7 +111,12 @@ mod tests {
 
     #[test]
     fn cost_fold_into_adds_ops_only() {
-        let cost = Im2colCost { scalar_ops: 10, popc_ops: 3, dram_bytes_read: 100, dram_bytes_written: 50 };
+        let cost = Im2colCost {
+            scalar_ops: 10,
+            popc_ops: 3,
+            dram_bytes_read: 100,
+            dram_bytes_written: 50,
+        };
         let mut p = WorkloadProfile::new("gemm");
         p.scalar_ops = 5;
         p.dram_bytes_read = 7;
@@ -123,7 +136,9 @@ mod tests {
         let flat = flatten_weights(&[w0, w1, w2], &shape);
         assert_eq!(flat.rows(), 8);
         assert_eq!(flat.cols(), 3);
-        assert_eq!(flat[((1 * 2 + 1) * 2 + 0, 0)], 7.0);
+        #[allow(clippy::identity_op)] // written as (c * k + ky) * k + kx for clarity
+        let row = (1 * 2 + 1) * 2 + 0;
+        assert_eq!(flat[(row, 0)], 7.0);
         assert_eq!(flat.nnz(), 1);
     }
 

@@ -102,7 +102,8 @@ impl GemmTiling {
     /// * Otherwise a wave of `concurrent_blocks` thread blocks shares its A
     ///   row panels and B column panels; each wave re-reads those panels.
     pub fn dram_traffic(&self, inputs: &TrafficInputs) -> TrafficEstimate {
-        let TrafficInputs { a_bytes, b_bytes, d_bytes, shape, l2_bytes, concurrent_blocks } = *inputs;
+        let TrafficInputs { a_bytes, b_bytes, d_bytes, shape, l2_bytes, concurrent_blocks } =
+            *inputs;
         let half_l2 = l2_bytes / 2;
         let read_bytes = if a_bytes <= half_l2 || b_bytes <= half_l2 {
             a_bytes + b_bytes

@@ -103,7 +103,10 @@ pub fn prune_vector_wise(m: &Matrix, group: usize, keep: usize) -> Matrix {
             let gkeep = (keep * glen).div_ceil(group).min(glen);
             let mut idx: Vec<usize> = (0..glen).collect();
             idx.sort_by(|&i, &j| {
-                m[(r, g0 + j)].abs().partial_cmp(&m[(r, g0 + i)].abs()).unwrap_or(std::cmp::Ordering::Equal)
+                m[(r, g0 + j)]
+                    .abs()
+                    .partial_cmp(&m[(r, g0 + i)].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
             });
             for &i in idx.iter().take(gkeep) {
                 out[(r, g0 + i)] = m[(r, g0 + i)];

@@ -55,18 +55,38 @@ impl Layer {
     ///
     /// # Panics
     /// Panics if a sparsity is outside `[0, 1]`.
-    pub fn conv(name: &str, shape: ConvShape, weight_sparsity: f64, activation_sparsity: f64) -> Self {
+    pub fn conv(
+        name: &str,
+        shape: ConvShape,
+        weight_sparsity: f64,
+        activation_sparsity: f64,
+    ) -> Self {
         Self::validate(weight_sparsity, activation_sparsity);
-        Layer { name: name.to_string(), kind: LayerKind::Conv(shape), weight_sparsity, activation_sparsity }
+        Layer {
+            name: name.to_string(),
+            kind: LayerKind::Conv(shape),
+            weight_sparsity,
+            activation_sparsity,
+        }
     }
 
     /// Creates a GEMM layer.
     ///
     /// # Panics
     /// Panics if a sparsity is outside `[0, 1]`.
-    pub fn gemm(name: &str, shape: GemmShape, weight_sparsity: f64, activation_sparsity: f64) -> Self {
+    pub fn gemm(
+        name: &str,
+        shape: GemmShape,
+        weight_sparsity: f64,
+        activation_sparsity: f64,
+    ) -> Self {
         Self::validate(weight_sparsity, activation_sparsity);
-        Layer { name: name.to_string(), kind: LayerKind::Gemm(shape), weight_sparsity, activation_sparsity }
+        Layer {
+            name: name.to_string(),
+            kind: LayerKind::Gemm(shape),
+            weight_sparsity,
+            activation_sparsity,
+        }
     }
 
     fn validate(w: f64, a: f64) {

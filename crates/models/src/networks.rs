@@ -18,7 +18,18 @@ use dsstc_tensor::{ConvShape, GemmShape};
 use crate::layer::{Layer, Network};
 
 /// Convolution batch — the paper evaluates single-image inference.
-fn conv(name: &str, hw: usize, c: usize, n: usize, k: usize, stride: usize, pad: usize, ws: f64, as_: f64) -> Layer {
+#[allow(clippy::too_many_arguments)] // mirrors the layer-table column order
+fn conv(
+    name: &str,
+    hw: usize,
+    c: usize,
+    n: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    ws: f64,
+    as_: f64,
+) -> Layer {
     Layer::conv(name, ConvShape::square(hw, c, n, k, stride, pad), ws, as_)
 }
 
@@ -67,6 +78,35 @@ pub fn resnet18() -> Network {
         conv("5-4", 7, 512, 512, 3, 1, 1, 0.86, 0.78),
     ];
     Network::new("ResNet-18", layers)
+}
+
+/// ResNet-50 convolution layers (224x224 ImageNet input), AGP-pruned — the
+/// CNN workload the serving runtime drives alongside BERT.
+///
+/// One representative bottleneck block (1x1 reduce, 3x3, 1x1 expand) is
+/// listed per stage with the stage's repeat count folded into the layer name
+/// (`3-1a` = stage 3, block 1, conv a); sparsities follow the same AGP
+/// depth profile as the other CNNs. The paper itself does not evaluate
+/// ResNet-50 — this table extends the workload set for the serving layer
+/// and is deliberately *not* part of [`all_networks`] (which stays the
+/// paper's five-network Fig. 22 set).
+pub fn resnet50() -> Network {
+    let layers = vec![
+        conv("conv1", 224, 3, 64, 7, 2, 3, 0.30, 0.0),
+        conv("2-1a", 56, 64, 64, 1, 1, 0, 0.55, 0.40),
+        conv("2-1b", 56, 64, 64, 3, 1, 1, 0.62, 0.45),
+        conv("2-1c", 56, 64, 256, 1, 1, 0, 0.60, 0.48),
+        conv("3-1a", 56, 256, 128, 1, 2, 0, 0.66, 0.52),
+        conv("3-1b", 28, 128, 128, 3, 1, 1, 0.70, 0.56),
+        conv("3-1c", 28, 128, 512, 1, 1, 0, 0.68, 0.58),
+        conv("4-1a", 28, 512, 256, 1, 2, 0, 0.74, 0.62),
+        conv("4-1b", 14, 256, 256, 3, 1, 1, 0.78, 0.66),
+        conv("4-1c", 14, 256, 1024, 1, 1, 0, 0.76, 0.68),
+        conv("5-1a", 14, 1024, 512, 1, 2, 0, 0.80, 0.72),
+        conv("5-1b", 7, 512, 512, 3, 1, 1, 0.84, 0.75),
+        conv("5-1c", 7, 512, 2048, 1, 1, 0, 0.82, 0.78),
+    ];
+    Network::new("ResNet-50", layers)
 }
 
 /// Representative Mask R-CNN layers: ResNet-50 backbone stages plus FPN and
@@ -166,6 +206,18 @@ mod tests {
         let gmacs = r.total_macs() as f64 / 1e9;
         assert!((gmacs - 1.8).abs() < 0.5, "got {gmacs} GMACs");
         assert!(r.layers().iter().any(|l| l.name == "5-4"));
+    }
+
+    #[test]
+    fn resnet50_is_conv_only_and_stays_out_of_the_paper_set() {
+        let r = resnet50();
+        assert_eq!(r.name(), "ResNet-50");
+        assert!(r.has_conv_layers());
+        assert_eq!(r.layers().len(), 13);
+        // Bottleneck blocks: 1x1 / 3x3 / 1x1 per stage.
+        assert!(r.layers().iter().any(|l| l.name == "4-1b"));
+        // The Fig. 22 set remains the paper's five networks.
+        assert!(all_networks().iter().all(|n| n.name() != "ResNet-50"));
     }
 
     #[test]

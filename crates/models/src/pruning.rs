@@ -34,7 +34,10 @@ impl AgpSchedule {
     /// Panics if the sparsities are outside `[0, 1]` or the step range is
     /// empty.
     pub fn new(initial: f64, final_sparsity: f64, begin_step: u64, end_step: u64) -> Self {
-        assert!((0.0..=1.0).contains(&initial) && (0.0..=1.0).contains(&final_sparsity), "sparsity must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&initial) && (0.0..=1.0).contains(&final_sparsity),
+            "sparsity must be in [0,1]"
+        );
         assert!(end_step > begin_step, "end_step must be after begin_step");
         AgpSchedule { initial, final_sparsity, begin_step, end_step }
     }
@@ -47,8 +50,7 @@ impl AgpSchedule {
         if step >= self.end_step {
             return self.final_sparsity;
         }
-        let progress =
-            (step - self.begin_step) as f64 / (self.end_step - self.begin_step) as f64;
+        let progress = (step - self.begin_step) as f64 / (self.end_step - self.begin_step) as f64;
         self.final_sparsity + (self.initial - self.final_sparsity) * (1.0 - progress).powi(3)
     }
 }

@@ -1,0 +1,363 @@
+//! Dynamic request batching.
+//!
+//! Requests accumulate in a FIFO queue; a worker asking for work receives a
+//! **batch**: up to `max_batch` queued requests sharing one
+//! `(model, sparsity)` key. A batch is released as soon as any key reaches
+//! `max_batch` compatible requests, when the oldest queued request has
+//! waited `max_queue_wait` (that request's key flushes even unfull), or
+//! when the scheduler is draining for shutdown — so latency is bounded even
+//! under trickle traffic, full batches of one model never wait behind an
+//! unfull head of another, and unrelated models queued behind the head
+//! cannot starve it.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use dsstc_tensor::Matrix;
+
+use crate::request::{InferResponse, ModelKey};
+
+/// Batching policy knobs (a subset of [`crate::ServeConfig`]).
+#[derive(Clone, Copy, Debug)]
+pub struct BatchPolicy {
+    /// Largest number of requests merged into one batch.
+    pub max_batch: usize,
+    /// How long the oldest queued request may wait before its batch is
+    /// flushed even if it is not full.
+    pub max_queue_wait: Duration,
+}
+
+/// One queued request with its response channel.
+#[derive(Debug)]
+pub(crate) struct PendingRequest {
+    /// Server-assigned request id.
+    pub id: u64,
+    /// Encode-cache key (batch compatibility class).
+    pub key: ModelKey,
+    /// Input features.
+    pub features: Matrix,
+    /// Where the response goes.
+    pub response_tx: Sender<InferResponse>,
+    /// When the request entered the queue.
+    pub enqueued: Instant,
+}
+
+/// A group of compatible requests released to one worker.
+#[derive(Debug)]
+pub(crate) struct Batch {
+    /// The shared `(model, sparsity)` key.
+    pub key: ModelKey,
+    /// The member requests, oldest first.
+    pub requests: Vec<PendingRequest>,
+}
+
+impl Batch {
+    /// Number of member requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Total feature rows across member requests.
+    pub fn total_rows(&self) -> usize {
+        self.requests.iter().map(|r| r.features.rows()).sum()
+    }
+}
+
+#[derive(Debug)]
+struct QueueState {
+    queue: VecDeque<PendingRequest>,
+    open: bool,
+}
+
+/// The dynamic batching queue shared by the server front-end and the worker
+/// pool.
+#[derive(Debug)]
+pub struct BatchScheduler {
+    policy: BatchPolicy,
+    state: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+impl BatchScheduler {
+    /// Creates an open scheduler.
+    ///
+    /// # Panics
+    /// Panics if `max_batch` is zero.
+    pub fn new(policy: BatchPolicy) -> Self {
+        assert!(policy.max_batch > 0, "batches need at least one request");
+        BatchScheduler {
+            policy,
+            state: Mutex::new(QueueState { queue: VecDeque::new(), open: true }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The batching policy in force.
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// Number of requests currently queued.
+    pub fn queue_len(&self) -> usize {
+        self.state.lock().expect("scheduler mutex poisoned").queue.len()
+    }
+
+    /// Whether the scheduler still accepts requests.
+    pub fn is_open(&self) -> bool {
+        self.state.lock().expect("scheduler mutex poisoned").open
+    }
+
+    /// Enqueues one request. Returns `false` (dropping the request) if the
+    /// scheduler has been shut down.
+    pub(crate) fn enqueue(&self, request: PendingRequest) -> bool {
+        let mut state = self.state.lock().expect("scheduler mutex poisoned");
+        if !state.open {
+            return false;
+        }
+        state.queue.push_back(request);
+        // Wake every waiting worker: the head batch may just have become
+        // full, and a worker watching a deadline needs to re-evaluate.
+        self.cv.notify_all();
+        true
+    }
+
+    /// Blocks until a batch is ready (or the scheduler is shut down **and**
+    /// drained, in which case `None` tells the worker to exit).
+    ///
+    /// A batch is released as soon as **any** key has `max_batch` compatible
+    /// requests queued (earliest such key first), so a full batch behind an
+    /// unfull head never waits on the head's deadline; otherwise the head's
+    /// deadline bounds everyone's queue latency, because extraction always
+    /// favours the head once its deadline expires.
+    pub(crate) fn next_batch(&self) -> Option<Batch> {
+        let mut state = self.state.lock().expect("scheduler mutex poisoned");
+        loop {
+            if let Some(head) = state.queue.front() {
+                let deadline = head.enqueued + self.policy.max_queue_wait;
+                let now = Instant::now();
+                let key = if now >= deadline || !state.open {
+                    // Head flush: deadline expired (or draining), the head
+                    // goes out regardless of batch fill.
+                    Some(head.key)
+                } else {
+                    self.first_full_key(&state.queue)
+                };
+                if let Some(key) = key {
+                    return Some(Self::extract(&mut state.queue, key, self.policy.max_batch));
+                }
+                // Nothing full yet: sleep until the head's deadline or the
+                // next enqueue, whichever comes first.
+                let wait = deadline.saturating_duration_since(now);
+                let (next, _timed_out) =
+                    self.cv.wait_timeout(state, wait).expect("scheduler mutex poisoned");
+                state = next;
+            } else if !state.open {
+                return None;
+            } else {
+                state = self.cv.wait(state).expect("scheduler mutex poisoned");
+            }
+        }
+    }
+
+    /// The key of the earliest-queued request whose compatibility class has
+    /// reached a full batch, if any.
+    fn first_full_key(&self, queue: &VecDeque<PendingRequest>) -> Option<ModelKey> {
+        // Count per key in arrival order of each key's first member; queues
+        // hold at most a few distinct (model, sparsity) classes, so the
+        // linear scan with a small Vec beats hashing.
+        let mut counts: Vec<(ModelKey, usize)> = Vec::new();
+        for request in queue {
+            match counts.iter_mut().find(|(k, _)| *k == request.key) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((request.key, 1)),
+            }
+        }
+        counts.into_iter().find(|&(_, n)| n >= self.policy.max_batch).map(|(k, _)| k)
+    }
+
+    /// Stops accepting requests; queued work is still drained by
+    /// [`Self::next_batch`].
+    pub fn shutdown(&self) {
+        let mut state = self.state.lock().expect("scheduler mutex poisoned");
+        state.open = false;
+        self.cv.notify_all();
+    }
+
+    /// Removes up to `limit` requests with `key` from the queue, preserving
+    /// arrival order.
+    fn extract(queue: &mut VecDeque<PendingRequest>, key: ModelKey, limit: usize) -> Batch {
+        let mut requests = Vec::new();
+        let mut i = 0;
+        while i < queue.len() && requests.len() < limit {
+            if queue[i].key == key {
+                // `remove` preserves the relative order of the rest.
+                requests.push(queue.remove(i).expect("index in bounds"));
+            } else {
+                i += 1;
+            }
+        }
+        debug_assert!(!requests.is_empty(), "extract called with a matching head");
+        Batch { key, requests }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ModelId;
+    use std::sync::mpsc;
+    use std::sync::Arc;
+
+    fn policy(max_batch: usize, wait_ms: u64) -> BatchPolicy {
+        BatchPolicy { max_batch, max_queue_wait: Duration::from_millis(wait_ms) }
+    }
+
+    fn request(model: ModelId) -> PendingRequest {
+        let (tx, _rx) = mpsc::channel();
+        // Tests keep the receiver alive only when they assert on responses.
+        std::mem::forget(_rx);
+        PendingRequest {
+            id: 0,
+            key: ModelKey::new(model, None),
+            features: Matrix::zeros(2, 8),
+            response_tx: tx,
+            enqueued: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn full_batches_never_exceed_max_batch() {
+        let s = BatchScheduler::new(policy(4, 60_000));
+        for _ in 0..10 {
+            assert!(s.enqueue(request(ModelId::BertBase)));
+        }
+        let sizes: Vec<usize> = (0..2).map(|_| s.next_batch().unwrap().len()).collect();
+        assert_eq!(sizes, vec![4, 4]);
+        assert_eq!(s.queue_len(), 2);
+        // The remaining two are not a full batch; they flush on shutdown.
+        s.shutdown();
+        assert_eq!(s.next_batch().unwrap().len(), 2);
+        assert!(s.next_batch().is_none());
+    }
+
+    #[test]
+    fn deadline_flushes_a_partial_batch() {
+        let s = BatchScheduler::new(policy(64, 30));
+        let t0 = Instant::now();
+        assert!(s.enqueue(request(ModelId::ResNet50)));
+        let batch = s.next_batch().unwrap();
+        let waited = t0.elapsed();
+        assert_eq!(batch.len(), 1);
+        assert!(waited >= Duration::from_millis(25), "flushed after {waited:?}");
+        assert!(waited < Duration::from_secs(5), "flushed after {waited:?}");
+    }
+
+    #[test]
+    fn batches_group_by_key_without_starving_the_head() {
+        let s = BatchScheduler::new(policy(3, 60_000));
+        s.enqueue(request(ModelId::BertBase));
+        s.enqueue(request(ModelId::ResNet50));
+        s.enqueue(request(ModelId::BertBase));
+        s.enqueue(request(ModelId::ResNet50));
+        s.enqueue(request(ModelId::BertBase));
+        // Head is BERT: its three compatible requests batch together.
+        let b1 = s.next_batch().unwrap();
+        assert_eq!(b1.key.model, ModelId::BertBase);
+        assert_eq!(b1.len(), 3);
+        // ResNet-50 moved to the head; drain it via shutdown flush.
+        s.shutdown();
+        let b2 = s.next_batch().unwrap();
+        assert_eq!(b2.key.model, ModelId::ResNet50);
+        assert_eq!(b2.len(), 2);
+    }
+
+    #[test]
+    fn a_full_batch_behind_an_unfull_head_releases_immediately() {
+        // Head is a lone ResNet-50 request with a long deadline; a FULL
+        // BERT batch arrives behind it and must not wait for that deadline.
+        let s = BatchScheduler::new(policy(3, 60_000));
+        s.enqueue(request(ModelId::ResNet50));
+        for _ in 0..3 {
+            s.enqueue(request(ModelId::BertBase));
+        }
+        let t0 = Instant::now();
+        let batch = s.next_batch().unwrap();
+        assert_eq!(batch.key.model, ModelId::BertBase);
+        assert_eq!(batch.len(), 3);
+        assert!(t0.elapsed() < Duration::from_secs(5), "released without waiting on the head");
+        // The head is still queued and flushes on shutdown.
+        s.shutdown();
+        assert_eq!(s.next_batch().unwrap().key.model, ModelId::ResNet50);
+    }
+
+    #[test]
+    fn different_sparsity_overrides_do_not_batch_together() {
+        let s = BatchScheduler::new(policy(8, 60_000));
+        let mut sparse = request(ModelId::RnnLm);
+        sparse.key = ModelKey::new(ModelId::RnnLm, Some(0.9));
+        s.enqueue(request(ModelId::RnnLm));
+        s.enqueue(sparse);
+        s.shutdown();
+        assert_eq!(s.next_batch().unwrap().len(), 1);
+        assert_eq!(s.next_batch().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn enqueue_after_shutdown_is_rejected() {
+        let s = BatchScheduler::new(policy(4, 10));
+        s.shutdown();
+        assert!(!s.enqueue(request(ModelId::Vgg16)));
+        assert!(!s.is_open());
+        assert!(s.next_batch().is_none());
+    }
+
+    #[test]
+    fn total_rows_sums_member_features() {
+        let s = BatchScheduler::new(policy(4, 60_000));
+        s.enqueue(request(ModelId::BertBase));
+        s.enqueue(request(ModelId::BertBase));
+        s.shutdown();
+        let batch = s.next_batch().unwrap();
+        assert_eq!(batch.total_rows(), 4); // two requests x two rows
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_preserve_every_request() {
+        let s = Arc::new(BatchScheduler::new(policy(5, 5)));
+        let producers: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..25 {
+                        assert!(s.enqueue(request(ModelId::BertBase)));
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    let mut seen = 0usize;
+                    while let Some(batch) = s.next_batch() {
+                        assert!(batch.len() <= 5);
+                        seen += batch.len();
+                    }
+                    seen
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        // Give consumers a moment to drain, then close.
+        while s.queue_len() > 0 {
+            std::thread::yield_now();
+        }
+        s.shutdown();
+        let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, 100);
+    }
+}

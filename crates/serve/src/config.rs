@@ -1,0 +1,122 @@
+//! Serving-runtime configuration.
+
+use std::time::Duration;
+
+use dsstc_sim::GpuConfig;
+
+/// Configuration of an [`crate::InferenceServer`].
+///
+/// The defaults (two workers, batches of up to eight requests flushed after
+/// two milliseconds, a 64-wide proxy feature dimension on the paper's V100
+/// configuration) are sized so the serving smoke tests and the demo run in
+/// seconds; a throughput deployment raises `workers` and `max_batch`.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Number of OS worker threads executing batches.
+    pub workers: usize,
+    /// Largest number of requests merged into one batch.
+    pub max_batch: usize,
+    /// How long the oldest queued request may wait before its batch is
+    /// flushed even if it is not full.
+    pub max_queue_wait: Duration,
+    /// Feature dimension of the functional proxy GEMMs each request flows
+    /// through (the modelled latency always uses the network's *real*
+    /// shapes; see [`crate::ModelRepository`]).
+    pub proxy_dim: usize,
+    /// GPU configuration for the timing model and kernel tiling.
+    pub gpu: GpuConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            max_batch: 8,
+            max_queue_wait: Duration::from_millis(2),
+            proxy_dim: 64,
+            gpu: GpuConfig::v100(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Overrides the worker-thread count.
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "at least one worker is required");
+        self.workers = workers;
+        self
+    }
+
+    /// Overrides the maximum batch size.
+    ///
+    /// # Panics
+    /// Panics if `max_batch` is zero.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        assert!(max_batch > 0, "batches need at least one request");
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Overrides the queue-flush deadline.
+    pub fn with_max_queue_wait(mut self, wait: Duration) -> Self {
+        self.max_queue_wait = wait;
+        self
+    }
+
+    /// Overrides the proxy feature dimension.
+    ///
+    /// # Panics
+    /// Panics if `proxy_dim` is zero.
+    pub fn with_proxy_dim(mut self, proxy_dim: usize) -> Self {
+        assert!(proxy_dim > 0, "proxy dimension must be non-zero");
+        self.proxy_dim = proxy_dim;
+        self
+    }
+
+    /// Overrides the GPU configuration.
+    pub fn with_gpu(mut self, gpu: GpuConfig) -> Self {
+        self.gpu = gpu;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ServeConfig::default();
+        assert!(c.workers >= 2);
+        assert!(c.max_batch > 1);
+        assert!(c.proxy_dim % 32 == 0);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let c = ServeConfig::default()
+            .with_workers(5)
+            .with_max_batch(3)
+            .with_max_queue_wait(Duration::from_millis(7))
+            .with_proxy_dim(96);
+        assert_eq!(c.workers, 5);
+        assert_eq!(c.max_batch, 3);
+        assert_eq!(c.max_queue_wait, Duration::from_millis(7));
+        assert_eq!(c.proxy_dim, 96);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = ServeConfig::default().with_workers(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one request")]
+    fn zero_batch_panics() {
+        let _ = ServeConfig::default().with_max_batch(0);
+    }
+}

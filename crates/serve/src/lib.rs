@@ -1,0 +1,76 @@
+//! # dsstc-serve — batched, multi-threaded inference serving
+//!
+//! A serving runtime on top of the dual-side sparse Tensor Core stack,
+//! turning the one-shot estimates of [`dsstc_kernels`] / `dsstc::inference`
+//! into a request-driven system:
+//!
+//! * [`ModelRepository`] — loads a network from [`dsstc_models`], prunes its
+//!   weights and **pre-encodes them once** into the paper's two-level bitmap
+//!   format, cached per `(model, sparsity)` key. The paper encodes pruned
+//!   weights offline for exactly this reason: weight sparsity is static, so
+//!   per-request re-encoding is pure waste.
+//! * [`BatchScheduler`] — accepts [`InferRequest`]s on a queue and
+//!   dynamically merges compatible requests into larger-M GEMM batches,
+//!   bounded by a maximum batch size and a queue-latency deadline.
+//! * [`WorkerPool`] — OS threads executing batches on the dual-side SpGEMM
+//!   kernel against the cached encodings; every request receives an
+//!   [`InferResponse`] carrying its output features plus the modelled GPU
+//!   latency of the real network at the batch's size (via
+//!   [`BatchTimingModel`]).
+//! * [`ServerStats`] — throughput, queue/execute latency percentiles, the
+//!   batch-size histogram and the encode-cache hit rate.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use std::time::Duration;
+//! use dsstc_serve::{InferRequest, InferenceServer, ModelId, ServeConfig};
+//! use dsstc_tensor::{Matrix, SparsityPattern};
+//!
+//! let mut server = InferenceServer::start(
+//!     ServeConfig::default()
+//!         .with_workers(2)
+//!         .with_max_batch(4)
+//!         .with_max_queue_wait(Duration::from_millis(1))
+//!         .with_proxy_dim(32),
+//! );
+//!
+//! // Submit a burst of BERT requests; the scheduler batches them.
+//! let pending: Vec<_> = (0..4)
+//!     .map(|seed| {
+//!         let features = Matrix::random_sparse(2, 32, 0.3, SparsityPattern::Uniform, seed);
+//!         server.submit(InferRequest::new(ModelId::BertBase, features)).unwrap()
+//!     })
+//!     .collect();
+//! for p in pending {
+//!     let response = p.wait().unwrap();
+//!     assert_eq!(response.output.rows(), 2);
+//!     assert!(response.modelled_batch_us > 0.0);
+//! }
+//!
+//! // The first request encoded the weights; the rest reused the cache.
+//! let stats = server.stats();
+//! assert_eq!(stats.completed_requests, 4);
+//! assert_eq!(stats.encode_misses, 1);
+//! server.shutdown();
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod batcher;
+pub mod config;
+pub mod repository;
+pub mod request;
+pub mod server;
+pub mod stats;
+pub mod timing;
+pub mod worker;
+
+pub use crate::batcher::{BatchPolicy, BatchScheduler};
+pub use crate::config::ServeConfig;
+pub use crate::repository::{EncodedLayer, EncodedModel, ModelRepository};
+pub use crate::request::{InferRequest, InferResponse, ModelId, ModelKey};
+pub use crate::server::{InferenceServer, PendingResponse, ServeError};
+pub use crate::stats::ServerStats;
+pub use crate::timing::BatchTimingModel;
+pub use crate::worker::WorkerPool;

@@ -1,0 +1,385 @@
+//! The pre-encoded model repository.
+//!
+//! The paper encodes pruned weights into the bitmap format **offline**
+//! (Section III-A): weight sparsity is static, so re-encoding per request is
+//! pure waste. [`ModelRepository`] reproduces that at the serving layer — the
+//! first request for a `(model, sparsity)` pair prunes and encodes the
+//! model's weights into the two-level bitmap format once, and every later
+//! batch replays the cached [`EncodedModel`].
+//!
+//! Each served model carries two representations:
+//!
+//! * a **functional proxy** — one `proxy_dim x proxy_dim` GEMM per network
+//!   layer whose weights are deterministically generated, magnitude-pruned
+//!   to the layer's weight sparsity and pre-encoded. Request features flow
+//!   through it on the actual dual-side SpGEMM kernel, so responses carry
+//!   real outputs; and
+//! * the **real layer table** — used by [`crate::BatchTimingModel`] to
+//!   charge the modelled GPU time of the full-size network at the batch's
+//!   size.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use dsstc_formats::TwoLevelBitmapMatrix;
+use dsstc_kernels::bitmap_spgemm::BitmapSpGemm;
+use dsstc_models::{prune_magnitude, Layer, Network};
+use dsstc_sim::GpuConfig;
+use dsstc_tensor::{Matrix, RandomMatrixBuilder};
+
+use crate::request::ModelKey;
+
+/// One layer of a served model: the pre-encoded proxy weights plus the real
+/// layer descriptor the timing model charges.
+#[derive(Clone, Debug)]
+pub struct EncodedLayer {
+    /// Layer name (from the network table).
+    pub name: String,
+    /// Proxy weights in the kernel's two-level bitmap B-operand layout,
+    /// encoded once at load time.
+    pub weights: TwoLevelBitmapMatrix,
+    /// Whether ReLU follows this layer in the functional proxy.
+    pub relu: bool,
+    /// The real layer (shape + sparsities, with any uniform override
+    /// applied) used for modelled timing.
+    pub layer: Layer,
+}
+
+/// A fully loaded model: pruned, encoded, ready to serve.
+#[derive(Clone, Debug)]
+pub struct EncodedModel {
+    /// The cache key this model was loaded under.
+    pub key: ModelKey,
+    /// The real network table (with any sparsity override applied).
+    pub network: Network,
+    /// Feature width requests must supply.
+    pub input_dim: usize,
+    /// Pre-encoded layers in execution order.
+    pub layers: Vec<EncodedLayer>,
+    /// Wall-clock milliseconds spent pruning + encoding at load time (the
+    /// cost the cache amortises away).
+    pub encode_ms: f64,
+}
+
+impl EncodedModel {
+    /// Runs `input` (rows = samples, `input_dim` columns) through every
+    /// pre-encoded proxy layer on the dual-side SpGEMM kernel and returns
+    /// the final features.
+    ///
+    /// # Panics
+    /// Panics if `input` does not have `input_dim` columns.
+    pub fn forward(&self, kernel: &BitmapSpGemm, input: &Matrix) -> Matrix {
+        assert_eq!(input.cols(), self.input_dim, "feature width mismatch");
+        let mut x = input.clone();
+        for layer in &self.layers {
+            let a_enc = kernel.encode_a(&x);
+            x = kernel.execute_encoded(&a_enc, &layer.weights);
+            if layer.relu {
+                x = x.relu();
+            }
+        }
+        x
+    }
+
+    /// Total non-zeros stored across the encoded proxy weights.
+    pub fn encoded_nnz(&self) -> usize {
+        self.layers.iter().map(|l| l.weights.nnz()).sum()
+    }
+}
+
+/// Loads, prunes and pre-encodes models, caching the result per
+/// `(model, sparsity)` key.
+///
+/// `get` is cheap after the first call for a key; the hit/miss counters feed
+/// the server's encode-cache hit-rate metric.
+#[derive(Debug)]
+pub struct ModelRepository {
+    proxy_dim: usize,
+    kernel: BitmapSpGemm,
+    cache: Mutex<CacheState>,
+    loaded: Condvar,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Cache map plus the set of keys currently being encoded, so the mutex is
+/// never held across a (slow) load: concurrent `get`s for *other* keys
+/// proceed, and only same-key callers wait.
+#[derive(Debug, Default)]
+struct CacheState {
+    models: HashMap<ModelKey, Arc<EncodedModel>>,
+    in_flight: std::collections::HashSet<ModelKey>,
+}
+
+impl ModelRepository {
+    /// Creates an empty repository whose encodings match `gpu`'s kernel
+    /// tiling and whose proxies are `proxy_dim` wide.
+    ///
+    /// # Panics
+    /// Panics if `proxy_dim` is zero.
+    pub fn new(gpu: GpuConfig, proxy_dim: usize) -> Self {
+        assert!(proxy_dim > 0, "proxy dimension must be non-zero");
+        ModelRepository {
+            proxy_dim,
+            kernel: BitmapSpGemm::new(gpu),
+            cache: Mutex::new(CacheState::default()),
+            loaded: Condvar::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Feature width requests must supply.
+    pub fn input_dim(&self) -> usize {
+        self.proxy_dim
+    }
+
+    /// The SpGEMM kernel whose tiling the cached encodings target.
+    pub fn kernel(&self) -> &BitmapSpGemm {
+        &self.kernel
+    }
+
+    /// Returns the encoded model for `key`, loading and encoding it on the
+    /// first request (a cache **miss**) and reusing the cached artifact on
+    /// every later one (a **hit**).
+    ///
+    /// The cache lock is **not** held while encoding: a miss marks the key
+    /// in-flight, drops the lock, loads, then publishes. Concurrent callers
+    /// for the same key block until the single load finishes (counted as
+    /// hits — they are served from the cache); callers for other keys are
+    /// unaffected.
+    pub fn get(&self, key: ModelKey) -> Arc<EncodedModel> {
+        let mut cache = self.cache.lock().expect("repository mutex poisoned");
+        loop {
+            if let Some(model) = cache.models.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(model);
+            }
+            if cache.in_flight.insert(key) {
+                break; // this caller owns the load
+            }
+            // Someone else is encoding this key; wait for them to publish.
+            cache = self.loaded.wait(cache).expect("repository mutex poisoned");
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        drop(cache);
+        let model = Arc::new(self.load(key));
+        let mut cache = self.cache.lock().expect("repository mutex poisoned");
+        cache.models.insert(key, Arc::clone(&model));
+        cache.in_flight.remove(&key);
+        self.loaded.notify_all();
+        model
+    }
+
+    /// Cache hits so far.
+    pub fn hit_count(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (= encode operations) so far.
+    pub fn miss_count(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of `get` calls served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hit_count();
+        let total = hits + self.miss_count();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Number of distinct models currently encoded.
+    pub fn len(&self) -> usize {
+        self.cache.lock().expect("repository mutex poisoned").models.len()
+    }
+
+    /// Whether no model has been loaded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Prunes + encodes one model (the slow path behind a cache miss).
+    fn load(&self, key: ModelKey) -> EncodedModel {
+        let started = Instant::now();
+        let base = key.model.network();
+        // Apply the uniform sparsity override to the real layer table so
+        // both the proxy weights and the timing model see it.
+        let layers_effective: Vec<Layer> = base
+            .layers()
+            .iter()
+            .map(|l| {
+                let mut l = l.clone();
+                if let Some(s) = key.weight_sparsity() {
+                    l.weight_sparsity = s;
+                }
+                l
+            })
+            .collect();
+        let network = Network::new(base.name(), layers_effective.clone());
+        let relu = key.model.uses_relu();
+        let layers = layers_effective
+            .into_iter()
+            .enumerate()
+            .map(|(i, layer)| {
+                let dense = RandomMatrixBuilder::new(self.proxy_dim, self.proxy_dim)
+                    .seed(proxy_seed(key, i))
+                    .value_range(-0.5, 0.5)
+                    .build();
+                let pruned = prune_magnitude(&dense, layer.weight_sparsity);
+                EncodedLayer {
+                    name: layer.name.clone(),
+                    weights: self.kernel.encode_b(&pruned),
+                    relu,
+                    layer,
+                }
+            })
+            .collect();
+        EncodedModel {
+            key,
+            network,
+            input_dim: self.proxy_dim,
+            layers,
+            encode_ms: started.elapsed().as_secs_f64() * 1e3,
+        }
+    }
+}
+
+/// Deterministic per-layer weight seed so repeated loads (and separate
+/// server instances) produce identical proxies.
+fn proxy_seed(key: ModelKey, layer_index: usize) -> u64 {
+    let mut seed: u64 = 0x5EED_0F00;
+    for b in key.model.name().bytes() {
+        seed = seed.rotate_left(7) ^ u64::from(b).wrapping_mul(0x100_0000_01B3);
+    }
+    seed ^ (u64::from(key.sparsity_permille.map_or(0xFFFF, |p| p)) << 40)
+        ^ ((layer_index as u64) << 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ModelId;
+
+    fn repo() -> ModelRepository {
+        ModelRepository::new(GpuConfig::v100(), 64)
+    }
+
+    #[test]
+    fn first_get_misses_then_hits() {
+        let r = repo();
+        assert!(r.is_empty());
+        let key = ModelKey::new(ModelId::BertBase, None);
+        let m1 = r.get(key);
+        assert_eq!((r.hit_count(), r.miss_count()), (0, 1));
+        let m2 = r.get(key);
+        assert_eq!((r.hit_count(), r.miss_count()), (1, 1));
+        assert!(Arc::ptr_eq(&m1, &m2));
+        assert_eq!(r.len(), 1);
+        assert!((r.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_sparsities_are_distinct_cache_entries() {
+        let r = repo();
+        let _ = r.get(ModelKey::new(ModelId::RnnLm, Some(0.8)));
+        let _ = r.get(ModelKey::new(ModelId::RnnLm, Some(0.95)));
+        let _ = r.get(ModelKey::new(ModelId::RnnLm, None));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.miss_count(), 3);
+    }
+
+    #[test]
+    fn encoded_layers_match_table_and_override() {
+        let r = repo();
+        let m = r.get(ModelKey::new(ModelId::BertBase, Some(0.9)));
+        assert_eq!(m.layers.len(), ModelId::BertBase.network().layers().len());
+        for layer in &m.layers {
+            assert!((layer.weights.sparsity() - 0.9).abs() < 0.02, "{}", layer.name);
+            assert_eq!(layer.layer.weight_sparsity, 0.9);
+            assert!(!layer.relu);
+        }
+        assert!(m.encoded_nnz() > 0);
+        assert!(m.encode_ms >= 0.0);
+    }
+
+    #[test]
+    fn forward_matches_decoded_dense_reference() {
+        let r = ModelRepository::new(GpuConfig::v100(), 32);
+        let m = r.get(ModelKey::new(ModelId::ResNet18, Some(0.85)));
+        let input = Matrix::random_sparse(8, 32, 0.5, dsstc_tensor::SparsityPattern::Uniform, 3);
+        let out = m.forward(r.kernel(), &input);
+        // Dense reference: decode each encoded layer and replay the chain.
+        let mut reference = input.clone();
+        for layer in &m.layers {
+            reference = reference.matmul(&layer.weights.decode());
+            reference = reference.relu();
+        }
+        assert_eq!(out.rows(), 8);
+        assert_eq!(out.cols(), 32);
+        assert!(out.approx_eq(&reference, 5e-2));
+    }
+
+    #[test]
+    fn concurrent_gets_for_one_key_encode_exactly_once() {
+        let r = std::sync::Arc::new(repo());
+        let key = ModelKey::new(ModelId::ResNet50, None);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let r = std::sync::Arc::clone(&r);
+                std::thread::spawn(move || r.get(key))
+            })
+            .collect();
+        let models: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(r.miss_count(), 1, "one caller loads, the rest wait and hit");
+        assert_eq!(r.hit_count(), 3);
+        for m in &models[1..] {
+            assert!(Arc::ptr_eq(&models[0], m), "all callers share one artifact");
+        }
+    }
+
+    #[test]
+    fn a_slow_load_does_not_block_gets_for_other_keys() {
+        // Thread A encodes VGG-16 (the most layers); thread B's BERT get
+        // must complete while A may still be loading — i.e. without ever
+        // waiting on A. We can't control interleaving exactly, but both
+        // finishing with two misses and no deadlock exercises the
+        // in-flight path under concurrency.
+        let r = std::sync::Arc::new(repo());
+        let a = {
+            let r = std::sync::Arc::clone(&r);
+            std::thread::spawn(move || r.get(ModelKey::new(ModelId::Vgg16, None)))
+        };
+        let b = {
+            let r = std::sync::Arc::clone(&r);
+            std::thread::spawn(move || r.get(ModelKey::new(ModelId::BertBase, None)))
+        };
+        a.join().unwrap();
+        b.join().unwrap();
+        assert_eq!(r.miss_count(), 2);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn proxies_are_deterministic_across_repositories() {
+        let key = ModelKey::new(ModelId::ResNet50, None);
+        let a = repo().get(key);
+        let b = repo().get(key);
+        for (la, lb) in a.layers.iter().zip(&b.layers) {
+            assert_eq!(la.weights.decode(), lb.weights.decode(), "{}", la.name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width mismatch")]
+    fn forward_rejects_wrong_width() {
+        let r = repo();
+        let m = r.get(ModelKey::new(ModelId::BertBase, None));
+        let _ = m.forward(r.kernel(), &Matrix::zeros(2, 63));
+    }
+}

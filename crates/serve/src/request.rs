@@ -1,0 +1,200 @@
+//! Request / response types of the serving runtime.
+
+use dsstc_models::{networks, Network};
+use dsstc_tensor::Matrix;
+
+/// The served model catalogue: the paper's five evaluated networks plus
+/// ResNet-50 (the classic serving workload).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ModelId {
+    /// VGG-16 (AGP-pruned CNN).
+    Vgg16,
+    /// ResNet-18 (AGP-pruned CNN).
+    ResNet18,
+    /// ResNet-50 (AGP-pruned CNN).
+    ResNet50,
+    /// Mask R-CNN (AGP-pruned CNN, COCO resolution).
+    MaskRcnn,
+    /// BERT-base encoder (movement-pruned GEMM stack).
+    BertBase,
+    /// 2+4-layer LSTM language model (AGP-pruned GEMM stack).
+    RnnLm,
+}
+
+impl ModelId {
+    /// Every served model.
+    pub const ALL: [ModelId; 6] = [
+        ModelId::Vgg16,
+        ModelId::ResNet18,
+        ModelId::ResNet50,
+        ModelId::MaskRcnn,
+        ModelId::BertBase,
+        ModelId::RnnLm,
+    ];
+
+    /// Human-readable name (matches the underlying network table).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelId::Vgg16 => "VGG-16",
+            ModelId::ResNet18 => "ResNet-18",
+            ModelId::ResNet50 => "ResNet-50",
+            ModelId::MaskRcnn => "Mask R-CNN",
+            ModelId::BertBase => "BERT-base encoder",
+            ModelId::RnnLm => "RNN",
+        }
+    }
+
+    /// The layer table the timing model charges for this model.
+    pub fn network(&self) -> Network {
+        match self {
+            ModelId::Vgg16 => networks::vgg16(),
+            ModelId::ResNet18 => networks::resnet18(),
+            ModelId::ResNet50 => networks::resnet50(),
+            ModelId::MaskRcnn => networks::mask_rcnn(),
+            ModelId::BertBase => networks::bert_base(),
+            ModelId::RnnLm => networks::rnn_lm(),
+        }
+    }
+
+    /// Whether the functional proxy applies ReLU between layers (the CNNs;
+    /// the GELU/sigmoid-based NLP models produce near-dense activations).
+    pub fn uses_relu(&self) -> bool {
+        !matches!(self, ModelId::BertBase | ModelId::RnnLm)
+    }
+}
+
+impl std::fmt::Display for ModelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad(self.name())
+    }
+}
+
+/// The encode-cache key: a model pruned to one weight-sparsity level.
+///
+/// Sparsity is stored in permille so the key is `Eq + Hash`; `None` means
+/// "the per-layer sparsities of the published table".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ModelKey {
+    /// Which model.
+    pub model: ModelId,
+    /// Uniform weight-sparsity override in permille, if any.
+    pub sparsity_permille: Option<u16>,
+}
+
+impl ModelKey {
+    /// Builds the key for a model and an optional uniform weight-sparsity
+    /// override in `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if the override is outside `[0, 1]`.
+    pub fn new(model: ModelId, weight_sparsity: Option<f64>) -> Self {
+        let sparsity_permille = weight_sparsity.map(|s| {
+            assert!((0.0..=1.0).contains(&s), "weight sparsity must be in [0,1]");
+            (s * 1000.0).round() as u16
+        });
+        ModelKey { model, sparsity_permille }
+    }
+
+    /// The sparsity override as a fraction, if any.
+    pub fn weight_sparsity(&self) -> Option<f64> {
+        self.sparsity_permille.map(|p| f64::from(p) / 1000.0)
+    }
+}
+
+/// One inference request.
+#[derive(Clone, Debug)]
+pub struct InferRequest {
+    /// Which model to run.
+    pub model: ModelId,
+    /// Optional uniform weight-sparsity override (e.g. serve the same model
+    /// pruned to several levels); `None` uses the published per-layer table.
+    pub weight_sparsity: Option<f64>,
+    /// Input features: one row per sample/token, `proxy_dim` columns.
+    pub features: Matrix,
+}
+
+impl InferRequest {
+    /// A request against the published sparsity table.
+    pub fn new(model: ModelId, features: Matrix) -> Self {
+        InferRequest { model, weight_sparsity: None, features }
+    }
+
+    /// Sets a uniform weight-sparsity override.
+    pub fn with_weight_sparsity(mut self, sparsity: f64) -> Self {
+        self.weight_sparsity = Some(sparsity);
+        self
+    }
+
+    /// The encode-cache key this request maps to.
+    pub fn key(&self) -> ModelKey {
+        ModelKey::new(self.model, self.weight_sparsity)
+    }
+}
+
+/// One completed inference.
+#[derive(Clone, Debug)]
+pub struct InferResponse {
+    /// The id [`crate::InferenceServer::submit`] returned for the request.
+    pub id: u64,
+    /// Which model ran.
+    pub model: ModelId,
+    /// Output features (same row count as the request's input).
+    pub output: Matrix,
+    /// Wall-clock time the request waited in the batching queue, µs.
+    pub queue_us: f64,
+    /// Wall-clock time the worker spent executing the whole batch, µs.
+    pub execute_us: f64,
+    /// Modelled dual-side sparse Tensor Core time of the whole batch at the
+    /// network's real layer shapes, µs.
+    pub modelled_batch_us: f64,
+    /// The batch's modelled time divided by its size: this request's
+    /// amortised modelled latency, µs.
+    pub modelled_request_us: f64,
+    /// How many requests were merged into the executing batch.
+    pub batch_size: usize,
+    /// Index of the worker thread that executed the batch.
+    pub worker: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_names_match_network_tables() {
+        for id in ModelId::ALL {
+            assert_eq!(id.name(), id.network().name());
+        }
+    }
+
+    #[test]
+    fn relu_only_for_conv_models() {
+        for id in ModelId::ALL {
+            assert_eq!(id.uses_relu(), id.network().has_conv_layers(), "{id}");
+        }
+    }
+
+    #[test]
+    fn model_key_quantises_sparsity() {
+        let a = ModelKey::new(ModelId::BertBase, Some(0.9004));
+        let b = ModelKey::new(ModelId::BertBase, Some(0.9));
+        assert_eq!(a, b);
+        assert_eq!(a.weight_sparsity(), Some(0.9));
+        assert_eq!(ModelKey::new(ModelId::BertBase, None).weight_sparsity(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1]")]
+    fn invalid_override_panics() {
+        let _ = ModelKey::new(ModelId::Vgg16, Some(1.5));
+    }
+
+    #[test]
+    fn request_key_reflects_override() {
+        let m = Matrix::zeros(4, 64);
+        let r = InferRequest::new(ModelId::ResNet50, m.clone());
+        assert_eq!(r.key(), ModelKey::new(ModelId::ResNet50, None));
+        let r = InferRequest::new(ModelId::ResNet50, m).with_weight_sparsity(0.8);
+        assert_eq!(r.key(), ModelKey::new(ModelId::ResNet50, Some(0.8)));
+    }
+}

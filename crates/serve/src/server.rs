@@ -1,0 +1,269 @@
+//! The serving front-end tying queue, repository, timing model, workers and
+//! stats together.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::batcher::{BatchPolicy, BatchScheduler, PendingRequest};
+use crate::config::ServeConfig;
+use crate::repository::ModelRepository;
+use crate::request::{InferRequest, InferResponse};
+use crate::stats::{ServerStats, StatsCollector};
+use crate::timing::BatchTimingModel;
+use crate::worker::{WorkerContext, WorkerPool};
+
+/// Why a request could not be served.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request was malformed (wrong feature width, empty features...).
+    InvalidRequest(String),
+    /// The server is shutting down and no longer accepts requests.
+    ShuttingDown,
+    /// A bounded wait elapsed before the response arrived.
+    Timeout,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::InvalidRequest(why) => write!(f, "invalid request: {why}"),
+            ServeError::ShuttingDown => f.write_str("server is shutting down"),
+            ServeError::Timeout => f.write_str("timed out waiting for the response"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Handle to a submitted request; resolves to its [`InferResponse`].
+#[derive(Debug)]
+pub struct PendingResponse {
+    id: u64,
+    rx: Receiver<InferResponse>,
+}
+
+impl PendingResponse {
+    /// The server-assigned request id (matches the eventual response's).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the response arrives.
+    pub fn wait(self) -> Result<InferResponse, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::ShuttingDown)
+    }
+
+    /// Blocks up to `timeout` for the response.
+    ///
+    /// On timeout the handle is returned so the caller can keep waiting.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<InferResponse, (Self, ServeError)> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(response) => Ok(response),
+            Err(RecvTimeoutError::Timeout) => Err((self, ServeError::Timeout)),
+            Err(RecvTimeoutError::Disconnected) => Err((self, ServeError::ShuttingDown)),
+        }
+    }
+}
+
+/// A batched, multi-threaded inference server over the dual-side sparse
+/// Tensor Core stack.
+///
+/// See the crate-level documentation for an end-to-end example.
+#[derive(Debug)]
+pub struct InferenceServer {
+    config: ServeConfig,
+    context: Arc<WorkerContext>,
+    pool: Option<WorkerPool>,
+    next_id: AtomicU64,
+}
+
+impl InferenceServer {
+    /// Boots the server: builds the shared state and spawns the worker
+    /// pool. Models are encoded lazily on their first request.
+    pub fn start(config: ServeConfig) -> Self {
+        assert!(config.workers > 0, "at least one worker is required");
+        assert!(config.max_batch > 0, "batches need at least one request");
+        let context = Arc::new(WorkerContext {
+            scheduler: Arc::new(BatchScheduler::new(BatchPolicy {
+                max_batch: config.max_batch,
+                max_queue_wait: config.max_queue_wait,
+            })),
+            repository: Arc::new(ModelRepository::new(config.gpu.clone(), config.proxy_dim)),
+            timing: Arc::new(BatchTimingModel::new(config.gpu.clone())),
+            stats: Arc::new(StatsCollector::new()),
+        });
+        let pool = WorkerPool::spawn(config.workers, Arc::clone(&context));
+        InferenceServer { config, context, pool: Some(pool), next_id: AtomicU64::new(0) }
+    }
+
+    /// The configuration the server was booted with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.pool.as_ref().map_or(0, WorkerPool::len)
+    }
+
+    /// The model repository (exposed for warm-up and inspection).
+    pub fn repository(&self) -> &Arc<ModelRepository> {
+        &self.context.repository
+    }
+
+    /// Requests currently waiting in the batching queue.
+    pub fn queue_len(&self) -> usize {
+        self.context.scheduler.queue_len()
+    }
+
+    /// Warm-up: loads, prunes and pre-encodes `model` at `weight_sparsity`
+    /// and pre-prices every batch bucket, so no live request pays the
+    /// one-time encode or pricing cost. Returns the encode time in
+    /// milliseconds (zero-ish when the model was already cached).
+    pub fn warm_model(&self, model: crate::ModelId, weight_sparsity: Option<f64>) -> f64 {
+        let key = crate::ModelKey::new(model, weight_sparsity);
+        let encoded = self.context.repository.get(key);
+        self.context.timing.warm(&encoded, self.config.max_batch);
+        encoded.encode_ms
+    }
+
+    /// Enqueues a request; the returned handle resolves to its response.
+    pub fn submit(&self, request: InferRequest) -> Result<PendingResponse, ServeError> {
+        let expected = self.context.repository.input_dim();
+        if request.features.cols() != expected {
+            return Err(ServeError::InvalidRequest(format!(
+                "features have {} columns, the server's proxy dimension is {expected}",
+                request.features.cols()
+            )));
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let pending = PendingRequest {
+            id,
+            key: request.key(),
+            features: request.features,
+            response_tx: tx,
+            enqueued: Instant::now(),
+        };
+        if !self.context.scheduler.enqueue(pending) {
+            return Err(ServeError::ShuttingDown);
+        }
+        Ok(PendingResponse { id, rx })
+    }
+
+    /// Convenience: submit and block for the response.
+    pub fn infer(&self, request: InferRequest) -> Result<InferResponse, ServeError> {
+        self.submit(request)?.wait()
+    }
+
+    /// A point-in-time metrics snapshot.
+    pub fn stats(&self) -> ServerStats {
+        self.context.stats.snapshot(
+            self.context.repository.hit_count(),
+            self.context.repository.miss_count(),
+            self.context.timing.hit_rate(),
+        )
+    }
+
+    /// Stops accepting requests, drains the queue and joins the workers.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.context.scheduler.shutdown();
+        if let Some(pool) = self.pool.take() {
+            pool.join();
+        }
+    }
+}
+
+impl Drop for InferenceServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ModelId;
+    use dsstc_tensor::Matrix;
+
+    fn tiny_server(workers: usize, max_batch: usize) -> InferenceServer {
+        InferenceServer::start(
+            ServeConfig::default()
+                .with_workers(workers)
+                .with_max_batch(max_batch)
+                .with_max_queue_wait(Duration::from_millis(1))
+                .with_proxy_dim(32),
+        )
+    }
+
+    fn features(seed: u64) -> Matrix {
+        Matrix::random_sparse(2, 32, 0.4, dsstc_tensor::SparsityPattern::Uniform, seed)
+    }
+
+    #[test]
+    fn infer_round_trips_one_request() {
+        let server = tiny_server(1, 4);
+        let response =
+            server.infer(InferRequest::new(ModelId::BertBase, features(1))).expect("served");
+        assert_eq!(response.output.rows(), 2);
+        assert_eq!(response.output.cols(), 32);
+        assert_eq!(response.model, ModelId::BertBase);
+        assert!(response.queue_us >= 0.0);
+        assert!(response.execute_us > 0.0);
+        assert!(response.modelled_batch_us > 0.0);
+    }
+
+    #[test]
+    fn submit_validates_feature_shape() {
+        let server = tiny_server(1, 2);
+        let bad_width = InferRequest::new(ModelId::RnnLm, Matrix::zeros(2, 16));
+        assert!(matches!(server.submit(bad_width), Err(ServeError::InvalidRequest(_))));
+    }
+
+    #[test]
+    fn shutdown_rejects_new_requests_and_is_idempotent() {
+        let mut server = tiny_server(1, 2);
+        server.shutdown();
+        server.shutdown();
+        assert_eq!(server.worker_count(), 0);
+        assert!(matches!(
+            server.submit(InferRequest::new(ModelId::BertBase, features(2))),
+            Err(ServeError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn stats_reflect_served_requests_and_cache_hits() {
+        let server = tiny_server(2, 4);
+        let pending: Vec<_> = (0..8)
+            .map(|i| {
+                server.submit(InferRequest::new(ModelId::BertBase, features(i))).expect("queued")
+            })
+            .collect();
+        for p in pending {
+            p.wait().expect("response");
+        }
+        let stats = server.stats();
+        assert_eq!(stats.completed_requests, 8);
+        assert!(stats.executed_batches >= 2);
+        assert!(stats.mean_batch_size >= 1.0);
+        // One miss (first batch encodes), the rest hit.
+        assert_eq!(stats.encode_misses, 1);
+        assert!(stats.encode_hits >= 1);
+        assert!(stats.encode_hit_rate > 0.0);
+        assert!(stats.throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn pending_response_ids_match_responses() {
+        let server = tiny_server(1, 2);
+        let pending =
+            server.submit(InferRequest::new(ModelId::RnnLm, features(7))).expect("queued");
+        let id = pending.id();
+        let response = pending.wait().expect("response");
+        assert_eq!(response.id, id);
+    }
+}

@@ -1,0 +1,305 @@
+//! Server metrics: throughput, latency percentiles, batch-size histogram
+//! and cache hit rates.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Upper bound on retained latency samples per stream; percentiles are
+/// exact below this and computed from an unbiased reservoir sample above.
+const SAMPLE_CAP: usize = 4096;
+
+/// A point-in-time snapshot of the server's metrics.
+#[derive(Clone, Debug)]
+pub struct ServerStats {
+    /// Requests answered so far.
+    pub completed_requests: u64,
+    /// Batches executed so far.
+    pub executed_batches: u64,
+    /// Completed requests per wall-clock second since the server started.
+    pub throughput_rps: f64,
+    /// Mean requests per executed batch.
+    pub mean_batch_size: f64,
+    /// Largest batch observed.
+    pub max_batch_size: usize,
+    /// Batch-size histogram: `histogram[i]` counts batches of size `i + 1`.
+    pub batch_histogram: Vec<u64>,
+    /// Median wall-clock queue wait, µs.
+    pub queue_p50_us: f64,
+    /// 99th-percentile wall-clock queue wait, µs.
+    pub queue_p99_us: f64,
+    /// Median wall-clock batch-execution time, µs.
+    pub execute_p50_us: f64,
+    /// 99th-percentile wall-clock batch-execution time, µs.
+    pub execute_p99_us: f64,
+    /// Median modelled per-request GPU latency, µs.
+    pub modelled_p50_us: f64,
+    /// Encode-cache (model repository) hits.
+    pub encode_hits: u64,
+    /// Encode-cache misses (i.e. prune+encode operations performed).
+    pub encode_misses: u64,
+    /// Fraction of repository lookups served from the cache.
+    pub encode_hit_rate: f64,
+    /// Fraction of modelled-latency lookups served from the cache.
+    pub timing_hit_rate: f64,
+    /// Batches executed per worker index.
+    pub batches_per_worker: Vec<u64>,
+}
+
+impl ServerStats {
+    /// Number of workers that executed at least one batch.
+    pub fn active_workers(&self) -> usize {
+        self.batches_per_worker.iter().filter(|&&n| n > 0).count()
+    }
+
+    /// Renders the snapshot as a small text report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "requests: {}  batches: {}  throughput: {:.1} req/s\n",
+            self.completed_requests, self.executed_batches, self.throughput_rps
+        ));
+        out.push_str(&format!(
+            "batch size: mean {:.2}  max {}  histogram {:?}\n",
+            self.mean_batch_size, self.max_batch_size, self.batch_histogram
+        ));
+        out.push_str(&format!(
+            "queue wait us: p50 {:.0}  p99 {:.0}   execute us: p50 {:.0}  p99 {:.0}\n",
+            self.queue_p50_us, self.queue_p99_us, self.execute_p50_us, self.execute_p99_us
+        ));
+        out.push_str(&format!("modelled GPU us/request: p50 {:.1}\n", self.modelled_p50_us));
+        out.push_str(&format!(
+            "encode cache: {} hits / {} misses ({:.0}% hit rate)   timing cache: {:.0}% hit rate\n",
+            self.encode_hits,
+            self.encode_misses,
+            self.encode_hit_rate * 100.0,
+            self.timing_hit_rate * 100.0
+        ));
+        out.push_str(&format!(
+            "active workers: {} {:?}\n",
+            self.active_workers(),
+            self.batches_per_worker
+        ));
+        out
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    completed_requests: u64,
+    executed_batches: u64,
+    batch_histogram: Vec<u64>,
+    queue_us: Reservoir,
+    execute_us: Reservoir,
+    modelled_request_us: Reservoir,
+    batches_per_worker: Vec<u64>,
+}
+
+/// A bounded uniform sample of a latency stream (Vitter's algorithm R), so
+/// a long-running server's percentile state stays O(1) in memory no matter
+/// how many requests it has served. Exact until `cap` samples, an unbiased
+/// uniform sample after.
+#[derive(Debug)]
+struct Reservoir {
+    samples: Vec<f64>,
+    seen: u64,
+    cap: usize,
+    rng: StdRng,
+}
+
+impl Reservoir {
+    fn new(cap: usize, seed: u64) -> Self {
+        Reservoir { samples: Vec::new(), seen: 0, cap, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    fn push(&mut self, value: f64) {
+        self.seen += 1;
+        if self.samples.len() < self.cap {
+            self.samples.push(value);
+        } else {
+            let slot = self.rng.random_range(0u64..self.seen);
+            if (slot as usize) < self.cap {
+                self.samples[slot as usize] = value;
+            }
+        }
+    }
+}
+
+/// Collects per-batch measurements from the worker pool.
+#[derive(Debug)]
+pub(crate) struct StatsCollector {
+    started: Instant,
+    inner: Mutex<Inner>,
+}
+
+impl StatsCollector {
+    pub fn new() -> Self {
+        StatsCollector {
+            started: Instant::now(),
+            inner: Mutex::new(Inner {
+                completed_requests: 0,
+                executed_batches: 0,
+                batch_histogram: Vec::new(),
+                queue_us: Reservoir::new(SAMPLE_CAP, 1),
+                execute_us: Reservoir::new(SAMPLE_CAP, 2),
+                modelled_request_us: Reservoir::new(SAMPLE_CAP, 3),
+                batches_per_worker: Vec::new(),
+            }),
+        }
+    }
+
+    /// Records one executed batch.
+    pub fn record_batch(
+        &self,
+        worker: usize,
+        queue_us: &[f64],
+        execute_us: f64,
+        modelled_request_us: f64,
+    ) {
+        let batch_size = queue_us.len();
+        debug_assert!(batch_size > 0, "batches are non-empty");
+        let mut inner = self.inner.lock().expect("stats mutex poisoned");
+        inner.completed_requests += batch_size as u64;
+        inner.executed_batches += 1;
+        if inner.batch_histogram.len() < batch_size {
+            inner.batch_histogram.resize(batch_size, 0);
+        }
+        inner.batch_histogram[batch_size - 1] += 1;
+        for &wait in queue_us {
+            inner.queue_us.push(wait);
+        }
+        inner.execute_us.push(execute_us);
+        for _ in 0..batch_size {
+            inner.modelled_request_us.push(modelled_request_us);
+        }
+        if inner.batches_per_worker.len() <= worker {
+            inner.batches_per_worker.resize(worker + 1, 0);
+        }
+        inner.batches_per_worker[worker] += 1;
+    }
+
+    /// Produces a snapshot, folding in the cache counters maintained by the
+    /// repository and timing model.
+    pub fn snapshot(
+        &self,
+        encode_hits: u64,
+        encode_misses: u64,
+        timing_hit_rate: f64,
+    ) -> ServerStats {
+        let inner = self.inner.lock().expect("stats mutex poisoned");
+        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+        let encode_total = encode_hits + encode_misses;
+        ServerStats {
+            completed_requests: inner.completed_requests,
+            executed_batches: inner.executed_batches,
+            throughput_rps: inner.completed_requests as f64 / elapsed,
+            mean_batch_size: if inner.executed_batches == 0 {
+                0.0
+            } else {
+                inner.completed_requests as f64 / inner.executed_batches as f64
+            },
+            max_batch_size: inner.batch_histogram.len(),
+            batch_histogram: inner.batch_histogram.clone(),
+            queue_p50_us: percentile(&inner.queue_us.samples, 0.50),
+            queue_p99_us: percentile(&inner.queue_us.samples, 0.99),
+            execute_p50_us: percentile(&inner.execute_us.samples, 0.50),
+            execute_p99_us: percentile(&inner.execute_us.samples, 0.99),
+            modelled_p50_us: percentile(&inner.modelled_request_us.samples, 0.50),
+            encode_hits,
+            encode_misses,
+            encode_hit_rate: if encode_total == 0 {
+                0.0
+            } else {
+                encode_hits as f64 / encode_total as f64
+            },
+            timing_hit_rate,
+            batches_per_worker: inner.batches_per_worker.clone(),
+        }
+    }
+}
+
+/// Nearest-rank percentile of an unsorted sample set; 0 when empty.
+fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 0.50), 50.0);
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn collector_aggregates_batches() {
+        let c = StatsCollector::new();
+        c.record_batch(0, &[10.0, 20.0], 100.0, 5.0);
+        c.record_batch(1, &[30.0], 50.0, 9.0);
+        let s = c.snapshot(3, 1, 0.75);
+        assert_eq!(s.completed_requests, 3);
+        assert_eq!(s.executed_batches, 2);
+        assert_eq!(s.batch_histogram, vec![1, 1]); // one 1-batch, one 2-batch
+        assert!((s.mean_batch_size - 1.5).abs() < 1e-12);
+        assert_eq!(s.max_batch_size, 2);
+        assert_eq!(s.queue_p50_us, 20.0);
+        assert_eq!(s.execute_p99_us, 100.0);
+        assert_eq!(s.modelled_p50_us, 5.0);
+        assert!((s.encode_hit_rate - 0.75).abs() < 1e-12);
+        assert_eq!(s.batches_per_worker, vec![1, 1]);
+        assert_eq!(s.active_workers(), 2);
+        assert!(s.throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn reservoir_bounds_memory_and_keeps_percentiles_sane() {
+        let c = StatsCollector::new();
+        // Far more requests than the cap: a uniform latency ramp 0..100_000.
+        for i in 0..100_000u64 {
+            c.record_batch(0, &[i as f64], i as f64, 1.0);
+        }
+        let inner = c.inner.lock().unwrap();
+        assert_eq!(inner.queue_us.samples.len(), SAMPLE_CAP);
+        assert_eq!(inner.queue_us.seen, 100_000);
+        drop(inner);
+        let s = c.snapshot(0, 0, 0.0);
+        assert_eq!(s.completed_requests, 100_000);
+        // Sampled percentiles of a uniform ramp stay near the true values.
+        assert!((s.queue_p50_us - 50_000.0).abs() < 5_000.0, "p50 {}", s.queue_p50_us);
+        assert!(s.queue_p99_us > 90_000.0, "p99 {}", s.queue_p99_us);
+    }
+
+    #[test]
+    fn snapshot_of_idle_server_is_zeroed() {
+        let c = StatsCollector::new();
+        let s = c.snapshot(0, 0, 0.0);
+        assert_eq!(s.completed_requests, 0);
+        assert_eq!(s.mean_batch_size, 0.0);
+        assert_eq!(s.encode_hit_rate, 0.0);
+        assert!(s.render().contains("requests: 0"));
+    }
+
+    #[test]
+    fn render_mentions_key_metrics() {
+        let c = StatsCollector::new();
+        c.record_batch(0, &[1.0], 2.0, 3.0);
+        let text = c.snapshot(1, 1, 0.5).render();
+        assert!(text.contains("throughput"));
+        assert!(text.contains("encode cache"));
+        assert!(text.contains("active workers"));
+    }
+}

@@ -1,0 +1,219 @@
+//! The worker pool: OS threads that pull batches from the scheduler,
+//! execute them through the pre-encoded model on the dual-side SpGEMM
+//! kernel, and fan responses back out per request.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use dsstc_tensor::Matrix;
+
+use crate::batcher::{Batch, BatchScheduler};
+use crate::repository::ModelRepository;
+use crate::request::InferResponse;
+use crate::stats::StatsCollector;
+use crate::timing::BatchTimingModel;
+
+/// Everything a worker thread needs, shared by `Arc`.
+#[derive(Debug)]
+pub(crate) struct WorkerContext {
+    pub scheduler: Arc<BatchScheduler>,
+    pub repository: Arc<ModelRepository>,
+    pub timing: Arc<BatchTimingModel>,
+    pub stats: Arc<StatsCollector>,
+}
+
+/// A pool of worker threads draining the batch scheduler.
+#[derive(Debug)]
+pub struct WorkerPool {
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads that run until the scheduler shuts down and
+    /// drains.
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub(crate) fn spawn(workers: usize, context: Arc<WorkerContext>) -> Self {
+        assert!(workers > 0, "at least one worker is required");
+        let handles = (0..workers)
+            .map(|index| {
+                let context = Arc::clone(&context);
+                std::thread::Builder::new()
+                    .name(format!("dsstc-serve-worker-{index}"))
+                    .spawn(move || worker_loop(index, &context))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        WorkerPool { handles }
+    }
+
+    /// Number of worker threads.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Whether the pool has no threads (never true for a spawned pool).
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Waits for every worker to exit (call after the scheduler's
+    /// `shutdown`).
+    pub fn join(self) {
+        for handle in self.handles {
+            // A panicking worker already poisoned the shared state; surface
+            // it instead of hanging the caller.
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+fn worker_loop(index: usize, context: &WorkerContext) {
+    while let Some(batch) = context.scheduler.next_batch() {
+        execute_batch(index, context, batch);
+    }
+}
+
+/// Runs one batch end-to-end: fetch the encoded model (hitting the encode
+/// cache after the first request), stack member features into one larger-M
+/// GEMM chain, execute, split the rows back out, and answer every request.
+fn execute_batch(index: usize, context: &WorkerContext, batch: Batch) {
+    let started = Instant::now();
+    let model = context.repository.get(batch.key);
+    let batch_size = batch.len();
+
+    // Stack member features row-wise: the batch runs as ONE GEMM chain with
+    // M = sum of member rows.
+    let cols = model.input_dim;
+    let mut stacked = Matrix::zeros(batch.total_rows(), cols);
+    let mut row = 0;
+    for request in &batch.requests {
+        stacked.set_tile(row, 0, &request.features);
+        row += request.features.rows();
+    }
+
+    let output = model.forward(context.repository.kernel(), &stacked);
+    let modelled_batch_us = context.timing.batched_us(&model, batch_size);
+    let modelled_request_us = modelled_batch_us / batch_size as f64;
+    let execute_us = started.elapsed().as_secs_f64() * 1e6;
+
+    let queue_us: Vec<f64> = batch
+        .requests
+        .iter()
+        .map(|r| started.duration_since(r.enqueued).as_secs_f64() * 1e6)
+        .collect();
+    context.stats.record_batch(index, &queue_us, execute_us, modelled_request_us);
+
+    let mut row = 0;
+    for (request, wait_us) in batch.requests.into_iter().zip(queue_us) {
+        let rows = request.features.rows();
+        let response = InferResponse {
+            id: request.id,
+            model: batch.key.model,
+            output: output.tile(row, 0, rows, output.cols()),
+            queue_us: wait_us,
+            execute_us,
+            modelled_batch_us,
+            modelled_request_us,
+            batch_size,
+            worker: index,
+        };
+        row += rows;
+        // A dropped receiver (caller gave up) is not an error for the
+        // server; the work is still recorded in the stats.
+        let _ = request.response_tx.send(response);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batcher::{BatchPolicy, PendingRequest};
+    use crate::request::{ModelId, ModelKey};
+    use dsstc_sim::GpuConfig;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    fn context(max_batch: usize) -> Arc<WorkerContext> {
+        Arc::new(WorkerContext {
+            scheduler: Arc::new(BatchScheduler::new(BatchPolicy {
+                max_batch,
+                max_queue_wait: Duration::from_millis(1),
+            })),
+            repository: Arc::new(ModelRepository::new(GpuConfig::v100(), 32)),
+            timing: Arc::new(BatchTimingModel::new(GpuConfig::v100())),
+            stats: Arc::new(StatsCollector::new()),
+        })
+    }
+
+    #[test]
+    fn batch_outputs_split_back_to_the_right_requests() {
+        let ctx = context(4);
+        let key = ModelKey::new(ModelId::BertBase, None);
+        let mut rxs = Vec::new();
+        let mut requests = Vec::new();
+        for id in 0..3u64 {
+            let (tx, rx) = mpsc::channel();
+            let features =
+                Matrix::random_sparse(2, 32, 0.3, dsstc_tensor::SparsityPattern::Uniform, id + 1);
+            requests.push(PendingRequest {
+                id,
+                key,
+                features,
+                response_tx: tx,
+                enqueued: Instant::now(),
+            });
+            rxs.push(rx);
+        }
+        // Reference: run each request alone through the same encoded model.
+        let model = ctx.repository.get(key);
+        let singles: Vec<Matrix> =
+            requests.iter().map(|r| model.forward(ctx.repository.kernel(), &r.features)).collect();
+
+        execute_batch(0, &ctx, Batch { key, requests });
+        for (id, (rx, single)) in rxs.into_iter().zip(singles).enumerate() {
+            let response = rx.recv_timeout(Duration::from_secs(5)).expect("response arrives");
+            assert_eq!(response.id, id as u64);
+            assert_eq!(response.batch_size, 3);
+            assert_eq!(response.worker, 0);
+            assert!(response.output.approx_eq(&single, 1e-4), "request {id}");
+            assert!(response.modelled_batch_us > 0.0);
+            assert!((response.modelled_request_us - response.modelled_batch_us / 3.0).abs() < 1e-9);
+        }
+        let stats = ctx.stats.snapshot(0, 1, 0.0);
+        assert_eq!(stats.completed_requests, 3);
+        assert_eq!(stats.executed_batches, 1);
+    }
+
+    #[test]
+    fn pool_drains_scheduler_and_exits_on_shutdown() {
+        let ctx = context(2);
+        let key = ModelKey::new(ModelId::RnnLm, Some(0.9));
+        let mut rxs = Vec::new();
+        for id in 0..5u64 {
+            let (tx, rx) = mpsc::channel();
+            assert!(ctx.scheduler.enqueue(PendingRequest {
+                id,
+                key,
+                features: Matrix::zeros(1, 32),
+                response_tx: tx,
+                enqueued: Instant::now(),
+            }));
+            rxs.push(rx);
+        }
+        let pool = WorkerPool::spawn(2, Arc::clone(&ctx));
+        assert_eq!(pool.len(), 2);
+        for rx in &rxs {
+            let _ = rx.recv_timeout(Duration::from_secs(30)).expect("response arrives");
+        }
+        ctx.scheduler.shutdown();
+        pool.join();
+        let stats = ctx.stats.snapshot(0, 0, 0.0);
+        assert_eq!(stats.completed_requests, 5);
+        assert!(stats.batch_histogram.len() <= 2, "batches of at most max_batch");
+    }
+}

@@ -1,0 +1,141 @@
+//! Black-box tests of the serving runtime's contract: batching invariants,
+//! encode-cache behaviour, and exactly-once delivery under a multi-threaded
+//! worker pool.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use dsstc_serve::{InferRequest, InferenceServer, ModelId, ServeConfig};
+use dsstc_tensor::{Matrix, SparsityPattern};
+
+fn features(seed: u64) -> Matrix {
+    Matrix::random_sparse(2, 32, 0.4, SparsityPattern::Uniform, seed)
+}
+
+fn config() -> ServeConfig {
+    ServeConfig::default().with_proxy_dim(32).with_max_queue_wait(Duration::from_millis(2))
+}
+
+#[test]
+fn batches_never_exceed_max_batch() {
+    let max_batch = 3;
+    let server = InferenceServer::start(config().with_workers(2).with_max_batch(max_batch));
+    let pending: Vec<_> = (0..20)
+        .map(|i| server.submit(InferRequest::new(ModelId::BertBase, features(i))).expect("queued"))
+        .collect();
+    for p in pending {
+        let response = p.wait().expect("response");
+        assert!(response.batch_size <= max_batch, "batch of {}", response.batch_size);
+    }
+    let stats = server.stats();
+    assert!(stats.max_batch_size <= max_batch);
+    assert_eq!(stats.completed_requests, 20);
+    // 20 requests in batches of <= 3 means at least 7 batches.
+    assert!(stats.executed_batches >= 7);
+}
+
+#[test]
+fn a_lone_request_flushes_on_the_deadline() {
+    let wait = Duration::from_millis(20);
+    let server = InferenceServer::start(
+        config().with_workers(1).with_max_batch(64).with_max_queue_wait(wait),
+    );
+    // Warm the encode cache so the measured wait is queue time, not encode
+    // time.
+    server.infer(InferRequest::new(ModelId::RnnLm, features(0))).expect("warm-up");
+    let t0 = Instant::now();
+    let response = server.infer(InferRequest::new(ModelId::RnnLm, features(1))).expect("response");
+    let elapsed = t0.elapsed();
+    assert_eq!(response.batch_size, 1);
+    assert!(elapsed >= wait, "answered after {elapsed:?}, deadline {wait:?}");
+    assert!(elapsed < wait * 50, "answered after {elapsed:?}");
+}
+
+#[test]
+fn encode_cache_hits_after_the_first_request() {
+    let server = InferenceServer::start(config().with_workers(1).with_max_batch(1));
+    for i in 0..4 {
+        server.infer(InferRequest::new(ModelId::BertBase, features(i))).expect("response");
+    }
+    let stats = server.stats();
+    // Four single-request batches against one model: one encode, three hits.
+    assert_eq!(stats.encode_misses, 1);
+    assert_eq!(stats.encode_hits, 3);
+    assert!((stats.encode_hit_rate - 0.75).abs() < 1e-12);
+    // Same model at a different sparsity is a different artifact.
+    server
+        .infer(InferRequest::new(ModelId::BertBase, features(9)).with_weight_sparsity(0.5))
+        .expect("response");
+    assert_eq!(server.stats().encode_misses, 2);
+}
+
+#[test]
+fn every_request_is_answered_exactly_once_across_workers() {
+    let server = InferenceServer::start(config().with_workers(3).with_max_batch(4));
+    let models = [ModelId::BertBase, ModelId::RnnLm];
+    let pending: Vec<_> = (0..60)
+        .map(|i| {
+            let model = models[i as usize % models.len()];
+            server.submit(InferRequest::new(model, features(i))).expect("queued")
+        })
+        .collect();
+    let mut seen = HashSet::new();
+    for p in pending {
+        let expected_id = p.id();
+        let response = p.wait().expect("response");
+        assert_eq!(response.id, expected_id);
+        assert!(seen.insert(response.id), "duplicate response for {}", response.id);
+        assert_eq!(response.output.rows(), 2);
+        assert_eq!(response.output.cols(), 32);
+    }
+    assert_eq!(seen.len(), 60);
+    let stats = server.stats();
+    assert_eq!(stats.completed_requests, 60);
+    assert_eq!(
+        stats.batch_histogram.iter().enumerate().map(|(i, n)| (i as u64 + 1) * n).sum::<u64>(),
+        60,
+        "histogram accounts for every request"
+    );
+}
+
+#[test]
+fn batched_outputs_match_unbatched_outputs() {
+    // The same request must produce identical features whether it ran alone
+    // or merged into a batch (batching must not change results).
+    let solo_server = InferenceServer::start(config().with_workers(1).with_max_batch(1));
+    let batch_server = InferenceServer::start(config().with_workers(1).with_max_batch(8));
+    let inputs: Vec<Matrix> = (0..6).map(features).collect();
+
+    let solo: Vec<Matrix> = inputs
+        .iter()
+        .map(|f| {
+            solo_server
+                .infer(InferRequest::new(ModelId::ResNet50, f.clone()))
+                .expect("response")
+                .output
+        })
+        .collect();
+
+    let pending: Vec<_> = inputs
+        .iter()
+        .map(|f| {
+            batch_server.submit(InferRequest::new(ModelId::ResNet50, f.clone())).expect("queued")
+        })
+        .collect();
+    for (p, reference) in pending.into_iter().zip(solo) {
+        let response = p.wait().expect("response");
+        assert!(response.output.approx_eq(&reference, 1e-4));
+    }
+}
+
+#[test]
+fn mixed_traffic_reports_modelled_latency_per_model() {
+    let server = InferenceServer::start(config().with_workers(2).with_max_batch(4));
+    let bert =
+        server.infer(InferRequest::new(ModelId::BertBase, features(1))).expect("bert response");
+    let rnn = server.infer(InferRequest::new(ModelId::RnnLm, features(2))).expect("rnn response");
+    assert!(bert.modelled_batch_us > 0.0);
+    assert!(rnn.modelled_batch_us > 0.0);
+    // The RNN's six 1024x6000x1500 GEMMs dwarf BERT's encoder block.
+    assert!(rnn.modelled_batch_us > bert.modelled_batch_us);
+}

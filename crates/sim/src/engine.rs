@@ -60,8 +60,8 @@ impl GpuTimingModel {
         // Merge work is expressed by kernels in warp-cycles; one merge engine
         // exists per sub-core, so the device retires `tc_issue_per_cycle`
         // warp-cycles of merge work per clock.
-        let merge_cycles =
-            (profile.merge_cycles + profile.accum_conflict_cycles) as f64 / cfg.tc_issue_per_cycle();
+        let merge_cycles = (profile.merge_cycles + profile.accum_conflict_cycles) as f64
+            / cfg.tc_issue_per_cycle();
 
         // Compute-side resources are scaled by occupancy (idle SMs cannot
         // help); DRAM is a shared resource but a handful of blocks cannot
@@ -73,10 +73,14 @@ impl GpuTimingModel {
             (Bottleneck::SharedMemory, shared_cycles / occupancy),
             (Bottleneck::Merge, merge_cycles / occupancy),
         ];
-        let (mut bottleneck, critical_cycles) = resources
-            .iter()
-            .cloned()
-            .fold((Bottleneck::TensorCore, 0.0f64), |acc, (b, c)| if c > acc.1 { (b, c) } else { acc });
+        let (mut bottleneck, critical_cycles) =
+            resources.iter().cloned().fold((Bottleneck::TensorCore, 0.0f64), |acc, (b, c)| {
+                if c > acc.1 {
+                    (b, c)
+                } else {
+                    acc
+                }
+            });
 
         let overhead_cycles = cfg.kernel_launch_overhead_us * cfg.clock_ghz * 1e3;
         let total_cycles = critical_cycles + overhead_cycles;

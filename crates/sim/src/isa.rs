@@ -192,7 +192,11 @@ mod tests {
         // POPC 20 on A, 12 on B: OHMMA 0/2/4 enabled in the paper's
         // numbering; in our row-group-major order that is 3 enabled of 8.
         let set = SpWmmaSet::expand(20, 12, 32, &otc());
-        let enabled = set.instructions.iter().filter(|i| matches!(i, MachineInstruction::Ohmma8161 { predicate: true })).count();
+        let enabled = set
+            .instructions
+            .iter()
+            .filter(|i| matches!(i, MachineInstruction::Ohmma8161 { predicate: true }))
+            .count();
         assert_eq!(enabled, 3);
         assert_eq!(set.skipped_ohmma(), 5);
     }

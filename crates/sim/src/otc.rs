@@ -99,7 +99,12 @@ impl WarpTileCost {
     ///
     /// # Panics
     /// Panics if the two slices have different lengths.
-    pub fn from_step_nnz(a_nnz: &[usize], b_nnz: &[usize], warp_dim: usize, otc: &OtcConfig) -> Self {
+    pub fn from_step_nnz(
+        a_nnz: &[usize],
+        b_nnz: &[usize],
+        warp_dim: usize,
+        otc: &OtcConfig,
+    ) -> Self {
         assert_eq!(a_nnz.len(), b_nnz.len(), "A and B must supply the same number of k steps");
         let mut tile = WarpTileCost { k_steps: a_nnz.len() as u64, ..Default::default() };
         for (&a, &b) in a_nnz.iter().zip(b_nnz) {

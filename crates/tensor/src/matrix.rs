@@ -94,11 +94,7 @@ impl Matrix {
         pattern: SparsityPattern,
         seed: u64,
     ) -> Self {
-        RandomMatrixBuilder::new(rows, cols)
-            .sparsity(sparsity)
-            .pattern(pattern)
-            .seed(seed)
-            .build()
+        RandomMatrixBuilder::new(rows, cols).sparsity(sparsity).pattern(pattern).seed(seed).build()
     }
 
     /// Number of rows.
@@ -267,11 +263,7 @@ impl Matrix {
     /// Panics on shape mismatch.
     pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f32, f32::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max)
     }
 
     /// Whether every element matches `other` within `tol` (see
@@ -279,11 +271,7 @@ impl Matrix {
     pub fn approx_eq(&self, other: &Matrix, tol: f32) -> bool {
         self.rows == other.rows
             && self.cols == other.cols
-            && self
-                .data
-                .iter()
-                .zip(&other.data)
-                .all(|(&a, &b)| crate::approx_eq(a, b, tol))
+            && self.data.iter().zip(&other.data).all(|(&a, &b)| crate::approx_eq(a, b, tol))
     }
 
     /// Rounds every element through FP16 storage (see [`f16::round_f32`]).

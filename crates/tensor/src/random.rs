@@ -209,11 +209,7 @@ mod tests {
     fn uniform_sparsity_close_to_target() {
         for &s in &[0.25, 0.5, 0.9, 0.99] {
             let m = RandomMatrixBuilder::new(128, 128).sparsity(s).seed(3).build();
-            assert!(
-                (m.sparsity() - s).abs() < 0.05,
-                "target {s}, got {}",
-                m.sparsity()
-            );
+            assert!((m.sparsity() - s).abs() < 0.05, "target {s}, got {}", m.sparsity());
         }
     }
 
@@ -236,10 +232,8 @@ mod tests {
 
     #[test]
     fn two_out_of_four_structure() {
-        let m = RandomMatrixBuilder::new(16, 64)
-            .pattern(SparsityPattern::TwoOutOfFour)
-            .seed(5)
-            .build();
+        let m =
+            RandomMatrixBuilder::new(16, 64).pattern(SparsityPattern::TwoOutOfFour).seed(5).build();
         // Exactly 2 non-zeros in every aligned group of 4.
         for r in 0..m.rows() {
             for g0 in (0..m.cols()).step_by(4) {
@@ -252,10 +246,8 @@ mod tests {
 
     #[test]
     fn vector_wise_75_structure() {
-        let m = RandomMatrixBuilder::new(8, 128)
-            .pattern(SparsityPattern::VectorWise75)
-            .seed(5)
-            .build();
+        let m =
+            RandomMatrixBuilder::new(8, 128).pattern(SparsityPattern::VectorWise75).seed(5).build();
         for r in 0..m.rows() {
             for g0 in (0..m.cols()).step_by(32) {
                 let nnz = (0..32).filter(|&i| m[(r, g0 + i)] != 0.0).count();
@@ -268,10 +260,8 @@ mod tests {
     #[test]
     fn n_of_m_handles_ragged_tail_groups() {
         // 10 columns with group 4: tail group has 2 columns.
-        let m = RandomMatrixBuilder::new(4, 10)
-            .pattern(SparsityPattern::TwoOutOfFour)
-            .seed(2)
-            .build();
+        let m =
+            RandomMatrixBuilder::new(4, 10).pattern(SparsityPattern::TwoOutOfFour).seed(2).build();
         for r in 0..4 {
             let tail_nnz = (8..10).filter(|&c| m[(r, c)] != 0.0).count();
             assert!(tail_nnz <= 2);

@@ -76,8 +76,19 @@ impl ConvShape {
     /// # Panics
     /// Panics if a dimension or the stride is zero, or if the kernel (with
     /// padding) does not fit in the input.
-    pub fn new(h: usize, w: usize, c: usize, n: usize, k: usize, stride: usize, padding: usize) -> Self {
-        assert!(h > 0 && w > 0 && c > 0 && n > 0 && k > 0 && stride > 0, "dimensions must be non-zero");
+    pub fn new(
+        h: usize,
+        w: usize,
+        c: usize,
+        n: usize,
+        k: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        assert!(
+            h > 0 && w > 0 && c > 0 && n > 0 && k > 0 && stride > 0,
+            "dimensions must be non-zero"
+        );
         assert!(h + 2 * padding >= k && w + 2 * padding >= k, "kernel larger than padded input");
         ConvShape { h, w, c, n, k, stride, padding }
     }

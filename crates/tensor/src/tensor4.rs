@@ -97,7 +97,12 @@ impl FeatureMap {
     /// Reads element `(c, y, x)` treating out-of-bounds coordinates (from
     /// padding) as zero. `y`/`x` are signed for this reason.
     pub fn get_padded(&self, c: usize, y: isize, x: isize) -> f32 {
-        if c >= self.channels || y < 0 || x < 0 || y as usize >= self.height || x as usize >= self.width {
+        if c >= self.channels
+            || y < 0
+            || x < 0
+            || y as usize >= self.height
+            || x as usize >= self.width
+        {
             0.0
         } else {
             self.data[(c * self.height + y as usize) * self.width + x as usize]
@@ -120,7 +125,11 @@ impl FeatureMap {
     pub fn channel(&self, c: usize) -> Matrix {
         assert!(c < self.channels, "channel out of bounds");
         let start = c * self.height * self.width;
-        Matrix::from_vec(self.height, self.width, self.data[start..start + self.height * self.width].to_vec())
+        Matrix::from_vec(
+            self.height,
+            self.width,
+            self.data[start..start + self.height * self.width].to_vec(),
+        )
     }
 
     /// Total number of elements.
@@ -167,11 +176,15 @@ impl FeatureMap {
         assert_eq!(self.width, shape.w, "input width mismatch");
         assert_eq!(weights.len(), shape.n, "output channel mismatch");
         for w in weights {
-            assert_eq!((w.channels, w.height, w.width), (shape.c, shape.k, shape.k), "weight shape mismatch");
+            assert_eq!(
+                (w.channels, w.height, w.width),
+                (shape.c, shape.k, shape.k),
+                "weight shape mismatch"
+            );
         }
         let (oh, ow) = (shape.out_h(), shape.out_w());
         let mut out = FeatureMap::zeros(shape.n, oh, ow);
-        for n in 0..shape.n {
+        for (n, weight) in weights.iter().enumerate() {
             for oy in 0..oh {
                 for ox in 0..ow {
                     let mut acc = 0.0f32;
@@ -180,7 +193,7 @@ impl FeatureMap {
                             for kx in 0..shape.k {
                                 let iy = (oy * shape.stride + ky) as isize - shape.padding as isize;
                                 let ix = (ox * shape.stride + kx) as isize - shape.padding as isize;
-                                acc += self.get_padded(c, iy, ix) * weights[n].get(c, ky, kx);
+                                acc += self.get_padded(c, iy, ix) * weight.get(c, ky, kx);
                             }
                         }
                     }

@@ -26,7 +26,13 @@ fn main() {
     let input = activation_feature_map(&small, layer.activation_sparsity, 5);
     let weights: Vec<FeatureMap> = (0..small.n)
         .map(|n| {
-            let dense = Matrix::random_sparse(small.c, small.k * small.k, 0.0, SparsityPattern::Uniform, 100 + n as u64);
+            let dense = Matrix::random_sparse(
+                small.c,
+                small.k * small.k,
+                0.0,
+                SparsityPattern::Uniform,
+                100 + n as u64,
+            );
             let pruned = prune_magnitude(&dense, layer.weight_sparsity);
             let mut w = FeatureMap::zeros(small.c, small.k, small.k);
             for c in 0..small.c {
@@ -47,12 +53,17 @@ fn main() {
     for n in 0..small.n {
         for oy in 0..small.out_h() {
             for ox in 0..small.out_w() {
-                max_err = max_err.max((output[(oy * small.out_w() + ox, n)] - reference.get(n, oy, ox)).abs());
+                max_err = max_err
+                    .max((output[(oy * small.out_w() + ox, n)] - reference.get(n, oy, ox)).abs());
             }
         }
     }
     println!("Functional SpCONV on a reduced layer 3-2 ({}):", small);
-    println!("  input sparsity {:.1}%, weight sparsity {:.1}%", input.sparsity() * 100.0, layer.weight_sparsity * 100.0);
+    println!(
+        "  input sparsity {:.1}%, weight sparsity {:.1}%",
+        input.sparsity() * 100.0,
+        layer.weight_sparsity * 100.0
+    );
     println!("  max abs error vs direct convolution: {max_err:.4}");
     println!("  modelled kernel time: {time_us:.2} us");
 }

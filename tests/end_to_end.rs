@@ -25,7 +25,11 @@ fn cnn_reports_have_five_schemes_and_dual_side_wins_overall() {
             network.name(),
             report.full_model_dual_speedup
         );
-        assert!(report.full_model_dual_speedup > report.full_model_single_speedup, "{}", network.name());
+        assert!(
+            report.full_model_dual_speedup > report.full_model_single_speedup,
+            "{}",
+            network.name()
+        );
     }
 }
 

@@ -28,11 +28,15 @@ fn pruned_weights_and_relu_activations_flow_through_the_full_stack() {
 
 #[test]
 fn every_encoding_roundtrips_the_same_pruned_weight_matrix() {
-    let weights = prune_n_of_m(&Matrix::random_sparse(64, 96, 0.0, SparsityPattern::Uniform, 9), 8, 32);
+    let weights =
+        prune_n_of_m(&Matrix::random_sparse(64, 96, 0.0, SparsityPattern::Uniform, 9), 8, 32);
     assert_eq!(BitmapMatrix::encode(&weights, VectorLayout::ColumnMajor).decode(), weights);
     assert_eq!(BitmapMatrix::encode(&weights, VectorLayout::RowMajor).decode(), weights);
     assert_eq!(CsrMatrix::encode(&weights).decode(), weights);
-    assert_eq!(TwoLevelBitmapMatrix::encode(&weights, 32, 16, VectorLayout::ColumnMajor).decode(), weights);
+    assert_eq!(
+        TwoLevelBitmapMatrix::encode(&weights, 32, 16, VectorLayout::ColumnMajor).decode(),
+        weights
+    );
 }
 
 #[test]
@@ -112,7 +116,8 @@ fn ablations_never_improve_on_the_full_design() {
     let model = GpuTimingModel::v100();
     let spec = SyntheticGemmSpec::new(GemmShape::new(1024, 1024, 1024), 0.85, 0.85, 5);
     let time = |opts: BitmapSpGemmOptions| {
-        let (p, _) = BitmapSpGemm::new(GpuConfig::v100()).with_options(opts).profile_synthetic(&spec);
+        let (p, _) =
+            BitmapSpGemm::new(GpuConfig::v100()).with_options(opts).profile_synthetic(&spec);
         model.estimate(&p).time_us()
     };
     let full = time(BitmapSpGemmOptions { operand_collector: true, two_level: true });

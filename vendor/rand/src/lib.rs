@@ -1,0 +1,184 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The workspace is built without network access, so instead of the registry
+//! crate this vendored shim provides exactly the (deterministic) subset of
+//! the rand 0.9 API the other crates consume:
+//!
+//! * [`rngs::StdRng`] seeded through [`SeedableRng::seed_from_u64`],
+//! * [`RngExt::random_bool`] for Bernoulli draws, and
+//! * [`RngExt::random_range`] over half-open `f32` / `f64` / integer ranges.
+//!
+//! The generator is SplitMix64 — not cryptographic, but statistically more
+//! than good enough for synthetic sparse-matrix generation, and fully
+//! reproducible given a seed (which the workspace's tests rely on).
+
+#![deny(missing_docs)]
+
+use std::ops::Range;
+
+/// A source of pseudo-random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// RNGs that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG whose whole state is derived from `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood): passes BigCrush, one add +
+            // three xor-shift-multiplies per word.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Types that [`RngExt::random_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Uniform value in `[0, 1)` with 53 random mantissa bits.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample an empty range");
+        let v = self.start + unit_f64(rng) * (self.end - self.start);
+        // Guard against the top end being reached through rounding.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange for Range<f32> {
+    type Output = f32;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample an empty range");
+        let v = self.start + (unit_f64(rng) as f32) * (self.end - self.start);
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample an empty range");
+                let span = (self.end - self.start) as u64;
+                // Modulo bias is < 2^-32 for the span sizes this workspace
+                // uses (tile dimensions, element indices); acceptable for
+                // synthetic data generation.
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32, u16, u8);
+
+/// Convenience sampling methods, mirroring rand 0.9's `Rng` trait surface
+/// under the name the workspace imports.
+pub trait RngExt: RngCore {
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        unit_f64(self) < p
+    }
+
+    /// Draws one uniform value from `range`.
+    fn random_range<T: SampleRange>(&mut self, range: T) -> T::Output {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0usize..1000), b.random_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn random_bool_edge_probabilities() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+        let trues = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&trues), "got {trues}");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let f = rng.random_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let u = rng.random_range(3usize..9);
+            assert!((3..9).contains(&u));
+            let d = rng.random_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn mean_of_unit_range_is_centred() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.random_range(0.0f64..1.0)).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}
