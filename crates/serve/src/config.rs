@@ -1,52 +1,125 @@
-//! Serving-runtime configuration.
+//! Serving-runtime configuration: batching knobs plus the device pool.
 
 use std::time::Duration;
 
 use dsstc_sim::GpuConfig;
 
+use crate::dispatch::DispatchPolicy;
+
+/// A pool of modelled GPUs batches are dispatched onto.
+///
+/// Each device gets one pinned worker thread and its own
+/// [`crate::BatchTimingModel`]; the dispatcher routes every released batch
+/// to the device minimising modelled completion time (see
+/// [`crate::DeviceDispatcher`]). Pools may be heterogeneous — e.g. a mix of
+/// [`GpuConfig::v100`] and [`GpuConfig::a100`] — in which case the faster
+/// devices naturally absorb a larger share of the traffic.
+#[derive(Clone, Debug)]
+pub struct DevicePool {
+    devices: Vec<GpuConfig>,
+}
+
+impl DevicePool {
+    /// A pool over an explicit device list.
+    ///
+    /// # Panics
+    /// Panics if `devices` is empty.
+    pub fn new(devices: Vec<GpuConfig>) -> Self {
+        assert!(!devices.is_empty(), "a device pool needs at least one device");
+        DevicePool { devices }
+    }
+
+    /// `count` identical devices.
+    ///
+    /// # Panics
+    /// Panics if `count` is zero.
+    pub fn homogeneous(gpu: GpuConfig, count: usize) -> Self {
+        assert!(count > 0, "a device pool needs at least one device");
+        DevicePool { devices: vec![gpu; count] }
+    }
+
+    /// The member devices, in worker-pinning order.
+    pub fn devices(&self) -> &[GpuConfig] {
+        &self.devices
+    }
+
+    /// The device whose kernel tiling the shared model encodings target
+    /// (the first in the pool).
+    pub fn primary(&self) -> &GpuConfig {
+        &self.devices[0]
+    }
+
+    /// Number of devices (= number of pinned workers).
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Always `false`: pools are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Device names, in pool order.
+    pub fn names(&self) -> Vec<String> {
+        self.devices.iter().map(|d| d.name.clone()).collect()
+    }
+}
+
+impl Default for DevicePool {
+    fn default() -> Self {
+        DevicePool::homogeneous(GpuConfig::v100(), 2)
+    }
+}
+
 /// Configuration of an [`crate::InferenceServer`].
 ///
-/// The defaults (two workers, batches of up to eight requests flushed after
-/// two milliseconds, a 64-wide proxy feature dimension on the paper's V100
-/// configuration) are sized so the serving smoke tests and the demo run in
-/// seconds; a throughput deployment raises `workers` and `max_batch`.
+/// The defaults (two pooled V100s, batches of up to eight requests flushed
+/// after two milliseconds, a 64-wide proxy feature dimension,
+/// completion-time-aware dispatch) are sized so the serving smoke tests and
+/// the demo run in seconds; a throughput deployment grows the pool and
+/// `max_batch`.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
-    /// Number of OS worker threads executing batches.
-    pub workers: usize,
+    /// The modelled devices; one pinned worker thread each.
+    pub devices: DevicePool,
     /// Largest number of requests merged into one batch.
     pub max_batch: usize,
-    /// How long the oldest queued request may wait before its batch is
-    /// flushed even if it is not full.
+    /// How long any queued request may wait before its batch is flushed
+    /// even if it is not full (also the cap on per-request SLO deadlines).
     pub max_queue_wait: Duration,
     /// Feature dimension of the functional proxy GEMMs each request flows
     /// through (the modelled latency always uses the network's *real*
     /// shapes; see [`crate::ModelRepository`]).
     pub proxy_dim: usize,
-    /// GPU configuration for the timing model and kernel tiling.
-    pub gpu: GpuConfig,
+    /// How released batches are assigned to devices.
+    pub dispatch: DispatchPolicy,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
-            workers: 2,
+            devices: DevicePool::default(),
             max_batch: 8,
             max_queue_wait: Duration::from_millis(2),
             proxy_dim: 64,
-            gpu: GpuConfig::v100(),
+            dispatch: DispatchPolicy::MinCompletionTime,
         }
     }
 }
 
 impl ServeConfig {
-    /// Overrides the worker-thread count.
+    /// Number of worker threads (one per pooled device).
+    pub fn workers(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Resizes the pool to `workers` copies of its primary device.
     ///
     /// # Panics
     /// Panics if `workers` is zero.
     pub fn with_workers(mut self, workers: usize) -> Self {
         assert!(workers > 0, "at least one worker is required");
-        self.workers = workers;
+        self.devices = DevicePool::homogeneous(self.devices.primary().clone(), workers);
         self
     }
 
@@ -76,9 +149,22 @@ impl ServeConfig {
         self
     }
 
-    /// Overrides the GPU configuration.
+    /// Replaces every pooled device with copies of `gpu`, keeping the pool
+    /// size (single-GPU convenience mirroring the pre-pool API).
     pub fn with_gpu(mut self, gpu: GpuConfig) -> Self {
-        self.gpu = gpu;
+        self.devices = DevicePool::homogeneous(gpu, self.devices.len());
+        self
+    }
+
+    /// Overrides the device pool.
+    pub fn with_devices(mut self, devices: DevicePool) -> Self {
+        self.devices = devices;
+        self
+    }
+
+    /// Overrides the batch-to-device dispatch policy.
+    pub fn with_dispatch(mut self, dispatch: DispatchPolicy) -> Self {
+        self.dispatch = dispatch;
         self
     }
 }
@@ -90,9 +176,11 @@ mod tests {
     #[test]
     fn defaults_are_sane() {
         let c = ServeConfig::default();
-        assert!(c.workers >= 2);
+        assert!(c.workers() >= 2);
         assert!(c.max_batch > 1);
         assert!(c.proxy_dim % 32 == 0);
+        assert_eq!(c.dispatch, DispatchPolicy::MinCompletionTime);
+        assert_eq!(c.devices.primary().name, "Tesla V100");
     }
 
     #[test]
@@ -101,17 +189,37 @@ mod tests {
             .with_workers(5)
             .with_max_batch(3)
             .with_max_queue_wait(Duration::from_millis(7))
-            .with_proxy_dim(96);
-        assert_eq!(c.workers, 5);
+            .with_proxy_dim(96)
+            .with_dispatch(DispatchPolicy::RoundRobin);
+        assert_eq!(c.workers(), 5);
         assert_eq!(c.max_batch, 3);
         assert_eq!(c.max_queue_wait, Duration::from_millis(7));
         assert_eq!(c.proxy_dim, 96);
+        assert_eq!(c.dispatch, DispatchPolicy::RoundRobin);
+    }
+
+    #[test]
+    fn with_gpu_keeps_pool_size_and_with_devices_replaces_it() {
+        let c = ServeConfig::default().with_workers(3).with_gpu(GpuConfig::a100());
+        assert_eq!(c.workers(), 3);
+        assert!(c.devices.devices().iter().all(|d| d.name == "A100"));
+        let mixed = DevicePool::new(vec![GpuConfig::v100(), GpuConfig::a100()]);
+        let c = c.with_devices(mixed);
+        assert_eq!(c.workers(), 2);
+        assert_eq!(c.devices.names(), vec!["Tesla V100".to_string(), "A100".to_string()]);
+        assert!(!c.devices.is_empty());
     }
 
     #[test]
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_panics() {
         let _ = ServeConfig::default().with_workers(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_pool_panics() {
+        let _ = DevicePool::new(Vec::new());
     }
 
     #[test]

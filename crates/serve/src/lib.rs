@@ -1,4 +1,4 @@
-//! # dsstc-serve — batched, multi-threaded inference serving
+//! # dsstc-serve — SLO-aware, multi-device batched inference serving
 //!
 //! A serving runtime on top of the dual-side sparse Tensor Core stack,
 //! turning the one-shot estimates of [`dsstc_kernels`] / `dsstc::inference`
@@ -11,47 +11,66 @@
 //!   per-request re-encoding is pure waste.
 //! * [`BatchScheduler`] — accepts [`InferRequest`]s on a queue and
 //!   dynamically merges compatible requests into larger-M GEMM batches,
-//!   bounded by a maximum batch size and a queue-latency deadline.
-//! * [`WorkerPool`] — OS threads executing batches on the dual-side SpGEMM
-//!   kernel against the cached encodings; every request receives an
-//!   [`InferResponse`] carrying its output features plus the modelled GPU
-//!   latency of the real network at the batch's size (via
-//!   [`BatchTimingModel`]).
-//! * [`ServerStats`] — throughput, queue/execute latency percentiles, the
-//!   batch-size histogram and the encode-cache hit rate.
+//!   bounded by a maximum batch size and per-request SLO deadlines. Requests
+//!   carry a [`Priority`]: when a class holds more requests than fit in one
+//!   batch, higher priorities are extracted first (FIFO within a priority),
+//!   and a request about to miss its deadline flushes its batch early.
+//! * [`DeviceDispatcher`] — routes every released batch onto a
+//!   [`DevicePool`] of (possibly heterogeneous) modelled GPUs — e.g. V100s
+//!   next to A100s — picking the device that minimises **modelled completion
+//!   time** via per-device [`BatchTimingModel`]s (round-robin is kept as the
+//!   baseline policy).
+//! * [`WorkerPool`] — one pinned OS worker per device executing its batches
+//!   on the dual-side SpGEMM kernel against the cached encodings; every
+//!   request receives an [`InferResponse`] carrying its output features plus
+//!   the modelled GPU latency of the real network at the batch's size.
+//! * [`PoissonArrivals`] — a seeded open-loop traffic generator for
+//!   latency-vs-offered-load measurements (see the `serve_throughput`
+//!   sweep's `--open-loop` mode).
+//! * [`ServerStats`] — throughput, aggregate **and per-priority**
+//!   queue/execute latency percentiles, the batch-size histogram,
+//!   per-device modelled utilisation and the encode-cache hit rate.
 //!
 //! # Quickstart
 //!
 //! ```
 //! use std::time::Duration;
-//! use dsstc_serve::{InferRequest, InferenceServer, ModelId, ServeConfig};
+//! use dsstc_serve::{
+//!     DevicePool, InferRequest, InferenceServer, ModelId, Priority, ServeConfig,
+//! };
+//! use dsstc_sim::GpuConfig;
 //! use dsstc_tensor::{Matrix, SparsityPattern};
 //!
 //! let mut server = InferenceServer::start(
 //!     ServeConfig::default()
-//!         .with_workers(2)
+//!         .with_devices(DevicePool::new(vec![GpuConfig::v100(), GpuConfig::a100()]))
 //!         .with_max_batch(4)
 //!         .with_max_queue_wait(Duration::from_millis(1))
 //!         .with_proxy_dim(32),
 //! );
 //!
-//! // Submit a burst of BERT requests; the scheduler batches them.
+//! // Submit a burst of BERT requests; the scheduler batches them and the
+//! // dispatcher spreads batches over the mixed V100 + A100 pool.
 //! let pending: Vec<_> = (0..4)
 //!     .map(|seed| {
 //!         let features = Matrix::random_sparse(2, 32, 0.3, SparsityPattern::Uniform, seed);
-//!         server.submit(InferRequest::new(ModelId::BertBase, features)).unwrap()
+//!         let request = InferRequest::new(ModelId::BertBase, features)
+//!             .with_priority(if seed == 0 { Priority::High } else { Priority::Normal });
+//!         server.submit(request).unwrap()
 //!     })
 //!     .collect();
 //! for p in pending {
 //!     let response = p.wait().unwrap();
 //!     assert_eq!(response.output.rows(), 2);
 //!     assert!(response.modelled_batch_us > 0.0);
+//!     assert!(response.device < 2);
 //! }
 //!
 //! // The first request encoded the weights; the rest reused the cache.
 //! let stats = server.stats();
 //! assert_eq!(stats.completed_requests, 4);
 //! assert_eq!(stats.encode_misses, 1);
+//! assert_eq!(stats.per_device.len(), 2);
 //! server.shutdown();
 //! ```
 
@@ -59,18 +78,22 @@
 
 pub mod batcher;
 pub mod config;
+pub mod dispatch;
 pub mod repository;
 pub mod request;
 pub mod server;
 pub mod stats;
 pub mod timing;
+pub mod traffic;
 pub mod worker;
 
 pub use crate::batcher::{BatchPolicy, BatchScheduler};
-pub use crate::config::ServeConfig;
+pub use crate::config::{DevicePool, ServeConfig};
+pub use crate::dispatch::{DeviceAssignment, DeviceDispatcher, DispatchPolicy};
 pub use crate::repository::{EncodedLayer, EncodedModel, ModelRepository};
-pub use crate::request::{InferRequest, InferResponse, ModelId, ModelKey};
+pub use crate::request::{InferRequest, InferResponse, ModelId, ModelKey, Priority};
 pub use crate::server::{InferenceServer, PendingResponse, ServeError};
-pub use crate::stats::ServerStats;
+pub use crate::stats::{DeviceStats, PriorityLatency, ServerStats};
 pub use crate::timing::BatchTimingModel;
+pub use crate::traffic::PoissonArrivals;
 pub use crate::worker::WorkerPool;

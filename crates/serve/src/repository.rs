@@ -207,21 +207,10 @@ impl ModelRepository {
     /// Prunes + encodes one model (the slow path behind a cache miss).
     fn load(&self, key: ModelKey) -> EncodedModel {
         let started = Instant::now();
-        let base = key.model.network();
-        // Apply the uniform sparsity override to the real layer table so
-        // both the proxy weights and the timing model see it.
-        let layers_effective: Vec<Layer> = base
-            .layers()
-            .iter()
-            .map(|l| {
-                let mut l = l.clone();
-                if let Some(s) = key.weight_sparsity() {
-                    l.weight_sparsity = s;
-                }
-                l
-            })
-            .collect();
-        let network = Network::new(base.name(), layers_effective.clone());
+        // The real layer table with the uniform sparsity override applied,
+        // so both the proxy weights and the timing model see it.
+        let network = key.network();
+        let layers_effective: Vec<Layer> = network.layers().to_vec();
         let relu = key.model.uses_relu();
         let layers = layers_effective
             .into_iter()

@@ -1,7 +1,57 @@
 //! Request / response types of the serving runtime.
 
+use std::time::Duration;
+
 use dsstc_models::{networks, Network};
 use dsstc_tensor::Matrix;
+
+/// Scheduling priority of a request.
+///
+/// Priorities order extraction within a batch's compatibility class: when
+/// more compatible requests are queued than fit in one batch, higher
+/// priorities go out first (FIFO within one priority level). A request's
+/// SLO deadline (see [`InferRequest::with_deadline`]) additionally makes the
+/// scheduler flush its batch early when the deadline is about to be missed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Background traffic: batched last, still bounded by the queue
+    /// deadline.
+    Low,
+    /// The default service class.
+    #[default]
+    Normal,
+    /// Latency-critical traffic: extracted first within its model.
+    High,
+}
+
+impl Priority {
+    /// Every priority, lowest first (matches the `Ord` derivation).
+    pub const ALL: [Priority; 3] = [Priority::Low, Priority::Normal, Priority::High];
+
+    /// Stable index into per-priority tables (`Low` = 0 .. `High` = 2).
+    pub fn index(&self) -> usize {
+        match self {
+            Priority::Low => 0,
+            Priority::Normal => 1,
+            Priority::High => 2,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
+    }
+}
+
+impl std::fmt::Display for Priority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad(self.name())
+    }
+}
 
 /// The served model catalogue: the paper's five evaluated networks plus
 /// ResNet-50 (the classic serving workload).
@@ -99,6 +149,29 @@ impl ModelKey {
     pub fn weight_sparsity(&self) -> Option<f64> {
         self.sparsity_permille.map(|p| f64::from(p) / 1000.0)
     }
+
+    /// The real layer table this key serves: the model's published network
+    /// with any uniform weight-sparsity override applied. Cheap to build
+    /// (no weights are materialised), so schedulers can price batches
+    /// without touching the encode cache.
+    pub fn network(&self) -> Network {
+        let base = self.model.network();
+        match self.weight_sparsity() {
+            None => base,
+            Some(sparsity) => {
+                let layers = base
+                    .layers()
+                    .iter()
+                    .map(|layer| {
+                        let mut layer = layer.clone();
+                        layer.weight_sparsity = sparsity;
+                        layer
+                    })
+                    .collect();
+                Network::new(base.name(), layers)
+            }
+        }
+    }
 }
 
 /// One inference request.
@@ -111,17 +184,42 @@ pub struct InferRequest {
     pub weight_sparsity: Option<f64>,
     /// Input features: one row per sample/token, `proxy_dim` columns.
     pub features: Matrix,
+    /// Scheduling priority ([`Priority::Normal`] by default).
+    pub priority: Priority,
+    /// Optional per-request SLO: how long this request may wait in the
+    /// batching queue before its batch is flushed early. Effectively capped
+    /// at the server's `max_queue_wait`, which remains the upper bound for
+    /// every request.
+    pub deadline: Option<Duration>,
 }
 
 impl InferRequest {
     /// A request against the published sparsity table.
     pub fn new(model: ModelId, features: Matrix) -> Self {
-        InferRequest { model, weight_sparsity: None, features }
+        InferRequest {
+            model,
+            weight_sparsity: None,
+            features,
+            priority: Priority::default(),
+            deadline: None,
+        }
     }
 
     /// Sets a uniform weight-sparsity override.
     pub fn with_weight_sparsity(mut self, sparsity: f64) -> Self {
         self.weight_sparsity = Some(sparsity);
+        self
+    }
+
+    /// Sets the scheduling priority.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the per-request queue-wait SLO.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 
@@ -152,8 +250,12 @@ pub struct InferResponse {
     pub modelled_request_us: f64,
     /// How many requests were merged into the executing batch.
     pub batch_size: usize,
-    /// Index of the worker thread that executed the batch.
-    pub worker: usize,
+    /// Index into the server's device pool of the device the batch was
+    /// dispatched to (which is also the index of the worker thread that
+    /// executed it — workers are pinned 1:1 to devices).
+    pub device: usize,
+    /// The priority the request was scheduled at.
+    pub priority: Priority,
 }
 
 #[cfg(test)]
@@ -196,5 +298,40 @@ mod tests {
         assert_eq!(r.key(), ModelKey::new(ModelId::ResNet50, None));
         let r = InferRequest::new(ModelId::ResNet50, m).with_weight_sparsity(0.8);
         assert_eq!(r.key(), ModelKey::new(ModelId::ResNet50, Some(0.8)));
+    }
+
+    #[test]
+    fn model_key_network_applies_the_override() {
+        let plain = ModelKey::new(ModelId::BertBase, None).network();
+        let overridden = ModelKey::new(ModelId::BertBase, Some(0.7)).network();
+        assert_eq!(plain.layers().len(), overridden.layers().len());
+        for layer in overridden.layers() {
+            assert_eq!(layer.weight_sparsity, 0.7, "{}", layer.name);
+        }
+        assert_ne!(
+            plain.layers().iter().map(|l| l.weight_sparsity).collect::<Vec<_>>(),
+            overridden.layers().iter().map(|l| l.weight_sparsity).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn priorities_order_and_index_consistently() {
+        assert!(Priority::Low < Priority::Normal);
+        assert!(Priority::Normal < Priority::High);
+        assert_eq!(Priority::default(), Priority::Normal);
+        for (i, p) in Priority::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        assert_eq!(Priority::High.to_string(), "high");
+    }
+
+    #[test]
+    fn request_builders_set_priority_and_deadline() {
+        let r = InferRequest::new(ModelId::BertBase, Matrix::zeros(1, 8));
+        assert_eq!(r.priority, Priority::Normal);
+        assert_eq!(r.deadline, None);
+        let r = r.with_priority(Priority::High).with_deadline(Duration::from_millis(3));
+        assert_eq!(r.priority, Priority::High);
+        assert_eq!(r.deadline, Some(Duration::from_millis(3)));
     }
 }

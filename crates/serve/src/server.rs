@@ -8,10 +8,10 @@ use std::time::{Duration, Instant};
 
 use crate::batcher::{BatchPolicy, BatchScheduler, PendingRequest};
 use crate::config::ServeConfig;
+use crate::dispatch::DeviceDispatcher;
 use crate::repository::ModelRepository;
 use crate::request::{InferRequest, InferResponse};
 use crate::stats::{ServerStats, StatsCollector};
-use crate::timing::BatchTimingModel;
 use crate::worker::{WorkerContext, WorkerPool};
 
 /// Why a request could not be served.
@@ -80,21 +80,25 @@ pub struct InferenceServer {
 }
 
 impl InferenceServer {
-    /// Boots the server: builds the shared state and spawns the worker
-    /// pool. Models are encoded lazily on their first request.
+    /// Boots the server: builds the shared state (model encodings target
+    /// the pool's primary device; each pooled device gets its own timing
+    /// model) and spawns the dispatcher plus one pinned worker per device.
+    /// Models are encoded lazily on their first request.
     pub fn start(config: ServeConfig) -> Self {
-        assert!(config.workers > 0, "at least one worker is required");
         assert!(config.max_batch > 0, "batches need at least one request");
         let context = Arc::new(WorkerContext {
             scheduler: Arc::new(BatchScheduler::new(BatchPolicy {
                 max_batch: config.max_batch,
                 max_queue_wait: config.max_queue_wait,
             })),
-            repository: Arc::new(ModelRepository::new(config.gpu.clone(), config.proxy_dim)),
-            timing: Arc::new(BatchTimingModel::new(config.gpu.clone())),
+            repository: Arc::new(ModelRepository::new(
+                config.devices.primary().clone(),
+                config.proxy_dim,
+            )),
+            dispatcher: Arc::new(DeviceDispatcher::new(&config.devices, config.dispatch)),
             stats: Arc::new(StatsCollector::new()),
         });
-        let pool = WorkerPool::spawn(config.workers, Arc::clone(&context));
+        let pool = WorkerPool::spawn(Arc::clone(&context));
         InferenceServer { config, context, pool: Some(pool), next_id: AtomicU64::new(0) }
     }
 
@@ -119,13 +123,16 @@ impl InferenceServer {
     }
 
     /// Warm-up: loads, prunes and pre-encodes `model` at `weight_sparsity`
-    /// and pre-prices every batch bucket, so no live request pays the
-    /// one-time encode or pricing cost. Returns the encode time in
-    /// milliseconds (zero-ish when the model was already cached).
+    /// and pre-prices every batch bucket on **every pooled device**, so no
+    /// live request pays the one-time encode or pricing cost. Returns the
+    /// encode time in milliseconds (zero-ish when the model was already
+    /// cached).
     pub fn warm_model(&self, model: crate::ModelId, weight_sparsity: Option<f64>) -> f64 {
         let key = crate::ModelKey::new(model, weight_sparsity);
         let encoded = self.context.repository.get(key);
-        self.context.timing.warm(&encoded, self.config.max_batch);
+        for device in 0..self.context.dispatcher.len() {
+            self.context.dispatcher.timing(device).warm(&encoded, self.config.max_batch);
+        }
         encoded.encode_ms
     }
 
@@ -143,6 +150,8 @@ impl InferenceServer {
         let pending = PendingRequest {
             id,
             key: request.key(),
+            priority: request.priority,
+            slo: request.deadline,
             features: request.features,
             response_tx: tx,
             enqueued: Instant::now(),
@@ -163,8 +172,15 @@ impl InferenceServer {
         self.context.stats.snapshot(
             self.context.repository.hit_count(),
             self.context.repository.miss_count(),
-            self.context.timing.hit_rate(),
+            self.context.dispatcher.timing_hit_rate(),
+            self.context.dispatcher.names(),
         )
+    }
+
+    /// The batch-to-device dispatcher (exposed for inspection: per-device
+    /// timing models, modelled backlog horizons and makespan).
+    pub fn dispatcher(&self) -> &Arc<DeviceDispatcher> {
+        &self.context.dispatcher
     }
 
     /// Stops accepting requests, drains the queue and joins the workers.
@@ -265,5 +281,43 @@ mod tests {
         let id = pending.id();
         let response = pending.wait().expect("response");
         assert_eq!(response.id, id);
+    }
+
+    #[test]
+    fn responses_carry_priority_and_device() {
+        use crate::request::Priority;
+        let server = tiny_server(2, 2);
+        let request = InferRequest::new(ModelId::RnnLm, features(9))
+            .with_priority(Priority::High)
+            .with_deadline(Duration::from_millis(1));
+        let response = server.infer(request).expect("served");
+        assert_eq!(response.priority, Priority::High);
+        assert!(response.device < server.worker_count());
+        let stats = server.stats();
+        assert_eq!(stats.for_priority(Priority::High).completed, 1);
+        assert_eq!(stats.per_device.len(), 2);
+        assert!(stats.modelled_makespan_us > 0.0);
+    }
+
+    #[test]
+    fn heterogeneous_pool_is_reported_in_stats() {
+        use crate::config::DevicePool;
+        use dsstc_sim::GpuConfig;
+        let server = InferenceServer::start(
+            ServeConfig::default()
+                .with_devices(DevicePool::new(vec![GpuConfig::v100(), GpuConfig::a100()]))
+                .with_max_batch(2)
+                .with_max_queue_wait(Duration::from_millis(1))
+                .with_proxy_dim(32),
+        );
+        for seed in 0..6 {
+            server.infer(InferRequest::new(ModelId::RnnLm, features(seed))).expect("served");
+        }
+        let stats = server.stats();
+        assert_eq!(stats.per_device.len(), 2);
+        assert_eq!(stats.per_device[0].name, "Tesla V100");
+        assert_eq!(stats.per_device[1].name, "A100");
+        let executed: u64 = stats.per_device.iter().map(|d| d.batches).sum();
+        assert_eq!(executed, stats.executed_batches);
     }
 }

@@ -1,5 +1,6 @@
-//! Server metrics: throughput, latency percentiles, batch-size histogram
-//! and cache hit rates.
+//! Server metrics: throughput, latency percentiles (aggregate and
+//! per-priority), batch-size histogram, per-device utilisation and cache
+//! hit rates.
 
 use std::sync::Mutex;
 use std::time::Instant;
@@ -7,9 +8,43 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+use crate::request::Priority;
+
 /// Upper bound on retained latency samples per stream; percentiles are
 /// exact below this and computed from an unbiased reservoir sample above.
 const SAMPLE_CAP: usize = 4096;
+
+/// Latency percentiles of one priority class.
+#[derive(Clone, Debug)]
+pub struct PriorityLatency {
+    /// The service class.
+    pub priority: Priority,
+    /// Requests of this priority answered so far.
+    pub completed: u64,
+    /// Median wall-clock queue wait, µs.
+    pub queue_p50_us: f64,
+    /// 99th-percentile wall-clock queue wait, µs.
+    pub queue_p99_us: f64,
+    /// Median wall-clock batch-execution time seen by this class, µs.
+    pub execute_p50_us: f64,
+    /// 99th-percentile wall-clock batch-execution time seen by this class,
+    /// µs.
+    pub execute_p99_us: f64,
+}
+
+/// Modelled load of one pooled device.
+#[derive(Clone, Debug)]
+pub struct DeviceStats {
+    /// Device name (from its `GpuConfig`).
+    pub name: String,
+    /// Batches executed on this device.
+    pub batches: u64,
+    /// Total modelled busy time charged to this device, µs.
+    pub modelled_busy_us: f64,
+    /// Share of the pool's modelled makespan this device was busy
+    /// (`modelled_busy_us / makespan`), in `[0, 1]`.
+    pub utilisation: f64,
+}
 
 /// A point-in-time snapshot of the server's metrics.
 #[derive(Clone, Debug)]
@@ -36,6 +71,14 @@ pub struct ServerStats {
     pub execute_p99_us: f64,
     /// Median modelled per-request GPU latency, µs.
     pub modelled_p50_us: f64,
+    /// Queue / execute percentiles split by priority class, `Low` first
+    /// (indexable via [`Priority::index`] or [`ServerStats::for_priority`]).
+    pub per_priority: Vec<PriorityLatency>,
+    /// Per-device modelled load, in pool order.
+    pub per_device: Vec<DeviceStats>,
+    /// Modelled makespan across the pool: the largest per-device modelled
+    /// busy total, µs.
+    pub modelled_makespan_us: f64,
     /// Encode-cache (model repository) hits.
     pub encode_hits: u64,
     /// Encode-cache misses (i.e. prune+encode operations performed).
@@ -44,14 +87,18 @@ pub struct ServerStats {
     pub encode_hit_rate: f64,
     /// Fraction of modelled-latency lookups served from the cache.
     pub timing_hit_rate: f64,
-    /// Batches executed per worker index.
-    pub batches_per_worker: Vec<u64>,
 }
 
 impl ServerStats {
-    /// Number of workers that executed at least one batch.
+    /// Number of devices (= pinned workers) that executed at least one
+    /// batch.
     pub fn active_workers(&self) -> usize {
-        self.batches_per_worker.iter().filter(|&&n| n > 0).count()
+        self.per_device.iter().filter(|d| d.batches > 0).count()
+    }
+
+    /// The latency summary of one priority class.
+    pub fn for_priority(&self, priority: Priority) -> &PriorityLatency {
+        &self.per_priority[priority.index()]
     }
 
     /// Renders the snapshot as a small text report.
@@ -69,7 +116,24 @@ impl ServerStats {
             "queue wait us: p50 {:.0}  p99 {:.0}   execute us: p50 {:.0}  p99 {:.0}\n",
             self.queue_p50_us, self.queue_p99_us, self.execute_p50_us, self.execute_p99_us
         ));
+        for p in &self.per_priority {
+            if p.completed > 0 {
+                out.push_str(&format!(
+                    "  priority {:<7} {:>6} requests   queue us: p50 {:.0}  p99 {:.0}\n",
+                    p.priority, p.completed, p.queue_p50_us, p.queue_p99_us
+                ));
+            }
+        }
         out.push_str(&format!("modelled GPU us/request: p50 {:.1}\n", self.modelled_p50_us));
+        for d in &self.per_device {
+            out.push_str(&format!(
+                "  device {:<12} {:>5} batches   modelled busy {:>10.1} us   utilisation {:>4.0}%\n",
+                d.name,
+                d.batches,
+                d.modelled_busy_us,
+                d.utilisation * 100.0
+            ));
+        }
         out.push_str(&format!(
             "encode cache: {} hits / {} misses ({:.0}% hit rate)   timing cache: {:.0}% hit rate\n",
             self.encode_hits,
@@ -80,10 +144,17 @@ impl ServerStats {
         out.push_str(&format!(
             "active workers: {} {:?}\n",
             self.active_workers(),
-            self.batches_per_worker
+            self.per_device.iter().map(|d| d.batches).collect::<Vec<_>>()
         ));
         out
     }
+}
+
+#[derive(Debug)]
+struct PriorityAgg {
+    completed: u64,
+    queue_us: Reservoir,
+    execute_us: Reservoir,
 }
 
 #[derive(Debug)]
@@ -94,13 +165,16 @@ struct Inner {
     queue_us: Reservoir,
     execute_us: Reservoir,
     modelled_request_us: Reservoir,
-    batches_per_worker: Vec<u64>,
+    per_priority: Vec<PriorityAgg>,
+    device_batches: Vec<u64>,
+    device_busy_modelled_us: Vec<f64>,
 }
 
 /// A bounded uniform sample of a latency stream (Vitter's algorithm R), so
 /// a long-running server's percentile state stays O(1) in memory no matter
 /// how many requests it has served. Exact until `cap` samples, an unbiased
-/// uniform sample after.
+/// uniform sample after; the replacement pattern is fully determined by the
+/// seed, so two reservoirs fed the same stream agree element-for-element.
 #[derive(Debug)]
 struct Reservoir {
     samples: Vec<f64>,
@@ -136,6 +210,15 @@ pub(crate) struct StatsCollector {
 
 impl StatsCollector {
     pub fn new() -> Self {
+        let per_priority = Priority::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, _)| PriorityAgg {
+                completed: 0,
+                queue_us: Reservoir::new(SAMPLE_CAP, 10 + i as u64),
+                execute_us: Reservoir::new(SAMPLE_CAP, 20 + i as u64),
+            })
+            .collect();
         StatsCollector {
             started: Instant::now(),
             inner: Mutex::new(Inner {
@@ -145,17 +228,22 @@ impl StatsCollector {
                 queue_us: Reservoir::new(SAMPLE_CAP, 1),
                 execute_us: Reservoir::new(SAMPLE_CAP, 2),
                 modelled_request_us: Reservoir::new(SAMPLE_CAP, 3),
-                batches_per_worker: Vec::new(),
+                per_priority,
+                device_batches: Vec::new(),
+                device_busy_modelled_us: Vec::new(),
             }),
         }
     }
 
-    /// Records one executed batch.
+    /// Records one executed batch: the device it ran on, each member's
+    /// priority and queue wait, the wall-clock execute time, and the
+    /// modelled batch / per-request times.
     pub fn record_batch(
         &self,
-        worker: usize,
-        queue_us: &[f64],
+        device: usize,
+        queue_us: &[(Priority, f64)],
         execute_us: f64,
+        modelled_batch_us: f64,
         modelled_request_us: f64,
     ) {
         let batch_size = queue_us.len();
@@ -167,30 +255,65 @@ impl StatsCollector {
             inner.batch_histogram.resize(batch_size, 0);
         }
         inner.batch_histogram[batch_size - 1] += 1;
-        for &wait in queue_us {
+        for &(priority, wait) in queue_us {
             inner.queue_us.push(wait);
+            let agg = &mut inner.per_priority[priority.index()];
+            agg.completed += 1;
+            agg.queue_us.push(wait);
+            agg.execute_us.push(execute_us);
         }
         inner.execute_us.push(execute_us);
         for _ in 0..batch_size {
             inner.modelled_request_us.push(modelled_request_us);
         }
-        if inner.batches_per_worker.len() <= worker {
-            inner.batches_per_worker.resize(worker + 1, 0);
+        if inner.device_batches.len() <= device {
+            inner.device_batches.resize(device + 1, 0);
+            inner.device_busy_modelled_us.resize(device + 1, 0.0);
         }
-        inner.batches_per_worker[worker] += 1;
+        inner.device_batches[device] += 1;
+        inner.device_busy_modelled_us[device] += modelled_batch_us;
     }
 
     /// Produces a snapshot, folding in the cache counters maintained by the
-    /// repository and timing model.
+    /// repository and dispatcher plus the pool's device names.
     pub fn snapshot(
         &self,
         encode_hits: u64,
         encode_misses: u64,
         timing_hit_rate: f64,
+        device_names: &[String],
     ) -> ServerStats {
         let inner = self.inner.lock().expect("stats mutex poisoned");
         let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
         let encode_total = encode_hits + encode_misses;
+        let per_priority = Priority::ALL
+            .iter()
+            .map(|&priority| {
+                let agg = &inner.per_priority[priority.index()];
+                PriorityLatency {
+                    priority,
+                    completed: agg.completed,
+                    queue_p50_us: percentile(&agg.queue_us.samples, 0.50),
+                    queue_p99_us: percentile(&agg.queue_us.samples, 0.99),
+                    execute_p50_us: percentile(&agg.execute_us.samples, 0.50),
+                    execute_p99_us: percentile(&agg.execute_us.samples, 0.99),
+                }
+            })
+            .collect();
+        let makespan = inner.device_busy_modelled_us.iter().copied().fold(0.0, f64::max);
+        let per_device = device_names
+            .iter()
+            .enumerate()
+            .map(|(d, name)| {
+                let busy = inner.device_busy_modelled_us.get(d).copied().unwrap_or(0.0);
+                DeviceStats {
+                    name: name.clone(),
+                    batches: inner.device_batches.get(d).copied().unwrap_or(0),
+                    modelled_busy_us: busy,
+                    utilisation: if makespan > 0.0 { busy / makespan } else { 0.0 },
+                }
+            })
+            .collect();
         ServerStats {
             completed_requests: inner.completed_requests,
             executed_batches: inner.executed_batches,
@@ -207,6 +330,9 @@ impl StatsCollector {
             execute_p50_us: percentile(&inner.execute_us.samples, 0.50),
             execute_p99_us: percentile(&inner.execute_us.samples, 0.99),
             modelled_p50_us: percentile(&inner.modelled_request_us.samples, 0.50),
+            per_priority,
+            per_device,
+            modelled_makespan_us: makespan,
             encode_hits,
             encode_misses,
             encode_hit_rate: if encode_total == 0 {
@@ -215,16 +341,21 @@ impl StatsCollector {
                 encode_hits as f64 / encode_total as f64
             },
             timing_hit_rate,
-            batches_per_worker: inner.batches_per_worker.clone(),
         }
     }
 }
 
-/// Nearest-rank percentile of an unsorted sample set; 0 when empty.
+/// Nearest-rank percentile of an unsorted sample set.
+///
+/// Defined for every input: an empty sample set yields 0, a single sample
+/// yields that sample for every `q`, `q = 0` yields the minimum, `q = 1`
+/// the maximum, and out-of-range or NaN `q` values are clamped into
+/// `[0, 1]` instead of indexing out of bounds.
 fn percentile(samples: &[f64], q: f64) -> f64 {
     if samples.is_empty() {
         return 0.0;
     }
+    let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
     let mut sorted = samples.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
@@ -235,22 +366,62 @@ fn percentile(samples: &[f64], q: f64) -> f64 {
 mod tests {
     use super::*;
 
+    fn normal(waits: &[f64]) -> Vec<(Priority, f64)> {
+        waits.iter().map(|&w| (Priority::Normal, w)).collect()
+    }
+
     #[test]
     fn percentile_nearest_rank() {
         let v: Vec<f64> = (1..=100).map(f64::from).collect();
         assert_eq!(percentile(&v, 0.50), 50.0);
         assert_eq!(percentile(&v, 0.99), 99.0);
         assert_eq!(percentile(&v, 1.0), 100.0);
+    }
+
+    #[test]
+    fn percentile_edge_cases_are_defined() {
+        // Empty: 0 by definition.
         assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[], f64::NAN), 0.0);
+        // One sample: that sample for every q.
+        assert_eq!(percentile(&[7.0], 0.0), 7.0);
+        assert_eq!(percentile(&[7.0], 0.5), 7.0);
         assert_eq!(percentile(&[7.0], 0.99), 7.0);
+        assert_eq!(percentile(&[7.0], 1.0), 7.0);
+        // q = 0 is the minimum, q = 1 the maximum.
+        let v = [3.0, 1.0, 2.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 3.0);
+        // Out-of-range and NaN q clamp instead of panicking.
+        assert_eq!(percentile(&v, -0.3), 1.0);
+        assert_eq!(percentile(&v, 4.2), 3.0);
+        assert_eq!(percentile(&v, f64::NAN), 1.0);
+        assert_eq!(percentile(&v, f64::INFINITY), 3.0);
+    }
+
+    #[test]
+    fn reservoir_is_deterministic_under_a_fixed_seed() {
+        let mut a = Reservoir::new(16, 99);
+        let mut b = Reservoir::new(16, 99);
+        for i in 0..10_000 {
+            a.push(f64::from(i));
+            b.push(f64::from(i));
+        }
+        assert_eq!(a.samples, b.samples, "same seed + same stream = same sample");
+        assert_eq!(a.seen, 10_000);
+        let mut c = Reservoir::new(16, 100);
+        for i in 0..10_000 {
+            c.push(f64::from(i));
+        }
+        assert_ne!(a.samples, c.samples, "different seeds replace different slots");
     }
 
     #[test]
     fn collector_aggregates_batches() {
         let c = StatsCollector::new();
-        c.record_batch(0, &[10.0, 20.0], 100.0, 5.0);
-        c.record_batch(1, &[30.0], 50.0, 9.0);
-        let s = c.snapshot(3, 1, 0.75);
+        c.record_batch(0, &normal(&[10.0, 20.0]), 100.0, 10.0, 5.0);
+        c.record_batch(1, &normal(&[30.0]), 50.0, 9.0, 9.0);
+        let s = c.snapshot(3, 1, 0.75, &["gpu0".to_string(), "gpu1".to_string()]);
         assert_eq!(s.completed_requests, 3);
         assert_eq!(s.executed_batches, 2);
         assert_eq!(s.batch_histogram, vec![1, 1]); // one 1-batch, one 2-batch
@@ -260,9 +431,33 @@ mod tests {
         assert_eq!(s.execute_p99_us, 100.0);
         assert_eq!(s.modelled_p50_us, 5.0);
         assert!((s.encode_hit_rate - 0.75).abs() < 1e-12);
-        assert_eq!(s.batches_per_worker, vec![1, 1]);
         assert_eq!(s.active_workers(), 2);
         assert!(s.throughput_rps > 0.0);
+        // Device accounting: busy 10 us vs 9 us, makespan 10 us.
+        assert_eq!(s.per_device.len(), 2);
+        assert!((s.modelled_makespan_us - 10.0).abs() < 1e-12);
+        assert!((s.per_device[0].utilisation - 1.0).abs() < 1e-12);
+        assert!((s.per_device[1].utilisation - 0.9).abs() < 1e-12);
+        assert_eq!(s.per_device[0].name, "gpu0");
+    }
+
+    #[test]
+    fn per_priority_latency_streams_are_split() {
+        let c = StatsCollector::new();
+        c.record_batch(0, &[(Priority::High, 5.0), (Priority::Low, 500.0)], 40.0, 8.0, 4.0);
+        c.record_batch(0, &[(Priority::Low, 700.0)], 60.0, 8.0, 8.0);
+        let s = c.snapshot(0, 0, 0.0, &["gpu0".to_string()]);
+        let high = s.for_priority(Priority::High);
+        let low = s.for_priority(Priority::Low);
+        assert_eq!(high.completed, 1);
+        assert_eq!(low.completed, 2);
+        assert_eq!(high.queue_p99_us, 5.0);
+        assert_eq!(low.queue_p50_us, 500.0);
+        assert_eq!(low.queue_p99_us, 700.0);
+        assert_eq!(s.for_priority(Priority::Normal).completed, 0);
+        assert_eq!(s.for_priority(Priority::Normal).queue_p99_us, 0.0);
+        assert!(high.queue_p99_us < low.queue_p99_us);
+        assert_eq!(high.execute_p50_us, 40.0);
     }
 
     #[test]
@@ -270,13 +465,13 @@ mod tests {
         let c = StatsCollector::new();
         // Far more requests than the cap: a uniform latency ramp 0..100_000.
         for i in 0..100_000u64 {
-            c.record_batch(0, &[i as f64], i as f64, 1.0);
+            c.record_batch(0, &normal(&[i as f64]), i as f64, 1.0, 1.0);
         }
         let inner = c.inner.lock().unwrap();
         assert_eq!(inner.queue_us.samples.len(), SAMPLE_CAP);
         assert_eq!(inner.queue_us.seen, 100_000);
         drop(inner);
-        let s = c.snapshot(0, 0, 0.0);
+        let s = c.snapshot(0, 0, 0.0, &["gpu0".to_string()]);
         assert_eq!(s.completed_requests, 100_000);
         // Sampled percentiles of a uniform ramp stay near the true values.
         assert!((s.queue_p50_us - 50_000.0).abs() < 5_000.0, "p50 {}", s.queue_p50_us);
@@ -286,20 +481,25 @@ mod tests {
     #[test]
     fn snapshot_of_idle_server_is_zeroed() {
         let c = StatsCollector::new();
-        let s = c.snapshot(0, 0, 0.0);
+        let s = c.snapshot(0, 0, 0.0, &["gpu0".to_string()]);
         assert_eq!(s.completed_requests, 0);
         assert_eq!(s.mean_batch_size, 0.0);
         assert_eq!(s.encode_hit_rate, 0.0);
+        assert_eq!(s.modelled_makespan_us, 0.0);
+        assert_eq!(s.per_device[0].utilisation, 0.0);
         assert!(s.render().contains("requests: 0"));
     }
 
     #[test]
     fn render_mentions_key_metrics() {
         let c = StatsCollector::new();
-        c.record_batch(0, &[1.0], 2.0, 3.0);
-        let text = c.snapshot(1, 1, 0.5).render();
+        c.record_batch(0, &[(Priority::High, 1.0)], 2.0, 3.0, 3.0);
+        let text = c.snapshot(1, 1, 0.5, &["Tesla V100".to_string()]).render();
         assert!(text.contains("throughput"));
         assert!(text.contains("encode cache"));
         assert!(text.contains("active workers"));
+        assert!(text.contains("priority high"));
+        assert!(text.contains("Tesla V100"));
+        assert!(text.contains("utilisation"));
     }
 }

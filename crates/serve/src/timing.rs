@@ -14,6 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use dsstc_kernels::bitmap_spgemm::{BitmapSpGemm, SyntheticGemmSpec};
+use dsstc_models::Network;
 use dsstc_sim::{GpuConfig, GpuTimingModel};
 use dsstc_tensor::GemmShape;
 
@@ -61,22 +62,47 @@ impl BatchTimingModel {
     /// # Panics
     /// Panics if `batch` is zero.
     pub fn batched_us(&self, model: &EncodedModel, batch: usize) -> f64 {
+        self.batched_us_for(model.key, &model.network, batch)
+    }
+
+    /// Like [`Self::batched_us`], but priced from the key's layer table
+    /// alone — no encoded weights required, so the dispatcher can price a
+    /// cold model without paying (or waiting on) its prune+encode.
+    ///
+    /// # Panics
+    /// Panics if `batch` is zero.
+    pub fn batched_us_for(&self, key: ModelKey, network: &Network, batch: usize) -> f64 {
         assert!(batch > 0, "batch must be non-empty");
         let bucket = batch.next_power_of_two();
-        let bucket_us = self.bucket_us(model, bucket);
+        let bucket_us = self.bucket_us(key, network, bucket);
         bucket_us * batch as f64 / bucket as f64
     }
 
+    /// Cache-only lookup: the modelled batched time if this `(key, batch)`
+    /// bucket is already priced, `None` otherwise (no profiling is
+    /// performed). Lets the dispatcher skip building the layer table
+    /// entirely on the steady-state hot path.
+    ///
+    /// # Panics
+    /// Panics if `batch` is zero.
+    pub fn cached_batched_us(&self, key: ModelKey, batch: usize) -> Option<f64> {
+        assert!(batch > 0, "batch must be non-empty");
+        let bucket = batch.next_power_of_two();
+        let us = *self.cache.lock().expect("timing mutex poisoned").get(&(key, bucket))?;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(us * batch as f64 / bucket as f64)
+    }
+
     /// Prices one power-of-two bucket, memoised.
-    fn bucket_us(&self, model: &EncodedModel, bucket: usize) -> f64 {
-        let cache_key = (model.key, bucket);
+    fn bucket_us(&self, key: ModelKey, network: &Network, bucket: usize) -> f64 {
+        let cache_key = (key, bucket);
         if let Some(&us) = self.cache.lock().expect("timing mutex poisoned").get(&cache_key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return us;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut total = 0.0;
-        for (i, layer) in model.network.layers().iter().enumerate() {
+        for (i, layer) in network.layers().iter().enumerate() {
             let base = layer.kind.lowered_gemm();
             let shape = GemmShape::new(base.m * bucket, base.n, base.k);
             let spec = SyntheticGemmSpec::oriented(
@@ -85,7 +111,7 @@ impl BatchTimingModel {
                 layer.weight_sparsity,
                 None,
                 None,
-                timing_seed(model.key, i, bucket),
+                timing_seed(key, i, bucket),
             );
             let (profile, _) = self.kernel.profile_synthetic_capped(&spec, M_SAMPLE_TILES);
             total += self.model.estimate(&profile).time_us();
@@ -99,7 +125,7 @@ impl BatchTimingModel {
     pub fn warm(&self, model: &EncodedModel, max_batch: usize) {
         let mut bucket = 1;
         loop {
-            let _ = self.bucket_us(model, bucket);
+            let _ = self.bucket_us(model.key, &model.network, bucket);
             if bucket >= max_batch {
                 break;
             }
@@ -194,6 +220,32 @@ mod tests {
             let _ = timing.batched_us(&m, batch);
         }
         assert_eq!(timing.miss_count(), 4, "warmed buckets absorb all traffic");
+    }
+
+    #[test]
+    fn cached_lookup_hits_only_after_pricing() {
+        let (_, timing) = bert();
+        let key = ModelKey::new(ModelId::BertBase, None);
+        assert_eq!(timing.cached_batched_us(key, 3), None);
+        assert_eq!(timing.hit_count(), 0, "a cache-only miss is not counted");
+        let priced = timing.batched_us_for(key, &key.network(), 3);
+        let cached = timing.cached_batched_us(key, 3).expect("bucket now priced");
+        assert_eq!(priced, cached);
+        assert_eq!((timing.hit_count(), timing.miss_count()), (1, 1));
+    }
+
+    #[test]
+    fn key_only_pricing_agrees_with_encoded_model_pricing() {
+        let (repo, timing) = bert();
+        let key = ModelKey::new(ModelId::BertBase, Some(0.9));
+        // Price from the layer table alone (no encoded weights)...
+        let from_key = timing.batched_us_for(key, &key.network(), 4);
+        assert_eq!(timing.miss_count(), 1);
+        // ...then through the encoded model: same cache entry, same value.
+        let m = repo.get(key);
+        let from_model = timing.batched_us(&m, 4);
+        assert_eq!(from_key, from_model);
+        assert_eq!((timing.hit_count(), timing.miss_count()), (1, 1));
     }
 
     #[test]

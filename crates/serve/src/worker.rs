@@ -1,7 +1,18 @@
-//! The worker pool: OS threads that pull batches from the scheduler,
-//! execute them through the pre-encoded model on the dual-side SpGEMM
-//! kernel, and fan responses back out per request.
+//! The worker pool: a dispatcher thread routing released batches to the
+//! device minimising modelled completion time, plus one pinned OS worker
+//! thread per device that executes its batches through the pre-encoded
+//! model on the dual-side SpGEMM kernel and fans responses back out per
+//! request.
+//!
+//! Device queues are **bounded to one in-flight batch** (`sync_channel(1)`)
+//! so the dispatcher barely runs ahead of the pool: requests wait in the
+//! priority-aware scheduler — where SLO flushes and priority extraction
+//! still apply to them — rather than in a FIFO channel that would freeze
+//! their order the moment they were released. A full queue redirects the
+//! batch to the next-best device; the dispatcher blocks only when every
+//! device is backed up.
 
+use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -9,61 +20,83 @@ use std::time::Instant;
 use dsstc_tensor::Matrix;
 
 use crate::batcher::{Batch, BatchScheduler};
+use crate::dispatch::DeviceDispatcher;
 use crate::repository::ModelRepository;
 use crate::request::InferResponse;
 use crate::stats::StatsCollector;
-use crate::timing::BatchTimingModel;
 
-/// Everything a worker thread needs, shared by `Arc`.
+/// Everything the dispatcher and worker threads need, shared by `Arc`.
 #[derive(Debug)]
 pub(crate) struct WorkerContext {
     pub scheduler: Arc<BatchScheduler>,
     pub repository: Arc<ModelRepository>,
-    pub timing: Arc<BatchTimingModel>,
+    pub dispatcher: Arc<DeviceDispatcher>,
     pub stats: Arc<StatsCollector>,
 }
 
-/// A pool of worker threads draining the batch scheduler.
+/// One batch routed to one device, priced by the dispatcher. The worker
+/// fetches the encoded model itself, so a cold model's prune+encode stalls
+/// only its own device, never the dispatcher.
+#[derive(Debug)]
+struct DeviceJob {
+    batch: Batch,
+    modelled_batch_us: f64,
+}
+
+/// A pool of per-device worker threads fed by a dispatcher thread draining
+/// the batch scheduler.
 #[derive(Debug)]
 pub struct WorkerPool {
-    handles: Vec<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl WorkerPool {
-    /// Spawns `workers` threads that run until the scheduler shuts down and
-    /// drains.
-    ///
-    /// # Panics
-    /// Panics if `workers` is zero.
-    pub(crate) fn spawn(workers: usize, context: Arc<WorkerContext>) -> Self {
-        assert!(workers > 0, "at least one worker is required");
-        let handles = (0..workers)
-            .map(|index| {
+    /// Spawns one pinned worker per pooled device plus the dispatcher
+    /// thread; all run until the scheduler shuts down and drains.
+    pub(crate) fn spawn(context: Arc<WorkerContext>) -> Self {
+        let devices = context.dispatcher.len();
+        let mut senders: Vec<SyncSender<DeviceJob>> = Vec::with_capacity(devices);
+        let workers = (0..devices)
+            .map(|device| {
+                // Capacity 1: each device holds one executing batch plus one
+                // queued batch; everything else stays schedulable.
+                let (tx, rx) = std::sync::mpsc::sync_channel::<DeviceJob>(1);
+                senders.push(tx);
                 let context = Arc::clone(&context);
                 std::thread::Builder::new()
-                    .name(format!("dsstc-serve-worker-{index}"))
-                    .spawn(move || worker_loop(index, &context))
+                    .name(format!("dsstc-serve-worker-{device}"))
+                    .spawn(move || worker_loop(device, &context, rx))
                     .expect("failed to spawn worker thread")
             })
             .collect();
-        WorkerPool { handles }
+        let dispatcher = {
+            let context = Arc::clone(&context);
+            std::thread::Builder::new()
+                .name("dsstc-serve-dispatch".to_string())
+                .spawn(move || dispatch_loop(&context, senders))
+                .expect("failed to spawn dispatcher thread")
+        };
+        WorkerPool { dispatcher: Some(dispatcher), workers }
     }
 
-    /// Number of worker threads.
+    /// Number of worker threads (one per device; the dispatcher is extra).
     pub fn len(&self) -> usize {
-        self.handles.len()
+        self.workers.len()
     }
 
-    /// Whether the pool has no threads (never true for a spawned pool).
+    /// Whether the pool has no workers (never true for a spawned pool).
     pub fn is_empty(&self) -> bool {
-        self.handles.is_empty()
+        self.workers.is_empty()
     }
 
-    /// Waits for every worker to exit (call after the scheduler's
-    /// `shutdown`).
-    pub fn join(self) {
-        for handle in self.handles {
-            // A panicking worker already poisoned the shared state; surface
+    /// Waits for the dispatcher and every worker to exit (call after the
+    /// scheduler's `shutdown`).
+    pub fn join(mut self) {
+        // The dispatcher exits once the scheduler drains; dropping its
+        // senders then closes every device queue and the workers follow.
+        for handle in self.dispatcher.take().into_iter().chain(self.workers) {
+            // A panicking thread already poisoned the shared state; surface
             // it instead of hanging the caller.
             if let Err(panic) = handle.join() {
                 std::panic::resume_unwind(panic);
@@ -72,16 +105,71 @@ impl WorkerPool {
     }
 }
 
-fn worker_loop(index: usize, context: &WorkerContext) {
-    while let Some(batch) = context.scheduler.next_batch() {
-        execute_batch(index, context, batch);
+/// Pulls released batches and hands each to the device that would complete
+/// it first (or round-robin, per the configured policy). The hand-off is
+/// non-blocking with fallback: if the planned device's bounded queue is
+/// full, the next-best device is planned instead, so a backed-up device
+/// never idles the rest of the pool; only when **every** device is backed
+/// up does the dispatcher block (genuine pool-wide backpressure).
+fn dispatch_loop(context: &WorkerContext, senders: Vec<SyncSender<DeviceJob>>) {
+    // Dead-worker handling, shared by both send paths: fail fast instead
+    // of letting callers block forever on responses nobody will produce —
+    // reject new submissions and drop everything still queued, so every
+    // in-flight wait() resolves to ShuttingDown. join() surfaces the
+    // worker's panic.
+    let fail_fast = || {
+        context.scheduler.shutdown();
+        while context.scheduler.next_batch().is_some() {}
+    };
+    'batches: while let Some(batch) = context.scheduler.next_batch() {
+        let (key, size) = (batch.key, batch.len());
+        let mut job = DeviceJob { batch, modelled_batch_us: 0.0 };
+        let mut eligible = vec![true; senders.len()];
+        loop {
+            let Some(plan) = context.dispatcher.plan(key, size, &eligible) else {
+                // Every device's queue is full: block on the overall best.
+                let plan = context
+                    .dispatcher
+                    .plan(key, size, &vec![true; senders.len()])
+                    .expect("non-empty device pool");
+                let assignment = context.dispatcher.commit(plan);
+                job.modelled_batch_us = assignment.modelled_batch_us;
+                if senders[assignment.device].send(job).is_err() {
+                    fail_fast();
+                    return;
+                }
+                continue 'batches;
+            };
+            job.modelled_batch_us = plan.modelled_batch_us;
+            match senders[plan.device].try_send(job) {
+                Ok(()) => {
+                    context.dispatcher.commit(plan);
+                    continue 'batches;
+                }
+                Err(std::sync::mpsc::TrySendError::Full(returned)) => {
+                    job = returned;
+                    eligible[plan.device] = false;
+                }
+                Err(std::sync::mpsc::TrySendError::Disconnected(_)) => {
+                    fail_fast();
+                    return;
+                }
+            }
+        }
+    }
+    // Scheduler drained: dropping the senders closes the device queues.
+}
+
+fn worker_loop(device: usize, context: &WorkerContext, jobs: Receiver<DeviceJob>) {
+    while let Ok(job) = jobs.recv() {
+        execute_batch(device, context, job.batch, job.modelled_batch_us);
     }
 }
 
 /// Runs one batch end-to-end: fetch the encoded model (hitting the encode
 /// cache after the first request), stack member features into one larger-M
 /// GEMM chain, execute, split the rows back out, and answer every request.
-fn execute_batch(index: usize, context: &WorkerContext, batch: Batch) {
+fn execute_batch(device: usize, context: &WorkerContext, batch: Batch, modelled_batch_us: f64) {
     let started = Instant::now();
     let model = context.repository.get(batch.key);
     let batch_size = batch.len();
@@ -97,19 +185,24 @@ fn execute_batch(index: usize, context: &WorkerContext, batch: Batch) {
     }
 
     let output = model.forward(context.repository.kernel(), &stacked);
-    let modelled_batch_us = context.timing.batched_us(&model, batch_size);
     let modelled_request_us = modelled_batch_us / batch_size as f64;
     let execute_us = started.elapsed().as_secs_f64() * 1e6;
 
-    let queue_us: Vec<f64> = batch
+    let queue_us: Vec<_> = batch
         .requests
         .iter()
-        .map(|r| started.duration_since(r.enqueued).as_secs_f64() * 1e6)
+        .map(|r| (r.priority, started.duration_since(r.enqueued).as_secs_f64() * 1e6))
         .collect();
-    context.stats.record_batch(index, &queue_us, execute_us, modelled_request_us);
+    context.stats.record_batch(
+        device,
+        &queue_us,
+        execute_us,
+        modelled_batch_us,
+        modelled_request_us,
+    );
 
     let mut row = 0;
-    for (request, wait_us) in batch.requests.into_iter().zip(queue_us) {
+    for (request, (priority, wait_us)) in batch.requests.into_iter().zip(queue_us) {
         let rows = request.features.rows();
         let response = InferResponse {
             id: request.id,
@@ -120,7 +213,8 @@ fn execute_batch(index: usize, context: &WorkerContext, batch: Batch) {
             modelled_batch_us,
             modelled_request_us,
             batch_size,
-            worker: index,
+            device,
+            priority,
         };
         row += rows;
         // A dropped receiver (caller gave up) is not an error for the
@@ -133,26 +227,32 @@ fn execute_batch(index: usize, context: &WorkerContext, batch: Batch) {
 mod tests {
     use super::*;
     use crate::batcher::{BatchPolicy, PendingRequest};
-    use crate::request::{ModelId, ModelKey};
+    use crate::config::DevicePool;
+    use crate::dispatch::DispatchPolicy;
+    use crate::request::{ModelId, ModelKey, Priority};
     use dsstc_sim::GpuConfig;
     use std::sync::mpsc;
     use std::time::Duration;
 
-    fn context(max_batch: usize) -> Arc<WorkerContext> {
+    fn context(max_batch: usize, pool: DevicePool) -> Arc<WorkerContext> {
         Arc::new(WorkerContext {
             scheduler: Arc::new(BatchScheduler::new(BatchPolicy {
                 max_batch,
                 max_queue_wait: Duration::from_millis(1),
             })),
-            repository: Arc::new(ModelRepository::new(GpuConfig::v100(), 32)),
-            timing: Arc::new(BatchTimingModel::new(GpuConfig::v100())),
+            repository: Arc::new(ModelRepository::new(pool.primary().clone(), 32)),
+            dispatcher: Arc::new(DeviceDispatcher::new(&pool, DispatchPolicy::MinCompletionTime)),
             stats: Arc::new(StatsCollector::new()),
         })
     }
 
+    fn single_v100() -> DevicePool {
+        DevicePool::homogeneous(GpuConfig::v100(), 1)
+    }
+
     #[test]
     fn batch_outputs_split_back_to_the_right_requests() {
-        let ctx = context(4);
+        let ctx = context(4, single_v100());
         let key = ModelKey::new(ModelId::BertBase, None);
         let mut rxs = Vec::new();
         let mut requests = Vec::new();
@@ -163,6 +263,8 @@ mod tests {
             requests.push(PendingRequest {
                 id,
                 key,
+                priority: Priority::Normal,
+                slo: None,
                 features,
                 response_tx: tx,
                 enqueued: Instant::now(),
@@ -173,25 +275,28 @@ mod tests {
         let model = ctx.repository.get(key);
         let singles: Vec<Matrix> =
             requests.iter().map(|r| model.forward(ctx.repository.kernel(), &r.features)).collect();
+        let modelled = ctx.dispatcher.timing(0).batched_us(&model, 3);
 
-        execute_batch(0, &ctx, Batch { key, requests });
+        execute_batch(0, &ctx, Batch { key, requests }, modelled);
         for (id, (rx, single)) in rxs.into_iter().zip(singles).enumerate() {
             let response = rx.recv_timeout(Duration::from_secs(5)).expect("response arrives");
             assert_eq!(response.id, id as u64);
             assert_eq!(response.batch_size, 3);
-            assert_eq!(response.worker, 0);
+            assert_eq!(response.device, 0);
+            assert_eq!(response.priority, Priority::Normal);
             assert!(response.output.approx_eq(&single, 1e-4), "request {id}");
             assert!(response.modelled_batch_us > 0.0);
             assert!((response.modelled_request_us - response.modelled_batch_us / 3.0).abs() < 1e-9);
         }
-        let stats = ctx.stats.snapshot(0, 1, 0.0);
+        let stats = ctx.stats.snapshot(0, 1, 0.0, &["Tesla V100".to_string()]);
         assert_eq!(stats.completed_requests, 3);
         assert_eq!(stats.executed_batches, 1);
+        assert_eq!(stats.per_device[0].batches, 1);
     }
 
     #[test]
     fn pool_drains_scheduler_and_exits_on_shutdown() {
-        let ctx = context(2);
+        let ctx = context(2, DevicePool::homogeneous(GpuConfig::v100(), 2));
         let key = ModelKey::new(ModelId::RnnLm, Some(0.9));
         let mut rxs = Vec::new();
         for id in 0..5u64 {
@@ -199,21 +304,54 @@ mod tests {
             assert!(ctx.scheduler.enqueue(PendingRequest {
                 id,
                 key,
+                priority: Priority::Normal,
+                slo: None,
                 features: Matrix::zeros(1, 32),
                 response_tx: tx,
                 enqueued: Instant::now(),
             }));
             rxs.push(rx);
         }
-        let pool = WorkerPool::spawn(2, Arc::clone(&ctx));
+        let pool = WorkerPool::spawn(Arc::clone(&ctx));
         assert_eq!(pool.len(), 2);
         for rx in &rxs {
             let _ = rx.recv_timeout(Duration::from_secs(30)).expect("response arrives");
         }
         ctx.scheduler.shutdown();
         pool.join();
-        let stats = ctx.stats.snapshot(0, 0, 0.0);
+        let stats = ctx.stats.snapshot(0, 0, 0.0, &["gpu0".to_string(), "gpu1".to_string()]);
         assert_eq!(stats.completed_requests, 5);
         assert!(stats.batch_histogram.len() <= 2, "batches of at most max_batch");
+    }
+
+    #[test]
+    fn heterogeneous_pool_reports_device_for_each_response() {
+        let pool = DevicePool::new(vec![GpuConfig::v100(), GpuConfig::a100()]);
+        let ctx = context(1, pool);
+        let key = ModelKey::new(ModelId::RnnLm, None);
+        let mut rxs = Vec::new();
+        for id in 0..6u64 {
+            let (tx, rx) = mpsc::channel();
+            assert!(ctx.scheduler.enqueue(PendingRequest {
+                id,
+                key,
+                priority: Priority::Normal,
+                slo: None,
+                features: Matrix::zeros(1, 32),
+                response_tx: tx,
+                enqueued: Instant::now(),
+            }));
+            rxs.push(rx);
+        }
+        let workers = WorkerPool::spawn(Arc::clone(&ctx));
+        let mut devices_seen = std::collections::HashSet::new();
+        for rx in &rxs {
+            let r = rx.recv_timeout(Duration::from_secs(30)).expect("response arrives");
+            assert!(r.device < 2);
+            devices_seen.insert(r.device);
+        }
+        ctx.scheduler.shutdown();
+        workers.join();
+        assert!(!devices_seen.is_empty());
     }
 }

@@ -109,6 +109,31 @@ impl GpuConfig {
         }
     }
 
+    /// An A100-like configuration (108 SMs, 1.41 GHz, 1555 GB/s HBM2e,
+    /// 40 MB L2, third-generation Tensor Cores retiring 8x4x8 FP16 MACs per
+    /// instruction), for heterogeneous device-pool experiments alongside
+    /// [`GpuConfig::v100`]. The OTC extension parameters are kept at the
+    /// paper's values so the dual-side model stays comparable across
+    /// devices.
+    pub fn a100() -> Self {
+        GpuConfig {
+            name: "A100".to_string(),
+            num_sms: 108,
+            sub_cores_per_sm: 4,
+            tensor_cores_per_sub_core: 1,
+            clock_ghz: 1.41,
+            dram_bandwidth_gbs: 1555.0,
+            l2_bytes: 40 * 1024 * 1024,
+            shared_mem_per_sm_bytes: 164 * 1024,
+            max_blocks_per_sm: 2,
+            fp32_lanes_per_sm: 64,
+            int_lanes_per_sm: 64,
+            kernel_launch_overhead_us: 2.0,
+            macs_per_tc_instruction: 256,
+            otc: OtcConfig::paper(),
+        }
+    }
+
     /// A deliberately small configuration handy for fast unit tests.
     pub fn tiny() -> Self {
         GpuConfig {
@@ -233,6 +258,15 @@ mod tests {
     fn default_is_v100() {
         assert_eq!(GpuConfig::default(), GpuConfig::v100());
         assert_eq!(OtcConfig::default(), OtcConfig::paper());
+    }
+
+    #[test]
+    fn a100_peak_tflops_is_about_312() {
+        let cfg = GpuConfig::a100();
+        let tflops = cfg.peak_tensor_tflops();
+        assert!((tflops - 312.0).abs() < 5.0, "got {tflops} TFLOPS");
+        assert_eq!(cfg.total_tensor_cores(), 432);
+        assert!(cfg.dram_bandwidth_gbs > GpuConfig::v100().dram_bandwidth_gbs);
     }
 
     #[test]

@@ -1,38 +1,48 @@
-//! Serving demo: mixed ResNet-50 / BERT traffic through the batched,
-//! multi-threaded inference server with a pre-encoded model repository.
+//! Serving demo: mixed-priority ResNet-50 / BERT traffic through the
+//! SLO-aware, multi-device inference server with a pre-encoded model
+//! repository.
 //!
-//! 120 requests are submitted in one burst, dynamically batched per model,
-//! executed by a pool of four worker threads on the dual-side SpGEMM kernel,
-//! and answered with output features plus the modelled V100 latency of the
-//! real network at each batch's size. The run ends with the server's
-//! metrics: throughput, queue/execute percentiles, the batch-size histogram
-//! and the encode-cache hit rate (one encode per model, everything after is
-//! a hit).
+//! 120 requests (one in three high priority) are submitted in one burst,
+//! dynamically batched per model with priority-aware extraction, dispatched
+//! onto a heterogeneous V100 + A100 device pool by modelled completion
+//! time, executed by pinned worker threads on the dual-side SpGEMM kernel,
+//! and answered with output features plus the modelled device latency of
+//! the real network at each batch's size. The run ends with the server's
+//! metrics: throughput, aggregate and per-priority queue/execute
+//! percentiles, the batch-size histogram, per-device utilisation and the
+//! encode-cache hit rate (one encode per model, everything after is a hit).
 //!
 //! Run with `cargo run --release -p dsstc --example serve_demo`.
 
 use std::collections::HashSet;
 use std::time::Duration;
 
-use dsstc::serve::{InferRequest, InferenceServer, ModelId, ServeConfig};
+use dsstc::serve::{DevicePool, InferRequest, InferenceServer, ModelId, Priority, ServeConfig};
+use dsstc_sim::GpuConfig;
 use dsstc_tensor::{Matrix, SparsityPattern};
 
 fn main() {
     const REQUESTS: u64 = 120;
     let config = ServeConfig::default()
-        .with_workers(4)
+        .with_devices(DevicePool::new(vec![
+            GpuConfig::v100(),
+            GpuConfig::v100(),
+            GpuConfig::a100(),
+            GpuConfig::a100(),
+        ]))
         .with_max_batch(8)
         .with_max_queue_wait(Duration::from_millis(2))
         .with_proxy_dim(64);
     let mut server = InferenceServer::start(config);
     println!(
-        "== dsstc-serve demo: {REQUESTS} mixed ResNet-50/BERT requests, {} workers, batches of up to {} ==\n",
-        server.config().workers,
+        "== dsstc-serve demo: {REQUESTS} mixed ResNet-50/BERT requests, {} pooled devices ({}), batches of up to {} ==\n",
+        server.config().workers(),
+        server.config().devices.names().join(", "),
         server.config().max_batch
     );
 
-    // Deploy-time warm-up: encode both models' weights and pre-price the
-    // batch buckets once, before traffic arrives.
+    // Deploy-time warm-up: encode both models' weights once and pre-price
+    // the batch buckets on every pooled device, before traffic arrives.
     for model in [ModelId::ResNet50, ModelId::BertBase] {
         let encode_ms = server.warm_model(model, None);
         println!("warmed {model}: weights pruned + bitmap-encoded in {encode_ms:.1} ms");
@@ -40,23 +50,27 @@ fn main() {
     println!();
 
     // One burst of mixed traffic: even ids are ResNet-50 images, odd ids are
-    // BERT token windows. Submitting faster than the workers drain the queue
-    // is what gives the scheduler something to batch.
+    // BERT token windows; every third request is latency-critical.
+    // Submitting faster than the workers drain the queue is what gives the
+    // scheduler something to batch — and the priorities something to jump.
     let pending: Vec<_> = (0..REQUESTS)
         .map(|i| {
             let model = if i % 2 == 0 { ModelId::ResNet50 } else { ModelId::BertBase };
+            let priority = if i % 3 == 0 { Priority::High } else { Priority::Normal };
             let features = Matrix::random_sparse(4, 64, 0.4, SparsityPattern::Uniform, i);
-            server.submit(InferRequest::new(model, features)).expect("server accepts requests")
+            server
+                .submit(InferRequest::new(model, features).with_priority(priority))
+                .expect("server accepts requests")
         })
         .collect();
 
     let mut ids = HashSet::new();
-    let mut workers_seen = HashSet::new();
+    let mut devices_seen = HashSet::new();
     let mut per_model: Vec<(ModelId, u64, f64)> = Vec::new();
     for p in pending {
         let response = p.wait().expect("every request is answered");
         assert!(ids.insert(response.id), "duplicate response id {}", response.id);
-        workers_seen.insert(response.worker);
+        devices_seen.insert(response.device);
         match per_model.iter_mut().find(|(m, _, _)| *m == response.model) {
             Some((_, count, modelled)) => {
                 *count += 1;
@@ -73,16 +87,24 @@ fn main() {
             modelled / *count as f64
         );
     }
-    println!("worker threads that executed batches: {}\n", workers_seen.len());
+    println!("devices that executed batches: {}\n", devices_seen.len());
 
     let stats = server.stats();
     println!("{}", stats.render());
     server.shutdown();
 
     // The properties this demo exists to demonstrate.
-    assert!(workers_seen.len() >= 2, "expected >= 2 active workers");
+    assert!(devices_seen.len() >= 2, "expected >= 2 active devices");
     assert!(stats.mean_batch_size > 1.0, "expected dynamic batching to engage");
     assert!(stats.encode_hit_rate > 0.0, "expected encode-cache hits after the first batch");
-    println!("ok: {REQUESTS} requests answered exactly once by {} workers, mean batch {:.2}, encode-cache hit rate {:.0}%",
-        workers_seen.len(), stats.mean_batch_size, stats.encode_hit_rate * 100.0);
+    assert!(
+        stats.for_priority(Priority::High).completed > 0,
+        "expected high-priority traffic in the mix"
+    );
+    println!(
+        "ok: {REQUESTS} requests answered exactly once by {} devices, mean batch {:.2}, encode-cache hit rate {:.0}%",
+        devices_seen.len(),
+        stats.mean_batch_size,
+        stats.encode_hit_rate * 100.0
+    );
 }

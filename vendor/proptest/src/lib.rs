@@ -30,8 +30,16 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        // Like the real crate, the default case count honours the
+        // PROPTEST_CASES environment variable (CI pins it) and falls back
+        // to 64 when unset or unparseable.
+        ProptestConfig { cases: cases_from_env(std::env::var("PROPTEST_CASES").ok().as_deref()) }
     }
+}
+
+/// Parses a `PROPTEST_CASES` value, falling back to 64.
+fn cases_from_env(value: Option<&str>) -> u32 {
+    value.and_then(|v| v.trim().parse().ok()).filter(|&n| n > 0).unwrap_or(64)
 }
 
 impl ProptestConfig {
@@ -283,6 +291,15 @@ mod tests {
             let v = strat.generate(&mut rng);
             assert!((100..=410).contains(&v));
         }
+    }
+
+    #[test]
+    fn cases_from_env_parses_and_falls_back() {
+        assert_eq!(super::cases_from_env(None), 64);
+        assert_eq!(super::cases_from_env(Some("128")), 128);
+        assert_eq!(super::cases_from_env(Some(" 32 ")), 32);
+        assert_eq!(super::cases_from_env(Some("0")), 64, "zero cases would skip every property");
+        assert_eq!(super::cases_from_env(Some("not-a-number")), 64);
     }
 
     #[test]
