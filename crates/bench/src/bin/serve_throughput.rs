@@ -11,17 +11,24 @@
 //!   (max_batch x device-mix) cell at a grid of offered loads, producing a
 //!   latency-vs-offered-load curve — the behaviour a closed-loop driver
 //!   cannot see, because open-loop arrivals keep coming no matter how far
-//!   behind the server falls.
+//!   behind the server falls. The arrival process is **split across
+//!   multiple submitter threads** (superposed Poisson sub-processes) and
+//!   each submitter paces with hybrid sleep + busy-spin
+//!   ([`dsstc_serve::pace_until`]), so offered rates past 10k rps stay
+//!   faithful to the arrival clock instead of collapsing to the
+//!   scheduler's sleep granularity.
 //!
 //! Run with `cargo run --release -p dsstc-bench --bin serve_throughput`
 //! (append `-- --open-loop` for the open-loop sweep, `--smoke` for the
-//! CI-sized grid).
+//! CI-sized grid, `--submitters N` to pin the open-loop submitter thread
+//! count, `--encode-cache-dir DIR` to persist encoded weights across runs).
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use dsstc_serve::{
-    DevicePool, InferRequest, InferenceServer, ModelId, PoissonArrivals, Priority, ServeConfig,
-    ServerStats,
+    pace_until, DevicePool, InferRequest, InferenceServer, ModelId, PoissonArrivals, Priority,
+    ServeConfig, ServerStats,
 };
 use dsstc_sim::GpuConfig;
 use dsstc_tensor::{Matrix, SparsityPattern};
@@ -30,6 +37,13 @@ const REQUESTS: u64 = 96;
 
 /// Seed of the open-loop arrival process (fixed: cells are reproducible).
 const ARRIVAL_SEED: u64 = 0x0A_11_2E_ED;
+
+/// Submitter threads for an offered load, when not pinned by
+/// `--submitters`: one per 4k rps, capped at 8 — measured headroom for a
+/// sleep+spin pacer to stay on its arrival clock.
+fn auto_submitters(offered_rps: f64) -> usize {
+    ((offered_rps / 4000.0).ceil() as usize).clamp(1, 8)
+}
 
 /// Drives one burst of mixed traffic and returns wall time + final stats.
 fn run_cell(workers: usize, max_batch: usize) -> (f64, ServerStats) {
@@ -89,42 +103,75 @@ fn closed_loop(smoke: bool) {
 }
 
 /// One open-loop cell: Poisson arrivals at `offered_rps` against a pool,
-/// mixed-priority mixed-model traffic. Returns final stats + achieved rate.
+/// mixed-priority mixed-model traffic driven by `submitters` threads (each
+/// pacing an independent sub-process with sleep+spin). Returns final stats
+/// + achieved rate.
 fn run_open_loop_cell(
     pool: DevicePool,
     max_batch: usize,
     offered_rps: f64,
     requests: u64,
+    submitters: usize,
+    encode_cache_dir: Option<&PathBuf>,
 ) -> (f64, ServerStats) {
-    let mut server = InferenceServer::start(
-        ServeConfig::default()
-            .with_devices(pool)
-            .with_max_batch(max_batch)
-            .with_max_queue_wait(Duration::from_millis(2))
-            .with_proxy_dim(64),
-    );
+    let mut config = ServeConfig::default()
+        .with_devices(pool)
+        .with_max_batch(max_batch)
+        .with_max_queue_wait(Duration::from_millis(2))
+        .with_proxy_dim(64);
+    if let Some(dir) = encode_cache_dir {
+        config = config.with_encode_cache_dir(dir.clone());
+    }
+    let mut server = InferenceServer::start(config);
     for model in [ModelId::ResNet50, ModelId::BertBase] {
         server.warm_model(model, None);
     }
-    let mut arrivals = PoissonArrivals::new(offered_rps, ARRIVAL_SEED);
+    let sub_processes = PoissonArrivals::new(offered_rps, ARRIVAL_SEED).split(submitters);
     let started = Instant::now();
-    let mut next_arrival = started;
-    let pending: Vec<_> = (0..requests)
-        .map(|i| {
-            next_arrival += arrivals.next_gap();
-            // Open loop: wait for the arrival instant even if the server is
-            // behind; never wait for the server itself.
-            if let Some(sleep) = next_arrival.checked_duration_since(Instant::now()) {
-                std::thread::sleep(sleep);
-            }
-            let model = if i % 2 == 0 { ModelId::ResNet50 } else { ModelId::BertBase };
-            let priority = if i % 4 == 0 { Priority::High } else { Priority::Normal };
-            let features = Matrix::random_sparse(4, 64, 0.4, SparsityPattern::Uniform, i);
-            server
-                .submit(InferRequest::new(model, features).with_priority(priority))
-                .expect("queued")
-        })
-        .collect();
+    let server_ref = &server;
+    // Each submitter drives its own sub-process; the superposition offers
+    // the full load. Requests are waited on after every submitter finishes
+    // (open loop: arrivals never wait for the server).
+    let pending: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = sub_processes
+            .into_iter()
+            .enumerate()
+            .map(|(t, mut arrivals)| {
+                // Spread the remainder so exactly `requests` are submitted.
+                let share = requests / submitters as u64
+                    + u64::from((t as u64) < requests % submitters as u64);
+                scope.spawn(move || {
+                    let mut next_arrival = started;
+                    (0..share)
+                        .map(|i| {
+                            next_arrival += arrivals.next_gap();
+                            // Open loop: pace to the arrival instant even if
+                            // the server is behind; never wait for the
+                            // server itself.
+                            pace_until(next_arrival);
+                            let id = t as u64 * 1_000_003 + i;
+                            let model = if id.is_multiple_of(2) {
+                                ModelId::ResNet50
+                            } else {
+                                ModelId::BertBase
+                            };
+                            let priority = if id.is_multiple_of(4) {
+                                Priority::High
+                            } else {
+                                Priority::Normal
+                            };
+                            let features =
+                                Matrix::random_sparse(4, 64, 0.4, SparsityPattern::Uniform, id);
+                            server_ref
+                                .submit(InferRequest::new(model, features).with_priority(priority))
+                                .expect("queued")
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("submitter thread")).collect()
+    });
     for p in pending {
         p.wait().expect("response");
     }
@@ -134,7 +181,7 @@ fn run_open_loop_cell(
     (requests as f64 / elapsed, stats)
 }
 
-fn open_loop(smoke: bool) {
+fn open_loop(smoke: bool, submitters: Option<usize>, encode_cache_dir: Option<&PathBuf>) {
     let (loads, requests): (&[f64], u64) =
         if smoke { (&[200.0, 800.0], 32) } else { (&[100.0, 200.0, 400.0, 800.0, 1600.0], 96) };
     type PoolMaker = fn() -> DevicePool;
@@ -147,10 +194,11 @@ fn open_loop(smoke: bool) {
          ResNet-50/BERT requests per cell (1 in 4 high priority)\n"
     );
     println!(
-        "{:>10} {:>10} {:>12} {:>12} {:>14} {:>14} {:>14} {:>12} {:>12}",
+        "{:>10} {:>10} {:>12} {:>11} {:>12} {:>14} {:>14} {:>14} {:>12} {:>12}",
         "pool",
         "max_batch",
         "offered r/s",
+        "submitters",
         "achieved",
         "queue p50 ms",
         "queue p99 ms",
@@ -161,9 +209,17 @@ fn open_loop(smoke: bool) {
     for (name, make_pool) in pools {
         for &max_batch in &[4usize, 8] {
             for &load in loads {
-                let (achieved, stats) = run_open_loop_cell(make_pool(), max_batch, load, requests);
+                let threads = submitters.unwrap_or_else(|| auto_submitters(load));
+                let (achieved, stats) = run_open_loop_cell(
+                    make_pool(),
+                    max_batch,
+                    load,
+                    requests,
+                    threads,
+                    encode_cache_dir,
+                );
                 println!(
-                    "{name:>10} {max_batch:>10} {load:>12.0} {achieved:>12.1} {:>14.2} {:>14.2} {:>14.2} {:>12.2} {:>12.2}",
+                    "{name:>10} {max_batch:>10} {load:>12.0} {threads:>11} {achieved:>12.1} {:>14.2} {:>14.2} {:>14.2} {:>12.2} {:>12.2}",
                     stats.queue_p50_us / 1e3,
                     stats.queue_p99_us / 1e3,
                     stats.for_priority(Priority::High).queue_p99_us / 1e3,
@@ -185,17 +241,47 @@ fn open_loop(smoke: bool) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let open = args.iter().any(|a| a == "--open-loop");
-    let smoke = args.iter().any(|a| a == "--smoke");
-    if let Some(unknown) =
-        args.iter().find(|a| a.as_str() != "--open-loop" && a.as_str() != "--smoke")
-    {
-        eprintln!("unknown flag {unknown}; supported: [--open-loop] [--smoke]");
-        std::process::exit(2);
+    let mut open = false;
+    let mut smoke = false;
+    let mut submitters: Option<usize> = None;
+    let mut encode_cache_dir: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--open-loop" => open = true,
+            "--smoke" => smoke = true,
+            "--submitters" => {
+                submitters = iter.next().and_then(|v| v.parse().ok()).filter(|&n: &usize| n > 0);
+                if submitters.is_none() {
+                    eprintln!("--submitters needs a positive integer");
+                    std::process::exit(2);
+                }
+            }
+            "--encode-cache-dir" => {
+                encode_cache_dir = iter.next().map(PathBuf::from);
+                if encode_cache_dir.is_none() {
+                    eprintln!("--encode-cache-dir needs a directory path");
+                    std::process::exit(2);
+                }
+            }
+            unknown => {
+                eprintln!(
+                    "unknown flag {unknown}; supported: [--open-loop] [--smoke] \
+                     [--submitters N] [--encode-cache-dir DIR]"
+                );
+                std::process::exit(2);
+            }
+        }
     }
     if open {
-        open_loop(smoke);
+        open_loop(smoke, submitters, encode_cache_dir.as_ref());
     } else {
+        // Fail loudly rather than silently ignoring flags only the
+        // open-loop driver consumes.
+        if submitters.is_some() || encode_cache_dir.is_some() {
+            eprintln!("--submitters and --encode-cache-dir require --open-loop");
+            std::process::exit(2);
+        }
         closed_loop(smoke);
     }
 }

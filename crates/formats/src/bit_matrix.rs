@@ -230,6 +230,39 @@ impl BitMatrix {
     pub fn storage_bytes(&self) -> u64 {
         (self.rows * self.words_per_row * 8) as u64
     }
+
+    /// The packed words, row-major (`rows * cols.div_ceil(64)` of them) —
+    /// exposed for the binary serialiser.
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a bitmap from its packed words (the serialiser's inverse of
+    /// [`Self::words`]). Fails on a word-count mismatch or a set bit in the
+    /// padding past `cols`.
+    pub(crate) fn from_words(
+        rows: usize,
+        cols: usize,
+        words: Vec<u64>,
+    ) -> Result<Self, &'static str> {
+        if rows == 0 || cols == 0 {
+            return Err("bit matrix dimensions must be non-zero");
+        }
+        let words_per_row = cols.div_ceil(64);
+        if words.len() != rows * words_per_row {
+            return Err("bitmap word count does not match its dimensions");
+        }
+        let tail_bits = cols % 64;
+        if tail_bits > 0 {
+            let pad_mask = !((1u64 << tail_bits) - 1);
+            for row in 0..rows {
+                if words[(row + 1) * words_per_row - 1] & pad_mask != 0 {
+                    return Err("bitmap has bits set past its column bound");
+                }
+            }
+        }
+        Ok(BitMatrix { rows, cols, words_per_row, words })
+    }
 }
 
 #[cfg(test)]

@@ -207,6 +207,36 @@ impl BitmapMatrix {
             metadata_bytes: self.bitmap.storage_bytes(),
         }
     }
+
+    /// Rebuilds an encoding from a bitmap and the condensed values (the
+    /// serialiser's constructor). The per-vector offsets are recomputed from
+    /// the bitmap; fails if the value count disagrees with the bitmap's
+    /// population count.
+    pub(crate) fn from_parts(
+        layout: VectorLayout,
+        bitmap: BitMatrix,
+        values: Vec<f32>,
+    ) -> Result<Self, &'static str> {
+        if bitmap.count_ones() != values.len() {
+            return Err("condensed value count does not match the bitmap population");
+        }
+        let (rows, cols) = (bitmap.rows(), bitmap.cols());
+        let vector_count = match layout {
+            VectorLayout::ColumnMajor => cols,
+            VectorLayout::RowMajor => rows,
+        };
+        let mut offsets = Vec::with_capacity(vector_count + 1);
+        offsets.push(0);
+        let mut total = 0usize;
+        for v in 0..vector_count {
+            total += match layout {
+                VectorLayout::ColumnMajor => bitmap.col_count_ones(v),
+                VectorLayout::RowMajor => bitmap.row_count_ones(v),
+            };
+            offsets.push(total);
+        }
+        Ok(BitmapMatrix { rows, cols, layout, bitmap, values, offsets })
+    }
 }
 
 #[cfg(test)]

@@ -32,12 +32,14 @@ pub mod bit_matrix;
 pub mod bitmap;
 pub mod csr;
 pub mod feature_map;
+pub mod serialize;
 pub mod two_level;
 
 pub use crate::bit_matrix::BitMatrix;
 pub use crate::bitmap::{BitmapMatrix, VectorLayout};
 pub use crate::csr::CsrMatrix;
 pub use crate::feature_map::BitmapFeatureMap;
+pub use crate::serialize::{CodecError, FORMAT_VERSION};
 pub use crate::two_level::TwoLevelBitmapMatrix;
 
 /// Storage cost in bytes of one encoded matrix, used by the memory-traffic

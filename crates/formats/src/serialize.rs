@@ -1,0 +1,516 @@
+//! Versioned, checksummed binary serialisation of the bitmap encodings.
+//!
+//! The paper encodes pruned weights **offline** because weight sparsity is
+//! static; this module is what makes that offline artifact durable: a
+//! [`BitmapMatrix`] or [`TwoLevelBitmapMatrix`] round-trips through a small
+//! hand-rolled little-endian container so a serving layer can persist its
+//! encode cache on disk and skip the prune+encode warm-up after a restart.
+//!
+//! # Container layout
+//!
+//! ```text
+//! magic   : 4 bytes  b"DSTC"
+//! version : u16 LE   (FORMAT_VERSION)
+//! kind    : u8       (1 = BitmapMatrix, 2 = TwoLevelBitmapMatrix)
+//! length  : u64 LE   payload byte count
+//! payload : `length` bytes (kind-specific, little-endian)
+//! checksum: u64 LE   FNV-1a over the payload
+//! ```
+//!
+//! Decoding **never panics**: a truncated stream, wrong magic, unsupported
+//! version, flipped payload bit or internally inconsistent payload all
+//! surface as a [`CodecError`]. Readers fully validate the payload through
+//! the same invariants the in-memory constructors enforce, so a decoded
+//! value is indistinguishable from a freshly encoded one (`PartialEq`
+//! holds across a round-trip).
+
+use std::io::{Read, Write};
+
+use crate::bit_matrix::BitMatrix;
+use crate::bitmap::{BitmapMatrix, VectorLayout};
+use crate::two_level::TwoLevelBitmapMatrix;
+
+/// The 4-byte container magic.
+pub const MAGIC: [u8; 4] = *b"DSTC";
+
+/// Current container format version. Bump on any layout change; readers
+/// reject every other version with [`CodecError::UnsupportedVersion`].
+pub const FORMAT_VERSION: u16 = 1;
+
+const KIND_BITMAP: u8 = 1;
+const KIND_TWO_LEVEL: u8 = 2;
+
+/// Why a serialised encoding could not be read (or written).
+#[derive(Debug)]
+pub enum CodecError {
+    /// The underlying reader/writer failed.
+    Io(std::io::Error),
+    /// The stream ended before the declared content did.
+    Truncated,
+    /// The stream does not start with [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The container was written by an unknown format version.
+    UnsupportedVersion(u16),
+    /// The container holds a different encoding kind than requested.
+    WrongKind {
+        /// The kind tag the reader expected.
+        expected: u8,
+        /// The kind tag found in the stream.
+        found: u8,
+    },
+    /// The payload does not match its checksum (bit rot / partial write).
+    ChecksumMismatch,
+    /// The payload is internally inconsistent.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Io(e) => write!(f, "i/o error: {e}"),
+            CodecError::Truncated => f.write_str("stream truncated before the declared end"),
+            CodecError::BadMagic(found) => {
+                write!(f, "bad magic {found:02x?}, expected {MAGIC:02x?}")
+            }
+            CodecError::UnsupportedVersion(v) => {
+                write!(f, "unsupported format version {v}, this reader supports {FORMAT_VERSION}")
+            }
+            CodecError::WrongKind { expected, found } => {
+                write!(f, "wrong encoding kind {found}, expected {expected}")
+            }
+            CodecError::ChecksumMismatch => f.write_str("payload checksum mismatch"),
+            CodecError::Malformed(why) => write!(f, "malformed payload: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CodecError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            CodecError::Truncated
+        } else {
+            CodecError::Io(e)
+        }
+    }
+}
+
+/// FNV-1a 64-bit hash of `bytes` — the container checksum.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian payload cursor.
+// ---------------------------------------------------------------------------
+
+/// Byte-slice reader with bounds-checked little-endian primitives.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(CodecError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    fn usize(&mut self) -> Result<usize, CodecError> {
+        usize::try_from(self.u64()?).map_err(|_| CodecError::Malformed("length exceeds usize"))
+    }
+
+    fn f32(&mut self) -> Result<f32, CodecError> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes(b.try_into().expect("4-byte slice")))
+    }
+
+    fn finished(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn layout_tag(layout: VectorLayout) -> u8 {
+    match layout {
+        VectorLayout::ColumnMajor => 0,
+        VectorLayout::RowMajor => 1,
+    }
+}
+
+fn layout_from_tag(tag: u8) -> Result<VectorLayout, CodecError> {
+    match tag {
+        0 => Ok(VectorLayout::ColumnMajor),
+        1 => Ok(VectorLayout::RowMajor),
+        _ => Err(CodecError::Malformed("unknown vector layout tag")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Payload encoders / decoders.
+// ---------------------------------------------------------------------------
+
+fn write_bit_matrix(out: &mut Vec<u8>, b: &BitMatrix) {
+    push_u64(out, b.rows() as u64);
+    push_u64(out, b.cols() as u64);
+    for &word in b.words() {
+        push_u64(out, word);
+    }
+}
+
+fn read_bit_matrix(cur: &mut Cursor<'_>) -> Result<BitMatrix, CodecError> {
+    let rows = cur.usize()?;
+    let cols = cur.usize()?;
+    if rows == 0 || cols == 0 {
+        return Err(CodecError::Malformed("bit matrix dimensions must be non-zero"));
+    }
+    let word_count = rows
+        .checked_mul(cols.div_ceil(64))
+        .ok_or(CodecError::Malformed("bit matrix dimensions overflow"))?;
+    // Guard the allocation against a bogus huge dimension: the words must
+    // actually be present in the payload.
+    if cur.bytes.len().saturating_sub(cur.pos) < word_count.saturating_mul(8) {
+        return Err(CodecError::Truncated);
+    }
+    let mut words = Vec::with_capacity(word_count);
+    for _ in 0..word_count {
+        words.push(cur.u64()?);
+    }
+    BitMatrix::from_words(rows, cols, words).map_err(CodecError::Malformed)
+}
+
+fn write_bitmap_payload(out: &mut Vec<u8>, m: &BitmapMatrix) {
+    out.push(layout_tag(m.layout()));
+    write_bit_matrix(out, m.bitmap());
+    push_u64(out, m.nnz() as u64);
+    for &v in m.values() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn read_bitmap_payload(cur: &mut Cursor<'_>) -> Result<BitmapMatrix, CodecError> {
+    let layout = layout_from_tag(cur.u8()?)?;
+    let bitmap = read_bit_matrix(cur)?;
+    let nnz = cur.usize()?;
+    if cur.bytes.len().saturating_sub(cur.pos) < nnz.saturating_mul(4) {
+        return Err(CodecError::Truncated);
+    }
+    let mut values = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        values.push(cur.f32()?);
+    }
+    BitmapMatrix::from_parts(layout, bitmap, values).map_err(CodecError::Malformed)
+}
+
+fn write_two_level_payload(out: &mut Vec<u8>, m: &TwoLevelBitmapMatrix) {
+    push_u64(out, m.rows() as u64);
+    push_u64(out, m.cols() as u64);
+    push_u64(out, m.tile_rows() as u64);
+    push_u64(out, m.tile_cols() as u64);
+    out.push(layout_tag(m.layout()));
+    write_bit_matrix(out, m.warp_bitmap());
+    push_u64(out, m.tiles().len() as u64);
+    for tile in m.tiles() {
+        write_bitmap_payload(out, tile);
+    }
+}
+
+fn read_two_level_payload(cur: &mut Cursor<'_>) -> Result<TwoLevelBitmapMatrix, CodecError> {
+    let rows = cur.usize()?;
+    let cols = cur.usize()?;
+    let tile_rows = cur.usize()?;
+    let tile_cols = cur.usize()?;
+    let layout = layout_from_tag(cur.u8()?)?;
+    let warp_bitmap = read_bit_matrix(cur)?;
+    let tile_count = cur.usize()?;
+    if tile_count != warp_bitmap.count_ones() {
+        return Err(CodecError::Malformed("tile count does not match the warp bitmap population"));
+    }
+    let mut tiles = Vec::with_capacity(tile_count.min(1 << 20));
+    for _ in 0..tile_count {
+        tiles.push(read_bitmap_payload(cur)?);
+    }
+    TwoLevelBitmapMatrix::from_parts(rows, cols, tile_rows, tile_cols, layout, warp_bitmap, tiles)
+        .map_err(CodecError::Malformed)
+}
+
+// ---------------------------------------------------------------------------
+// Container framing.
+// ---------------------------------------------------------------------------
+
+fn write_container<W: Write>(w: &mut W, kind: u8, payload: &[u8]) -> Result<(), CodecError> {
+    w.write_all(&MAGIC)?;
+    w.write_all(&FORMAT_VERSION.to_le_bytes())?;
+    w.write_all(&[kind])?;
+    w.write_all(&(payload.len() as u64).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.write_all(&fnv1a(payload).to_le_bytes())?;
+    Ok(())
+}
+
+fn read_container<R: Read>(r: &mut R, expected_kind: u8) -> Result<Vec<u8>, CodecError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(CodecError::BadMagic(magic));
+    }
+    let mut version = [0u8; 2];
+    r.read_exact(&mut version)?;
+    let version = u16::from_le_bytes(version);
+    if version != FORMAT_VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let mut kind = [0u8; 1];
+    r.read_exact(&mut kind)?;
+    if kind[0] != expected_kind {
+        return Err(CodecError::WrongKind { expected: expected_kind, found: kind[0] });
+    }
+    let mut len = [0u8; 8];
+    r.read_exact(&mut len)?;
+    let len = u64::from_le_bytes(len);
+    // Incremental read: a bogus length on a truncated stream yields
+    // Truncated instead of a huge up-front allocation.
+    let mut payload = Vec::new();
+    let read = r.take(len).read_to_end(&mut payload)?;
+    if (read as u64) < len {
+        return Err(CodecError::Truncated);
+    }
+    let mut checksum = [0u8; 8];
+    r.read_exact(&mut checksum)?;
+    if u64::from_le_bytes(checksum) != fnv1a(&payload) {
+        return Err(CodecError::ChecksumMismatch);
+    }
+    Ok(payload)
+}
+
+fn decode_payload<T>(
+    payload: &[u8],
+    read: impl FnOnce(&mut Cursor<'_>) -> Result<T, CodecError>,
+) -> Result<T, CodecError> {
+    let mut cur = Cursor::new(payload);
+    let value = read(&mut cur)?;
+    if !cur.finished() {
+        return Err(CodecError::Malformed("trailing bytes after the payload"));
+    }
+    Ok(value)
+}
+
+impl BitmapMatrix {
+    /// Serialises into the versioned, checksummed container.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), CodecError> {
+        let mut payload = Vec::new();
+        write_bitmap_payload(&mut payload, self);
+        write_container(w, KIND_BITMAP, &payload)
+    }
+
+    /// Deserialises from the container, validating magic, version, checksum
+    /// and every structural invariant. Never panics on hostile input.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Self, CodecError> {
+        decode_payload(&read_container(r, KIND_BITMAP)?, read_bitmap_payload)
+    }
+
+    /// Serialises into an owned byte buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_to(&mut out).expect("writing to a Vec cannot fail");
+        out
+    }
+
+    /// Deserialises from a byte buffer (see [`Self::read_from`]).
+    pub fn from_bytes(mut bytes: &[u8]) -> Result<Self, CodecError> {
+        Self::read_from(&mut bytes)
+    }
+}
+
+impl TwoLevelBitmapMatrix {
+    /// Serialises into the versioned, checksummed container.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), CodecError> {
+        let mut payload = Vec::new();
+        write_two_level_payload(&mut payload, self);
+        write_container(w, KIND_TWO_LEVEL, &payload)
+    }
+
+    /// Deserialises from the container, validating magic, version, checksum
+    /// and every structural invariant. Never panics on hostile input.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Self, CodecError> {
+        decode_payload(&read_container(r, KIND_TWO_LEVEL)?, read_two_level_payload)
+    }
+
+    /// Serialises into an owned byte buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_to(&mut out).expect("writing to a Vec cannot fail");
+        out
+    }
+
+    /// Deserialises from a byte buffer (see [`Self::read_from`]).
+    pub fn from_bytes(mut bytes: &[u8]) -> Result<Self, CodecError> {
+        Self::read_from(&mut bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsstc_tensor::{Matrix, SparsityPattern};
+
+    fn sample_two_level(seed: u64) -> TwoLevelBitmapMatrix {
+        let dense = Matrix::random_sparse(50, 70, 0.8, SparsityPattern::BlockUneven, seed);
+        TwoLevelBitmapMatrix::encode(&dense, 16, 32, VectorLayout::RowMajor)
+    }
+
+    #[test]
+    fn bitmap_roundtrips_bit_for_bit() {
+        for layout in [VectorLayout::ColumnMajor, VectorLayout::RowMajor] {
+            let dense = Matrix::random_sparse(37, 129, 0.7, SparsityPattern::Uniform, 3);
+            let enc = BitmapMatrix::encode(&dense, layout);
+            let back = BitmapMatrix::from_bytes(&enc.to_bytes()).expect("roundtrip");
+            assert_eq!(back, enc, "layout {layout:?}");
+            assert_eq!(back.decode(), dense);
+        }
+    }
+
+    #[test]
+    fn two_level_roundtrips_bit_for_bit() {
+        let enc = sample_two_level(9);
+        let back = TwoLevelBitmapMatrix::from_bytes(&enc.to_bytes()).expect("roundtrip");
+        assert_eq!(back, enc);
+        assert_eq!(back.decode(), enc.decode());
+        assert_eq!(back.storage(), enc.storage());
+    }
+
+    #[test]
+    fn all_zero_matrix_roundtrips() {
+        let enc =
+            TwoLevelBitmapMatrix::encode(&Matrix::zeros(64, 64), 32, 32, VectorLayout::ColumnMajor);
+        let back = TwoLevelBitmapMatrix::from_bytes(&enc.to_bytes()).expect("roundtrip");
+        assert_eq!(back, enc);
+        assert_eq!(back.nnz(), 0);
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_is_a_clean_error() {
+        let bytes = sample_two_level(4).to_bytes();
+        // Every strict prefix must fail without panicking — mostly with
+        // Truncated, never with success.
+        for cut in 0..bytes.len() {
+            let result = TwoLevelBitmapMatrix::from_bytes(&bytes[..cut]);
+            assert!(result.is_err(), "prefix of {cut} bytes decoded successfully");
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = sample_two_level(5).to_bytes();
+        bytes[0] = b'X';
+        match TwoLevelBitmapMatrix::from_bytes(&bytes) {
+            Err(CodecError::BadMagic(found)) => assert_eq!(&found[..1], b"X"),
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut bytes = sample_two_level(6).to_bytes();
+        bytes[4] = 0xFF; // version low byte
+        assert!(matches!(
+            TwoLevelBitmapMatrix::from_bytes(&bytes),
+            Err(CodecError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_kind_is_rejected() {
+        let dense = Matrix::random_sparse(8, 8, 0.5, SparsityPattern::Uniform, 7);
+        let bitmap = BitmapMatrix::encode(&dense, VectorLayout::RowMajor);
+        assert!(matches!(
+            TwoLevelBitmapMatrix::from_bytes(&bitmap.to_bytes()),
+            Err(CodecError::WrongKind { expected: 2, found: 1 })
+        ));
+        let two_level = sample_two_level(7);
+        assert!(matches!(
+            BitmapMatrix::from_bytes(&two_level.to_bytes()),
+            Err(CodecError::WrongKind { expected: 1, found: 2 })
+        ));
+    }
+
+    #[test]
+    fn payload_corruption_fails_the_checksum() {
+        let mut bytes = sample_two_level(8).to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(
+            TwoLevelBitmapMatrix::from_bytes(&bytes),
+            Err(CodecError::ChecksumMismatch | CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_inside_the_payload_is_malformed() {
+        let enc = sample_two_level(10);
+        let mut bytes = Vec::new();
+        let mut payload = Vec::new();
+        write_two_level_payload(&mut payload, &enc);
+        payload.push(0xAB); // one stray byte, checksum recomputed over it
+        write_container(&mut bytes, KIND_TWO_LEVEL, &payload).unwrap();
+        assert!(matches!(
+            TwoLevelBitmapMatrix::from_bytes(&bytes),
+            Err(CodecError::Malformed("trailing bytes after the payload"))
+        ));
+    }
+
+    #[test]
+    fn errors_render_and_expose_io_sources() {
+        assert!(CodecError::Truncated.to_string().contains("truncated"));
+        assert!(CodecError::ChecksumMismatch.to_string().contains("checksum"));
+        assert!(CodecError::UnsupportedVersion(9).to_string().contains('9'));
+        assert!(CodecError::Malformed("x").to_string().contains('x'));
+        assert!(CodecError::BadMagic(*b"ABCD").to_string().contains("magic"));
+        let io = CodecError::from(std::io::Error::other("backing store gone"));
+        assert!(std::error::Error::source(&io).is_some());
+        let eof = CodecError::from(std::io::Error::from(std::io::ErrorKind::UnexpectedEof));
+        assert!(matches!(eof, CodecError::Truncated));
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

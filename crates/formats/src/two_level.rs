@@ -172,6 +172,86 @@ impl TwoLevelBitmapMatrix {
         m
     }
 
+    /// Rebuilds an encoding from its warp bitmap and the non-empty tiles in
+    /// row-major set-bit order (the serialiser's constructor). The tile
+    /// index is recomputed from the warp bitmap; fails on any
+    /// inconsistency between the grid, the bitmap and the tiles.
+    pub(crate) fn from_parts(
+        rows: usize,
+        cols: usize,
+        tile_rows: usize,
+        tile_cols: usize,
+        layout: VectorLayout,
+        warp_bitmap: BitMatrix,
+        tiles: Vec<BitmapMatrix>,
+    ) -> Result<Self, &'static str> {
+        if rows == 0 || cols == 0 {
+            return Err("matrix dimensions must be non-zero");
+        }
+        if tile_rows == 0 || tile_cols == 0 {
+            return Err("tile dimensions must be non-zero");
+        }
+        let grid_rows = rows.div_ceil(tile_rows);
+        let grid_cols = cols.div_ceil(tile_cols);
+        if (warp_bitmap.rows(), warp_bitmap.cols()) != (grid_rows, grid_cols) {
+            return Err("warp bitmap does not match the tile grid");
+        }
+        if warp_bitmap.count_ones() != tiles.len() {
+            return Err("tile count does not match the warp bitmap population");
+        }
+        let mut tile_index = vec![None; grid_rows * grid_cols];
+        let mut next = 0usize;
+        for tr in 0..grid_rows {
+            for tc in 0..grid_cols {
+                if !warp_bitmap.get(tr, tc) {
+                    continue;
+                }
+                let tile = &tiles[next];
+                if (tile.rows(), tile.cols()) != (tile_rows, tile_cols) {
+                    return Err("tile shape does not match the declared tiling");
+                }
+                if tile.layout() != layout {
+                    return Err("tile layout does not match the declared layout");
+                }
+                if tile.nnz() == 0 {
+                    return Err("warp bitmap marks an empty tile as non-empty");
+                }
+                // Edge tiles are padded to the full tile shape; the padding
+                // past the logical matrix bound must stay empty or nnz()
+                // would disagree with decode().
+                let valid_r = tile_rows.min(rows - tr * tile_rows);
+                let valid_c = tile_cols.min(cols - tc * tile_cols);
+                if valid_r < tile_rows || valid_c < tile_cols {
+                    for r in 0..tile_rows {
+                        for c in 0..tile_cols {
+                            if (r >= valid_r || c >= valid_c) && tile.bitmap().get(r, c) {
+                                return Err("tile has non-zeros past the matrix bound");
+                            }
+                        }
+                    }
+                }
+                tile_index[tr * grid_cols + tc] = Some(next);
+                next += 1;
+            }
+        }
+        Ok(TwoLevelBitmapMatrix {
+            rows,
+            cols,
+            tile_rows,
+            tile_cols,
+            layout,
+            warp_bitmap,
+            tiles,
+            tile_index,
+        })
+    }
+
+    /// The non-empty tiles in row-major set-bit order of the warp bitmap —
+    /// exposed for the binary serialiser.
+    pub(crate) fn tiles(&self) -> &[BitmapMatrix] {
+        &self.tiles
+    }
+
     /// Storage footprint: per-tile values and element bitmaps, plus the
     /// warp-bitmap (1 bit per tile, padded to words).
     pub fn storage(&self) -> StorageFootprint {

@@ -184,13 +184,44 @@ pub struct BitmapSpGemm {
 }
 
 impl BitmapSpGemm {
-    /// Creates the kernel with the paper's default options.
+    /// Creates the kernel with the paper's default options and the paper's
+    /// 32x32x16 warp tiling (see [`Self::for_device`] for the
+    /// device-native tiling).
     pub fn new(config: GpuConfig) -> Self {
         BitmapSpGemm {
             config,
             tiling: GemmTiling::paper_spgemm(),
             options: BitmapSpGemmOptions::default(),
         }
+    }
+
+    /// Creates the kernel running `config`'s **native** tiling
+    /// ([`GpuConfig::native_tiling`]) — what a heterogeneous device pool
+    /// uses so each device executes encodings shaped for its own Tensor
+    /// Cores.
+    pub fn for_device(config: GpuConfig) -> Self {
+        let tiling = config.native_tiling();
+        Self::new(config).with_tiling(tiling)
+    }
+
+    /// Overrides the GEMM tiling (and therefore the encoding this kernel
+    /// produces and accepts).
+    ///
+    /// # Panics
+    /// Panics if any tile dimension is zero or a block dimension is not a
+    /// multiple of its warp dimension.
+    pub fn with_tiling(mut self, tiling: GemmTiling) -> Self {
+        assert!(
+            tiling.warp_m > 0 && tiling.warp_n > 0 && tiling.warp_k > 0,
+            "warp tile dimensions must be non-zero"
+        );
+        assert!(
+            tiling.block_m.is_multiple_of(tiling.warp_m)
+                && tiling.block_n.is_multiple_of(tiling.warp_n),
+            "block tile must be a whole number of warp tiles"
+        );
+        self.tiling = tiling;
+        self
     }
 
     /// Overrides the ablation options.
@@ -202,6 +233,16 @@ impl BitmapSpGemm {
     /// The options in use.
     pub fn options(&self) -> BitmapSpGemmOptions {
         self.options
+    }
+
+    /// The GEMM tiling in use.
+    pub fn tiling(&self) -> &GemmTiling {
+        &self.tiling
+    }
+
+    /// The identity of the encodings this kernel produces and accepts.
+    pub fn encoding_spec(&self) -> crate::encoding::EncodingSpec {
+        crate::encoding::EncodingSpec::for_tiling(self.tiling)
     }
 
     /// Builds the workload profile (and skip statistics) of `A * B` for
@@ -857,6 +898,42 @@ mod tests {
         let a = TwoLevelBitmapMatrix::encode(&Matrix::zeros(8, 8), 8, 8, VectorLayout::ColumnMajor);
         let b = k.encode_b(&Matrix::zeros(8, 8));
         let _ = k.execute_encoded(&a, &b);
+    }
+
+    #[test]
+    fn device_native_tiling_executes_correctly_and_reports_its_spec() {
+        // The A100's native 32x32x32 warp tiles are a genuinely different
+        // encoding from the paper's 32x32x16 — and must still reproduce the
+        // dense reference.
+        let k = BitmapSpGemm::for_device(GpuConfig::a100());
+        assert_eq!(*k.tiling(), GpuConfig::a100().native_tiling());
+        assert_eq!(k.encoding_spec().b_tile(), (32, 32));
+        let a = random(64, 48, 0.7, 31);
+        let b = random(48, 96, 0.8, 32);
+        let out = k.execute_encoded(&k.encode_a(&a), &k.encode_b(&b));
+        assert!(out.approx_eq(&a.matmul(&b), 1e-2));
+        // The V100 kernel keeps the paper tiling.
+        assert_eq!(
+            BitmapSpGemm::for_device(GpuConfig::v100()).encoding_spec(),
+            crate::encoding::EncodingSpec::paper()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the kernel's")]
+    fn encodings_are_not_interchangeable_across_device_tilings() {
+        let v100 = kernel();
+        let a100 = BitmapSpGemm::for_device(GpuConfig::a100());
+        let b = v100.encode_b(&Matrix::zeros(48, 48));
+        let a = a100.encode_a(&Matrix::zeros(48, 48));
+        let _ = a100.execute_encoded(&a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of warp tiles")]
+    fn misaligned_block_tiling_panics() {
+        let t = GemmTiling { block_m: 100, ..GemmTiling::paper_spgemm() };
+        let _ = kernel().with_tiling(t);
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod bitmap_spgemm;
 pub mod conv;
 pub mod csr_spgemm;
 pub mod dense_gemm;
+pub mod encoding;
 pub mod im2col;
 pub mod tiling;
 pub mod vector_sparse;
@@ -35,5 +36,6 @@ pub use crate::bitmap_spgemm::BitmapSpGemm;
 pub use crate::conv::{ConvScheme, ConvWorkload};
 pub use crate::csr_spgemm::CsrSpGemm;
 pub use crate::dense_gemm::DenseGemm;
+pub use crate::encoding::EncodingSpec;
 pub use crate::tiling::GemmTiling;
 pub use crate::vector_sparse::VectorSparseGemm;

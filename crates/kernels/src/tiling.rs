@@ -1,226 +1,10 @@
 //! Thread-block / warp tiling and the DRAM-traffic model.
 //!
-//! All GEMM-shaped kernels in this crate share a CUTLASS-style hierarchy:
-//! thread blocks own a `block_m x block_n` output tile and iterate over `K`
-//! in `block_k` slices; inside a block, warps own `warp_m x warp_n x warp_k`
-//! tiles (32x32x16 here — the size the 4 KB accumulation buffer supports,
-//! paper Section III-B3). The traffic model estimates DRAM bytes after L2
-//! reuse with a wave-based approximation: the set of thread blocks resident
-//! at once (one "wave") shares its A row panels and B column panels through
-//! L2, and an operand whose entire encoded form fits in half the L2 is only
-//! ever read once.
+//! The tiling types live in [`dsstc_sim::tiling`] so the device
+//! configuration ([`dsstc_sim::GpuConfig`]) can expose its **native**
+//! tiling — the shape encodings must target to run on that device — without
+//! a circular dependency. This module re-exports them under their
+//! historical path; every kernel in this crate still consumes
+//! [`GemmTiling`] exactly as before.
 
-use dsstc_tensor::GemmShape;
-
-/// Tiling parameters of a GEMM-shaped kernel.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub struct GemmTiling {
-    /// Thread-block tile rows (M dimension).
-    pub block_m: usize,
-    /// Thread-block tile columns (N dimension).
-    pub block_n: usize,
-    /// K slice processed per main-loop iteration.
-    pub block_k: usize,
-    /// Warp tile rows.
-    pub warp_m: usize,
-    /// Warp tile columns.
-    pub warp_n: usize,
-    /// Warp tile depth.
-    pub warp_k: usize,
-}
-
-impl GemmTiling {
-    /// The tiling used by the paper's SpGEMM: 32x32x16 warp tiles inside
-    /// 128x128 thread-block tiles.
-    pub fn paper_spgemm() -> Self {
-        GemmTiling { block_m: 128, block_n: 128, block_k: 16, warp_m: 32, warp_n: 32, warp_k: 16 }
-    }
-
-    /// A CUTLASS-like dense tiling (128x128 block, 64x64 warps, K slice 32).
-    pub fn cutlass_dense() -> Self {
-        GemmTiling { block_m: 128, block_n: 128, block_k: 32, warp_m: 64, warp_n: 64, warp_k: 32 }
-    }
-
-    /// Number of thread blocks for a GEMM of this shape.
-    pub fn grid_blocks(&self, shape: &GemmShape) -> u64 {
-        (shape.m.div_ceil(self.block_m) * shape.n.div_ceil(self.block_n)) as u64
-    }
-
-    /// Number of warp tiles inside one thread block.
-    pub fn warps_per_block(&self) -> u64 {
-        ((self.block_m / self.warp_m) * (self.block_n / self.warp_n)) as u64
-    }
-
-    /// Total warp-tile × k-slice steps for a GEMM of this shape: the unit at
-    /// which the sparse kernels count skip opportunities.
-    pub fn warp_tile_steps(&self, shape: &GemmShape) -> u64 {
-        let grid_m = shape.m.div_ceil(self.warp_m) as u64;
-        let grid_n = shape.n.div_ceil(self.warp_n) as u64;
-        let grid_k = shape.k.div_ceil(self.warp_k) as u64;
-        grid_m * grid_n * grid_k
-    }
-}
-
-impl Default for GemmTiling {
-    fn default() -> Self {
-        Self::paper_spgemm()
-    }
-}
-
-/// Inputs to the DRAM-traffic estimate for one GEMM-shaped kernel.
-#[derive(Clone, Copy, Debug)]
-pub struct TrafficInputs {
-    /// Encoded size of the A operand in bytes (values + metadata).
-    pub a_bytes: u64,
-    /// Encoded size of the B operand in bytes.
-    pub b_bytes: u64,
-    /// Size of the output written to DRAM in bytes.
-    pub d_bytes: u64,
-    /// GEMM shape.
-    pub shape: GemmShape,
-    /// L2 capacity in bytes.
-    pub l2_bytes: u64,
-    /// Number of thread blocks resident on the device at once.
-    pub concurrent_blocks: u64,
-}
-
-/// Estimated DRAM traffic split into reads and writes.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct TrafficEstimate {
-    /// Bytes read from DRAM.
-    pub read_bytes: u64,
-    /// Bytes written to DRAM.
-    pub write_bytes: u64,
-}
-
-impl GemmTiling {
-    /// Estimates DRAM traffic for a GEMM whose operands have the given
-    /// encoded sizes.
-    ///
-    /// * If either operand fits in half the L2, both operands are read once
-    ///   (the resident operand is reused from L2 across all blocks).
-    /// * Otherwise a wave of `concurrent_blocks` thread blocks shares its A
-    ///   row panels and B column panels; each wave re-reads those panels.
-    pub fn dram_traffic(&self, inputs: &TrafficInputs) -> TrafficEstimate {
-        let TrafficInputs { a_bytes, b_bytes, d_bytes, shape, l2_bytes, concurrent_blocks } =
-            *inputs;
-        let half_l2 = l2_bytes / 2;
-        let read_bytes = if a_bytes <= half_l2 || b_bytes <= half_l2 {
-            a_bytes + b_bytes
-        } else {
-            let grid_m = shape.m.div_ceil(self.block_m) as u64;
-            let grid_n = shape.n.div_ceil(self.block_n) as u64;
-            let total_blocks = grid_m * grid_n;
-            let concurrent = concurrent_blocks.max(1).min(total_blocks);
-            // Shape the wave as close to square as the grid allows.
-            let wave_n = ((concurrent as f64).sqrt().ceil() as u64).clamp(1, grid_n);
-            let wave_m = concurrent.div_ceil(wave_n).clamp(1, grid_m);
-            let waves = total_blocks.div_ceil(wave_m * wave_n);
-            // Per wave: the unique A row panels and B column panels it touches.
-            let a_per_wave = (a_bytes * wave_m) / grid_m.max(1);
-            let b_per_wave = (b_bytes * wave_n) / grid_n.max(1);
-            let streamed = waves * (a_per_wave + b_per_wave);
-            // Never less than reading each operand once, never more than the
-            // no-reuse upper bound.
-            streamed.clamp(a_bytes + b_bytes, a_bytes * grid_n + b_bytes * grid_m)
-        };
-        TrafficEstimate { read_bytes, write_bytes: d_bytes }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn shape_4k() -> GemmShape {
-        GemmShape::new(4096, 4096, 4096)
-    }
-
-    #[test]
-    fn paper_tiling_dimensions() {
-        let t = GemmTiling::paper_spgemm();
-        assert_eq!(t.warps_per_block(), 16);
-        assert_eq!(t.grid_blocks(&shape_4k()), 32 * 32);
-        // 128 x 128 x 256 warp-tile steps for 4096^3.
-        assert_eq!(t.warp_tile_steps(&shape_4k()), 128 * 128 * 256);
-    }
-
-    #[test]
-    fn grid_blocks_rounds_up() {
-        let t = GemmTiling::paper_spgemm();
-        let s = GemmShape::new(130, 1, 16);
-        assert_eq!(t.grid_blocks(&s), 2);
-        assert_eq!(t.warp_tile_steps(&GemmShape::new(33, 33, 17)), 2 * 2 * 2);
-    }
-
-    #[test]
-    fn traffic_small_operand_resident_in_l2() {
-        let t = GemmTiling::paper_spgemm();
-        // B is tiny (fits L2): both operands read exactly once.
-        let inputs = TrafficInputs {
-            a_bytes: 32 << 20,
-            b_bytes: 1 << 20,
-            d_bytes: 64 << 20,
-            shape: shape_4k(),
-            l2_bytes: 6 << 20,
-            concurrent_blocks: 160,
-        };
-        let est = t.dram_traffic(&inputs);
-        assert_eq!(est.read_bytes, (32 << 20) + (1 << 20));
-        assert_eq!(est.write_bytes, 64 << 20);
-    }
-
-    #[test]
-    fn traffic_large_dense_operands_use_wave_reuse() {
-        let t = GemmTiling::cutlass_dense();
-        let a_bytes = (4096u64 * 4096) * 2;
-        let inputs = TrafficInputs {
-            a_bytes,
-            b_bytes: a_bytes,
-            d_bytes: (4096u64 * 4096) * 4,
-            shape: shape_4k(),
-            l2_bytes: 6 << 20,
-            concurrent_blocks: 160,
-        };
-        let est = t.dram_traffic(&inputs);
-        // More than reading once, far less than the no-reuse bound (32x).
-        assert!(est.read_bytes > 2 * a_bytes);
-        assert!(est.read_bytes < 16 * a_bytes, "got {}", est.read_bytes);
-    }
-
-    #[test]
-    fn traffic_never_below_compulsory_reads() {
-        let t = GemmTiling::paper_spgemm();
-        let inputs = TrafficInputs {
-            a_bytes: 100 << 20,
-            b_bytes: 100 << 20,
-            d_bytes: 10 << 20,
-            shape: GemmShape::new(256, 256, 65536),
-            l2_bytes: 6 << 20,
-            concurrent_blocks: 10_000,
-        };
-        let est = t.dram_traffic(&inputs);
-        assert!(est.read_bytes >= 200 << 20);
-    }
-
-    #[test]
-    fn sparser_operands_reduce_traffic() {
-        let t = GemmTiling::paper_spgemm();
-        let mk = |a: u64, b: u64| TrafficInputs {
-            a_bytes: a,
-            b_bytes: b,
-            d_bytes: 64 << 20,
-            shape: shape_4k(),
-            l2_bytes: 6 << 20,
-            concurrent_blocks: 160,
-        };
-        let dense = t.dram_traffic(&mk(32 << 20, 32 << 20));
-        let sparse = t.dram_traffic(&mk(8 << 20, 8 << 20));
-        assert!(sparse.read_bytes < dense.read_bytes);
-    }
-
-    #[test]
-    fn default_tiling_is_paper_spgemm() {
-        assert_eq!(GemmTiling::default(), GemmTiling::paper_spgemm());
-    }
-}
+pub use dsstc_sim::tiling::{GemmTiling, TrafficEstimate, TrafficInputs};

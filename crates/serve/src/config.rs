@@ -1,10 +1,13 @@
-//! Serving-runtime configuration: batching knobs plus the device pool.
+//! Serving-runtime configuration: batching knobs, the device pool and the
+//! encode-cache tiers.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use dsstc_sim::GpuConfig;
 
 use crate::dispatch::DispatchPolicy;
+use crate::repository::CacheBudget;
 
 /// A pool of modelled GPUs batches are dispatched onto.
 ///
@@ -93,6 +96,13 @@ pub struct ServeConfig {
     pub proxy_dim: usize,
     /// How released batches are assigned to devices.
     pub dispatch: DispatchPolicy,
+    /// Directory of the persistent encoded-weight store (`--encode-cache-dir`
+    /// in the demo and sweep binaries). `None` keeps the encode cache
+    /// memory-only; set, a restarted server restores encoded artifacts from
+    /// disk and skips the prune+encode warm-up entirely.
+    pub encode_cache_dir: Option<PathBuf>,
+    /// Entry/byte bound on the in-memory encode-cache tier.
+    pub encode_cache_budget: CacheBudget,
 }
 
 impl Default for ServeConfig {
@@ -103,6 +113,8 @@ impl Default for ServeConfig {
             max_queue_wait: Duration::from_millis(2),
             proxy_dim: 64,
             dispatch: DispatchPolicy::MinCompletionTime,
+            encode_cache_dir: None,
+            encode_cache_budget: CacheBudget::default(),
         }
     }
 }
@@ -167,6 +179,18 @@ impl ServeConfig {
         self.dispatch = dispatch;
         self
     }
+
+    /// Enables the persistent encoded-weight store under `dir`.
+    pub fn with_encode_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.encode_cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Overrides the in-memory encode-cache budget.
+    pub fn with_encode_cache_budget(mut self, budget: CacheBudget) -> Self {
+        self.encode_cache_budget = budget;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -190,12 +214,24 @@ mod tests {
             .with_max_batch(3)
             .with_max_queue_wait(Duration::from_millis(7))
             .with_proxy_dim(96)
-            .with_dispatch(DispatchPolicy::RoundRobin);
+            .with_dispatch(DispatchPolicy::RoundRobin)
+            .with_encode_cache_dir("/tmp/dsstc-test-cache")
+            .with_encode_cache_budget(CacheBudget { max_entries: 4, max_bytes: 1 << 20 });
         assert_eq!(c.workers(), 5);
         assert_eq!(c.max_batch, 3);
         assert_eq!(c.max_queue_wait, Duration::from_millis(7));
         assert_eq!(c.proxy_dim, 96);
         assert_eq!(c.dispatch, DispatchPolicy::RoundRobin);
+        assert_eq!(c.encode_cache_dir, Some(PathBuf::from("/tmp/dsstc-test-cache")));
+        assert_eq!(c.encode_cache_budget, CacheBudget { max_entries: 4, max_bytes: 1 << 20 });
+    }
+
+    #[test]
+    fn encode_cache_defaults_to_memory_only_with_a_bounded_budget() {
+        let c = ServeConfig::default();
+        assert_eq!(c.encode_cache_dir, None);
+        assert!(c.encode_cache_budget.max_entries < usize::MAX);
+        assert!(c.encode_cache_budget.max_bytes < u64::MAX);
     }
 
     #[test]

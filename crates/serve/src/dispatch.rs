@@ -12,6 +12,8 @@
 
 use std::sync::{Arc, Mutex};
 
+use dsstc_kernels::EncodingSpec;
+
 use crate::config::DevicePool;
 use crate::request::ModelKey;
 use crate::timing::BatchTimingModel;
@@ -64,18 +66,22 @@ struct DispatchState {
 pub struct DeviceDispatcher {
     timings: Vec<Arc<BatchTimingModel>>,
     names: Vec<String>,
+    specs: Vec<EncodingSpec>,
     policy: DispatchPolicy,
     state: Mutex<DispatchState>,
 }
 
 impl DeviceDispatcher {
-    /// Builds one timing model per pooled device.
+    /// Builds one timing model (and one encoding spec — the device's native
+    /// tiling) per pooled device.
     pub fn new(pool: &DevicePool, policy: DispatchPolicy) -> Self {
         let timings =
             pool.devices().iter().map(|d| Arc::new(BatchTimingModel::new(d.clone()))).collect();
+        let specs = pool.devices().iter().map(EncodingSpec::for_gpu).collect();
         DeviceDispatcher {
             timings,
             names: pool.names(),
+            specs,
             policy,
             state: Mutex::new(DispatchState { busy_until_us: vec![0.0; pool.len()], next_rr: 0 }),
         }
@@ -107,6 +113,20 @@ impl DeviceDispatcher {
     /// Panics if `device` is out of range.
     pub fn timing(&self, device: usize) -> &Arc<BatchTimingModel> {
         &self.timings[device]
+    }
+
+    /// The encoding spec one device's batches must execute (its native
+    /// tiling) — what the worker pool keys its repository lookups by.
+    ///
+    /// # Panics
+    /// Panics if `device` is out of range.
+    pub fn spec(&self, device: usize) -> EncodingSpec {
+        self.specs[device]
+    }
+
+    /// Per-device encoding specs, in pool order.
+    pub fn specs(&self) -> &[EncodingSpec] {
+        &self.specs
     }
 
     /// Prices a batch of `batch` requests of `key`'s model on every device
@@ -215,6 +235,15 @@ mod tests {
 
     fn bert() -> ModelKey {
         ModelKey::new(ModelId::BertBase, None)
+    }
+
+    #[test]
+    fn per_device_specs_follow_the_native_tilings() {
+        let d = DeviceDispatcher::new(&mixed_pool(), DispatchPolicy::MinCompletionTime);
+        assert_eq!(d.spec(0).tiling, GpuConfig::v100().native_tiling());
+        assert_eq!(d.spec(1).tiling, GpuConfig::a100().native_tiling());
+        assert_ne!(d.spec(0), d.spec(1), "heterogeneous devices carry distinct encodings");
+        assert_eq!(d.specs().len(), d.len());
     }
 
     #[test]

@@ -6,9 +6,16 @@
 //!
 //! * [`ModelRepository`] — loads a network from [`dsstc_models`], prunes its
 //!   weights and **pre-encodes them once** into the paper's two-level bitmap
-//!   format, cached per `(model, sparsity)` key. The paper encodes pruned
-//!   weights offline for exactly this reason: weight sparsity is static, so
-//!   per-request re-encoding is pure waste.
+//!   format, cached per `(model, sparsity, encoding)` key. The paper encodes
+//!   pruned weights offline for exactly this reason: weight sparsity is
+//!   static, so per-request re-encoding is pure waste. Encodings are
+//!   **device-parameterised** (an [`EncodingSpec`] names the tiling +
+//!   operand layouts, derived from each device's
+//!   [`dsstc_sim::GpuConfig::native_tiling`]), the in-memory tier is
+//!   LRU-bounded by a [`CacheBudget`], and an optional on-disk store
+//!   (`encode_cache_dir`) persists artifacts in a versioned, checksummed
+//!   binary format so a restarted server skips the prune+encode warm-up
+//!   entirely.
 //! * [`BatchScheduler`] — accepts [`InferRequest`]s on a queue and
 //!   dynamically merges compatible requests into larger-M GEMM batches,
 //!   bounded by a maximum batch size and per-request SLO deadlines. Requests
@@ -21,9 +28,11 @@
 //!   time** via per-device [`BatchTimingModel`]s (round-robin is kept as the
 //!   baseline policy).
 //! * [`WorkerPool`] — one pinned OS worker per device executing its batches
-//!   on the dual-side SpGEMM kernel against the cached encodings; every
-//!   request receives an [`InferResponse`] carrying its output features plus
-//!   the modelled GPU latency of the real network at the batch's size.
+//!   on that device's **own** dual-side SpGEMM kernel against the encoding
+//!   cached for its tiling, so heterogeneous devices coexist functionally;
+//!   every request receives an [`InferResponse`] carrying its output
+//!   features, the encoding it executed and the modelled GPU latency of the
+//!   real network at the batch's size.
 //! * [`PoissonArrivals`] — a seeded open-loop traffic generator for
 //!   latency-vs-offered-load measurements (see the `serve_throughput`
 //!   sweep's `--open-loop` mode).
@@ -90,10 +99,13 @@ pub mod worker;
 pub use crate::batcher::{BatchPolicy, BatchScheduler};
 pub use crate::config::{DevicePool, ServeConfig};
 pub use crate::dispatch::{DeviceAssignment, DeviceDispatcher, DispatchPolicy};
-pub use crate::repository::{EncodedLayer, EncodedModel, ModelRepository};
+pub use crate::repository::{
+    CacheBudget, EncodeCacheStats, EncodedLayer, EncodedModel, ModelRepository,
+};
 pub use crate::request::{InferRequest, InferResponse, ModelId, ModelKey, Priority};
 pub use crate::server::{InferenceServer, PendingResponse, ServeError};
 pub use crate::stats::{DeviceStats, PriorityLatency, ServerStats};
 pub use crate::timing::BatchTimingModel;
-pub use crate::traffic::PoissonArrivals;
+pub use crate::traffic::{pace_until, PoissonArrivals};
 pub use crate::worker::WorkerPool;
+pub use dsstc_kernels::EncodingSpec;

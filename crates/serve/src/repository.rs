@@ -1,11 +1,25 @@
-//! The pre-encoded model repository.
+//! The pre-encoded model repository: a two-tier (memory + disk) cache of
+//! device-parameterised weight encodings.
 //!
 //! The paper encodes pruned weights into the bitmap format **offline**
 //! (Section III-A): weight sparsity is static, so re-encoding per request is
-//! pure waste. [`ModelRepository`] reproduces that at the serving layer — the
-//! first request for a `(model, sparsity)` pair prunes and encodes the
-//! model's weights into the two-level bitmap format once, and every later
-//! batch replays the cached [`EncodedModel`].
+//! pure waste. [`ModelRepository`] reproduces that at the serving layer and
+//! extends it in two directions:
+//!
+//! * **per-device encodings** — an encoded artifact is only executable on a
+//!   kernel whose warp tiling it was built for, so the cache is keyed by
+//!   `(ModelKey, EncodingSpec)`: a heterogeneous pool (V100 + A100) holds
+//!   one artifact per device tiling and every batch executes the encoding
+//!   native to the device it was dispatched to; and
+//! * **persistence** — with [`ModelRepository::with_disk_cache`], every
+//!   fresh prune+encode is serialised into the versioned, checksummed
+//!   container of [`dsstc_formats::serialize`]. A restarted server restores
+//!   the artifact from disk instead of re-encoding, so the warm-up cost is
+//!   paid once per artifact *ever*, not once per process.
+//!
+//! The in-memory tier is bounded: past a configurable entry/byte
+//! [`CacheBudget`], least-recently-used artifacts are evicted (in-flight
+//! `Arc`s keep evicted models alive for their current batches).
 //!
 //! Each served model carries two representations:
 //!
@@ -18,18 +32,29 @@
 //!   charge the modelled GPU time of the full-size network at the batch's
 //!   size.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-use dsstc_formats::TwoLevelBitmapMatrix;
+use dsstc_formats::{CodecError, TwoLevelBitmapMatrix};
 use dsstc_kernels::bitmap_spgemm::BitmapSpGemm;
+use dsstc_kernels::EncodingSpec;
 use dsstc_models::{prune_magnitude, Layer, Network};
 use dsstc_sim::GpuConfig;
 use dsstc_tensor::{Matrix, RandomMatrixBuilder};
 
 use crate::request::ModelKey;
+
+/// Magic of the on-disk encoded-model artifact (a thin header over the
+/// per-layer containers of [`dsstc_formats::serialize`]).
+const STORE_MAGIC: [u8; 4] = *b"DSMR";
+
+/// Version of the artifact header. Bump on layout change; mismatches fall
+/// back to a fresh encode (and overwrite the stale file).
+const STORE_VERSION: u16 = 1;
 
 /// One layer of a served model: the pre-encoded proxy weights plus the real
 /// layer descriptor the timing model charges.
@@ -52,15 +77,22 @@ pub struct EncodedLayer {
 pub struct EncodedModel {
     /// The cache key this model was loaded under.
     pub key: ModelKey,
+    /// The encoding identity (device tiling + operand layouts) the weights
+    /// were encoded for; only a kernel with the same spec can execute them.
+    pub spec: EncodingSpec,
     /// The real network table (with any sparsity override applied).
     pub network: Network,
     /// Feature width requests must supply.
     pub input_dim: usize,
     /// Pre-encoded layers in execution order.
     pub layers: Vec<EncodedLayer>,
-    /// Wall-clock milliseconds spent pruning + encoding at load time (the
-    /// cost the cache amortises away).
+    /// Wall-clock milliseconds spent obtaining the artifact — a fresh
+    /// prune+encode on the cold path, a disk restore on the warm path (the
+    /// cost the two cache tiers amortise away).
     pub encode_ms: f64,
+    /// Whether the artifact was restored from the on-disk store instead of
+    /// freshly encoded.
+    pub from_disk: bool,
 }
 
 impl EncodedModel {
@@ -69,9 +101,15 @@ impl EncodedModel {
     /// the final features.
     ///
     /// # Panics
-    /// Panics if `input` does not have `input_dim` columns.
+    /// Panics if `input` does not have `input_dim` columns or `kernel`'s
+    /// encoding spec differs from the one the weights were encoded for.
     pub fn forward(&self, kernel: &BitmapSpGemm, input: &Matrix) -> Matrix {
         assert_eq!(input.cols(), self.input_dim, "feature width mismatch");
+        assert_eq!(
+            kernel.encoding_spec(),
+            self.spec,
+            "kernel encoding spec does not match the model's"
+        );
         let mut x = input.clone();
         for layer in &self.layers {
             let a_enc = kernel.encode_a(&x);
@@ -87,21 +125,79 @@ impl EncodedModel {
     pub fn encoded_nnz(&self) -> usize {
         self.layers.iter().map(|l| l.weights.nnz()).sum()
     }
+
+    /// Modelled storage footprint of the encoded weights in bytes (FP16
+    /// values + bitmaps) — what the in-memory cache budget charges.
+    pub fn encoded_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.weights.storage().total()).sum()
+    }
 }
 
-/// Loads, prunes and pre-encodes models, caching the result per
-/// `(model, sparsity)` key.
-///
-/// `get` is cheap after the first call for a key; the hit/miss counters feed
-/// the server's encode-cache hit-rate metric.
+/// Bound on the in-memory encode-cache tier. The cache LRU-evicts past
+/// either limit; `Arc`s handed out keep evicted models alive for batches
+/// already holding them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheBudget {
+    /// Most `(model, encoding)` artifacts held at once.
+    pub max_entries: usize,
+    /// Most modelled encoded bytes (see [`EncodedModel::encoded_bytes`])
+    /// held at once.
+    pub max_bytes: u64,
+}
+
+impl CacheBudget {
+    /// An effectively unbounded budget.
+    pub fn unbounded() -> Self {
+        CacheBudget { max_entries: usize::MAX, max_bytes: u64::MAX }
+    }
+}
+
+impl Default for CacheBudget {
+    /// 64 artifacts / 512 MiB: far above any test or demo working set,
+    /// while still bounding a pathological many-sparsity catalogue.
+    fn default() -> Self {
+        CacheBudget { max_entries: 64, max_bytes: 512 << 20 }
+    }
+}
+
+/// Point-in-time counters of the two cache tiers, consumed by
+/// [`crate::ServerStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EncodeCacheStats {
+    /// Lookups served from the in-memory tier.
+    pub hits: u64,
+    /// Lookups that missed memory (each becomes a disk load or a fresh
+    /// encode).
+    pub misses: u64,
+    /// Misses restored from the on-disk store.
+    pub disk_loads: u64,
+    /// Misses that paid the full prune+encode.
+    pub fresh_encodes: u64,
+    /// Artifacts LRU-evicted from the in-memory tier so far.
+    pub evictions: u64,
+    /// Cumulative wall-clock milliseconds spent prune+encoding.
+    pub fresh_encode_ms: f64,
+    /// Cumulative wall-clock milliseconds spent restoring from disk.
+    pub disk_load_ms: f64,
+}
+
+impl EncodeCacheStats {
+    /// Fraction of lookups served from the in-memory tier.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 #[derive(Debug)]
-pub struct ModelRepository {
-    proxy_dim: usize,
-    kernel: BitmapSpGemm,
-    cache: Mutex<CacheState>,
-    loaded: Condvar,
-    hits: AtomicU64,
-    misses: AtomicU64,
+struct CacheEntry {
+    model: Arc<EncodedModel>,
+    bytes: u64,
+    last_used: u64,
 }
 
 /// Cache map plus the set of keys currently being encoded, so the mutex is
@@ -109,13 +205,41 @@ pub struct ModelRepository {
 /// proceed, and only same-key callers wait.
 #[derive(Debug, Default)]
 struct CacheState {
-    models: HashMap<ModelKey, Arc<EncodedModel>>,
-    in_flight: std::collections::HashSet<ModelKey>,
+    models: HashMap<(ModelKey, EncodingSpec), CacheEntry>,
+    in_flight: HashSet<(ModelKey, EncodingSpec)>,
+    tick: u64,
+    total_bytes: u64,
+}
+
+/// Loads, prunes and pre-encodes models, caching the result per
+/// `(model, sparsity, encoding)` key across an in-memory LRU tier and an
+/// optional on-disk store.
+///
+/// `get` / `get_for` are cheap after the first call for a key; the counters
+/// feed the server's encode-cache metrics.
+#[derive(Debug)]
+pub struct ModelRepository {
+    proxy_dim: usize,
+    base_gpu: GpuConfig,
+    default_spec: EncodingSpec,
+    kernel: BitmapSpGemm,
+    budget: CacheBudget,
+    disk_dir: Option<PathBuf>,
+    cache: Mutex<CacheState>,
+    loaded: Condvar,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    disk_loads: AtomicU64,
+    fresh_encodes: AtomicU64,
+    evictions: AtomicU64,
+    fresh_encode_us: AtomicU64,
+    disk_load_us: AtomicU64,
 }
 
 impl ModelRepository {
-    /// Creates an empty repository whose encodings match `gpu`'s kernel
-    /// tiling and whose proxies are `proxy_dim` wide.
+    /// Creates an empty repository whose **default** encodings match `gpu`'s
+    /// native kernel tiling and whose proxies are `proxy_dim` wide. Other
+    /// devices' encodings are served through [`Self::get_for`].
     ///
     /// # Panics
     /// Panics if `proxy_dim` is zero.
@@ -123,12 +247,37 @@ impl ModelRepository {
         assert!(proxy_dim > 0, "proxy dimension must be non-zero");
         ModelRepository {
             proxy_dim,
-            kernel: BitmapSpGemm::new(gpu),
+            default_spec: EncodingSpec::for_gpu(&gpu),
+            kernel: BitmapSpGemm::for_device(gpu.clone()),
+            base_gpu: gpu,
+            budget: CacheBudget::default(),
+            disk_dir: None,
             cache: Mutex::new(CacheState::default()),
             loaded: Condvar::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            disk_loads: AtomicU64::new(0),
+            fresh_encodes: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            fresh_encode_us: AtomicU64::new(0),
+            disk_load_us: AtomicU64::new(0),
         }
+    }
+
+    /// Enables the on-disk tier under `dir` (created if missing): fresh
+    /// encodes are persisted, and later repositories pointed at the same
+    /// directory restore them instead of re-encoding.
+    pub fn with_disk_cache(mut self, dir: impl Into<PathBuf>) -> Self {
+        let dir = dir.into();
+        let _ = std::fs::create_dir_all(&dir); // best effort; store() retries
+        self.disk_dir = Some(dir);
+        self
+    }
+
+    /// Overrides the in-memory cache budget.
+    pub fn with_budget(mut self, budget: CacheBudget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// Feature width requests must supply.
@@ -136,13 +285,41 @@ impl ModelRepository {
         self.proxy_dim
     }
 
-    /// The SpGEMM kernel whose tiling the cached encodings target.
+    /// The in-memory budget in force.
+    pub fn budget(&self) -> CacheBudget {
+        self.budget
+    }
+
+    /// The on-disk store directory, if persistence is enabled.
+    pub fn disk_cache_dir(&self) -> Option<&Path> {
+        self.disk_dir.as_deref()
+    }
+
+    /// The default encoding identity (the primary device's).
+    pub fn default_spec(&self) -> EncodingSpec {
+        self.default_spec
+    }
+
+    /// The SpGEMM kernel matching the default encoding spec.
     pub fn kernel(&self) -> &BitmapSpGemm {
         &self.kernel
     }
 
-    /// Returns the encoded model for `key`, loading and encoding it on the
-    /// first request (a cache **miss**) and reusing the cached artifact on
+    /// A kernel able to produce and execute encodings under `spec` (cheap
+    /// to build; per-device workers hold their own).
+    pub fn kernel_for(&self, spec: EncodingSpec) -> BitmapSpGemm {
+        BitmapSpGemm::new(self.base_gpu.clone()).with_tiling(spec.tiling)
+    }
+
+    /// Returns the encoded model for `key` under the default spec (see
+    /// [`Self::get_for`]).
+    pub fn get(&self, key: ModelKey) -> Arc<EncodedModel> {
+        self.get_for(key, self.default_spec)
+    }
+
+    /// Returns the model encoded for `spec`, loading it on the first
+    /// request (a cache **miss**: restored from disk when the store has it,
+    /// freshly prune+encoded otherwise) and reusing the cached artifact on
     /// every later one (a **hit**).
     ///
     /// The cache lock is **not** held while encoding: a miss marks the key
@@ -150,14 +327,18 @@ impl ModelRepository {
     /// for the same key block until the single load finishes (counted as
     /// hits — they are served from the cache); callers for other keys are
     /// unaffected.
-    pub fn get(&self, key: ModelKey) -> Arc<EncodedModel> {
+    pub fn get_for(&self, key: ModelKey, spec: EncodingSpec) -> Arc<EncodedModel> {
+        let cache_key = (key, spec);
         let mut cache = self.cache.lock().expect("repository mutex poisoned");
         loop {
-            if let Some(model) = cache.models.get(&key) {
+            cache.tick += 1;
+            let tick = cache.tick;
+            if let Some(entry) = cache.models.get_mut(&cache_key) {
+                entry.last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(model);
+                return Arc::clone(&entry.model);
             }
-            if cache.in_flight.insert(key) {
+            if cache.in_flight.insert(cache_key) {
                 break; // this caller owns the load
             }
             // Someone else is encoding this key; wait for them to publish.
@@ -165,12 +346,41 @@ impl ModelRepository {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         drop(cache);
-        let model = Arc::new(self.load(key));
+        let model = Arc::new(self.load(key, spec));
         let mut cache = self.cache.lock().expect("repository mutex poisoned");
-        cache.models.insert(key, Arc::clone(&model));
-        cache.in_flight.remove(&key);
+        cache.tick += 1;
+        let entry = CacheEntry {
+            bytes: model.encoded_bytes(),
+            last_used: cache.tick,
+            model: Arc::clone(&model),
+        };
+        cache.total_bytes += entry.bytes;
+        cache.models.insert(cache_key, entry);
+        self.evict_over_budget(&mut cache);
+        cache.in_flight.remove(&cache_key);
         self.loaded.notify_all();
         model
+    }
+
+    /// Evicts least-recently-used entries until the budget holds, keeping
+    /// at least one entry (the most recent insert always survives its own
+    /// arrival).
+    fn evict_over_budget(&self, cache: &mut CacheState) {
+        while cache.models.len() > 1
+            && (cache.models.len() > self.budget.max_entries
+                || cache.total_bytes > self.budget.max_bytes)
+        {
+            let victim = cache
+                .models
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(&k, _)| k)
+                .expect("non-empty cache");
+            if let Some(entry) = cache.models.remove(&victim) {
+                cache.total_bytes -= entry.bytes;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Cache hits so far.
@@ -178,35 +388,76 @@ impl ModelRepository {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Cache misses (= encode operations) so far.
+    /// Cache misses (= disk loads + fresh encodes) so far.
     pub fn miss_count(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Fraction of `get` calls served from the cache.
+    /// Fraction of `get` calls served from the in-memory cache.
     pub fn hit_rate(&self) -> f64 {
-        let hits = self.hit_count();
-        let total = hits + self.miss_count();
-        if total == 0 {
-            0.0
-        } else {
-            hits as f64 / total as f64
+        self.counters().hit_rate()
+    }
+
+    /// A snapshot of every cache counter.
+    pub fn counters(&self) -> EncodeCacheStats {
+        EncodeCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            disk_loads: self.disk_loads.load(Ordering::Relaxed),
+            fresh_encodes: self.fresh_encodes.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            fresh_encode_ms: self.fresh_encode_us.load(Ordering::Relaxed) as f64 / 1e3,
+            disk_load_ms: self.disk_load_us.load(Ordering::Relaxed) as f64 / 1e3,
         }
     }
 
-    /// Number of distinct models currently encoded.
+    /// Number of distinct artifacts currently held in memory.
     pub fn len(&self) -> usize {
         self.cache.lock().expect("repository mutex poisoned").models.len()
     }
 
-    /// Whether no model has been loaded yet.
+    /// Whether no artifact is held in memory.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Prunes + encodes one model (the slow path behind a cache miss).
-    fn load(&self, key: ModelKey) -> EncodedModel {
+    /// Modelled bytes currently held by the in-memory tier.
+    pub fn cached_bytes(&self) -> u64 {
+        self.cache.lock().expect("repository mutex poisoned").total_bytes
+    }
+
+    /// The slow path behind a memory miss: restore from the disk store when
+    /// possible, prune+encode (and persist) otherwise.
+    fn load(&self, key: ModelKey, spec: EncodingSpec) -> EncodedModel {
+        if let Some(dir) = &self.disk_dir {
+            let path = self.artifact_path(dir, key, spec);
+            let started = Instant::now();
+            if let Ok(model) = self.restore(&path, key, spec) {
+                let us = started.elapsed().as_micros() as u64;
+                self.disk_loads.fetch_add(1, Ordering::Relaxed);
+                self.disk_load_us.fetch_add(us, Ordering::Relaxed);
+                return model;
+            }
+            // Missing, stale-version or corrupt artifact: fall through to a
+            // fresh encode, which rewrites the file below.
+        }
         let started = Instant::now();
+        let model = self.encode_fresh(key, spec);
+        let us = started.elapsed().as_micros() as u64;
+        self.fresh_encodes.fetch_add(1, Ordering::Relaxed);
+        self.fresh_encode_us.fetch_add(us, Ordering::Relaxed);
+        if let Some(dir) = &self.disk_dir {
+            // Best effort: a failed persist only costs the next restart its
+            // warm start.
+            let _ = self.persist(dir, &model);
+        }
+        model
+    }
+
+    /// Prunes + encodes one model for `spec` (the cold path).
+    fn encode_fresh(&self, key: ModelKey, spec: EncodingSpec) -> EncodedModel {
+        let started = Instant::now();
+        let kernel = self.kernel_for(spec);
         // The real layer table with the uniform sparsity override applied,
         // so both the proxy weights and the timing model see it.
         let network = key.network();
@@ -223,7 +474,7 @@ impl ModelRepository {
                 let pruned = prune_magnitude(&dense, layer.weight_sparsity);
                 EncodedLayer {
                     name: layer.name.clone(),
-                    weights: self.kernel.encode_b(&pruned),
+                    weights: kernel.encode_b(&pruned),
                     relu,
                     layer,
                 }
@@ -231,16 +482,124 @@ impl ModelRepository {
             .collect();
         EncodedModel {
             key,
+            spec,
             network,
             input_dim: self.proxy_dim,
             layers,
             encode_ms: started.elapsed().as_secs_f64() * 1e3,
+            from_disk: false,
         }
+    }
+
+    /// The on-disk artifact path for one `(model, sparsity, proxy,
+    /// encoding)` identity.
+    fn artifact_path(&self, dir: &Path, key: ModelKey, spec: EncodingSpec) -> PathBuf {
+        let sparsity = match key.sparsity_permille {
+            Some(p) => format!("s{p:04}"),
+            None => "table".to_string(),
+        };
+        dir.join(format!(
+            "{}-{}-d{}-{}.dsstc",
+            key.model.slug(),
+            sparsity,
+            self.proxy_dim,
+            spec.id()
+        ))
+    }
+
+    /// Restores one artifact from disk, fully validating the header and
+    /// every per-layer container against the expected identity.
+    fn restore(
+        &self,
+        path: &Path,
+        key: ModelKey,
+        spec: EncodingSpec,
+    ) -> Result<EncodedModel, CodecError> {
+        let started = Instant::now();
+        let file = std::fs::File::open(path)?;
+        let mut reader = std::io::BufReader::new(file);
+        let mut header = [0u8; 4 + 2 + 4];
+        std::io::Read::read_exact(&mut reader, &mut header)?;
+        if header[..4] != STORE_MAGIC {
+            return Err(CodecError::BadMagic([header[0], header[1], header[2], header[3]]));
+        }
+        let version = u16::from_le_bytes([header[4], header[5]]);
+        if version != STORE_VERSION {
+            return Err(CodecError::UnsupportedVersion(version));
+        }
+        let layer_count = u32::from_le_bytes([header[6], header[7], header[8], header[9]]);
+        let network = key.network();
+        if layer_count as usize != network.layers().len() {
+            return Err(CodecError::Malformed("layer count does not match the network table"));
+        }
+        let relu = key.model.uses_relu();
+        let mut layers = Vec::with_capacity(layer_count as usize);
+        for layer in network.layers() {
+            let weights = TwoLevelBitmapMatrix::read_from(&mut reader)?;
+            if weights.rows() != self.proxy_dim || weights.cols() != self.proxy_dim {
+                return Err(CodecError::Malformed("weight shape does not match the proxy"));
+            }
+            if !spec.matches_b(&weights) {
+                return Err(CodecError::Malformed("weight encoding does not match the spec"));
+            }
+            layers.push(EncodedLayer {
+                name: layer.name.clone(),
+                weights,
+                relu,
+                layer: layer.clone(),
+            });
+        }
+        Ok(EncodedModel {
+            key,
+            spec,
+            network,
+            input_dim: self.proxy_dim,
+            layers,
+            encode_ms: started.elapsed().as_secs_f64() * 1e3,
+            from_disk: true,
+        })
+    }
+
+    /// Persists one artifact: written to a temporary sibling first, then
+    /// atomically renamed into place so a crash mid-write never leaves a
+    /// half-artifact under the final name. The temp name is unique per
+    /// process and write, so concurrent writers sharing one cache dir never
+    /// interleave into (and then publish) one file — the last complete
+    /// rename wins, every published artifact is internally consistent.
+    fn persist(&self, dir: &Path, model: &EncodedModel) -> Result<(), CodecError> {
+        static WRITE_SEQ: AtomicU64 = AtomicU64::new(0);
+        std::fs::create_dir_all(dir)?;
+        let path = self.artifact_path(dir, model.key, model.spec);
+        let tmp = path.with_extension(format!(
+            "tmp-{}-{}",
+            std::process::id(),
+            WRITE_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let write = || -> Result<(), CodecError> {
+            let file = std::fs::File::create(&tmp)?;
+            let mut writer = std::io::BufWriter::new(file);
+            writer.write_all(&STORE_MAGIC)?;
+            writer.write_all(&STORE_VERSION.to_le_bytes())?;
+            writer.write_all(&(model.layers.len() as u32).to_le_bytes())?;
+            for layer in &model.layers {
+                layer.weights.write_to(&mut writer)?;
+            }
+            writer.flush()?;
+            std::fs::rename(&tmp, &path)?;
+            Ok(())
+        };
+        let result = write();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result
     }
 }
 
 /// Deterministic per-layer weight seed so repeated loads (and separate
-/// server instances) produce identical proxies.
+/// server instances) produce identical proxies. Deliberately independent of
+/// the encoding spec: every device encodes the *same* pruned weights, just
+/// tiled for its own kernel.
 fn proxy_seed(key: ModelKey, layer_index: usize) -> u64 {
     let mut seed: u64 = 0x5EED_0F00;
     for b in key.model.name().bytes() {
@@ -259,6 +618,31 @@ mod tests {
         ModelRepository::new(GpuConfig::v100(), 64)
     }
 
+    /// A unique, self-cleaning temp directory for disk-cache tests.
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir().join(format!(
+                "dsstc-repo-{tag}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            TempDir(dir)
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
     #[test]
     fn first_get_misses_then_hits() {
         let r = repo();
@@ -271,6 +655,12 @@ mod tests {
         assert!(Arc::ptr_eq(&m1, &m2));
         assert_eq!(r.len(), 1);
         assert!((r.hit_rate() - 0.5).abs() < 1e-12);
+        // No disk tier: the miss was a fresh encode.
+        let counters = r.counters();
+        assert_eq!(counters.fresh_encodes, 1);
+        assert_eq!(counters.disk_loads, 0);
+        assert!(counters.fresh_encode_ms >= 0.0);
+        assert!(!m1.from_disk);
     }
 
     #[test]
@@ -284,6 +674,29 @@ mod tests {
     }
 
     #[test]
+    fn distinct_specs_are_distinct_cache_entries_with_matching_tilings() {
+        let r = repo();
+        let key = ModelKey::new(ModelId::BertBase, Some(0.9));
+        let v100 = r.get_for(key, EncodingSpec::for_gpu(&GpuConfig::v100()));
+        let a100 = r.get_for(key, EncodingSpec::for_gpu(&GpuConfig::a100()));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.miss_count(), 2);
+        assert_ne!(v100.spec, a100.spec);
+        for (lv, la) in v100.layers.iter().zip(&a100.layers) {
+            assert!(v100.spec.matches_b(&lv.weights));
+            assert!(a100.spec.matches_b(&la.weights));
+            // Same pruned weights under both tilings.
+            assert_eq!(lv.weights.decode(), la.weights.decode(), "{}", lv.name);
+        }
+        // Each spec's model executes on its own kernel and agrees with the
+        // other device's result.
+        let input = Matrix::random_sparse(4, 64, 0.5, dsstc_tensor::SparsityPattern::Uniform, 1);
+        let out_v = v100.forward(r.kernel(), &input);
+        let out_a = a100.forward(&r.kernel_for(a100.spec), &input);
+        assert!(out_v.approx_eq(&out_a, 1e-3));
+    }
+
+    #[test]
     fn encoded_layers_match_table_and_override() {
         let r = repo();
         let m = r.get(ModelKey::new(ModelId::BertBase, Some(0.9)));
@@ -294,6 +707,7 @@ mod tests {
             assert!(!layer.relu);
         }
         assert!(m.encoded_nnz() > 0);
+        assert!(m.encoded_bytes() > 0);
         assert!(m.encode_ms >= 0.0);
     }
 
@@ -370,5 +784,118 @@ mod tests {
         let r = repo();
         let m = r.get(ModelKey::new(ModelId::BertBase, None));
         let _ = m.forward(r.kernel(), &Matrix::zeros(2, 63));
+    }
+
+    #[test]
+    #[should_panic(expected = "encoding spec does not match")]
+    fn forward_rejects_a_foreign_kernel() {
+        let r = repo();
+        let m = r.get(ModelKey::new(ModelId::BertBase, None));
+        let foreign = r.kernel_for(EncodingSpec::for_gpu(&GpuConfig::a100()));
+        let _ = m.forward(&foreign, &Matrix::zeros(2, 64));
+    }
+
+    #[test]
+    fn lru_evicts_past_the_entry_budget() {
+        let r = repo().with_budget(CacheBudget { max_entries: 2, max_bytes: u64::MAX });
+        let k1 = ModelKey::new(ModelId::RnnLm, Some(0.8));
+        let k2 = ModelKey::new(ModelId::RnnLm, Some(0.9));
+        let k3 = ModelKey::new(ModelId::RnnLm, Some(0.95));
+        let _ = r.get(k1);
+        let _ = r.get(k2);
+        let _ = r.get(k1); // k1 is now more recently used than k2
+        let _ = r.get(k3); // evicts k2
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.counters().evictions, 1);
+        let misses_before = r.miss_count();
+        let _ = r.get(k1);
+        let _ = r.get(k3);
+        assert_eq!(r.miss_count(), misses_before, "survivors still hit");
+        let _ = r.get(k2);
+        assert_eq!(r.miss_count(), misses_before + 1, "the evicted key re-encodes");
+    }
+
+    #[test]
+    fn byte_budget_bounds_the_cache_and_keeps_the_newest_entry() {
+        // A budget below one artifact still keeps the latest insert alive.
+        let r = repo().with_budget(CacheBudget { max_entries: usize::MAX, max_bytes: 1 });
+        let m = r.get(ModelKey::new(ModelId::BertBase, None));
+        assert_eq!(r.len(), 1);
+        assert!(r.cached_bytes() >= m.encoded_bytes());
+        let _ = r.get(ModelKey::new(ModelId::RnnLm, None));
+        assert_eq!(r.len(), 1, "over-budget cache holds only the newest artifact");
+        assert_eq!(r.counters().evictions, 1);
+    }
+
+    #[test]
+    fn disk_store_round_trips_and_survives_a_restart() {
+        let dir = TempDir::new("roundtrip");
+        let key = ModelKey::new(ModelId::BertBase, Some(0.9));
+        let cold = {
+            let r = ModelRepository::new(GpuConfig::v100(), 32).with_disk_cache(dir.path());
+            let m = r.get(key);
+            assert!(!m.from_disk);
+            assert_eq!(r.counters().fresh_encodes, 1);
+            m
+        };
+        // "Restart": a fresh repository over the same directory.
+        let r2 = ModelRepository::new(GpuConfig::v100(), 32).with_disk_cache(dir.path());
+        let warm = r2.get(key);
+        assert!(warm.from_disk, "second process restores from disk");
+        let counters = r2.counters();
+        assert_eq!(counters.disk_loads, 1);
+        assert_eq!(counters.fresh_encodes, 0);
+        assert!(counters.disk_load_ms >= 0.0);
+        assert_eq!(warm.layers.len(), cold.layers.len());
+        for (c, w) in cold.layers.iter().zip(&warm.layers) {
+            assert_eq!(c.weights, w.weights, "{}", c.name);
+            assert_eq!(c.name, w.name);
+        }
+        // The restored artifact serves identical outputs.
+        let input = Matrix::random_sparse(2, 32, 0.4, dsstc_tensor::SparsityPattern::Uniform, 5);
+        assert!(
+            cold.forward(r2.kernel(), &input).approx_eq(&warm.forward(r2.kernel(), &input), 0.0),
+            "bit-identical outputs"
+        );
+    }
+
+    #[test]
+    fn disk_artifacts_are_keyed_per_spec_and_proxy_dim() {
+        let dir = TempDir::new("keys");
+        let key = ModelKey::new(ModelId::RnnLm, Some(0.9));
+        let r = ModelRepository::new(GpuConfig::v100(), 32).with_disk_cache(dir.path());
+        let _ = r.get_for(key, EncodingSpec::for_gpu(&GpuConfig::v100()));
+        let _ = r.get_for(key, EncodingSpec::for_gpu(&GpuConfig::a100()));
+        // A different proxy width writes a third artifact.
+        let r64 = ModelRepository::new(GpuConfig::v100(), 64).with_disk_cache(dir.path());
+        let _ = r64.get(key);
+        let files: Vec<_> = std::fs::read_dir(dir.path())
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(files.len(), 3, "one artifact per (spec, proxy): {files:?}");
+        assert!(files.iter().all(|f| f.ends_with(".dsstc")), "{files:?}");
+        assert!(files.iter().all(|f| f.starts_with("rnnlm-s0900")), "{files:?}");
+    }
+
+    #[test]
+    fn corrupt_or_stale_artifacts_fall_back_to_a_fresh_encode() {
+        let dir = TempDir::new("corrupt");
+        let key = ModelKey::new(ModelId::BertBase, None);
+        {
+            let r = ModelRepository::new(GpuConfig::v100(), 32).with_disk_cache(dir.path());
+            let _ = r.get(key);
+        }
+        // Truncate the artifact to garbage.
+        let file = std::fs::read_dir(dir.path()).unwrap().next().unwrap().unwrap().path();
+        std::fs::write(&file, b"DSMRgarbage").unwrap();
+        let r = ModelRepository::new(GpuConfig::v100(), 32).with_disk_cache(dir.path());
+        let m = r.get(key);
+        assert!(!m.from_disk, "corrupt artifact must not be served");
+        let counters = r.counters();
+        assert_eq!((counters.disk_loads, counters.fresh_encodes), (0, 1));
+        // The fresh encode rewrote the artifact; a third repository warms.
+        let r3 = ModelRepository::new(GpuConfig::v100(), 32).with_disk_cache(dir.path());
+        assert!(r3.get(key).from_disk, "rewritten artifact restores cleanly");
     }
 }

@@ -2,6 +2,7 @@
 
 use std::time::Duration;
 
+use dsstc_kernels::EncodingSpec;
 use dsstc_models::{networks, Network};
 use dsstc_tensor::Matrix;
 
@@ -91,6 +92,19 @@ impl ModelId {
             ModelId::MaskRcnn => "Mask R-CNN",
             ModelId::BertBase => "BERT-base encoder",
             ModelId::RnnLm => "RNN",
+        }
+    }
+
+    /// Short filesystem-safe slug, used to name persisted encoded-weight
+    /// artifacts.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            ModelId::Vgg16 => "vgg16",
+            ModelId::ResNet18 => "resnet18",
+            ModelId::ResNet50 => "resnet50",
+            ModelId::MaskRcnn => "maskrcnn",
+            ModelId::BertBase => "bertbase",
+            ModelId::RnnLm => "rnnlm",
         }
     }
 
@@ -254,6 +268,9 @@ pub struct InferResponse {
     /// dispatched to (which is also the index of the worker thread that
     /// executed it — workers are pinned 1:1 to devices).
     pub device: usize,
+    /// The encoding identity the batch executed: the tiling matches the
+    /// chosen device's native [`dsstc_sim::GemmTiling`].
+    pub encoding: EncodingSpec,
     /// The priority the request was scheduled at.
     pub priority: Priority,
 }
@@ -266,6 +283,16 @@ mod tests {
     fn catalogue_names_match_network_tables() {
         for id in ModelId::ALL {
             assert_eq!(id.name(), id.network().name());
+        }
+    }
+
+    #[test]
+    fn slugs_are_filesystem_safe_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for id in ModelId::ALL {
+            let slug = id.slug();
+            assert!(slug.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()), "{slug}");
+            assert!(seen.insert(slug), "duplicate slug {slug}");
         }
     }
 

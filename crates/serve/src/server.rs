@@ -80,23 +80,32 @@ pub struct InferenceServer {
 }
 
 impl InferenceServer {
-    /// Boots the server: builds the shared state (model encodings target
-    /// the pool's primary device; each pooled device gets its own timing
-    /// model) and spawns the dispatcher plus one pinned worker per device.
-    /// Models are encoded lazily on their first request.
+    /// Boots the server: builds the shared state (one encoding spec, timing
+    /// model and kernel per pooled device; the repository optionally backed
+    /// by a persistent `encode_cache_dir`) and spawns the dispatcher plus
+    /// one pinned worker per device. Models are encoded lazily on their
+    /// first request — or restored from the on-disk store when a previous
+    /// run already encoded them.
     pub fn start(config: ServeConfig) -> Self {
         assert!(config.max_batch > 0, "batches need at least one request");
+        let mut repository =
+            ModelRepository::new(config.devices.primary().clone(), config.proxy_dim)
+                .with_budget(config.encode_cache_budget);
+        if let Some(dir) = &config.encode_cache_dir {
+            repository = repository.with_disk_cache(dir.clone());
+        }
+        let repository = Arc::new(repository);
+        let dispatcher = Arc::new(DeviceDispatcher::new(&config.devices, config.dispatch));
+        let kernels = WorkerContext::kernels_for(&repository, &dispatcher);
         let context = Arc::new(WorkerContext {
             scheduler: Arc::new(BatchScheduler::new(BatchPolicy {
                 max_batch: config.max_batch,
                 max_queue_wait: config.max_queue_wait,
             })),
-            repository: Arc::new(ModelRepository::new(
-                config.devices.primary().clone(),
-                config.proxy_dim,
-            )),
-            dispatcher: Arc::new(DeviceDispatcher::new(&config.devices, config.dispatch)),
+            repository,
+            dispatcher,
             stats: Arc::new(StatsCollector::new()),
+            kernels,
         });
         let pool = WorkerPool::spawn(Arc::clone(&context));
         InferenceServer { config, context, pool: Some(pool), next_id: AtomicU64::new(0) }
@@ -123,17 +132,26 @@ impl InferenceServer {
     }
 
     /// Warm-up: loads, prunes and pre-encodes `model` at `weight_sparsity`
-    /// and pre-prices every batch bucket on **every pooled device**, so no
-    /// live request pays the one-time encode or pricing cost. Returns the
-    /// encode time in milliseconds (zero-ish when the model was already
-    /// cached).
+    /// for **every distinct device encoding in the pool** (restoring from
+    /// the persistent store when possible) and pre-prices every batch
+    /// bucket on every pooled device, so no live request pays the one-time
+    /// encode or pricing cost. Returns the total milliseconds spent
+    /// obtaining the artifacts (zero-ish when everything was already
+    /// cached; disk restores cost a fraction of a fresh encode).
     pub fn warm_model(&self, model: crate::ModelId, weight_sparsity: Option<f64>) -> f64 {
         let key = crate::ModelKey::new(model, weight_sparsity);
-        let encoded = self.context.repository.get(key);
+        let mut warmed: Vec<crate::EncodingSpec> = Vec::new();
+        let mut total_ms = 0.0;
         for device in 0..self.context.dispatcher.len() {
+            let spec = self.context.dispatcher.spec(device);
+            let encoded = self.context.repository.get_for(key, spec);
+            if !warmed.contains(&spec) {
+                warmed.push(spec);
+                total_ms += encoded.encode_ms;
+            }
             self.context.dispatcher.timing(device).warm(&encoded, self.config.max_batch);
         }
-        encoded.encode_ms
+        total_ms
     }
 
     /// Enqueues a request; the returned handle resolves to its response.
@@ -170,8 +188,7 @@ impl InferenceServer {
     /// A point-in-time metrics snapshot.
     pub fn stats(&self) -> ServerStats {
         self.context.stats.snapshot(
-            self.context.repository.hit_count(),
-            self.context.repository.miss_count(),
+            self.context.repository.counters(),
             self.context.dispatcher.timing_hit_rate(),
             self.context.dispatcher.names(),
         )

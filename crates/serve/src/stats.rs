@@ -8,6 +8,7 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+use crate::repository::EncodeCacheStats;
 use crate::request::Priority;
 
 /// Upper bound on retained latency samples per stream; percentiles are
@@ -79,11 +80,25 @@ pub struct ServerStats {
     /// Modelled makespan across the pool: the largest per-device modelled
     /// busy total, µs.
     pub modelled_makespan_us: f64,
-    /// Encode-cache (model repository) hits.
+    /// Encode-cache (model repository) in-memory hits.
     pub encode_hits: u64,
-    /// Encode-cache misses (i.e. prune+encode operations performed).
+    /// Encode-cache misses (each became a disk restore or a fresh
+    /// prune+encode).
     pub encode_misses: u64,
-    /// Fraction of repository lookups served from the cache.
+    /// Misses served by restoring a persisted artifact from the on-disk
+    /// store (the warm-start path).
+    pub encode_disk_loads: u64,
+    /// Misses that paid the full prune+encode (the cold path).
+    pub encode_fresh: u64,
+    /// Artifacts LRU-evicted from the bounded in-memory tier.
+    pub encode_evictions: u64,
+    /// Cumulative wall-clock milliseconds spent prune+encoding — what a
+    /// warm-started server skips.
+    pub encode_fresh_ms: f64,
+    /// Cumulative wall-clock milliseconds spent restoring artifacts from
+    /// disk.
+    pub encode_disk_ms: f64,
+    /// Fraction of repository lookups served from the in-memory cache.
     pub encode_hit_rate: f64,
     /// Fraction of modelled-latency lookups served from the cache.
     pub timing_hit_rate: f64,
@@ -140,6 +155,14 @@ impl ServerStats {
             self.encode_misses,
             self.encode_hit_rate * 100.0,
             self.timing_hit_rate * 100.0
+        ));
+        out.push_str(&format!(
+            "  misses paid: {} fresh encodes ({:.1} ms) + {} disk restores ({:.1} ms)   evictions: {}\n",
+            self.encode_fresh,
+            self.encode_fresh_ms,
+            self.encode_disk_loads,
+            self.encode_disk_ms,
+            self.encode_evictions
         ));
         out.push_str(&format!(
             "active workers: {} {:?}\n",
@@ -278,14 +301,12 @@ impl StatsCollector {
     /// repository and dispatcher plus the pool's device names.
     pub fn snapshot(
         &self,
-        encode_hits: u64,
-        encode_misses: u64,
+        encode: EncodeCacheStats,
         timing_hit_rate: f64,
         device_names: &[String],
     ) -> ServerStats {
         let inner = self.inner.lock().expect("stats mutex poisoned");
         let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
-        let encode_total = encode_hits + encode_misses;
         let per_priority = Priority::ALL
             .iter()
             .map(|&priority| {
@@ -333,13 +354,14 @@ impl StatsCollector {
             per_priority,
             per_device,
             modelled_makespan_us: makespan,
-            encode_hits,
-            encode_misses,
-            encode_hit_rate: if encode_total == 0 {
-                0.0
-            } else {
-                encode_hits as f64 / encode_total as f64
-            },
+            encode_hits: encode.hits,
+            encode_misses: encode.misses,
+            encode_disk_loads: encode.disk_loads,
+            encode_fresh: encode.fresh_encodes,
+            encode_evictions: encode.evictions,
+            encode_fresh_ms: encode.fresh_encode_ms,
+            encode_disk_ms: encode.disk_load_ms,
+            encode_hit_rate: encode.hit_rate(),
             timing_hit_rate,
         }
     }
@@ -368,6 +390,11 @@ mod tests {
 
     fn normal(waits: &[f64]) -> Vec<(Priority, f64)> {
         waits.iter().map(|&w| (Priority::Normal, w)).collect()
+    }
+
+    /// Memory-only cache counters: every miss was a fresh encode.
+    fn enc(hits: u64, misses: u64) -> EncodeCacheStats {
+        EncodeCacheStats { hits, misses, fresh_encodes: misses, ..Default::default() }
     }
 
     #[test]
@@ -421,7 +448,7 @@ mod tests {
         let c = StatsCollector::new();
         c.record_batch(0, &normal(&[10.0, 20.0]), 100.0, 10.0, 5.0);
         c.record_batch(1, &normal(&[30.0]), 50.0, 9.0, 9.0);
-        let s = c.snapshot(3, 1, 0.75, &["gpu0".to_string(), "gpu1".to_string()]);
+        let s = c.snapshot(enc(3, 1), 0.75, &["gpu0".to_string(), "gpu1".to_string()]);
         assert_eq!(s.completed_requests, 3);
         assert_eq!(s.executed_batches, 2);
         assert_eq!(s.batch_histogram, vec![1, 1]); // one 1-batch, one 2-batch
@@ -446,7 +473,7 @@ mod tests {
         let c = StatsCollector::new();
         c.record_batch(0, &[(Priority::High, 5.0), (Priority::Low, 500.0)], 40.0, 8.0, 4.0);
         c.record_batch(0, &[(Priority::Low, 700.0)], 60.0, 8.0, 8.0);
-        let s = c.snapshot(0, 0, 0.0, &["gpu0".to_string()]);
+        let s = c.snapshot(enc(0, 0), 0.0, &["gpu0".to_string()]);
         let high = s.for_priority(Priority::High);
         let low = s.for_priority(Priority::Low);
         assert_eq!(high.completed, 1);
@@ -471,7 +498,7 @@ mod tests {
         assert_eq!(inner.queue_us.samples.len(), SAMPLE_CAP);
         assert_eq!(inner.queue_us.seen, 100_000);
         drop(inner);
-        let s = c.snapshot(0, 0, 0.0, &["gpu0".to_string()]);
+        let s = c.snapshot(enc(0, 0), 0.0, &["gpu0".to_string()]);
         assert_eq!(s.completed_requests, 100_000);
         // Sampled percentiles of a uniform ramp stay near the true values.
         assert!((s.queue_p50_us - 50_000.0).abs() < 5_000.0, "p50 {}", s.queue_p50_us);
@@ -481,7 +508,7 @@ mod tests {
     #[test]
     fn snapshot_of_idle_server_is_zeroed() {
         let c = StatsCollector::new();
-        let s = c.snapshot(0, 0, 0.0, &["gpu0".to_string()]);
+        let s = c.snapshot(enc(0, 0), 0.0, &["gpu0".to_string()]);
         assert_eq!(s.completed_requests, 0);
         assert_eq!(s.mean_batch_size, 0.0);
         assert_eq!(s.encode_hit_rate, 0.0);
@@ -494,7 +521,7 @@ mod tests {
     fn render_mentions_key_metrics() {
         let c = StatsCollector::new();
         c.record_batch(0, &[(Priority::High, 1.0)], 2.0, 3.0, 3.0);
-        let text = c.snapshot(1, 1, 0.5, &["Tesla V100".to_string()]).render();
+        let text = c.snapshot(enc(1, 1), 0.5, &["Tesla V100".to_string()]).render();
         assert!(text.contains("throughput"));
         assert!(text.contains("encode cache"));
         assert!(text.contains("active workers"));

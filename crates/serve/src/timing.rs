@@ -38,10 +38,13 @@ pub struct BatchTimingModel {
 }
 
 impl BatchTimingModel {
-    /// Creates the model for one GPU configuration.
+    /// Creates the model for one GPU configuration. Batches are priced on
+    /// the device's **native** kernel tiling
+    /// ([`GpuConfig::native_tiling`]) — the same tiling the device's
+    /// encoded weights follow.
     pub fn new(gpu: GpuConfig) -> Self {
         BatchTimingModel {
-            kernel: BitmapSpGemm::new(gpu.clone()),
+            kernel: BitmapSpGemm::for_device(gpu.clone()),
             model: GpuTimingModel::new(gpu),
             cache: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),

@@ -17,6 +17,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use dsstc_kernels::bitmap_spgemm::BitmapSpGemm;
 use dsstc_tensor::Matrix;
 
 use crate::batcher::{Batch, BatchScheduler};
@@ -32,6 +33,20 @@ pub(crate) struct WorkerContext {
     pub repository: Arc<ModelRepository>,
     pub dispatcher: Arc<DeviceDispatcher>,
     pub stats: Arc<StatsCollector>,
+    /// One SpGEMM kernel per pooled device, running that device's native
+    /// tiling — worker `i` executes its batches on `kernels[i]` against
+    /// encodings fetched for `dispatcher.spec(i)`.
+    pub kernels: Vec<BitmapSpGemm>,
+}
+
+impl WorkerContext {
+    /// Builds the per-device kernels from the dispatcher's encoding specs.
+    pub(crate) fn kernels_for(
+        repository: &ModelRepository,
+        dispatcher: &DeviceDispatcher,
+    ) -> Vec<BitmapSpGemm> {
+        dispatcher.specs().iter().map(|&spec| repository.kernel_for(spec)).collect()
+    }
 }
 
 /// One batch routed to one device, priced by the dispatcher. The worker
@@ -166,12 +181,14 @@ fn worker_loop(device: usize, context: &WorkerContext, jobs: Receiver<DeviceJob>
     }
 }
 
-/// Runs one batch end-to-end: fetch the encoded model (hitting the encode
-/// cache after the first request), stack member features into one larger-M
-/// GEMM chain, execute, split the rows back out, and answer every request.
+/// Runs one batch end-to-end: fetch the model encoded for **this device's**
+/// tiling (hitting the encode cache after the first request), stack member
+/// features into one larger-M GEMM chain, execute on the device's own
+/// kernel, split the rows back out, and answer every request.
 fn execute_batch(device: usize, context: &WorkerContext, batch: Batch, modelled_batch_us: f64) {
     let started = Instant::now();
-    let model = context.repository.get(batch.key);
+    let spec = context.dispatcher.spec(device);
+    let model = context.repository.get_for(batch.key, spec);
     let batch_size = batch.len();
 
     // Stack member features row-wise: the batch runs as ONE GEMM chain with
@@ -184,7 +201,7 @@ fn execute_batch(device: usize, context: &WorkerContext, batch: Batch, modelled_
         row += request.features.rows();
     }
 
-    let output = model.forward(context.repository.kernel(), &stacked);
+    let output = model.forward(&context.kernels[device], &stacked);
     let modelled_request_us = modelled_batch_us / batch_size as f64;
     let execute_us = started.elapsed().as_secs_f64() * 1e6;
 
@@ -214,6 +231,7 @@ fn execute_batch(device: usize, context: &WorkerContext, batch: Batch, modelled_
             modelled_request_us,
             batch_size,
             device,
+            encoding: spec,
             priority,
         };
         row += rows;
@@ -235,14 +253,18 @@ mod tests {
     use std::time::Duration;
 
     fn context(max_batch: usize, pool: DevicePool) -> Arc<WorkerContext> {
+        let repository = Arc::new(ModelRepository::new(pool.primary().clone(), 32));
+        let dispatcher = Arc::new(DeviceDispatcher::new(&pool, DispatchPolicy::MinCompletionTime));
+        let kernels = WorkerContext::kernels_for(&repository, &dispatcher);
         Arc::new(WorkerContext {
             scheduler: Arc::new(BatchScheduler::new(BatchPolicy {
                 max_batch,
                 max_queue_wait: Duration::from_millis(1),
             })),
-            repository: Arc::new(ModelRepository::new(pool.primary().clone(), 32)),
-            dispatcher: Arc::new(DeviceDispatcher::new(&pool, DispatchPolicy::MinCompletionTime)),
+            repository,
+            dispatcher,
             stats: Arc::new(StatsCollector::new()),
+            kernels,
         })
     }
 
@@ -288,7 +310,7 @@ mod tests {
             assert!(response.modelled_batch_us > 0.0);
             assert!((response.modelled_request_us - response.modelled_batch_us / 3.0).abs() < 1e-9);
         }
-        let stats = ctx.stats.snapshot(0, 1, 0.0, &["Tesla V100".to_string()]);
+        let stats = ctx.stats.snapshot(ctx.repository.counters(), 0.0, &["Tesla V100".to_string()]);
         assert_eq!(stats.completed_requests, 3);
         assert_eq!(stats.executed_batches, 1);
         assert_eq!(stats.per_device[0].batches, 1);
@@ -319,7 +341,11 @@ mod tests {
         }
         ctx.scheduler.shutdown();
         pool.join();
-        let stats = ctx.stats.snapshot(0, 0, 0.0, &["gpu0".to_string(), "gpu1".to_string()]);
+        let stats = ctx.stats.snapshot(
+            ctx.repository.counters(),
+            0.0,
+            &["gpu0".to_string(), "gpu1".to_string()],
+        );
         assert_eq!(stats.completed_requests, 5);
         assert!(stats.batch_histogram.len() <= 2, "batches of at most max_batch");
     }

@@ -5,6 +5,8 @@
 //! plus the paper's OTC extensions (4 KB multi-bank accumulation buffer,
 //! 128-way parallel accumulators, operand collector).
 
+use crate::tiling::GemmTiling;
+
 /// Configuration of the Outer-product Tensor Core extensions (Section V).
 #[derive(Clone, Debug, PartialEq)]
 pub struct OtcConfig {
@@ -200,6 +202,32 @@ impl GpuConfig {
     pub fn cycles_to_us(&self, cycles: f64) -> f64 {
         cycles / (self.clock_ghz * 1e3)
     }
+
+    /// The GEMM tiling this device's sparse kernels natively run — the
+    /// shape model encodings must target to execute on it.
+    ///
+    /// The warp-tile side is what the OTC accumulation buffer supports
+    /// (32 for the paper's 4 KB buffer); the K slice scales with the MACs
+    /// one tensor-core instruction retires — Volta's 64-MAC HMMA sustains
+    /// the paper's 16-deep slice, and instructions retiring more MACs
+    /// amortise proportionally deeper slices, capped at the warp-tile side.
+    /// Thread blocks keep the paper's 4x4 arrangement of warp tiles. For
+    /// [`GpuConfig::v100`] this reproduces [`GemmTiling::paper_spgemm`]
+    /// exactly; an A100's third-generation Tensor Cores (256 MACs) run a
+    /// 32-deep K slice, so its encodings are **not** interchangeable with a
+    /// V100's.
+    pub fn native_tiling(&self) -> GemmTiling {
+        let warp = self.otc.warp_tile_dim();
+        let warp_k = (self.macs_per_tc_instruction / 4).clamp(8, warp);
+        GemmTiling {
+            block_m: 4 * warp,
+            block_n: 4 * warp,
+            block_k: warp_k,
+            warp_m: warp,
+            warp_n: warp,
+            warp_k,
+        }
+    }
 }
 
 impl Default for GpuConfig {
@@ -273,5 +301,21 @@ mod tests {
     fn tiny_config_is_smaller() {
         let tiny = GpuConfig::tiny();
         assert!(tiny.total_tensor_cores() < GpuConfig::v100().total_tensor_cores());
+    }
+
+    #[test]
+    fn v100_native_tiling_is_the_paper_tiling() {
+        assert_eq!(GpuConfig::v100().native_tiling(), GemmTiling::paper_spgemm());
+        assert_eq!(GpuConfig::tiny().native_tiling(), GemmTiling::paper_spgemm());
+    }
+
+    #[test]
+    fn a100_native_tiling_runs_a_deeper_k_slice() {
+        let v100 = GpuConfig::v100().native_tiling();
+        let a100 = GpuConfig::a100().native_tiling();
+        assert_ne!(v100, a100, "heterogeneous devices must not share encodings");
+        assert_eq!(a100.warp_k, 32, "256-MAC instructions sustain a 32-deep slice");
+        assert_eq!((a100.warp_m, a100.warp_n), (32, 32), "same accumulation buffer");
+        assert_ne!(v100.b_tile(), a100.b_tile(), "weight encodings differ per device");
     }
 }

@@ -44,6 +44,7 @@ pub mod engine;
 pub mod isa;
 pub mod otc;
 pub mod stats;
+pub mod tiling;
 
 pub use crate::accum_buffer::{AccumulationBuffer, ScatterStats};
 pub use crate::config::{GpuConfig, OtcConfig};
@@ -51,3 +52,4 @@ pub use crate::engine::GpuTimingModel;
 pub use crate::isa::{predicate_mask, MachineInstruction, SpWmmaSet, WarpProgram};
 pub use crate::otc::{OtcStepCost, WarpTileCost};
 pub use crate::stats::{KernelEstimate, WorkloadProfile};
+pub use crate::tiling::{GemmTiling, TrafficEstimate, TrafficInputs};

@@ -12,9 +12,15 @@
 //! percentiles, the batch-size histogram, per-device utilisation and the
 //! encode-cache hit rate (one encode per model, everything after is a hit).
 //!
-//! Run with `cargo run --release -p dsstc --example serve_demo`.
+//! Run with `cargo run --release -p dsstc --example serve_demo`. Pass
+//! `--encode-cache-dir DIR` to persist encoded weights across runs (a
+//! second run restores them from disk instead of prune+encoding), and
+//! `--expect-warm` to additionally assert the run was a pure warm start —
+//! zero fresh encodes (the CI warm-start smoke runs the demo twice this
+//! way).
 
 use std::collections::HashSet;
+use std::path::PathBuf;
 use std::time::Duration;
 
 use dsstc::serve::{DevicePool, InferRequest, InferenceServer, ModelId, Priority, ServeConfig};
@@ -23,7 +29,26 @@ use dsstc_tensor::{Matrix, SparsityPattern};
 
 fn main() {
     const REQUESTS: u64 = 120;
-    let config = ServeConfig::default()
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut encode_cache_dir: Option<PathBuf> = None;
+    let mut expect_warm = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--encode-cache-dir" => {
+                encode_cache_dir = iter.next().map(PathBuf::from);
+                assert!(encode_cache_dir.is_some(), "--encode-cache-dir needs a directory path");
+            }
+            "--expect-warm" => expect_warm = true,
+            unknown => {
+                eprintln!(
+                    "unknown flag {unknown}; supported: [--encode-cache-dir DIR] [--expect-warm]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut config = ServeConfig::default()
         .with_devices(DevicePool::new(vec![
             GpuConfig::v100(),
             GpuConfig::v100(),
@@ -33,6 +58,10 @@ fn main() {
         .with_max_batch(8)
         .with_max_queue_wait(Duration::from_millis(2))
         .with_proxy_dim(64);
+    if let Some(dir) = &encode_cache_dir {
+        config = config.with_encode_cache_dir(dir.clone());
+        println!("persistent encode cache: {}", dir.display());
+    }
     let mut server = InferenceServer::start(config);
     println!(
         "== dsstc-serve demo: {REQUESTS} mixed ResNet-50/BERT requests, {} pooled devices ({}), batches of up to {} ==\n",
@@ -41,11 +70,13 @@ fn main() {
         server.config().max_batch
     );
 
-    // Deploy-time warm-up: encode both models' weights once and pre-price
-    // the batch buckets on every pooled device, before traffic arrives.
+    // Deploy-time warm-up: obtain both models' encoded weights for every
+    // pooled device tiling (fresh prune+encode on a cold start, restored
+    // from the persistent store on a warm one) and pre-price the batch
+    // buckets, before traffic arrives.
     for model in [ModelId::ResNet50, ModelId::BertBase] {
         let encode_ms = server.warm_model(model, None);
-        println!("warmed {model}: weights pruned + bitmap-encoded in {encode_ms:.1} ms");
+        println!("warmed {model}: encoded weights obtained in {encode_ms:.1} ms");
     }
     println!();
 
@@ -101,6 +132,20 @@ fn main() {
         stats.for_priority(Priority::High).completed > 0,
         "expected high-priority traffic in the mix"
     );
+    if expect_warm {
+        // A populated --encode-cache-dir makes the restart a pure warm
+        // start: every artifact restores from disk, nothing prune+encodes.
+        assert_eq!(
+            stats.encode_fresh, 0,
+            "--expect-warm: {} artifacts were freshly encoded ({:.1} ms wasted)",
+            stats.encode_fresh, stats.encode_fresh_ms
+        );
+        assert!(stats.encode_disk_loads > 0, "--expect-warm: nothing was restored from disk");
+        println!(
+            "warm start confirmed: {} artifacts restored from disk in {:.1} ms, 0 fresh encodes",
+            stats.encode_disk_loads, stats.encode_disk_ms
+        );
+    }
     println!(
         "ok: {REQUESTS} requests answered exactly once by {} devices, mean batch {:.2}, encode-cache hit rate {:.0}%",
         devices_seen.len(),

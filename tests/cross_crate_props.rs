@@ -137,4 +137,52 @@ proptest! {
         prop_assert_eq!(BitmapMatrix::encode(&m, VectorLayout::ColumnMajor).nnz(), nnz);
         prop_assert_eq!(TwoLevelBitmapMatrix::encode(&m, 32, 16, VectorLayout::RowMajor).nnz(), nnz);
     }
+
+    #[test]
+    fn two_level_serialisation_roundtrips_across_tilings_and_layouts(
+        m in sparse_matrix(40),
+        tile_rows in 1usize..=33,
+        tile_cols in 1usize..=33,
+        row_major in any::<bool>(),
+    ) {
+        // encode -> serialise -> deserialise -> decode == dense, for any
+        // warp-tile shape and both condensed-vector layouts.
+        let layout = if row_major { VectorLayout::RowMajor } else { VectorLayout::ColumnMajor };
+        let enc = TwoLevelBitmapMatrix::encode(&m, tile_rows, tile_cols, layout);
+        let back = TwoLevelBitmapMatrix::from_bytes(&enc.to_bytes()).expect("roundtrip decodes");
+        prop_assert_eq!(&back, &enc, "deserialised encoding differs structurally");
+        prop_assert_eq!(back.decode(), m);
+    }
+
+    #[test]
+    fn bitmap_serialisation_roundtrips(m in sparse_matrix(48), col_major in any::<bool>()) {
+        let layout = if col_major { VectorLayout::ColumnMajor } else { VectorLayout::RowMajor };
+        let enc = BitmapMatrix::encode(&m, layout);
+        let back = BitmapMatrix::from_bytes(&enc.to_bytes()).expect("roundtrip decodes");
+        prop_assert_eq!(&back, &enc);
+        prop_assert_eq!(back.decode(), m);
+    }
+
+    #[test]
+    fn serialised_corruption_never_panics_and_never_false_decodes(
+        m in sparse_matrix(24),
+        cut_tenths in 0u8..=9,
+        flip_tenths in 0u8..=9,
+    ) {
+        // Truncation at an arbitrary point and a bit flip at an arbitrary
+        // point must both surface as clean errors (or, for the flip, a
+        // decode that still structurally validates) — never a panic.
+        let enc = TwoLevelBitmapMatrix::encode(&m, 16, 16, VectorLayout::RowMajor);
+        let bytes = enc.to_bytes();
+        let cut = bytes.len() * usize::from(cut_tenths) / 10;
+        prop_assert!(TwoLevelBitmapMatrix::from_bytes(&bytes[..cut]).is_err());
+        let mut flipped = bytes.clone();
+        let at = bytes.len() * usize::from(flip_tenths) / 10;
+        let at = at.min(bytes.len() - 1);
+        flipped[at] ^= 0x10;
+        // Any outcome but a panic is acceptable only if it is an error —
+        // the checksum (or a structural check) must catch the flip.
+        prop_assert!(TwoLevelBitmapMatrix::from_bytes(&flipped).is_err(),
+            "a corrupted artifact decoded successfully (flip at byte {})", at);
+    }
 }
