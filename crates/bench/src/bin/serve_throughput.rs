@@ -1,6 +1,6 @@
 //! Serving-throughput sweep for the `dsstc-serve` runtime.
 //!
-//! Two modes:
+//! Three modes:
 //!
 //! * **closed-loop** (default): one burst of mixed ResNet-50 / BERT traffic
 //!   per (workers x max_batch) cell, measuring requests/second and latency
@@ -17,18 +17,26 @@
 //!   ([`dsstc_serve::pace_until`]), so offered rates past 10k rps stay
 //!   faithful to the arrival clock instead of collapsing to the
 //!   scheduler's sleep granularity.
+//! * **open-loop over the wire** (`--open-loop --wire`): every cell runs
+//!   **twice** against the same trace — once through the in-process
+//!   `submit` path and once through the TCP front-end over loopback, each
+//!   submitter thread a pipelined [`dsstc_serve::net::WireClient`]
+//!   connection with a concurrent reader. The sweep prints in-process vs
+//!   over-the-wire latency side by side and asserts the two paths produce
+//!   **bit-identical** outputs for every request.
 //!
 //! Run with `cargo run --release -p dsstc-bench --bin serve_throughput`
-//! (append `-- --open-loop` for the open-loop sweep, `--smoke` for the
-//! CI-sized grid, `--submitters N` to pin the open-loop submitter thread
-//! count, `--encode-cache-dir DIR` to persist encoded weights across runs).
+//! (append `--help` for the flag reference).
 
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
+#[cfg(target_os = "linux")]
+use dsstc_serve::net::{RequestFrame, WireClient, WireServer};
 use dsstc_serve::{
-    pace_until, DevicePool, InferRequest, InferenceServer, ModelId, PoissonArrivals, Priority,
-    ServeConfig, ServerStats,
+    pace_until, percentile, DevicePool, InferRequest, InferenceServer, ModelId, PoissonArrivals,
+    Priority, ServeConfig, ServerStats,
 };
 use dsstc_sim::GpuConfig;
 use dsstc_tensor::{Matrix, SparsityPattern};
@@ -38,11 +46,63 @@ const REQUESTS: u64 = 96;
 /// Seed of the open-loop arrival process (fixed: cells are reproducible).
 const ARRIVAL_SEED: u64 = 0x0A_11_2E_ED;
 
+const USAGE: &str = "usage: serve_throughput [FLAGS]
+
+  (no flags)                closed-loop sweep over a (workers x max_batch) grid
+  --open-loop               open-loop sweep: seeded Poisson arrivals over a
+                            grid of offered loads per (batch, device-mix) cell
+  --wire                    [with --open-loop] run every cell both in-process
+                            and over the TCP front-end on loopback, print the
+                            latencies side by side and assert bit-identical
+                            outputs
+  --smoke                   CI-sized grid
+  --submitters N            pin the open-loop submitter thread count
+  --encode-cache-dir DIR    persist encoded weights across runs
+  --help                    this text
+
+--wire, --submitters and --encode-cache-dir require --open-loop.";
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("serve_throughput: {message}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
 /// Submitter threads for an offered load, when not pinned by
 /// `--submitters`: one per 4k rps, capped at 8 — measured headroom for a
 /// sleep+spin pacer to stay on its arrival clock.
 fn auto_submitters(offered_rps: f64) -> usize {
     ((offered_rps / 4000.0).ceil() as usize).clamp(1, 8)
+}
+
+/// The deterministic open-loop request stream (shared by the in-process
+/// and wire drivers so outputs can be compared bit for bit): `seed` fully
+/// determines model, priority (1 in 4 high) and features.
+fn request_for(seed: u64) -> InferRequest {
+    let model = if seed.is_multiple_of(2) { ModelId::ResNet50 } else { ModelId::BertBase };
+    let priority = if seed.is_multiple_of(4) { Priority::High } else { Priority::Normal };
+    let features = Matrix::random_sparse(4, 64, 0.4, SparsityPattern::Uniform, seed);
+    InferRequest::new(model, features).with_priority(priority)
+}
+
+/// The closed-loop stream: same models and features, but all-Normal
+/// priority — the mix the closed-loop sweep has always measured, kept so
+/// its numbers stay comparable across revisions.
+fn closed_loop_request_for(seed: u64) -> InferRequest {
+    InferRequest::new(
+        if seed.is_multiple_of(2) { ModelId::ResNet50 } else { ModelId::BertBase },
+        Matrix::random_sparse(4, 64, 0.4, SparsityPattern::Uniform, seed),
+    )
+}
+
+/// The per-submitter share of `requests`, spreading the remainder so the
+/// total is exact.
+fn share_of(t: usize, submitters: usize, requests: u64) -> u64 {
+    requests / submitters as u64 + u64::from((t as u64) < requests % submitters as u64)
+}
+
+/// Globally unique request seed for submitter `t`'s `i`-th request.
+fn seed_of(t: usize, i: u64) -> u64 {
+    t as u64 * 1_000_003 + i
 }
 
 /// Drives one burst of mixed traffic and returns wall time + final stats.
@@ -61,13 +121,8 @@ fn run_cell(workers: usize, max_batch: usize) -> (f64, ServerStats) {
         server.warm_model(model, None);
     }
     let started = Instant::now();
-    let pending: Vec<_> = (0..REQUESTS)
-        .map(|i| {
-            let model = if i % 2 == 0 { ModelId::ResNet50 } else { ModelId::BertBase };
-            let features = Matrix::random_sparse(4, 64, 0.4, SparsityPattern::Uniform, i);
-            server.submit(InferRequest::new(model, features)).expect("queued")
-        })
-        .collect();
+    let pending: Vec<_> =
+        (0..REQUESTS).map(|i| server.submit(closed_loop_request_for(i)).expect("queued")).collect();
     for p in pending {
         p.wait().expect("response");
     }
@@ -102,18 +157,23 @@ fn closed_loop(smoke: bool) {
     );
 }
 
-/// One open-loop cell: Poisson arrivals at `offered_rps` against a pool,
-/// mixed-priority mixed-model traffic driven by `submitters` threads (each
-/// pacing an independent sub-process with sleep+spin). Returns final stats
-/// + achieved rate.
-fn run_open_loop_cell(
+/// The measurements one open-loop cell produces, for either submit path.
+struct CellResult {
+    achieved_rps: f64,
+    stats: ServerStats,
+    /// Request seed → output features, for the bit-identical check.
+    outputs: HashMap<u64, Matrix>,
+    /// Client-observed end-to-end latency samples, µs (wire cells only:
+    /// send-to-response wall time including framing and loopback; `None`
+    /// for in-process cells, whose latency the server reports itself).
+    end_to_end_us: Option<Vec<f64>>,
+}
+
+fn cell_config(
     pool: DevicePool,
     max_batch: usize,
-    offered_rps: f64,
-    requests: u64,
-    submitters: usize,
     encode_cache_dir: Option<&PathBuf>,
-) -> (f64, ServerStats) {
+) -> ServeConfig {
     let mut config = ServeConfig::default()
         .with_devices(pool)
         .with_max_batch(max_batch)
@@ -122,7 +182,22 @@ fn run_open_loop_cell(
     if let Some(dir) = encode_cache_dir {
         config = config.with_encode_cache_dir(dir.clone());
     }
-    let mut server = InferenceServer::start(config);
+    config
+}
+
+/// One open-loop cell through the in-process submit path: Poisson arrivals
+/// at `offered_rps`, mixed-priority mixed-model traffic driven by
+/// `submitters` threads (each pacing an independent sub-process with
+/// sleep+spin).
+fn run_open_loop_cell(
+    pool: DevicePool,
+    max_batch: usize,
+    offered_rps: f64,
+    requests: u64,
+    submitters: usize,
+    encode_cache_dir: Option<&PathBuf>,
+) -> CellResult {
+    let mut server = InferenceServer::start(cell_config(pool, max_batch, encode_cache_dir));
     for model in [ModelId::ResNet50, ModelId::BertBase] {
         server.warm_model(model, None);
     }
@@ -132,14 +207,12 @@ fn run_open_loop_cell(
     // Each submitter drives its own sub-process; the superposition offers
     // the full load. Requests are waited on after every submitter finishes
     // (open loop: arrivals never wait for the server).
-    let pending: Vec<_> = std::thread::scope(|scope| {
+    let pending: Vec<(u64, dsstc_serve::server::PendingResponse)> = std::thread::scope(|scope| {
         let handles: Vec<_> = sub_processes
             .into_iter()
             .enumerate()
             .map(|(t, mut arrivals)| {
-                // Spread the remainder so exactly `requests` are submitted.
-                let share = requests / submitters as u64
-                    + u64::from((t as u64) < requests % submitters as u64);
+                let share = share_of(t, submitters, requests);
                 scope.spawn(move || {
                     let mut next_arrival = started;
                     (0..share)
@@ -149,22 +222,8 @@ fn run_open_loop_cell(
                             // the server is behind; never wait for the
                             // server itself.
                             pace_until(next_arrival);
-                            let id = t as u64 * 1_000_003 + i;
-                            let model = if id.is_multiple_of(2) {
-                                ModelId::ResNet50
-                            } else {
-                                ModelId::BertBase
-                            };
-                            let priority = if id.is_multiple_of(4) {
-                                Priority::High
-                            } else {
-                                Priority::Normal
-                            };
-                            let features =
-                                Matrix::random_sparse(4, 64, 0.4, SparsityPattern::Uniform, id);
-                            server_ref
-                                .submit(InferRequest::new(model, features).with_priority(priority))
-                                .expect("queued")
+                            let seed = seed_of(t, i);
+                            (seed, server_ref.submit(request_for(seed)).expect("queued"))
                         })
                         .collect::<Vec<_>>()
                 })
@@ -172,16 +231,144 @@ fn run_open_loop_cell(
             .collect();
         handles.into_iter().flat_map(|h| h.join().expect("submitter thread")).collect()
     });
-    for p in pending {
-        p.wait().expect("response");
+    let mut outputs = HashMap::with_capacity(pending.len());
+    for (seed, p) in pending {
+        let response = p.wait().expect("response");
+        outputs.insert(seed, response.output);
     }
     let elapsed = started.elapsed().as_secs_f64();
     let stats = server.stats();
     server.shutdown();
-    (requests as f64 / elapsed, stats)
+    CellResult { achieved_rps: requests as f64 / elapsed, stats, outputs, end_to_end_us: None }
 }
 
-fn open_loop(smoke: bool, submitters: Option<usize>, encode_cache_dir: Option<&PathBuf>) {
+/// The same open-loop cell through the TCP front-end on loopback: one
+/// pipelined `WireClient` connection per submitter, a concurrent reader
+/// clone collecting responses (and their client-observed end-to-end
+/// latency) as batches complete.
+#[cfg(target_os = "linux")]
+fn run_wire_cell(
+    pool: DevicePool,
+    max_batch: usize,
+    offered_rps: f64,
+    requests: u64,
+    submitters: usize,
+    encode_cache_dir: Option<&PathBuf>,
+) -> CellResult {
+    let mut server =
+        WireServer::start(cell_config(pool, max_batch, encode_cache_dir)).expect("bind loopback");
+    for model in [ModelId::ResNet50, ModelId::BertBase] {
+        server.server().warm_model(model, None);
+    }
+    let addr = server.local_addr();
+    let sub_processes = PoissonArrivals::new(offered_rps, ARRIVAL_SEED).split(submitters);
+    let started = Instant::now();
+    let collected: Vec<(u64, Matrix, f64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = sub_processes
+            .into_iter()
+            .enumerate()
+            .map(|(t, mut arrivals)| {
+                let share = share_of(t, submitters, requests);
+                scope.spawn(move || {
+                    let mut sender = WireClient::connect(addr).expect("connect");
+                    let mut receiver = sender.try_clone().expect("clone for reading");
+                    let send_instants =
+                        std::sync::Arc::new(std::sync::Mutex::new(
+                            HashMap::<u64, (u64, Instant)>::new(),
+                        ));
+                    let reader_instants = std::sync::Arc::clone(&send_instants);
+                    let reader = scope.spawn(move || {
+                        let mut out = Vec::with_capacity(share as usize);
+                        for _ in 0..share {
+                            let response = receiver.recv().expect("wire response");
+                            let arrived = Instant::now();
+                            let id = response.id;
+                            let body = response.into_body().expect("served");
+                            let (seed, sent) = reader_instants
+                                .lock()
+                                .expect("send-instant map")
+                                .remove(&id)
+                                .expect("response matches a sent request");
+                            out.push((
+                                seed,
+                                body.output,
+                                arrived.duration_since(sent).as_secs_f64() * 1e6,
+                            ));
+                        }
+                        out
+                    });
+                    let mut next_arrival = started;
+                    for i in 0..share {
+                        next_arrival += arrivals.next_gap();
+                        pace_until(next_arrival);
+                        let seed = seed_of(t, i);
+                        let frame = RequestFrame::from_request(i, &request_for(seed));
+                        // Record the instant before the bytes go out (the
+                        // response can arrive concurrently, so the map entry
+                        // must exist first; the sample then also includes
+                        // serialisation time).
+                        send_instants
+                            .lock()
+                            .expect("send-instant map")
+                            .insert(i, (seed, Instant::now()));
+                        sender.send_frame(&frame).expect("send");
+                    }
+                    reader.join().expect("reader thread")
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("submitter thread")).collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let stats = server.stats();
+    server.shutdown();
+    let mut outputs = HashMap::with_capacity(collected.len());
+    let mut end_to_end = Vec::with_capacity(collected.len());
+    for (seed, output, e2e_us) in collected {
+        outputs.insert(seed, output);
+        end_to_end.push(e2e_us);
+    }
+    CellResult {
+        achieved_rps: requests as f64 / elapsed,
+        stats,
+        outputs,
+        end_to_end_us: Some(end_to_end),
+    }
+}
+
+/// `--wire` is rejected in `main` off Linux (the epoll front-end is
+/// Linux-only); this stub keeps the sweep compiling everywhere.
+#[cfg(not(target_os = "linux"))]
+fn run_wire_cell(
+    _pool: DevicePool,
+    _max_batch: usize,
+    _offered_rps: f64,
+    _requests: u64,
+    _submitters: usize,
+    _encode_cache_dir: Option<&PathBuf>,
+) -> CellResult {
+    unreachable!("--wire is rejected on non-Linux platforms")
+}
+
+/// Asserts the wire path reproduced the in-process outputs bit for bit.
+fn assert_bit_identical(in_process: &CellResult, wire: &CellResult) {
+    assert_eq!(
+        in_process.outputs.len(),
+        wire.outputs.len(),
+        "both paths must answer every request"
+    );
+    for (seed, expected) in &in_process.outputs {
+        let actual = wire.outputs.get(seed).expect("wire answered this seed");
+        assert_eq!(actual, expected, "wire output differs from in-process for seed {seed}");
+    }
+}
+
+fn open_loop(
+    smoke: bool,
+    submitters: Option<usize>,
+    encode_cache_dir: Option<&PathBuf>,
+    wire: bool,
+) {
     let (loads, requests): (&[f64], u64) =
         if smoke { (&[200.0, 800.0], 32) } else { (&[100.0, 200.0, 400.0, 800.0, 1600.0], 96) };
     type PoolMaker = fn() -> DevicePool;
@@ -190,27 +377,44 @@ fn open_loop(smoke: bool, submitters: Option<usize>, encode_cache_dir: Option<&P
         ("V100+A100", || DevicePool::new(vec![GpuConfig::v100(), GpuConfig::a100()])),
     ];
     println!(
-        "dsstc-serve open-loop sweep: seeded Poisson arrivals, {requests} mixed \
-         ResNet-50/BERT requests per cell (1 in 4 high priority)\n"
+        "dsstc-serve open-loop sweep{}: seeded Poisson arrivals, {requests} mixed \
+         ResNet-50/BERT requests per cell (1 in 4 high priority)\n",
+        if wire { " (in-process vs wire)" } else { "" }
     );
-    println!(
-        "{:>10} {:>10} {:>12} {:>11} {:>12} {:>14} {:>14} {:>14} {:>12} {:>12}",
-        "pool",
-        "max_batch",
-        "offered r/s",
-        "submitters",
-        "achieved",
-        "queue p50 ms",
-        "queue p99 ms",
-        "hi-pri p99 ms",
-        "mean batch",
-        "model ms"
-    );
+    if wire {
+        println!(
+            "{:>10} {:>10} {:>12} {:>11} {:>12} {:>14} {:>12} {:>14} {:>14} {:>10}",
+            "pool",
+            "max_batch",
+            "offered r/s",
+            "submitters",
+            "inproc r/s",
+            "inproc p99 ms",
+            "wire r/s",
+            "wire p50 ms",
+            "wire p99 ms",
+            "outputs"
+        );
+    } else {
+        println!(
+            "{:>10} {:>10} {:>12} {:>11} {:>12} {:>14} {:>14} {:>14} {:>12} {:>12}",
+            "pool",
+            "max_batch",
+            "offered r/s",
+            "submitters",
+            "achieved",
+            "queue p50 ms",
+            "queue p99 ms",
+            "hi-pri p99 ms",
+            "mean batch",
+            "model ms"
+        );
+    }
     for (name, make_pool) in pools {
         for &max_batch in &[4usize, 8] {
             for &load in loads {
                 let threads = submitters.unwrap_or_else(|| auto_submitters(load));
-                let (achieved, stats) = run_open_loop_cell(
+                let in_process = run_open_loop_cell(
                     make_pool(),
                     max_batch,
                     load,
@@ -218,31 +422,65 @@ fn open_loop(smoke: bool, submitters: Option<usize>, encode_cache_dir: Option<&P
                     threads,
                     encode_cache_dir,
                 );
-                println!(
-                    "{name:>10} {max_batch:>10} {load:>12.0} {threads:>11} {achieved:>12.1} {:>14.2} {:>14.2} {:>14.2} {:>12.2} {:>12.2}",
-                    stats.queue_p50_us / 1e3,
-                    stats.queue_p99_us / 1e3,
-                    stats.for_priority(Priority::High).queue_p99_us / 1e3,
-                    stats.mean_batch_size,
-                    stats.modelled_makespan_us / 1e3,
-                );
+                if wire {
+                    let over_wire = run_wire_cell(
+                        make_pool(),
+                        max_batch,
+                        load,
+                        requests,
+                        threads,
+                        encode_cache_dir,
+                    );
+                    assert_bit_identical(&in_process, &over_wire);
+                    let e2e = over_wire.end_to_end_us.as_deref().unwrap_or(&[]);
+                    println!(
+                        "{name:>10} {max_batch:>10} {load:>12.0} {threads:>11} {:>12.1} {:>14.2} {:>12.1} {:>14.2} {:>14.2} {:>10}",
+                        in_process.achieved_rps,
+                        in_process.stats.queue_p99_us / 1e3,
+                        over_wire.achieved_rps,
+                        percentile(e2e, 0.50) / 1e3,
+                        percentile(e2e, 0.99) / 1e3,
+                        "identical",
+                    );
+                } else {
+                    let stats = &in_process.stats;
+                    println!(
+                        "{name:>10} {max_batch:>10} {load:>12.0} {threads:>11} {:>12.1} {:>14.2} {:>14.2} {:>14.2} {:>12.2} {:>12.2}",
+                        in_process.achieved_rps,
+                        stats.queue_p50_us / 1e3,
+                        stats.queue_p99_us / 1e3,
+                        stats.for_priority(Priority::High).queue_p99_us / 1e3,
+                        stats.mean_batch_size,
+                        stats.modelled_makespan_us / 1e3,
+                    );
+                }
             }
             println!();
         }
     }
-    println!(
-        "(wall-clock queue latency grows with offered load as the open-loop arrivals outpace\n \
-         the host-bound proxy execution, which runs at the same real speed on every modelled\n \
-         device; the modelled-makespan column is where the device pool shows — completion-time\n \
-         dispatch shifts batches toward the A100, so the mixed pool finishes the same trace in\n \
-         less modelled time than 2x V100)"
-    );
+    if wire {
+        println!(
+            "(every cell ran the same seeded trace twice: in-process submit and pipelined wire\n \
+             connections over loopback. The \"outputs\" column asserts the two paths produced\n \
+             bit-identical features for every request; wire p50/p99 are client-observed\n \
+             end-to-end latencies including framing and loopback transport)"
+        );
+    } else {
+        println!(
+            "(wall-clock queue latency grows with offered load as the open-loop arrivals outpace\n \
+             the host-bound proxy execution, which runs at the same real speed on every modelled\n \
+             device; the modelled-makespan column is where the device pool shows — completion-time\n \
+             dispatch shifts batches toward the A100, so the mixed pool finishes the same trace in\n \
+             less modelled time than 2x V100)"
+        );
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut open = false;
     let mut smoke = false;
+    let mut wire = false;
     let mut submitters: Option<usize> = None;
     let mut encode_cache_dir: Option<PathBuf> = None;
     let mut iter = args.iter();
@@ -250,38 +488,42 @@ fn main() {
         match arg.as_str() {
             "--open-loop" => open = true,
             "--smoke" => smoke = true,
+            "--wire" => {
+                if !cfg!(target_os = "linux") {
+                    usage_error("--wire needs the epoll front-end, which is Linux-only");
+                }
+                wire = true;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
             "--submitters" => {
                 submitters = iter.next().and_then(|v| v.parse().ok()).filter(|&n: &usize| n > 0);
                 if submitters.is_none() {
-                    eprintln!("--submitters needs a positive integer");
-                    std::process::exit(2);
+                    usage_error("--submitters needs a positive integer");
                 }
             }
             "--encode-cache-dir" => {
-                encode_cache_dir = iter.next().map(PathBuf::from);
+                // A following flag is a missing value, not a directory.
+                encode_cache_dir = iter.next().filter(|v| !v.starts_with("--")).map(PathBuf::from);
                 if encode_cache_dir.is_none() {
-                    eprintln!("--encode-cache-dir needs a directory path");
-                    std::process::exit(2);
+                    usage_error("--encode-cache-dir needs a directory path");
                 }
             }
             unknown => {
-                eprintln!(
-                    "unknown flag {unknown}; supported: [--open-loop] [--smoke] \
-                     [--submitters N] [--encode-cache-dir DIR]"
-                );
-                std::process::exit(2);
+                usage_error(&format!("unknown flag {unknown}"));
             }
         }
     }
-    if open {
-        open_loop(smoke, submitters, encode_cache_dir.as_ref());
-    } else {
+    if !open {
         // Fail loudly rather than silently ignoring flags only the
         // open-loop driver consumes.
-        if submitters.is_some() || encode_cache_dir.is_some() {
-            eprintln!("--submitters and --encode-cache-dir require --open-loop");
-            std::process::exit(2);
+        if submitters.is_some() || encode_cache_dir.is_some() || wire {
+            usage_error("--wire, --submitters and --encode-cache-dir require --open-loop");
         }
         closed_loop(smoke);
+        return;
     }
+    open_loop(smoke, submitters, encode_cache_dir.as_ref(), wire);
 }

@@ -234,7 +234,7 @@ impl BatchScheduler {
     }
 
     /// Stops accepting requests; queued work is still drained by
-    /// [`Self::next_batch`].
+    /// `next_batch`.
     pub fn shutdown(&self) {
         let mut state = self.state.lock().expect("scheduler mutex poisoned");
         state.open = false;

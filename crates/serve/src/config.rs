@@ -1,6 +1,7 @@
 //! Serving-runtime configuration: batching knobs, the device pool and the
 //! encode-cache tiers.
 
+use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -103,6 +104,26 @@ pub struct ServeConfig {
     pub encode_cache_dir: Option<PathBuf>,
     /// Entry/byte bound on the in-memory encode-cache tier.
     pub encode_cache_budget: CacheBudget,
+    /// Listen address of the TCP front-end ([`crate::net::WireServer`]).
+    /// `None` (the default) binds loopback with an OS-assigned port when a
+    /// wire server is started, and is ignored entirely by the in-process
+    /// [`crate::InferenceServer`].
+    pub listen: Option<SocketAddr>,
+    /// Most client connections the wire front-end holds open at once;
+    /// accepts beyond the limit are closed immediately (counted in
+    /// [`crate::stats::WireStats::connections_rejected`]).
+    pub max_connections: usize,
+    /// Largest **request** frame body accepted, in bytes. A request
+    /// declaring more is rejected from its ten-byte envelope, before any
+    /// allocation. Responses to legal requests may exceed this by the
+    /// fixed [`crate::net::frame::RESPONSE_HEADROOM`], which
+    /// response-stream decoders (the [`crate::net::WireClient`]) allow
+    /// for.
+    pub max_frame_len: usize,
+    /// How long a graceful wire shutdown keeps draining in-flight requests
+    /// and unflushed response bytes before force-closing the remaining
+    /// connections.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -115,6 +136,10 @@ impl Default for ServeConfig {
             dispatch: DispatchPolicy::MinCompletionTime,
             encode_cache_dir: None,
             encode_cache_budget: CacheBudget::default(),
+            listen: None,
+            max_connections: 256,
+            max_frame_len: 1 << 24,
+            drain_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -189,6 +214,38 @@ impl ServeConfig {
     /// Overrides the in-memory encode-cache budget.
     pub fn with_encode_cache_budget(mut self, budget: CacheBudget) -> Self {
         self.encode_cache_budget = budget;
+        self
+    }
+
+    /// Sets the TCP front-end's listen address (e.g. `"127.0.0.1:7411"`).
+    pub fn with_listen(mut self, listen: SocketAddr) -> Self {
+        self.listen = Some(listen);
+        self
+    }
+
+    /// Overrides the open-connection limit of the TCP front-end.
+    ///
+    /// # Panics
+    /// Panics if `max_connections` is zero.
+    pub fn with_max_connections(mut self, max_connections: usize) -> Self {
+        assert!(max_connections > 0, "the front-end needs at least one connection");
+        self.max_connections = max_connections;
+        self
+    }
+
+    /// Overrides the wire frame-body size bound.
+    ///
+    /// # Panics
+    /// Panics if `max_frame_len` cannot hold even an empty feature matrix.
+    pub fn with_max_frame_len(mut self, max_frame_len: usize) -> Self {
+        assert!(max_frame_len >= 64, "frame bodies need room for the fixed request fields");
+        self.max_frame_len = max_frame_len;
+        self
+    }
+
+    /// Overrides the graceful wire-shutdown drain bound.
+    pub fn with_drain_timeout(mut self, drain_timeout: Duration) -> Self {
+        self.drain_timeout = drain_timeout;
         self
     }
 }

@@ -33,6 +33,13 @@
 //!   every request receives an [`InferResponse`] carrying its output
 //!   features, the encoding it executed and the modelled GPU latency of the
 //!   real network at the batch's size.
+//! * [`net::WireServer`] — a dependency-free, epoll-based TCP front-end
+//!   speaking a length-prefixed, checksummed wire protocol (magic `DSRQ` /
+//!   `DSRS`; see `docs/WIRE_PROTOCOL.md`), so real network clients drive
+//!   the same submit path: pipelined requests per connection, responses
+//!   streamed back as batches complete, error frames, connection limits
+//!   and graceful drain. [`net::WireClient`] is the matching blocking
+//!   client.
 //! * [`PoissonArrivals`] — a seeded open-loop traffic generator for
 //!   latency-vs-offered-load measurements (see the `serve_throughput`
 //!   sweep's `--open-loop` mode).
@@ -88,6 +95,8 @@
 pub mod batcher;
 pub mod config;
 pub mod dispatch;
+#[cfg(target_os = "linux")]
+pub mod net;
 pub mod repository;
 pub mod request;
 pub mod server;
@@ -99,12 +108,14 @@ pub mod worker;
 pub use crate::batcher::{BatchPolicy, BatchScheduler};
 pub use crate::config::{DevicePool, ServeConfig};
 pub use crate::dispatch::{DeviceAssignment, DeviceDispatcher, DispatchPolicy};
+#[cfg(target_os = "linux")]
+pub use crate::net::{WireClient, WireServer};
 pub use crate::repository::{
     CacheBudget, EncodeCacheStats, EncodedLayer, EncodedModel, ModelRepository,
 };
 pub use crate::request::{InferRequest, InferResponse, ModelId, ModelKey, Priority};
 pub use crate::server::{InferenceServer, PendingResponse, ServeError};
-pub use crate::stats::{DeviceStats, PriorityLatency, ServerStats};
+pub use crate::stats::{percentile, DeviceStats, PriorityLatency, ServerStats, WireStats};
 pub use crate::timing::BatchTimingModel;
 pub use crate::traffic::{pace_until, PoissonArrivals};
 pub use crate::worker::WorkerPool;

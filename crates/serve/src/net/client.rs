@@ -1,0 +1,149 @@
+//! A small blocking client for the wire protocol, used by the tests, the
+//! `serve_client` example and the `serve_throughput --wire` sweep.
+//!
+//! One [`WireClient`] wraps one TCP connection. Requests **pipeline**: any
+//! number may be sent before the first response is read, and responses
+//! arrive in *completion* order (the server batches across connections), so
+//! callers correlate by the echoed id. [`WireClient::infer`] is the
+//! one-shot convenience doing a single send + receive.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use crate::net::frame::{
+    Frame, FrameDecoder, RequestFrame, ResponseBody, ResponseFrame, WireError, WireStatus,
+    RESPONSE_HEADROOM,
+};
+use crate::request::InferRequest;
+
+/// A blocking connection to a [`crate::net::WireServer`].
+#[derive(Debug)]
+pub struct WireClient {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    scratch: Vec<u8>,
+    next_id: u64,
+    /// Request-side frame bound; the response decoder allows
+    /// [`RESPONSE_HEADROOM`] on top (a response to a legal request is that
+    /// much larger than the request, never more).
+    max_frame_len: usize,
+}
+
+impl WireClient {
+    /// Connects to `addr`, expecting the server's default
+    /// `max_frame_len`. A server configured with a larger bound needs
+    /// [`WireClient::with_max_frame_len`] to match, or its largest legal
+    /// responses would trip the client's own decoder.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<WireClient> {
+        let max_frame_len = crate::config::ServeConfig::default().max_frame_len;
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(WireClient {
+            stream,
+            decoder: FrameDecoder::new(max_frame_len + RESPONSE_HEADROOM),
+            scratch: vec![0u8; 64 * 1024],
+            next_id: 0,
+            max_frame_len,
+        })
+    }
+
+    /// Matches the client to a server running a non-default
+    /// `max_frame_len`. Call right after connecting (it resets the
+    /// response decoder, discarding any buffered bytes).
+    pub fn with_max_frame_len(mut self, max_frame_len: usize) -> Self {
+        self.max_frame_len = max_frame_len;
+        self.decoder = FrameDecoder::new(max_frame_len + RESPONSE_HEADROOM);
+        self
+    }
+
+    /// A second handle on the same connection with its own (empty) decoder
+    /// and id counter — the pattern for full-duplex use: one handle sends,
+    /// the clone receives, concurrently from two threads. Two handles that
+    /// both *read* would split frames between their decoders, and two that
+    /// both *send* would duplicate ids; give each clone one direction.
+    pub fn try_clone(&self) -> std::io::Result<WireClient> {
+        Ok(WireClient {
+            stream: self.stream.try_clone()?,
+            decoder: FrameDecoder::new(self.max_frame_len + RESPONSE_HEADROOM),
+            scratch: vec![0u8; 64 * 1024],
+            next_id: 0,
+            max_frame_len: self.max_frame_len,
+        })
+    }
+
+    /// Connects to `addr`, retrying until `timeout` elapses — for drivers
+    /// racing a server that is still binding its listener (the CI smoke
+    /// starts `serve_demo --listen` and `serve_client` concurrently).
+    pub fn connect_retry(addr: SocketAddr, timeout: Duration) -> std::io::Result<WireClient> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match WireClient::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+
+    /// Sends one request frame; returns the id the response will echo.
+    /// Does not wait for the response — requests pipeline freely.
+    pub fn send(&mut self, request: &InferRequest) -> Result<u64, WireError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send_frame(&RequestFrame::from_request(id, request))?;
+        Ok(id)
+    }
+
+    /// Sends an explicit pre-built frame (tests use this to craft hostile
+    /// input; [`WireClient::send`] is the normal path).
+    pub fn send_frame(&mut self, frame: &RequestFrame) -> Result<(), WireError> {
+        self.stream.write_all(&frame.to_bytes())?;
+        Ok(())
+    }
+
+    /// Sends raw bytes verbatim (protocol-violation tests).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        self.stream.write_all(bytes)?;
+        Ok(())
+    }
+
+    /// Blocks for the next response frame, in completion order.
+    pub fn recv(&mut self) -> Result<ResponseFrame, WireError> {
+        loop {
+            match self.decoder.next_frame()? {
+                Some(Frame::Response(response)) => return Ok(response),
+                Some(Frame::Request(_)) => {
+                    return Err(WireError::Malformed("server sent a request frame"))
+                }
+                None => {}
+            }
+            let n = self.stream.read(&mut self.scratch)?;
+            if n == 0 {
+                return Err(WireError::Truncated);
+            }
+            self.decoder.feed(&self.scratch[..n]);
+        }
+    }
+
+    /// Sends one request and blocks for its served response; an error
+    /// frame (any non-`Ok` status) surfaces as [`WireError::Rejected`].
+    ///
+    /// Only sound on a connection with no other pipelined requests
+    /// outstanding (the next arriving response is assumed to be this one).
+    pub fn infer(&mut self, request: &InferRequest) -> Result<ResponseBody, WireError> {
+        let id = self.send(request)?;
+        let response = self.recv()?;
+        debug_assert!(
+            response.status != WireStatus::Ok || response.id == id,
+            "no pipelining inside infer()"
+        );
+        response.into_body()
+    }
+
+    /// Half-closes the write side, telling the server no more requests are
+    /// coming; pending responses can still be read.
+    pub fn finish_sending(&mut self) -> std::io::Result<()> {
+        self.stream.shutdown(std::net::Shutdown::Write)
+    }
+}

@@ -1,0 +1,842 @@
+//! The wire frame codec: length-prefixed, checksummed request/response
+//! frames, in the self-contained little-endian style of
+//! [`dsstc_formats::serialize`].
+//!
+//! # Frame layout
+//!
+//! Every frame — request or response — shares one envelope:
+//!
+//! ```text
+//! magic   : 4 bytes   b"DSRQ" (request) | b"DSRS" (response)
+//! version : u16 LE    WIRE_VERSION
+//! length  : u32 LE    body byte count
+//! body    : `length` bytes (direction-specific, little-endian)
+//! checksum: u64 LE    FNV-1a over the body
+//! ```
+//!
+//! The request body carries the client-chosen request id, the model key
+//! (catalogue tag + sparsity override in permille), the scheduling priority,
+//! an optional queue-deadline and the feature matrix; the response body
+//! echoes the id and carries either the output features plus the server's
+//! per-request measurements, or a status code + message (an **error
+//! frame**). See `docs/WIRE_PROTOCOL.md` for the byte-level specification
+//! and a worked hex example.
+//!
+//! Decoding **never panics**: truncation, a bad magic, an unsupported
+//! version, an oversized length prefix, a flipped payload bit or an
+//! internally inconsistent body all surface as a [`WireError`]. The
+//! [`FrameDecoder`] consumes a raw byte stream incrementally, yielding one
+//! frame at a time — several pipelined frames per read, or one frame
+//! arriving a byte at a time, both decode identically.
+
+use dsstc_formats::serialize::fnv1a;
+use dsstc_tensor::Matrix;
+
+use crate::request::{InferRequest, InferResponse, ModelId, Priority};
+
+/// Magic of a request frame (client → server).
+pub const REQUEST_MAGIC: [u8; 4] = *b"DSRQ";
+
+/// Magic of a response frame (server → client).
+pub const RESPONSE_MAGIC: [u8; 4] = *b"DSRS";
+
+/// Current wire-protocol version. Bump on any layout change; peers reject
+/// every other version with [`WireError::UnsupportedVersion`] (the server
+/// answers with a [`WireStatus::UnsupportedVersion`] error frame first, so
+/// old clients get a diagnosis instead of a dead socket).
+pub const WIRE_VERSION: u16 = 1;
+
+/// Envelope bytes around the body: magic + version + length prefix.
+pub const HEADER_LEN: usize = 4 + 2 + 4;
+
+/// Trailing checksum bytes after the body.
+pub const CHECKSUM_LEN: usize = 8;
+
+/// The `sparsity_permille` body value meaning "no override" (requests
+/// against the published per-layer table).
+const SPARSITY_NONE: u16 = u16::MAX;
+
+/// How many bytes larger than its request an `Ok` response frame can be:
+/// the response's fixed fields (id, status, tags, four f64 measurements,
+/// output shape) outgrow the request's fixed fields by 31 bytes while the
+/// matrix payloads match (output cols = input cols = the proxy dimension).
+/// Receivers of *responses* add this headroom to the request-side
+/// `max_frame_len` bound so a legal maximal request cannot elicit a
+/// response its own sender must reject.
+pub const RESPONSE_HEADROOM: usize = 64;
+
+/// The reserved response id of a connection-poisoning error frame (a
+/// framing failure that cannot be attributed to any request). Clients
+/// must not use it as a request id; the sequential ids
+/// [`crate::net::WireClient`] assigns never reach it.
+pub const POISON_ID: u64 = u64::MAX;
+
+/// Why a wire frame could not be decoded (or was rejected).
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket failed.
+    Io(std::io::Error),
+    /// The stream ended before the declared frame did.
+    Truncated,
+    /// The stream does not start with the expected magic.
+    BadMagic([u8; 4]),
+    /// The frame was written by an unknown protocol version.
+    UnsupportedVersion(u16),
+    /// The length prefix exceeds the configured frame-size bound.
+    Oversized {
+        /// Body bytes the length prefix declared.
+        declared: usize,
+        /// The receiver's configured bound.
+        limit: usize,
+    },
+    /// The body does not match its checksum (bit rot / partial write).
+    ChecksumMismatch,
+    /// The body is internally inconsistent.
+    Malformed(&'static str),
+    /// The server answered with an error frame.
+    Rejected {
+        /// The machine-readable status code.
+        status: WireStatus,
+        /// The human-readable message the server attached.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::Truncated => f.write_str("stream truncated before the declared frame end"),
+            WireError::BadMagic(found) => write!(f, "bad frame magic {found:02x?}"),
+            WireError::UnsupportedVersion(v) => {
+                write!(f, "unsupported wire version {v}, this peer speaks {WIRE_VERSION}")
+            }
+            WireError::Oversized { declared, limit } => {
+                write!(f, "frame declares {declared} body bytes, limit is {limit}")
+            }
+            WireError::ChecksumMismatch => f.write_str("frame body checksum mismatch"),
+            WireError::Malformed(why) => write!(f, "malformed frame body: {why}"),
+            WireError::Rejected { status, message } => {
+                write!(f, "server rejected the request ({status:?}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e)
+        }
+    }
+}
+
+/// Status byte of a response frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireStatus {
+    /// The request was served; the body carries the output features.
+    Ok,
+    /// The request was malformed (unknown model tag, wrong feature width,
+    /// out-of-range sparsity...).
+    InvalidRequest,
+    /// The server is draining and no longer accepts requests.
+    ShuttingDown,
+    /// The client spoke a protocol version this server does not.
+    UnsupportedVersion,
+}
+
+impl WireStatus {
+    /// The status tag as its wire byte.
+    pub fn code(&self) -> u8 {
+        match self {
+            WireStatus::Ok => 0,
+            WireStatus::InvalidRequest => 1,
+            WireStatus::ShuttingDown => 2,
+            WireStatus::UnsupportedVersion => 3,
+        }
+    }
+
+    /// Decodes a status byte.
+    pub fn from_code(code: u8) -> Option<WireStatus> {
+        match code {
+            0 => Some(WireStatus::Ok),
+            1 => Some(WireStatus::InvalidRequest),
+            2 => Some(WireStatus::ShuttingDown),
+            3 => Some(WireStatus::UnsupportedVersion),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded request frame: everything a client tells the server about
+/// one inference, plus the client-chosen id the response will echo.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RequestFrame {
+    /// Client-chosen correlation id, echoed verbatim in the response frame
+    /// (pipelined responses may complete out of submission order).
+    pub id: u64,
+    /// Which catalogue model to run (see [`ModelId::wire_code`]).
+    pub model: ModelId,
+    /// Uniform weight-sparsity override in permille, if any.
+    pub sparsity_permille: Option<u16>,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Optional queue-wait SLO in microseconds (`None` = server default).
+    pub deadline_us: Option<u32>,
+    /// Input features: one row per sample, `proxy_dim` columns.
+    pub features: Matrix,
+}
+
+impl RequestFrame {
+    /// Builds a frame from the in-process request type.
+    pub fn from_request(id: u64, request: &InferRequest) -> Self {
+        RequestFrame {
+            id,
+            model: request.model,
+            sparsity_permille: crate::ModelKey::new(request.model, request.weight_sparsity)
+                .sparsity_permille,
+            priority: request.priority,
+            // Clamped to >= 1: the wire encodes "no deadline" as 0, and a
+            // sub-microsecond SLO must stay an (expired) SLO on the far
+            // side, not silently become the server default.
+            deadline_us: request
+                .deadline
+                .map(|d| d.as_micros().clamp(1, u128::from(u32::MAX)) as u32),
+            features: request.features.clone(),
+        }
+    }
+
+    /// Converts the frame into the in-process request type.
+    pub fn into_request(self) -> InferRequest {
+        let mut request = InferRequest::new(self.model, self.features).with_priority(self.priority);
+        if let Some(permille) = self.sparsity_permille {
+            request = request.with_weight_sparsity(f64::from(permille) / 1000.0);
+        }
+        if let Some(us) = self.deadline_us {
+            request = request.with_deadline(std::time::Duration::from_micros(u64::from(us)));
+        }
+        request
+    }
+
+    /// Encodes the frame, envelope and checksum included.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(32 + self.features.as_slice().len() * 4);
+        put_u64(&mut body, self.id);
+        body.push(self.model.wire_code());
+        put_u16(&mut body, self.sparsity_permille.unwrap_or(SPARSITY_NONE));
+        body.push(self.priority.wire_code());
+        put_u32(&mut body, self.deadline_us.unwrap_or(0));
+        put_matrix(&mut body, &self.features);
+        seal(REQUEST_MAGIC, body)
+    }
+
+    /// Decodes one request body (the envelope already stripped and the
+    /// checksum already verified by [`FrameDecoder`] / [`decode_frame`]).
+    fn from_body(body: &[u8]) -> Result<Self, WireError> {
+        let mut cursor = Cursor::new(body);
+        let id = cursor.u64()?;
+        let model = ModelId::from_wire_code(cursor.u8()?)
+            .ok_or(WireError::Malformed("unknown model tag"))?;
+        let sparsity = match cursor.u16()? {
+            SPARSITY_NONE => None,
+            p if p <= 1000 => Some(p),
+            _ => return Err(WireError::Malformed("sparsity override above 1000 permille")),
+        };
+        let priority = Priority::from_wire_code(cursor.u8()?)
+            .ok_or(WireError::Malformed("unknown priority tag"))?;
+        let deadline_us = match cursor.u32()? {
+            0 => None,
+            us => Some(us),
+        };
+        let features = cursor.matrix()?;
+        cursor.finish()?;
+        Ok(RequestFrame { id, model, sparsity_permille: sparsity, priority, deadline_us, features })
+    }
+}
+
+/// One decoded response frame: either the served output plus the server's
+/// per-request measurements, or an error status with a message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResponseFrame {
+    /// The client-chosen id of the request this answers.
+    pub id: u64,
+    /// `Ok`, or why the request was rejected.
+    pub status: WireStatus,
+    /// The served payload (`None` on error frames).
+    pub body: Option<ResponseBody>,
+    /// Human-readable diagnosis (empty on `Ok` frames).
+    pub message: String,
+}
+
+/// The measurements and output features of one served request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResponseBody {
+    /// Which model ran.
+    pub model: ModelId,
+    /// The priority the request was scheduled at.
+    pub priority: Priority,
+    /// Index of the pooled device that executed the batch.
+    pub device: u16,
+    /// How many requests were merged into the executing batch.
+    pub batch_size: u16,
+    /// Wall-clock queue wait, µs.
+    pub queue_us: f64,
+    /// Wall-clock batch execution time, µs.
+    pub execute_us: f64,
+    /// Modelled device time of the whole batch, µs.
+    pub modelled_batch_us: f64,
+    /// Amortised modelled latency of this request, µs.
+    pub modelled_request_us: f64,
+    /// Output features.
+    pub output: Matrix,
+}
+
+impl ResponseFrame {
+    /// Builds an `Ok` frame from the in-process response type.
+    pub fn from_response(id: u64, response: &InferResponse) -> Self {
+        ResponseFrame {
+            id,
+            status: WireStatus::Ok,
+            body: Some(ResponseBody {
+                model: response.model,
+                priority: response.priority,
+                device: response.device.min(usize::from(u16::MAX)) as u16,
+                batch_size: response.batch_size.min(usize::from(u16::MAX)) as u16,
+                queue_us: response.queue_us,
+                execute_us: response.execute_us,
+                modelled_batch_us: response.modelled_batch_us,
+                modelled_request_us: response.modelled_request_us,
+                output: response.output.clone(),
+            }),
+            message: String::new(),
+        }
+    }
+
+    /// Unwraps the served payload: `Ok` frames yield their body, error
+    /// frames become [`WireError::Rejected`].
+    pub fn into_body(self) -> Result<ResponseBody, WireError> {
+        if self.status != WireStatus::Ok {
+            return Err(WireError::Rejected { status: self.status, message: self.message });
+        }
+        self.body.ok_or(WireError::Malformed("Ok response without a body"))
+    }
+
+    /// Builds an error frame.
+    pub fn error(id: u64, status: WireStatus, message: impl Into<String>) -> Self {
+        debug_assert!(status != WireStatus::Ok, "error frames carry a non-Ok status");
+        ResponseFrame { id, status, body: None, message: message.into() }
+    }
+
+    /// Encodes the frame, envelope and checksum included.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        put_u64(&mut body, self.id);
+        body.push(self.status.code());
+        match &self.body {
+            Some(ok) => {
+                body.push(ok.model.wire_code());
+                body.push(ok.priority.wire_code());
+                put_u16(&mut body, ok.device);
+                put_u16(&mut body, ok.batch_size);
+                put_f64(&mut body, ok.queue_us);
+                put_f64(&mut body, ok.execute_us);
+                put_f64(&mut body, ok.modelled_batch_us);
+                put_f64(&mut body, ok.modelled_request_us);
+                put_matrix(&mut body, &ok.output);
+            }
+            None => {
+                let message = self.message.as_bytes();
+                put_u32(&mut body, message.len().min(u32::MAX as usize) as u32);
+                body.extend_from_slice(message);
+            }
+        }
+        seal(RESPONSE_MAGIC, body)
+    }
+
+    /// Decodes one response body (envelope stripped, checksum verified).
+    fn from_body(body: &[u8]) -> Result<Self, WireError> {
+        let mut cursor = Cursor::new(body);
+        let id = cursor.u64()?;
+        let status = WireStatus::from_code(cursor.u8()?)
+            .ok_or(WireError::Malformed("unknown status tag"))?;
+        if status != WireStatus::Ok {
+            let len = cursor.u32()? as usize;
+            let message = String::from_utf8(cursor.take(len)?.to_vec())
+                .map_err(|_| WireError::Malformed("error message is not UTF-8"))?;
+            cursor.finish()?;
+            return Ok(ResponseFrame { id, status, body: None, message });
+        }
+        let model = ModelId::from_wire_code(cursor.u8()?)
+            .ok_or(WireError::Malformed("unknown model tag"))?;
+        let priority = Priority::from_wire_code(cursor.u8()?)
+            .ok_or(WireError::Malformed("unknown priority tag"))?;
+        let device = cursor.u16()?;
+        let batch_size = cursor.u16()?;
+        let queue_us = cursor.f64()?;
+        let execute_us = cursor.f64()?;
+        let modelled_batch_us = cursor.f64()?;
+        let modelled_request_us = cursor.f64()?;
+        let output = cursor.matrix()?;
+        cursor.finish()?;
+        Ok(ResponseFrame {
+            id,
+            status,
+            body: Some(ResponseBody {
+                model,
+                priority,
+                device,
+                batch_size,
+                queue_us,
+                execute_us,
+                modelled_batch_us,
+                modelled_request_us,
+                output,
+            }),
+            message: String::new(),
+        })
+    }
+}
+
+/// Either decoded frame direction (what [`FrameDecoder`] yields).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// A client → server frame.
+    Request(RequestFrame),
+    /// A server → client frame.
+    Response(ResponseFrame),
+}
+
+/// Wraps a body in the shared envelope: magic, version, length prefix,
+/// body, FNV-1a checksum.
+fn seal(magic: [u8; 4], body: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len() + CHECKSUM_LEN);
+    out.extend_from_slice(&magic);
+    put_u16(&mut out, WIRE_VERSION);
+    put_u32(&mut out, body.len().try_into().expect("frame bodies are bounded well below 4 GiB"));
+    let checksum = fnv1a(&body);
+    out.extend_from_slice(&body);
+    put_u64(&mut out, checksum);
+    out
+}
+
+/// Decodes exactly one frame from the front of `bytes`.
+///
+/// Returns `Ok(None)` when `bytes` is a (possibly empty) prefix of a valid
+/// frame — the caller should read more. Returns the frame and its total
+/// encoded length on success. `max_body_len` bounds the length prefix
+/// *before* any allocation, so a hostile 4 GiB prefix is rejected from the
+/// first ten bytes.
+pub fn decode_frame(
+    bytes: &[u8],
+    max_body_len: usize,
+) -> Result<Option<(Frame, usize)>, WireError> {
+    if bytes.len() < HEADER_LEN {
+        // An early bad magic is still reportable before the full header.
+        let probe = bytes.len().min(4);
+        if probe > 0
+            && bytes[..probe] != REQUEST_MAGIC[..probe]
+            && bytes[..probe] != RESPONSE_MAGIC[..probe]
+        {
+            let mut found = [0u8; 4];
+            found[..probe].copy_from_slice(&bytes[..probe]);
+            return Err(WireError::BadMagic(found));
+        }
+        return Ok(None);
+    }
+    let magic: [u8; 4] = bytes[0..4].try_into().expect("4-byte slice");
+    let is_request = magic == REQUEST_MAGIC;
+    if !is_request && magic != RESPONSE_MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2-byte slice"));
+    if version != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let body_len = u32::from_le_bytes(bytes[6..10].try_into().expect("4-byte slice")) as usize;
+    if body_len > max_body_len {
+        return Err(WireError::Oversized { declared: body_len, limit: max_body_len });
+    }
+    let total = HEADER_LEN + body_len + CHECKSUM_LEN;
+    if bytes.len() < total {
+        return Ok(None);
+    }
+    let body = &bytes[HEADER_LEN..HEADER_LEN + body_len];
+    let declared =
+        u64::from_le_bytes(bytes[HEADER_LEN + body_len..total].try_into().expect("8-byte slice"));
+    if fnv1a(body) != declared {
+        return Err(WireError::ChecksumMismatch);
+    }
+    let frame = if is_request {
+        Frame::Request(RequestFrame::from_body(body)?)
+    } else {
+        Frame::Response(ResponseFrame::from_body(body)?)
+    };
+    Ok(Some((frame, total)))
+}
+
+/// Incremental frame decoder over a raw byte stream.
+///
+/// Feed it whatever the socket produced — half a header, three pipelined
+/// frames, anything in between — and pull complete frames out. A returned
+/// error is sticky for the connection: framing has lost sync and the stream
+/// cannot be trusted past it.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buffer: Vec<u8>,
+    max_body_len: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder enforcing `max_body_len` on every frame's length prefix.
+    pub fn new(max_body_len: usize) -> Self {
+        FrameDecoder { buffer: Vec::new(), max_body_len }
+    }
+
+    /// Appends freshly read bytes to the internal buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buffer.extend_from_slice(bytes);
+    }
+
+    /// Pulls the next complete frame, if the buffer holds one.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        match decode_frame(&self.buffer, self.max_body_len)? {
+            Some((frame, consumed)) => {
+                self.buffer.drain(..consumed);
+                Ok(Some(frame))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Bytes buffered but not yet decoded.
+    pub fn pending_bytes(&self) -> usize {
+        self.buffer.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian body primitives.
+// ---------------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_matrix(out: &mut Vec<u8>, m: &Matrix) {
+    put_u32(out, m.rows().try_into().expect("row count fits u32"));
+    put_u32(out, m.cols().try_into().expect("column count fits u32"));
+    for &v in m.as_slice() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Bounds-checked little-endian reader over one frame body.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2-byte slice")))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4-byte slice")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8-byte slice")))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8-byte slice")))
+    }
+
+    fn matrix(&mut self) -> Result<Matrix, WireError> {
+        let rows = self.u32()? as usize;
+        let cols = self.u32()? as usize;
+        if rows == 0 || cols == 0 {
+            return Err(WireError::Malformed("feature matrices are non-empty"));
+        }
+        let elements =
+            rows.checked_mul(cols).ok_or(WireError::Malformed("matrix shape overflows"))?;
+        // The body length already bounds the allocation; re-check so a lying
+        // shape cannot request more than the body holds.
+        let byte_len =
+            elements.checked_mul(4).ok_or(WireError::Malformed("matrix shape overflows"))?;
+        if byte_len > self.bytes.len().saturating_sub(self.pos) {
+            return Err(WireError::Truncated);
+        }
+        let mut data = Vec::with_capacity(elements);
+        for _ in 0..elements {
+            data.push(f32::from_le_bytes(self.take(4)?.try_into().expect("4-byte slice")));
+        }
+        Ok(Matrix::from_vec(rows, cols, data))
+    }
+
+    /// Rejects trailing garbage after the last field.
+    fn finish(&self) -> Result<(), WireError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes after the last body field"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsstc_tensor::SparsityPattern;
+    use proptest::prelude::*;
+
+    fn frame(seed: u64) -> RequestFrame {
+        RequestFrame {
+            id: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            model: ModelId::ALL[(seed % 6) as usize],
+            sparsity_permille: if seed.is_multiple_of(3) {
+                Some((seed % 1001) as u16)
+            } else {
+                None
+            },
+            priority: Priority::ALL[(seed % 3) as usize],
+            deadline_us: if seed.is_multiple_of(2) {
+                Some(1 + (seed % 10_000) as u32)
+            } else {
+                None
+            },
+            features: Matrix::random_sparse(
+                1 + (seed % 5) as usize,
+                1 + (seed % 67) as usize,
+                0.4,
+                SparsityPattern::Uniform,
+                seed,
+            ),
+        }
+    }
+
+    fn decode_one(bytes: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
+        decode_frame(bytes, 1 << 24)
+    }
+
+    #[test]
+    fn request_roundtrips_bit_for_bit() {
+        for seed in 0..24 {
+            let sent = frame(seed);
+            let bytes = sent.to_bytes();
+            let (decoded, consumed) = decode_one(&bytes).expect("decodes").expect("complete");
+            assert_eq!(consumed, bytes.len());
+            assert_eq!(decoded, Frame::Request(sent));
+        }
+    }
+
+    #[test]
+    fn response_roundtrips_bit_for_bit() {
+        let sent = ResponseFrame {
+            id: 42,
+            status: WireStatus::Ok,
+            body: Some(ResponseBody {
+                model: ModelId::BertBase,
+                priority: Priority::High,
+                device: 3,
+                batch_size: 7,
+                queue_us: 12.5,
+                execute_us: 99.25,
+                modelled_batch_us: 1234.5,
+                modelled_request_us: 176.357,
+                output: Matrix::random_sparse(4, 64, 0.3, SparsityPattern::Uniform, 9),
+            }),
+            message: String::new(),
+        };
+        let bytes = sent.to_bytes();
+        let (decoded, _) = decode_one(&bytes).expect("decodes").expect("complete");
+        assert_eq!(decoded, Frame::Response(sent));
+    }
+
+    #[test]
+    fn error_frame_roundtrips_with_message() {
+        let sent = ResponseFrame::error(7, WireStatus::InvalidRequest, "features have 9 columns");
+        let bytes = sent.to_bytes();
+        let (decoded, _) = decode_one(&bytes).expect("decodes").expect("complete");
+        assert_eq!(decoded, Frame::Response(sent));
+    }
+
+    #[test]
+    fn request_converts_to_infer_request_and_back() {
+        let sent = frame(3);
+        let request = sent.clone().into_request();
+        assert_eq!(request.model, sent.model);
+        assert_eq!(request.priority, sent.priority);
+        assert_eq!(
+            crate::ModelKey::new(request.model, request.weight_sparsity).sparsity_permille,
+            sent.sparsity_permille
+        );
+        let back = RequestFrame::from_request(sent.id, &request);
+        assert_eq!(back, sent);
+    }
+
+    #[test]
+    fn sub_microsecond_deadline_stays_a_deadline_over_the_wire() {
+        use std::time::Duration;
+        let request = InferRequest::new(ModelId::RnnLm, Matrix::zeros(1, 8))
+            .with_deadline(Duration::from_nanos(500));
+        let frame = RequestFrame::from_request(0, &request);
+        // Encoded as the minimum expressible SLO, never the 0 = "server
+        // default" sentinel.
+        assert_eq!(frame.deadline_us, Some(1));
+        let bytes = frame.to_bytes();
+        let (decoded, _) = decode_one(&bytes).expect("decodes").expect("complete");
+        let Frame::Request(decoded) = decoded else { panic!("request frame") };
+        assert_eq!(decoded.into_request().deadline, Some(Duration::from_micros(1)));
+    }
+
+    #[test]
+    fn truncation_at_any_length_never_panics() {
+        let bytes = frame(11).to_bytes();
+        for len in 0..bytes.len() {
+            match decode_one(&bytes[..len]) {
+                Ok(None) => {}
+                other => panic!("prefix of {len} bytes gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected_early() {
+        assert!(matches!(decode_one(b"HTTP"), Err(WireError::BadMagic(_))));
+        assert!(matches!(decode_one(b"GE"), Err(WireError::BadMagic(_))));
+        // A correct prefix of either magic is "need more bytes", not an error.
+        assert!(matches!(decode_one(b"DS"), Ok(None)));
+        assert!(matches!(decode_one(b"DSR"), Ok(None)));
+    }
+
+    #[test]
+    fn version_and_size_bounds_are_enforced() {
+        let mut bytes = frame(5).to_bytes();
+        bytes[4] = 0xFF; // version low byte
+        assert!(matches!(decode_one(&bytes), Err(WireError::UnsupportedVersion(_))));
+
+        let bytes = frame(5).to_bytes();
+        assert!(matches!(decode_frame(&bytes, 4), Err(WireError::Oversized { limit: 4, .. })));
+    }
+
+    #[test]
+    fn flipped_body_byte_fails_the_checksum() {
+        let mut bytes = frame(9).to_bytes();
+        let body_byte = HEADER_LEN + 3;
+        bytes[body_byte] ^= 0x40;
+        assert!(matches!(decode_one(&bytes), Err(WireError::ChecksumMismatch)));
+    }
+
+    #[test]
+    fn decoder_handles_pipelined_and_fragmented_frames() {
+        let frames: Vec<RequestFrame> = (0..5).map(frame).collect();
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&f.to_bytes());
+        }
+        // Feed in awkward 7-byte fragments.
+        let mut decoder = FrameDecoder::new(1 << 24);
+        let mut decoded = Vec::new();
+        for chunk in stream.chunks(7) {
+            decoder.feed(chunk);
+            while let Some(f) = decoder.next_frame().expect("stream stays in sync") {
+                decoded.push(f);
+            }
+        }
+        assert_eq!(decoded.len(), frames.len());
+        for (d, sent) in decoded.into_iter().zip(frames) {
+            assert_eq!(d, Frame::Request(sent));
+        }
+        assert_eq!(decoder.pending_bytes(), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn any_request_roundtrips(seed in proptest::any::<u64>()) {
+            let sent = frame(seed);
+            let bytes = sent.to_bytes();
+            let (decoded, consumed) = decode_one(&bytes).expect("decodes").expect("complete");
+            prop_assert_eq!(consumed, bytes.len());
+            prop_assert_eq!(decoded, Frame::Request(sent));
+        }
+
+        #[test]
+        fn any_truncation_is_need_more_not_panic(seed in proptest::any::<u64>(), cut in 0usize..=1) {
+            let bytes = frame(seed).to_bytes();
+            // Cut either within the envelope or within the body/checksum.
+            let len = if cut == 0 { bytes.len().min(seed as usize % (HEADER_LEN + 1)) }
+                      else { HEADER_LEN + (seed as usize % (bytes.len() - HEADER_LEN)) };
+            prop_assert!(matches!(decode_one(&bytes[..len]), Ok(None)));
+        }
+
+        #[test]
+        fn any_single_byte_corruption_is_an_error_not_a_panic(
+            seed in proptest::any::<u64>(),
+            flip in proptest::any::<u64>(),
+            bit in 0u8..8,
+        ) {
+            let sent = frame(seed);
+            let mut bytes = sent.to_bytes();
+            let at = (flip % bytes.len() as u64) as usize;
+            bytes[at] ^= 1 << bit;
+            // Any outcome but a panic or a silently different frame is fine:
+            // either an error, a request for more bytes (length prefix grew),
+            // or — if the flip hit a don't-care encoding bit — the original.
+            match decode_one(&bytes) {
+                Err(_) | Ok(None) => {}
+                Ok(Some((Frame::Request(decoded), _))) => prop_assert_eq!(decoded, sent),
+                Ok(Some((Frame::Response(_), _))) => {
+                    // The checksum covers the body only, so flipping the
+                    // magic's Q<->S bit can legally re-type the frame; any
+                    // other byte must not survive as a valid response.
+                    prop_assert!(at == 3 && bit == 1, "byte {at} bit {bit} re-typed the frame");
+                }
+            }
+        }
+    }
+}

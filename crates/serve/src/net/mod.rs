@@ -1,0 +1,26 @@
+//! The network front-end: a dependency-free, epoll-based TCP server (and a
+//! small blocking client) speaking a length-prefixed, checksummed wire
+//! protocol over the serving runtime.
+//!
+//! * [`frame`] — the codec: `DSRQ` request / `DSRS` response frames,
+//!   incremental [`FrameDecoder`], error frames,
+//!   versioning. Byte-level spec in `docs/WIRE_PROTOCOL.md`.
+//! * [`poll`] — a minimal mio-style epoll readiness loop (raw syscalls
+//!   against the already-linked C library; no tokio, no crates).
+//! * [`server`] — the [`WireServer`]: accept, decode, submit through
+//!   [`crate::InferenceServer::submit_with`], stream responses back as
+//!   batches complete; pipelining, connection limits, graceful drain.
+//! * [`client`] — the blocking [`WireClient`] used by tests, the
+//!   `serve_client` example and the `serve_throughput --wire` sweep.
+
+pub mod client;
+pub mod frame;
+pub mod poll;
+pub mod server;
+
+pub use client::WireClient;
+pub use frame::{
+    Frame, FrameDecoder, RequestFrame, ResponseBody, ResponseFrame, WireError, WireStatus,
+    POISON_ID, WIRE_VERSION,
+};
+pub use server::{WireServer, DRAIN_TIMEOUT};

@@ -1,0 +1,271 @@
+//! A minimal epoll readiness loop (Linux), in the spirit of `mio` but
+//! dependency-free: the four syscalls the front-end needs are declared
+//! directly against the C library the binary already links, so the
+//! workspace stays registry-free (see the vendored-shims note in the root
+//! manifest).
+//!
+//! The surface is deliberately tiny — level-triggered readiness over raw
+//! fds, a [`Token`] per registration, and a [`Waker`] (an `eventfd`) so
+//! other threads can interrupt a blocked [`Poller::wait`]. Everything
+//! higher-level (buffers, framing, connection state) lives in
+//! [`crate::net::server`].
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// Readiness on the registered fd: readable.
+pub const EPOLLIN: u32 = 0x001;
+/// Readiness on the registered fd: writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// Readiness on the registered fd: error condition.
+pub const EPOLLERR: u32 = 0x008;
+/// Readiness on the registered fd: hang-up.
+pub const EPOLLHUP: u32 = 0x010;
+/// Readiness on the registered fd: peer closed its write half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+/// `struct epoll_event` as the kernel ABI defines it. Packed on x86-64
+/// (the kernel chose a 12-byte layout there); the natural layout elsewhere.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+// The C library the binary links anyway; no crate dependency involved.
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Opaque per-registration identifier, echoed back on every readiness
+/// event for that fd.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Token(pub u64);
+
+/// One readiness notification out of [`Poller::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: Token,
+    /// The raw `EPOLL*` readiness bits.
+    pub readiness: u32,
+}
+
+impl Event {
+    /// The fd has bytes to read (or a pending accept), or the peer hung up
+    /// (which reads as EOF).
+    pub fn readable(&self) -> bool {
+        self.readiness & (EPOLLIN | EPOLLHUP | EPOLLRDHUP | EPOLLERR) != 0
+    }
+
+    /// The fd can accept more outbound bytes.
+    pub fn writable(&self) -> bool {
+        self.readiness & (EPOLLOUT | EPOLLERR) != 0
+    }
+
+    /// The peer is gone (error or hang-up).
+    pub fn closed(&self) -> bool {
+        self.readiness & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0
+    }
+}
+
+/// A level-triggered epoll instance.
+#[derive(Debug)]
+pub struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    /// Creates the epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: plain syscall, no pointers.
+        let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Poller { epfd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, interest: u32, token: Token) -> io::Result<()> {
+        let mut event = EpollEvent { events: interest, data: token.0 };
+        // SAFETY: `event` outlives the call; the kernel copies it out.
+        cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut event) })?;
+        Ok(())
+    }
+
+    /// Starts watching `fd` for `interest` readiness under `token`.
+    pub fn register(&self, fd: RawFd, interest: u32, token: Token) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, interest, token)
+    }
+
+    /// Changes the interest set of an already-registered fd.
+    pub fn reregister(&self, fd: RawFd, interest: u32, token: Token) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, interest, token)
+    }
+
+    /// Stops watching `fd`.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        let mut event = EpollEvent { events: 0, data: 0 };
+        // A non-null event pointer keeps pre-2.6.9 kernels happy; harmless
+        // everywhere else.
+        cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut event) })?;
+        Ok(())
+    }
+
+    /// Blocks up to `timeout_ms` (`None` = forever) for readiness events,
+    /// appending them to `out`. Returns how many arrived. A signal-
+    /// interrupted wait retries transparently.
+    pub fn wait(&self, out: &mut Vec<Event>, timeout_ms: Option<i32>) -> io::Result<usize> {
+        const CAPACITY: usize = 64;
+        let mut buffer = [EpollEvent { events: 0, data: 0 }; CAPACITY];
+        let n = loop {
+            // SAFETY: `buffer` is a valid array of CAPACITY events.
+            let ret = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    buffer.as_mut_ptr(),
+                    CAPACITY as i32,
+                    timeout_ms.unwrap_or(-1),
+                )
+            };
+            if ret >= 0 {
+                break ret as usize;
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        };
+        for event in &buffer[..n] {
+            // A packed struct's fields must be copied out, not referenced.
+            let (events, data) = (event.events, event.data);
+            out.push(Event { token: Token(data), readiness: events });
+        }
+        Ok(n)
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        // SAFETY: the fd is owned by this struct and closed exactly once.
+        unsafe { close(self.epfd) };
+    }
+}
+
+/// Cross-thread wake-up for a blocked [`Poller::wait`]: an `eventfd`
+/// registered like any other fd. `wake` is cheap and thread-safe; the
+/// event loop calls `drain` when the waker's token surfaces.
+#[derive(Debug)]
+pub struct Waker {
+    fd: RawFd,
+}
+
+impl Waker {
+    /// Creates the eventfd and registers it with `poller` under `token`.
+    pub fn new(poller: &Poller, token: Token) -> io::Result<Self> {
+        // SAFETY: plain syscall, no pointers.
+        let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        poller.register(fd, EPOLLIN, token)?;
+        Ok(Waker { fd })
+    }
+
+    /// Makes the poller's next (or current) `wait` return.
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        // SAFETY: writes 8 bytes from a live stack value. An EAGAIN (counter
+        // saturated) still leaves the eventfd readable, which is all wake()
+        // promises.
+        unsafe { write(self.fd, std::ptr::addr_of!(one).cast(), 8) };
+    }
+
+    /// Clears the pending wake-up counter.
+    pub fn drain(&self) {
+        let mut counter = [0u8; 8];
+        // SAFETY: reads at most 8 bytes into a live stack buffer.
+        unsafe { read(self.fd, counter.as_mut_ptr(), 8) };
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        // SAFETY: the fd is owned by this struct and closed exactly once.
+        unsafe { close(self.fd) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn waker_unblocks_wait_across_threads() {
+        let poller = Poller::new().expect("epoll");
+        let waker = std::sync::Arc::new(Waker::new(&poller, Token(7)).expect("eventfd"));
+        let remote = std::sync::Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            remote.wake();
+        });
+        let mut events = Vec::new();
+        let n = poller.wait(&mut events, Some(5_000)).expect("wait");
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, Token(7));
+        assert!(events[0].readable());
+        waker.drain();
+        handle.join().unwrap();
+        // Drained: a zero-timeout wait sees nothing.
+        events.clear();
+        let n = poller.wait(&mut events, Some(0)).expect("wait");
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn socket_readiness_is_reported_with_its_token() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let poller = Poller::new().expect("epoll");
+        poller.register(listener.as_raw_fd(), EPOLLIN, Token(1)).expect("register listener");
+        // No pending connection: nothing is ready.
+        let mut events = Vec::new();
+        assert_eq!(poller.wait(&mut events, Some(0)).expect("wait"), 0);
+        // A connection makes the listener readable.
+        let _client =
+            std::net::TcpStream::connect(listener.local_addr().unwrap()).expect("connect");
+        let n = poller.wait(&mut events, Some(5_000)).expect("wait");
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, Token(1));
+        assert!(events[0].readable());
+        // Accept, register the server end, and observe bytes arriving.
+        let (server_end, _) = listener.accept().expect("accept");
+        server_end.set_nonblocking(true).expect("nonblocking");
+        poller.register(server_end.as_raw_fd(), EPOLLIN | EPOLLRDHUP, Token(2)).expect("register");
+        let mut client = _client;
+        client.write_all(b"ping").expect("write");
+        events.clear();
+        let n = poller.wait(&mut events, Some(5_000)).expect("wait");
+        assert!(n >= 1);
+        assert!(events.iter().any(|e| e.token == Token(2) && e.readable()));
+        poller.deregister(server_end.as_raw_fd()).expect("deregister");
+    }
+}

@@ -1,0 +1,705 @@
+//! The non-blocking TCP front-end: a [`WireServer`] owns an
+//! [`InferenceServer`] and exposes it to network clients speaking the
+//! length-prefixed frame protocol of [`crate::net::frame`].
+//!
+//! # Architecture
+//!
+//! Two threads run next to the serving runtime's own dispatcher + workers:
+//!
+//! * the **event loop** — a level-triggered epoll readiness loop
+//!   ([`crate::net::poll`]) over the listener and every client socket. It
+//!   accepts connections (up to the configured limit), reads whatever bytes
+//!   are ready, feeds them through each connection's [`FrameDecoder`]
+//!   (several pipelined frames per read decode back-to-back), converts each
+//!   request frame into an [`crate::InferRequest`] and submits it through
+//!   the same path in-process callers use. It also owns all writes:
+//!   response bytes are flushed opportunistically and under `EPOLLOUT` when
+//!   a socket's send buffer fills.
+//! * the **completion pump** — a plain blocking thread draining the
+//!   responses the worker pool sends back. Every wire request is submitted
+//!   with a clone of one shared response channel; the pump maps each
+//!   completed [`crate::InferResponse`] back to its connection and
+//!   client-chosen id, encodes the response frame, hands the bytes to the
+//!   event loop over an outbox channel and wakes the epoll wait through an
+//!   `eventfd` [`Waker`].
+//!
+//! Responses stream back **as batches complete**, so pipelined requests on
+//! one connection may be answered out of submission order; the echoed id is
+//! the correlation contract. Request-level failures (unknown model, wrong
+//! feature width, server draining) come back as **error frames** and leave
+//! the connection usable; framing-level failures (bad magic, checksum
+//! mismatch, unsupported version, oversized frame) poison the byte stream,
+//! so the server answers with a final error frame and closes that
+//! connection.
+//!
+//! Shutdown is graceful: the listener closes first, then the loop keeps
+//! flushing until every in-flight request has been answered and every
+//! outbound buffer drained (bounded by [`DRAIN_TIMEOUT`]), and only then is
+//! the inference runtime itself shut down.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::config::ServeConfig;
+use crate::net::frame::{
+    Frame, FrameDecoder, RequestFrame, ResponseFrame, WireError, WireStatus, POISON_ID,
+};
+use crate::net::poll::{Event, Poller, Token, Waker, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use crate::request::InferResponse;
+use crate::server::{InferenceServer, ServeError};
+use crate::stats::{ServerStats, WireStats, WireStatsCollector};
+
+/// Default bound on how long a graceful shutdown keeps draining in-flight
+/// requests and unflushed response bytes before force-closing the remaining
+/// connections (override with
+/// [`ServeConfig::with_drain_timeout`](crate::ServeConfig::with_drain_timeout)).
+pub const DRAIN_TIMEOUT: Duration = Duration::from_secs(30);
+
+const TOKEN_LISTENER: Token = Token(0);
+const TOKEN_WAKER: Token = Token(1);
+/// Connection ids start here; `Token(CONN_BASE + id)` addresses connection
+/// `id`.
+const CONN_BASE: u64 = 2;
+
+/// One wire request in flight through the batching runtime: which
+/// connection it came from and the id the client chose for it.
+struct PendingWire {
+    conn_id: u64,
+    client_id: u64,
+}
+
+/// The server-id → wire-request registry shared by the event loop (insert)
+/// and the completion pump (remove).
+type Registry = Arc<Mutex<HashMap<u64, PendingWire>>>;
+
+/// A TCP front-end for an [`InferenceServer`], speaking the
+/// [`crate::net::frame`] protocol.
+///
+/// ```
+/// use dsstc_serve::net::{WireClient, WireServer};
+/// use dsstc_serve::{InferRequest, ModelId, ServeConfig};
+/// use dsstc_tensor::{Matrix, SparsityPattern};
+/// use std::time::Duration;
+///
+/// let mut server = WireServer::start(
+///     ServeConfig::default()
+///         .with_max_queue_wait(Duration::from_millis(1))
+///         .with_proxy_dim(32),
+/// )
+/// .unwrap();
+///
+/// let mut client = WireClient::connect(server.local_addr()).unwrap();
+/// let features = Matrix::random_sparse(2, 32, 0.4, SparsityPattern::Uniform, 7);
+/// let response = client.infer(&InferRequest::new(ModelId::RnnLm, features)).unwrap();
+/// assert_eq!(response.output.rows(), 2);
+/// server.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct WireServer {
+    server: Option<Arc<InferenceServer>>,
+    local_addr: SocketAddr,
+    shutdown_flag: Arc<AtomicBool>,
+    waker: Arc<Waker>,
+    stats: Arc<WireStatsCollector>,
+    event_loop: Option<JoinHandle<()>>,
+    pump: Option<JoinHandle<()>>,
+}
+
+impl WireServer {
+    /// Boots the inference runtime from `config`, binds the listener at
+    /// `config.listen` (loopback with an OS-assigned port by default) and
+    /// spawns the event loop + completion pump.
+    pub fn start(config: ServeConfig) -> io::Result<WireServer> {
+        let listen = config.listen.unwrap_or_else(|| "127.0.0.1:0".parse().expect("literal addr"));
+        let max_connections = config.max_connections;
+        let max_body_len = config.max_frame_len;
+        let drain_timeout = config.drain_timeout;
+        let listener = TcpListener::bind(listen)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let server = Arc::new(InferenceServer::start(config));
+        let poller = Poller::new()?;
+        poller.register(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+        let waker = Arc::new(Waker::new(&poller, TOKEN_WAKER)?);
+        let stats = Arc::new(WireStatsCollector::new());
+        let shutdown_flag = Arc::new(AtomicBool::new(false));
+        let registry: Registry = Arc::new(Mutex::new(HashMap::new()));
+
+        let (completion_tx, completion_rx) = std::sync::mpsc::channel::<InferResponse>();
+        let (outbox_tx, outbox_rx) = std::sync::mpsc::channel::<(u64, Vec<u8>)>();
+
+        let pump = {
+            let registry = Arc::clone(&registry);
+            let waker = Arc::clone(&waker);
+            std::thread::Builder::new()
+                .name("dsstc-wire-pump".to_string())
+                .spawn(move || pump_loop(&completion_rx, &registry, &outbox_tx, &waker))
+                .expect("failed to spawn completion pump")
+        };
+        let event_loop = {
+            let mut state = EventLoop {
+                poller,
+                listener,
+                waker: Arc::clone(&waker),
+                server: Arc::clone(&server),
+                stats: Arc::clone(&stats),
+                registry,
+                completion_tx,
+                outbox_rx,
+                shutdown_flag: Arc::clone(&shutdown_flag),
+                conns: HashMap::new(),
+                next_conn_id: 0,
+                max_connections,
+                max_body_len,
+                drain_timeout,
+                scratch: vec![0u8; 64 * 1024],
+            };
+            std::thread::Builder::new()
+                .name("dsstc-wire-loop".to_string())
+                .spawn(move || state.run())
+                .expect("failed to spawn wire event loop")
+        };
+
+        Ok(WireServer {
+            server: Some(server),
+            local_addr,
+            shutdown_flag,
+            waker,
+            stats,
+            event_loop: Some(event_loop),
+            pump: Some(pump),
+        })
+    }
+
+    /// The bound listen address (with the OS-assigned port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The inference runtime behind the front-end (for warm-up and
+    /// inspection).
+    ///
+    /// # Panics
+    /// Panics after [`WireServer::shutdown`].
+    pub fn server(&self) -> &InferenceServer {
+        self.server.as_ref().expect("wire server already shut down")
+    }
+
+    /// A point-in-time snapshot of the per-connection / per-frame counters.
+    pub fn wire_stats(&self) -> WireStats {
+        self.stats.snapshot()
+    }
+
+    /// The runtime's metrics snapshot with the wire counters attached.
+    ///
+    /// # Panics
+    /// Panics after [`WireServer::shutdown`].
+    pub fn stats(&self) -> ServerStats {
+        let mut stats = self.server().stats();
+        stats.wire = Some(self.wire_stats());
+        stats
+    }
+
+    /// Graceful shutdown: stop accepting, answer and flush everything in
+    /// flight (bounded by [`DRAIN_TIMEOUT`]), close the connections, then
+    /// shut the inference runtime down. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.shutdown_flag.store(true, Ordering::SeqCst);
+        self.waker.wake();
+        if let Some(handle) = self.event_loop.take() {
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+        if let Some(handle) = self.pump.take() {
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+        if let Some(server) = self.server.take() {
+            match Arc::try_unwrap(server) {
+                Ok(mut server) => server.shutdown(),
+                // Unreachable in practice: both thread-held clones were
+                // just joined away.
+                Err(shared) => drop(shared),
+            }
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Maps completed inferences back to their connection + client id and hands
+/// the encoded response frame to the event loop.
+fn pump_loop(
+    completions: &Receiver<InferResponse>,
+    registry: &Registry,
+    outbox: &Sender<(u64, Vec<u8>)>,
+    waker: &Waker,
+) {
+    while let Ok(response) = completions.recv() {
+        // Look up first, remove only after the outbox send: the event
+        // loop's drain check treats "registry non-empty" as "work pending",
+        // so the entry must outlive the hand-off or a response could slip
+        // past the drain.
+        let pending = {
+            let registry = registry.lock().expect("wire registry poisoned");
+            registry.get(&response.id).map(|p| (p.conn_id, p.client_id))
+        };
+        let Some((conn_id, client_id)) = pending else {
+            continue; // Submitted by an in-process caller, not the wire.
+        };
+        let bytes = ResponseFrame::from_response(client_id, &response).to_bytes();
+        let delivered = outbox.send((conn_id, bytes)).is_ok();
+        registry.lock().expect("wire registry poisoned").remove(&response.id);
+        if !delivered {
+            break; // Event loop is gone; nothing can be written any more.
+        }
+        waker.wake();
+    }
+}
+
+/// Per-connection state owned by the event loop.
+struct Connection {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Encoded response bytes not yet accepted by the socket; `written` is
+    /// the already-flushed prefix.
+    outbound: Vec<u8>,
+    written: usize,
+    /// The currently registered epoll interest set.
+    interest: u32,
+    /// Framing is poisoned or the peer sent EOF: read nothing more, flush
+    /// what is buffered, close when drained.
+    closing: bool,
+}
+
+impl Connection {
+    fn has_backlog(&self) -> bool {
+        self.written < self.outbound.len()
+    }
+
+    /// The epoll interest this connection should be registered for right
+    /// now. A `closing` connection stops watching for input (the loop
+    /// would refuse to read it, and level-triggered readiness would spin),
+    /// and `EPOLLOUT` is only armed while a backlog exists (a writable
+    /// idle socket is *always* ready).
+    fn desired_interest(&self) -> u32 {
+        let mut interest = 0;
+        if !self.closing {
+            interest |= EPOLLIN | EPOLLRDHUP;
+        }
+        if self.has_backlog() {
+            interest |= EPOLLOUT;
+        }
+        interest
+    }
+}
+
+struct EventLoop {
+    poller: Poller,
+    listener: TcpListener,
+    waker: Arc<Waker>,
+    server: Arc<InferenceServer>,
+    stats: Arc<WireStatsCollector>,
+    registry: Registry,
+    completion_tx: Sender<InferResponse>,
+    outbox_rx: Receiver<(u64, Vec<u8>)>,
+    shutdown_flag: Arc<AtomicBool>,
+    conns: HashMap<u64, Connection>,
+    next_conn_id: u64,
+    max_connections: usize,
+    max_body_len: usize,
+    drain_timeout: Duration,
+    scratch: Vec<u8>,
+}
+
+impl EventLoop {
+    fn run(&mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        let mut draining = false;
+        let mut drain_deadline = Instant::now();
+        loop {
+            events.clear();
+            let timeout = if draining { Some(20) } else { None };
+            if let Err(e) = self.poller.wait(&mut events, timeout) {
+                // An unusable poller means the front-end cannot continue;
+                // the panic surfaces through WireServer::shutdown's join.
+                panic!("epoll wait failed: {e}");
+            }
+            let drained_events = std::mem::take(&mut events);
+            for event in &drained_events {
+                match event.token {
+                    TOKEN_LISTENER => {
+                        if !draining {
+                            self.accept_ready();
+                        }
+                    }
+                    TOKEN_WAKER => self.waker.drain(),
+                    Token(t) => self.handle_conn_event(t - CONN_BASE, event),
+                }
+            }
+            events = drained_events;
+            self.drain_outbox();
+            self.retire_closing_conns();
+            if self.shutdown_flag.load(Ordering::SeqCst) && !draining {
+                draining = true;
+                drain_deadline = Instant::now() + self.drain_timeout;
+                // Stop accepting: deregister the listener. Connected peers
+                // keep their sockets until the drain completes.
+                let _ = self.poller.deregister(self.listener.as_raw_fd());
+                // Final read sweep: requests already on the wire when the
+                // shutdown was requested may still sit unread in kernel
+                // buffers, invisible to the in-flight count. Pull them in
+                // now so "drained" really means "everything the clients
+                // sent before the shutdown is answered".
+                let ids: Vec<u64> = self.conns.keys().copied().collect();
+                for id in ids {
+                    self.read_ready(id);
+                }
+            }
+            if draining {
+                let in_flight = self.registry.lock().expect("wire registry poisoned").len();
+                // Outbox sends happen-before registry removals in the pump,
+                // so re-draining *after* reading an empty in-flight count
+                // guarantees every completed response has reached a
+                // connection buffer before the backlog test below.
+                self.drain_outbox();
+                let backlog = self.conns.values().any(Connection::has_backlog);
+                if (in_flight == 0 && !backlog) || Instant::now() >= drain_deadline {
+                    break;
+                }
+            }
+        }
+        // Close every connection; completions still in flight are dropped
+        // by the pump once it sees the outbox gone.
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            self.close_conn(id);
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if self.conns.len() >= self.max_connections {
+                        self.stats.connection_rejected();
+                        drop(stream); // The client sees a closed socket.
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        self.stats.connection_rejected();
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let conn_id = self.next_conn_id;
+                    let token = Token(CONN_BASE + conn_id);
+                    if self
+                        .poller
+                        .register(stream.as_raw_fd(), EPOLLIN | EPOLLRDHUP, token)
+                        .is_err()
+                    {
+                        self.stats.connection_rejected();
+                        continue;
+                    }
+                    self.next_conn_id += 1;
+                    self.stats.connection_accepted();
+                    self.conns.insert(
+                        conn_id,
+                        Connection {
+                            stream,
+                            decoder: FrameDecoder::new(self.max_body_len),
+                            outbound: Vec::new(),
+                            written: 0,
+                            interest: EPOLLIN | EPOLLRDHUP,
+                            closing: false,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn handle_conn_event(&mut self, conn_id: u64, event: &Event) {
+        if !self.conns.contains_key(&conn_id) {
+            return; // Already closed earlier in this iteration.
+        }
+        if event.readable() {
+            self.read_ready(conn_id);
+        }
+        if self.conns.contains_key(&conn_id) && event.writable() {
+            self.flush_conn(conn_id);
+        }
+    }
+
+    /// Reads every byte the socket has, feeding the frame decoder and
+    /// submitting each complete request. Stops at `WouldBlock`, EOF or a
+    /// framing error.
+    fn read_ready(&mut self, conn_id: u64) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&conn_id) else { return };
+            if conn.closing {
+                // Poisoned framing or half-closed peer: ignore further
+                // input; flush_conn retires the connection once drained.
+                return;
+            }
+            let result = conn.stream.read(&mut self.scratch);
+            match result {
+                Ok(0) => {
+                    // Peer finished sending. Keep the connection until every
+                    // pipelined response went out, then close.
+                    conn.closing = true;
+                    let drained = !conn.has_backlog();
+                    if drained && !self.conn_has_in_flight(conn_id) {
+                        self.close_conn(conn_id);
+                    } else {
+                        self.sync_interest(conn_id);
+                    }
+                    return;
+                }
+                Ok(n) => {
+                    self.stats.bytes_received(n as u64);
+                    conn.decoder.feed(&self.scratch[..n]);
+                    self.decode_ready(conn_id);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(conn_id);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Pulls every complete frame out of the connection's decoder.
+    fn decode_ready(&mut self, conn_id: u64) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&conn_id) else { return };
+            let next = conn.decoder.next_frame();
+            match next {
+                Ok(Some(Frame::Request(frame))) => {
+                    self.stats.frame_received();
+                    self.submit_wire_request(conn_id, frame);
+                }
+                Ok(Some(Frame::Response(_))) => {
+                    // Clients must not send response frames.
+                    self.stats.decode_error();
+                    self.poison(conn_id, WireStatus::InvalidRequest, "unexpected response frame");
+                    return;
+                }
+                Ok(None) => return,
+                Err(error) => {
+                    self.stats.decode_error();
+                    let status = match error {
+                        WireError::UnsupportedVersion(_) => WireStatus::UnsupportedVersion,
+                        _ => WireStatus::InvalidRequest,
+                    };
+                    self.poison(conn_id, status, error.to_string());
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Converts one decoded request frame into an [`crate::InferRequest`]
+    /// and submits it. Request-level failures answer with an error frame
+    /// and leave the connection open.
+    fn submit_wire_request(&mut self, conn_id: u64, frame: RequestFrame) {
+        let client_id = frame.id;
+        let request = frame.into_request();
+        // Holding the registry lock across the submit makes the insert
+        // atomic with the id assignment: the pump cannot observe (and drop)
+        // a completion before its registry entry exists.
+        let submitted = {
+            let mut registry = self.registry.lock().expect("wire registry poisoned");
+            match self.server.submit_with(request, self.completion_tx.clone()) {
+                Ok(server_id) => {
+                    registry.insert(server_id, PendingWire { conn_id, client_id });
+                    self.stats.set_in_flight(registry.len() as u64);
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            }
+        };
+        if let Err(error) = submitted {
+            let status = match &error {
+                ServeError::InvalidRequest(_) => WireStatus::InvalidRequest,
+                ServeError::ShuttingDown | ServeError::Timeout => WireStatus::ShuttingDown,
+            };
+            self.stats.request_rejected();
+            self.send_error_frame(conn_id, client_id, status, error.to_string());
+        }
+    }
+
+    /// Appends an error frame to the connection's outbound buffer.
+    fn send_error_frame(
+        &mut self,
+        conn_id: u64,
+        client_id: u64,
+        status: WireStatus,
+        message: String,
+    ) {
+        let bytes = ResponseFrame::error(client_id, status, message).to_bytes();
+        self.stats.error_frame_sent();
+        self.append_outbound(conn_id, &bytes);
+    }
+
+    /// Framing is broken: answer with a final error frame (under the
+    /// reserved [`POISON_ID`], since no request can be blamed), then stop
+    /// reading and close once the outbound buffer drains. `closing` is set
+    /// **before** the error frame goes out so the flush that writes its
+    /// last byte also retires the connection.
+    fn poison(&mut self, conn_id: u64, status: WireStatus, message: impl Into<String>) {
+        if let Some(conn) = self.conns.get_mut(&conn_id) {
+            conn.closing = true;
+        }
+        self.send_error_frame(conn_id, POISON_ID, status, message.into());
+    }
+
+    /// Appends bytes to a connection's outbound buffer and flushes as much
+    /// as the socket accepts right now.
+    fn append_outbound(&mut self, conn_id: u64, bytes: &[u8]) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return; // Completed after its connection went away: dropped.
+        };
+        // Compact the flushed prefix before growing the buffer.
+        if conn.written == conn.outbound.len() {
+            conn.outbound.clear();
+            conn.written = 0;
+        } else if conn.written > 4096 {
+            conn.outbound.drain(..conn.written);
+            conn.written = 0;
+        }
+        conn.outbound.extend_from_slice(bytes);
+        self.flush_conn(conn_id);
+    }
+
+    /// Writes the outbound backlog until the socket blocks; keeps the epoll
+    /// interest set in sync with whether a backlog remains, and retires
+    /// `closing` connections once everything is out.
+    fn flush_conn(&mut self, conn_id: u64) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else { return };
+        let mut dead = false;
+        let mut sent = 0u64;
+        while conn.written < conn.outbound.len() {
+            let result = conn.stream.write(&conn.outbound[conn.written..]);
+            match result {
+                Ok(0) => {
+                    dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.written += n;
+                    sent += n as u64;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        self.stats.bytes_sent(sent);
+        if dead {
+            self.close_conn(conn_id);
+            return;
+        }
+        let Some(conn) = self.conns.get_mut(&conn_id) else { return };
+        let fully_flushed = !conn.has_backlog();
+        if fully_flushed {
+            conn.outbound.clear();
+            conn.written = 0;
+        }
+        let retire = fully_flushed && conn.closing;
+        if retire && !self.conn_has_in_flight(conn_id) {
+            self.close_conn(conn_id);
+            return;
+        }
+        self.sync_interest(conn_id);
+    }
+
+    /// Re-registers the connection's epoll interest if it changed.
+    fn sync_interest(&mut self, conn_id: u64) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else { return };
+        let wanted = conn.desired_interest();
+        if wanted != conn.interest {
+            conn.interest = wanted;
+            let fd = conn.stream.as_raw_fd();
+            let _ = self.poller.reregister(fd, wanted, Token(CONN_BASE + conn_id));
+        }
+    }
+
+    /// Closes every `closing` connection that has flushed its backlog and
+    /// has no request left in flight. `flush_conn` already retires on the
+    /// write path, but the *last* response can race the pump: the registry
+    /// entry is removed only after the response bytes are handed over, so
+    /// the flush that writes the final byte may still see the entry and
+    /// keep the connection — with interest 0 and reads refused, nothing
+    /// else would ever re-examine it. The pump wakes the loop after every
+    /// removal, and this sweep (run each iteration) is what acts on that
+    /// wake; without it, repeated connect/half-close cycles would leak
+    /// connection slots until the `max_connections` limit starved real
+    /// clients.
+    fn retire_closing_conns(&mut self) {
+        let candidates: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, conn)| conn.closing && !conn.has_backlog())
+            .map(|(&id, _)| id)
+            .collect();
+        for id in candidates {
+            if !self.conn_has_in_flight(id) {
+                self.close_conn(id);
+            }
+        }
+    }
+
+    /// Whether any submitted request from this connection is still
+    /// unanswered.
+    fn conn_has_in_flight(&self, conn_id: u64) -> bool {
+        self.registry.lock().expect("wire registry poisoned").values().any(|p| p.conn_id == conn_id)
+    }
+
+    /// Moves every pump-encoded response into its connection's buffer.
+    fn drain_outbox(&mut self) {
+        loop {
+            match self.outbox_rx.try_recv() {
+                Ok((conn_id, bytes)) => {
+                    self.stats.frame_sent();
+                    self.append_outbound(conn_id, &bytes);
+                    let len = self.registry.lock().expect("wire registry poisoned").len();
+                    self.stats.set_in_flight(len as u64);
+                }
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => return,
+            }
+        }
+    }
+
+    fn close_conn(&mut self, conn_id: u64) {
+        if let Some(conn) = self.conns.remove(&conn_id) {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            self.stats.connection_closed();
+            // The stream drops (and closes) here; in-flight requests from
+            // this connection still execute, their responses are dropped by
+            // `append_outbound` when they complete.
+        }
+    }
+}

@@ -46,6 +46,18 @@ impl Priority {
             Priority::High => "high",
         }
     }
+
+    /// Stable single-byte tag used by the wire protocol (see
+    /// [`crate::net::frame`]). Equals [`Priority::index`] today, but the
+    /// wire contract is this function, not the table index.
+    pub fn wire_code(&self) -> u8 {
+        self.index() as u8
+    }
+
+    /// Decodes a wire tag written by [`Priority::wire_code`].
+    pub fn from_wire_code(code: u8) -> Option<Priority> {
+        Priority::ALL.get(code as usize).copied()
+    }
 }
 
 impl std::fmt::Display for Priority {
@@ -106,6 +118,18 @@ impl ModelId {
             ModelId::BertBase => "bertbase",
             ModelId::RnnLm => "rnnlm",
         }
+    }
+
+    /// Stable single-byte tag used by the wire protocol (see
+    /// [`crate::net::frame`]). Matches this model's position in
+    /// [`ModelId::ALL`]; new catalogue entries must append, never reorder.
+    pub fn wire_code(&self) -> u8 {
+        ModelId::ALL.iter().position(|m| m == self).expect("every model is in ALL") as u8
+    }
+
+    /// Decodes a wire tag written by [`ModelId::wire_code`].
+    pub fn from_wire_code(code: u8) -> Option<ModelId> {
+        ModelId::ALL.get(code as usize).copied()
     }
 
     /// The layer table the timing model charges for this model.

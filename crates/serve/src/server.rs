@@ -156,6 +156,20 @@ impl InferenceServer {
 
     /// Enqueues a request; the returned handle resolves to its response.
     pub fn submit(&self, request: InferRequest) -> Result<PendingResponse, ServeError> {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let id = self.submit_with(request, tx)?;
+        Ok(PendingResponse { id, rx })
+    }
+
+    /// Enqueues a request whose response goes to a caller-supplied channel
+    /// (several requests may share one channel — the TCP front-end funnels
+    /// every wire request into a single completion stream this way).
+    /// Returns the server-assigned id the response will carry.
+    pub fn submit_with(
+        &self,
+        request: InferRequest,
+        response_tx: std::sync::mpsc::Sender<InferResponse>,
+    ) -> Result<u64, ServeError> {
         let expected = self.context.repository.input_dim();
         if request.features.cols() != expected {
             return Err(ServeError::InvalidRequest(format!(
@@ -164,20 +178,19 @@ impl InferenceServer {
             )));
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let (tx, rx) = std::sync::mpsc::channel();
         let pending = PendingRequest {
             id,
             key: request.key(),
             priority: request.priority,
             slo: request.deadline,
             features: request.features,
-            response_tx: tx,
+            response_tx,
             enqueued: Instant::now(),
         };
         if !self.context.scheduler.enqueue(pending) {
             return Err(ServeError::ShuttingDown);
         }
-        Ok(PendingResponse { id, rx })
+        Ok(id)
     }
 
     /// Convenience: submit and block for the response.

@@ -2,6 +2,7 @@
 //! per-priority), batch-size histogram, per-device utilisation and cache
 //! hit rates.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -102,6 +103,10 @@ pub struct ServerStats {
     pub encode_hit_rate: f64,
     /// Fraction of modelled-latency lookups served from the cache.
     pub timing_hit_rate: f64,
+    /// Per-connection / per-frame counters of the TCP front-end, when the
+    /// snapshot came from a [`crate::net::WireServer`] (`None` for a plain
+    /// in-process server).
+    pub wire: Option<WireStats>,
 }
 
 impl ServerStats {
@@ -169,7 +174,144 @@ impl ServerStats {
             self.active_workers(),
             self.per_device.iter().map(|d| d.batches).collect::<Vec<_>>()
         ));
+        if let Some(wire) = &self.wire {
+            out.push_str(&format!(
+                "wire: {} conns ({} open, {} rejected)   frames {} in / {} out ({} errors)   {} B in / {} B out\n",
+                wire.connections_accepted,
+                wire.open_connections(),
+                wire.connections_rejected,
+                wire.frames_received,
+                wire.frames_sent,
+                wire.error_frames_sent,
+                wire.bytes_received,
+                wire.bytes_sent,
+            ));
+        }
         out
+    }
+}
+
+/// Per-connection / per-frame counters of the TCP front-end (see
+/// [`crate::net::WireServer::wire_stats`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Connections accepted since boot.
+    pub connections_accepted: u64,
+    /// Connections refused over the `max_connections` limit (or whose
+    /// setup failed).
+    pub connections_rejected: u64,
+    /// Accepted connections since closed (EOF, error, framing poison or
+    /// shutdown).
+    pub connections_closed: u64,
+    /// Request frames decoded.
+    pub frames_received: u64,
+    /// Response frames handed to the event loop (error frames excluded).
+    pub frames_sent: u64,
+    /// Error frames generated (request-level rejections and framing
+    /// failures).
+    pub error_frames_sent: u64,
+    /// Raw bytes read off client sockets.
+    pub bytes_received: u64,
+    /// Raw bytes the sockets accepted.
+    pub bytes_sent: u64,
+    /// Framing failures (bad magic, checksum mismatch, unsupported
+    /// version, oversized or malformed frames); each poisons its
+    /// connection.
+    pub decode_errors: u64,
+    /// Requests the runtime refused at submit time (invalid width,
+    /// draining).
+    pub requests_rejected: u64,
+    /// Wire requests currently inside the batching runtime.
+    pub in_flight: u64,
+}
+
+impl WireStats {
+    /// Connections currently open.
+    pub fn open_connections(&self) -> u64 {
+        self.connections_accepted.saturating_sub(self.connections_closed)
+    }
+}
+
+/// Lock-free counters behind [`WireStats`], updated by the wire event loop
+/// and read by any thread.
+#[derive(Debug, Default)]
+pub(crate) struct WireStatsCollector {
+    connections_accepted: AtomicU64,
+    connections_rejected: AtomicU64,
+    connections_closed: AtomicU64,
+    frames_received: AtomicU64,
+    frames_sent: AtomicU64,
+    error_frames_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    bytes_sent: AtomicU64,
+    decode_errors: AtomicU64,
+    requests_rejected: AtomicU64,
+    in_flight: AtomicU64,
+}
+
+impl WireStatsCollector {
+    pub fn new() -> Self {
+        WireStatsCollector::default()
+    }
+
+    pub fn connection_accepted(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn connection_rejected(&self) {
+        self.connections_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn connection_closed(&self) {
+        self.connections_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn frame_received(&self) {
+        self.frames_received.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn frame_sent(&self) {
+        self.frames_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn error_frame_sent(&self) {
+        self.error_frames_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn bytes_received(&self, n: u64) {
+        self.bytes_received.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn bytes_sent(&self, n: u64) {
+        self.bytes_sent.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn decode_error(&self) {
+        self.decode_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn request_rejected(&self) {
+        self.requests_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn set_in_flight(&self, n: u64) {
+        self.in_flight.store(n, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> WireStats {
+        WireStats {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
+            connections_closed: self.connections_closed.load(Ordering::Relaxed),
+            frames_received: self.frames_received.load(Ordering::Relaxed),
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            error_frames_sent: self.error_frames_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            requests_rejected: self.requests_rejected.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -363,17 +505,19 @@ impl StatsCollector {
             encode_disk_ms: encode.disk_load_ms,
             encode_hit_rate: encode.hit_rate(),
             timing_hit_rate,
+            wire: None,
         }
     }
 }
 
-/// Nearest-rank percentile of an unsorted sample set.
+/// Nearest-rank percentile of an unsorted sample set (the helper behind
+/// every latency figure the server and the bench drivers print).
 ///
 /// Defined for every input: an empty sample set yields 0, a single sample
 /// yields that sample for every `q`, `q = 0` yields the minimum, `q = 1`
 /// the maximum, and out-of-range or NaN `q` values are clamped into
 /// `[0, 1]` instead of indexing out of bounds.
-fn percentile(samples: &[f64], q: f64) -> f64 {
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
     if samples.is_empty() {
         return 0.0;
     }

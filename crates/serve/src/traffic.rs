@@ -32,7 +32,8 @@ use rand::{RngExt, SeedableRng};
 const SPIN_WINDOW: Duration = Duration::from_micros(200);
 
 /// Waits until `deadline` with hybrid sleep + busy-spin pacing: coarse
-/// sleeps up to [`SPIN_WINDOW`] before the deadline, then a spin loop. An
+/// sleeps up to a fixed spin window (200 µs) before the deadline, then a
+/// spin loop. An
 /// open-loop submitter paced this way stays faithful to its arrival clock
 /// at offered rates well past 10k requests/second, where plain
 /// `thread::sleep` over-shoots every gap. Returns immediately when the

@@ -1,0 +1,276 @@
+//! End-to-end tests of the TCP front-end: framing over a real socket,
+//! pipelining, error frames, connection limits, graceful shutdown, and an
+//! open-loop sweep over loopback whose outputs must be **bit-identical** to
+//! the in-process submit path.
+#![cfg(target_os = "linux")]
+
+use std::time::{Duration, Instant};
+
+use dsstc_serve::net::{WireClient, WireError, WireServer, WireStatus, WIRE_VERSION};
+use dsstc_serve::{pace_until, InferRequest, ModelId, PoissonArrivals, Priority, ServeConfig};
+use dsstc_tensor::{Matrix, SparsityPattern};
+
+const PROXY_DIM: usize = 32;
+
+fn wire_server() -> WireServer {
+    WireServer::start(
+        ServeConfig::default()
+            .with_max_batch(4)
+            .with_max_queue_wait(Duration::from_millis(1))
+            .with_proxy_dim(PROXY_DIM),
+    )
+    .expect("bind loopback")
+}
+
+fn features(seed: u64) -> Matrix {
+    Matrix::random_sparse(2, PROXY_DIM, 0.4, SparsityPattern::Uniform, seed)
+}
+
+fn request(seed: u64) -> InferRequest {
+    let model = if seed.is_multiple_of(2) { ModelId::RnnLm } else { ModelId::BertBase };
+    let priority = if seed.is_multiple_of(4) { Priority::High } else { Priority::Normal };
+    InferRequest::new(model, features(seed)).with_priority(priority)
+}
+
+#[test]
+fn wire_responses_match_in_process_responses_bit_for_bit() {
+    let mut server = wire_server();
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+    for seed in 0..8 {
+        let wire = client.infer(&request(seed)).expect("served over the wire");
+        let in_process = server.server().infer(request(seed)).expect("served in-process");
+        assert_eq!(wire.output, in_process.output, "seed {seed}");
+        assert_eq!(wire.model, in_process.model);
+        assert_eq!(wire.priority, in_process.priority);
+        assert!(wire.execute_us > 0.0);
+        assert!(wire.modelled_batch_us > 0.0);
+    }
+    let stats = server.stats();
+    let wire = stats.wire.expect("wire counters attached");
+    assert_eq!(wire.frames_received, 8);
+    assert_eq!(wire.frames_sent, 8);
+    assert_eq!(wire.error_frames_sent, 0);
+    assert_eq!(wire.connections_accepted, 1);
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_all_answer_with_correct_ids() {
+    let mut server = wire_server();
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+    const N: u64 = 24;
+    let mut sent = std::collections::HashMap::new();
+    for seed in 0..N {
+        let id = client.send(&request(seed)).expect("send");
+        sent.insert(id, seed);
+    }
+    // Responses may arrive out of submission order; every id must answer
+    // exactly once and carry the right model's output shape.
+    for _ in 0..N {
+        let response = client.recv().expect("response");
+        assert_eq!(response.status, WireStatus::Ok);
+        let seed = sent.remove(&response.id).expect("unique id");
+        let body = response.into_body().expect("ok body");
+        assert_eq!(body.output.rows(), 2);
+        assert_eq!(body.output.cols(), PROXY_DIM);
+        assert!(body.batch_size >= 1);
+        let expected_model =
+            if seed.is_multiple_of(2) { ModelId::RnnLm } else { ModelId::BertBase };
+        assert_eq!(body.model, expected_model);
+    }
+    assert!(sent.is_empty());
+    server.shutdown();
+}
+
+#[test]
+fn invalid_request_gets_error_frame_and_connection_survives() {
+    let mut server = wire_server();
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+    // Wrong feature width: a request-level error frame, not a dead socket.
+    let bad = InferRequest::new(ModelId::RnnLm, Matrix::zeros(2, PROXY_DIM * 2));
+    let id = client.send(&bad).expect("send");
+    let response = client.recv().expect("error frame");
+    assert_eq!(response.id, id);
+    assert_eq!(response.status, WireStatus::InvalidRequest);
+    assert!(response.message.contains("columns"), "{}", response.message);
+    // The same connection still serves valid traffic.
+    let ok = client.infer(&request(2)).expect("served after the error");
+    assert_eq!(ok.output.cols(), PROXY_DIM);
+    let wire = server.wire_stats();
+    assert_eq!(wire.requests_rejected, 1);
+    assert_eq!(wire.error_frames_sent, 1);
+    assert_eq!(wire.connections_closed, 0);
+    server.shutdown();
+}
+
+#[test]
+fn garbage_bytes_poison_the_connection_with_a_final_error_frame() {
+    let mut server = wire_server();
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+    client.send_raw(b"GET / HTTP/1.1\r\n\r\n").expect("send garbage");
+    let response = client.recv().expect("final error frame before close");
+    // The reserved poison id: never a request's own id, so a client that
+    // pipelined real requests can tell "stream is dead" from "request N
+    // was rejected".
+    assert_eq!(response.id, dsstc_serve::net::POISON_ID);
+    assert_eq!(response.status, WireStatus::InvalidRequest);
+    // The server closed the connection: the next read is EOF.
+    assert!(matches!(client.recv(), Err(WireError::Truncated | WireError::Io(_))));
+    let wire = server.wire_stats();
+    assert_eq!(wire.decode_errors, 1);
+    server.shutdown();
+}
+
+#[test]
+fn unsupported_version_is_reported_then_closed() {
+    let mut server = wire_server();
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+    // A valid frame with a patched version field (the checksum only covers
+    // the body, so this is exactly what a future-version client looks like).
+    let mut bytes = dsstc_serve::net::RequestFrame::from_request(1, &request(0)).to_bytes();
+    let future = (WIRE_VERSION + 1).to_le_bytes();
+    bytes[4..6].copy_from_slice(&future);
+    client.send_raw(&bytes).expect("send");
+    let response = client.recv().expect("version error frame");
+    assert_eq!(response.status, WireStatus::UnsupportedVersion);
+    assert!(matches!(client.recv(), Err(WireError::Truncated | WireError::Io(_))));
+    server.shutdown();
+}
+
+#[test]
+fn connection_limit_rejects_the_excess_connection() {
+    let mut server = WireServer::start(
+        ServeConfig::default()
+            .with_max_connections(1)
+            .with_max_queue_wait(Duration::from_millis(1))
+            .with_proxy_dim(PROXY_DIM),
+    )
+    .expect("bind loopback");
+    let mut first = WireClient::connect(server.local_addr()).expect("connect");
+    // Make sure the first connection is registered before racing a second.
+    first.infer(&request(0)).expect("served");
+    let mut second = WireClient::connect(server.local_addr()).expect("TCP connect still succeeds");
+    // The server closes it instead of serving: the first read is EOF (or a
+    // reset, depending on timing).
+    let outcome = second.infer(&request(1));
+    assert!(outcome.is_err(), "over-limit connection must not be served");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.wire_stats().connections_rejected == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.wire_stats().connections_rejected, 1);
+    // The first connection is unaffected.
+    first.infer(&request(2)).expect("still served");
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_answers_every_pipelined_request() {
+    let mut server = wire_server();
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+    const N: u64 = 16;
+    for seed in 0..N {
+        client.send(&request(seed)).expect("send");
+    }
+    // Shut down while responses are still streaming; the drain must answer
+    // everything already submitted.
+    let reader = std::thread::spawn(move || {
+        let mut answered = 0;
+        for _ in 0..N {
+            match client.recv() {
+                Ok(response) if response.status == WireStatus::Ok => answered += 1,
+                other => panic!("expected Ok response, got {other:?}"),
+            }
+        }
+        answered
+    });
+    std::thread::sleep(Duration::from_millis(5));
+    server.shutdown();
+    assert_eq!(reader.join().expect("reader"), N);
+}
+
+#[test]
+fn half_closed_connections_are_retired_not_leaked() {
+    let mut server = wire_server();
+    // Repeated connect → pipeline → half-close → read-all → drop cycles
+    // must not accumulate open server-side connections (the last response
+    // races the pump's registry removal; the retire sweep closes the
+    // connection on the pump's wake).
+    for round in 0..3u64 {
+        let mut client = WireClient::connect(server.local_addr()).expect("connect");
+        for seed in 0..4 {
+            client.send(&request(round * 10 + seed)).expect("send");
+        }
+        client.finish_sending().expect("half-close");
+        for _ in 0..4 {
+            let response = client.recv().expect("response");
+            assert_eq!(response.status, WireStatus::Ok);
+        }
+        // After the last response the server should close; observe EOF.
+        assert!(matches!(client.recv(), Err(WireError::Truncated | WireError::Io(_))));
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.wire_stats().open_connections() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let wire = server.wire_stats();
+    assert_eq!(wire.open_connections(), 0, "half-closed connections must be retired");
+    assert_eq!(wire.connections_accepted, 3);
+    assert_eq!(wire.connections_closed, 3);
+    server.shutdown();
+}
+
+/// The acceptance-criteria sweep: seeded Poisson arrivals over loopback,
+/// multiple pipelined client connections, every output bit-identical to the
+/// in-process path serving the same trace.
+#[test]
+fn open_loop_sweep_over_loopback_is_bit_identical_to_in_process() {
+    const SUBMITTERS: usize = 2;
+    const PER_SUBMITTER: u64 = 12;
+    const OFFERED_RPS: f64 = 600.0;
+
+    let mut server = wire_server();
+    let addr = server.local_addr();
+    let started = Instant::now();
+    let outputs: Vec<(u64, Matrix)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = PoissonArrivals::new(OFFERED_RPS, 0xA11)
+            .split(SUBMITTERS)
+            .into_iter()
+            .enumerate()
+            .map(|(t, mut arrivals)| {
+                scope.spawn(move || {
+                    let mut client = WireClient::connect(addr).expect("connect");
+                    let mut next_arrival = started;
+                    let mut ids = std::collections::HashMap::new();
+                    for i in 0..PER_SUBMITTER {
+                        next_arrival += arrivals.next_gap();
+                        pace_until(next_arrival);
+                        let seed = t as u64 * 1_000_003 + i;
+                        let id = client.send(&request(seed)).expect("send");
+                        ids.insert(id, seed);
+                    }
+                    let mut outputs = Vec::new();
+                    for _ in 0..PER_SUBMITTER {
+                        let response = client.recv().expect("response");
+                        let seed = ids.remove(&response.id).expect("unique id");
+                        outputs.push((seed, response.into_body().expect("ok").output));
+                    }
+                    outputs
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("submitter")).collect()
+    });
+
+    assert_eq!(outputs.len(), SUBMITTERS * PER_SUBMITTER as usize);
+    // Bit-identical to serving the same requests in-process.
+    for (seed, wire_output) in outputs {
+        let in_process = server.server().infer(request(seed)).expect("in-process");
+        assert_eq!(wire_output, in_process.output, "seed {seed}");
+    }
+    let wire = server.wire_stats();
+    assert_eq!(wire.frames_received, SUBMITTERS as u64 * PER_SUBMITTER);
+    assert_eq!(wire.frames_sent, SUBMITTERS as u64 * PER_SUBMITTER);
+    assert_eq!(wire.decode_errors, 0);
+    server.shutdown();
+}

@@ -3,7 +3,7 @@
 //!
 //! The crates above this one (formats, simulator, kernels) operate on plain
 //! dense data produced here: row-major [`Matrix`] values, NCHW
-//! [`FeatureMap`]s, IEEE-754 half-precision storage emulation ([`f16`]), and
+//! [`FeatureMap`]s, IEEE-754 half-precision storage emulation ([`struct@f16`]), and
 //! synthetic sparse data generators that mimic the weight/activation sparsity
 //! distributions reported in the paper.
 //!

@@ -274,7 +274,8 @@ impl Matrix {
             && self.data.iter().zip(&other.data).all(|(&a, &b)| crate::approx_eq(a, b, tol))
     }
 
-    /// Rounds every element through FP16 storage (see [`f16::round_f32`]).
+    /// Rounds every element through FP16 storage (see
+    /// [`round_f32`](crate::f16::round_f32)).
     pub fn to_f16_precision(&self) -> Matrix {
         let data = self.data.iter().map(|&x| f16::round_f32(x)).collect();
         Matrix { rows: self.rows, cols: self.cols, data }

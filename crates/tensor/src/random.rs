@@ -29,7 +29,8 @@ pub enum SparsityPattern {
     /// The requested sparsity is ignored and fixed at 50%.
     TwoOutOfFour,
     /// Vector-wise pruning with a fixed 75% ratio: in every group of 32
-    /// consecutive row elements exactly 8 survive (Sparse Tensor Core [72]).
+    /// consecutive row elements exactly 8 survive (Sparse Tensor Core
+    /// \[72\]).
     VectorWise75,
     /// Whole rows are zero with probability `sparsity` (models token-level
     /// activation sparsity in NLP models).

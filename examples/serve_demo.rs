@@ -18,6 +18,13 @@
 //! `--expect-warm` to additionally assert the run was a pure warm start —
 //! zero fresh encodes (the CI warm-start smoke runs the demo twice this
 //! way).
+//!
+//! Pass `--listen ADDR` to serve over TCP instead of driving in-process
+//! traffic: the demo boots the wire front-end, warms the catalogue, prints
+//! the bound address, serves until `--wire-requests N` (default 48)
+//! responses have gone out, then drains gracefully and asserts the wire
+//! counters. `examples/serve_client.rs` is the matching driver; the CI wire
+//! smoke runs the two against each other.
 
 use std::collections::HashSet;
 use std::path::PathBuf;
@@ -27,25 +34,75 @@ use dsstc::serve::{DevicePool, InferRequest, InferenceServer, ModelId, Priority,
 use dsstc_sim::GpuConfig;
 use dsstc_tensor::{Matrix, SparsityPattern};
 
+const USAGE: &str = "usage: serve_demo [--encode-cache-dir DIR] [--expect-warm] \
+[--listen ADDR [--wire-requests N]]";
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("serve_demo: {message}\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// `--listen` mode: expose the pool over TCP, serve `wire_requests`
+/// responses, drain and report. (The epoll front-end is Linux-only;
+/// `--listen` is rejected elsewhere.)
+#[cfg(target_os = "linux")]
+fn run_listen(config: ServeConfig, wire_requests: u64) {
+    use dsstc::serve::net::WireServer;
+    let mut server = WireServer::start(config).expect("bind listen address");
+    for model in [ModelId::ResNet50, ModelId::BertBase] {
+        let encode_ms = server.server().warm_model(model, None);
+        println!("warmed {model}: encoded weights obtained in {encode_ms:.1} ms");
+    }
+    // The line clients (and the CI smoke) wait for before connecting.
+    println!("listening on {}", server.local_addr());
+    loop {
+        let wire = server.wire_stats();
+        if wire.frames_sent + wire.error_frames_sent >= wire_requests {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let stats = server.stats();
+    println!("{}", stats.render());
+    let wire = stats.wire.clone().expect("wire counters attached");
+    server.shutdown();
+    assert!(wire.frames_received >= wire_requests, "expected {wire_requests} request frames");
+    assert_eq!(wire.decode_errors, 0, "clean clients must not trip framing errors");
+    assert!(wire.connections_accepted >= 1, "at least one client connected");
+    println!(
+        "ok: served {} wire responses to {} connections ({} B in, {} B out)",
+        wire.frames_sent, wire.connections_accepted, wire.bytes_received, wire.bytes_sent
+    );
+}
+
 fn main() {
     const REQUESTS: u64 = 120;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut encode_cache_dir: Option<PathBuf> = None;
     let mut expect_warm = false;
+    let mut listen: Option<std::net::SocketAddr> = None;
+    let mut wire_requests: u64 = 48;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--encode-cache-dir" => {
-                encode_cache_dir = iter.next().map(PathBuf::from);
-                assert!(encode_cache_dir.is_some(), "--encode-cache-dir needs a directory path");
+                encode_cache_dir = iter.next().filter(|v| !v.starts_with("--")).map(PathBuf::from);
+                if encode_cache_dir.is_none() {
+                    usage_error("--encode-cache-dir needs a directory path");
+                }
             }
             "--expect-warm" => expect_warm = true,
-            unknown => {
-                eprintln!(
-                    "unknown flag {unknown}; supported: [--encode-cache-dir DIR] [--expect-warm]"
-                );
-                std::process::exit(2);
+            "--listen" => match iter.next().map(|v| v.parse()) {
+                Some(Ok(addr)) => listen = Some(addr),
+                _ => usage_error("--listen needs an ADDR:PORT listen address"),
+            },
+            "--wire-requests" => {
+                match iter.next().and_then(|v| v.parse().ok()).filter(|&n: &u64| n > 0) {
+                    Some(n) => wire_requests = n,
+                    None => usage_error("--wire-requests needs a positive integer"),
+                }
             }
+            unknown => usage_error(&format!("unknown flag {unknown}")),
         }
     }
     let mut config = ServeConfig::default()
@@ -61,6 +118,21 @@ fn main() {
     if let Some(dir) = &encode_cache_dir {
         config = config.with_encode_cache_dir(dir.clone());
         println!("persistent encode cache: {}", dir.display());
+    }
+    if let Some(addr) = listen {
+        if expect_warm {
+            usage_error("--expect-warm applies to the in-process demo, not --listen");
+        }
+        #[cfg(target_os = "linux")]
+        {
+            run_listen(config.with_listen(addr), wire_requests);
+            return;
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            let _ = (addr, wire_requests);
+            usage_error("--listen needs the epoll front-end, which is Linux-only");
+        }
     }
     let mut server = InferenceServer::start(config);
     println!(
