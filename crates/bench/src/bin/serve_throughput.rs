@@ -36,7 +36,7 @@ use std::time::{Duration, Instant};
 use dsstc_serve::net::{RequestFrame, WireClient, WireServer};
 use dsstc_serve::{
     pace_until, percentile, DevicePool, InferRequest, InferenceServer, ModelId, PoissonArrivals,
-    Priority, ServeConfig, ServerStats,
+    Priority, ServeConfig, ServerStats, Stage,
 };
 use dsstc_sim::GpuConfig;
 use dsstc_tensor::{Matrix, SparsityPattern};
@@ -58,6 +58,9 @@ const USAGE: &str = "usage: serve_throughput [FLAGS]
   --smoke                   CI-sized grid
   --submitters N            pin the open-loop submitter thread count
   --encode-cache-dir DIR    persist encoded weights across runs
+  --bench-json PATH         write the sweep as machine-readable JSON
+                            (schema dsstc.bench.serve/1, any mode; see
+                            docs/OBSERVABILITY.md)
   --help                    this text
 
 --wire, --submitters and --encode-cache-dir require --open-loop.";
@@ -105,8 +108,8 @@ fn seed_of(t: usize, i: u64) -> u64 {
     t as u64 * 1_000_003 + i
 }
 
-/// Drives one burst of mixed traffic and returns wall time + final stats.
-fn run_cell(workers: usize, max_batch: usize) -> (f64, ServerStats) {
+/// Drives one burst of mixed traffic and returns the cell's measurements.
+fn run_cell(workers: usize, max_batch: usize) -> CellResult {
     let mut server = InferenceServer::start(
         ServeConfig::default()
             .with_workers(workers)
@@ -123,16 +126,24 @@ fn run_cell(workers: usize, max_batch: usize) -> (f64, ServerStats) {
     let started = Instant::now();
     let pending: Vec<_> =
         (0..REQUESTS).map(|i| server.submit(closed_loop_request_for(i)).expect("queued")).collect();
+    let mut e2e_us = Vec::with_capacity(pending.len());
     for p in pending {
-        p.wait().expect("response");
+        let response = p.wait().expect("response");
+        push_trace_e2e(&mut e2e_us, &response);
     }
     let elapsed = started.elapsed().as_secs_f64();
     let stats = server.stats();
     server.shutdown();
-    (elapsed, stats)
+    CellResult {
+        achieved_rps: REQUESTS as f64 / elapsed,
+        stats,
+        outputs: HashMap::new(),
+        e2e_us,
+        wire_path: false,
+    }
 }
 
-fn closed_loop(smoke: bool) {
+fn closed_loop(smoke: bool) -> Vec<BenchCell> {
     let (worker_grid, batch_grid): (&[usize], &[usize]) =
         if smoke { (&[2], &[1, 8]) } else { (&[1, 2, 4], &[1, 4, 8, 16]) };
     println!("dsstc-serve throughput sweep: {REQUESTS} mixed ResNet-50/BERT requests per cell\n");
@@ -140,33 +151,61 @@ fn closed_loop(smoke: bool) {
         "{:>8} {:>10} {:>12} {:>12} {:>14} {:>14}",
         "workers", "max_batch", "req/s", "mean batch", "queue p99 ms", "exec p99 ms"
     );
+    let mut cells = Vec::new();
     for &workers in worker_grid {
         for &max_batch in batch_grid {
-            let (elapsed, stats) = run_cell(workers, max_batch);
+            let result = run_cell(workers, max_batch);
             println!(
                 "{workers:>8} {max_batch:>10} {:>12.1} {:>12.2} {:>14.2} {:>14.2}",
-                REQUESTS as f64 / elapsed,
-                stats.mean_batch_size,
-                stats.queue_p99_us / 1e3,
-                stats.execute_p99_us / 1e3,
+                result.achieved_rps,
+                result.stats.mean_batch_size,
+                result.stats.queue_p99_us / 1e3,
+                result.stats.execute_p99_us / 1e3,
             );
+            cells.push(BenchCell {
+                pool: "default".to_string(),
+                max_batch,
+                offered_rps: None,
+                result,
+            });
         }
     }
     println!(
         "\n(modelled GPU latency per request is reported by the server itself; see\n examples/serve_demo.rs for the metrics surface)"
     );
+    cells
 }
 
-/// The measurements one open-loop cell produces, for either submit path.
+/// The measurements one cell produces, for either submit path.
 struct CellResult {
     achieved_rps: f64,
     stats: ServerStats,
     /// Request seed → output features, for the bit-identical check.
     outputs: HashMap<u64, Matrix>,
-    /// Client-observed end-to-end latency samples, µs (wire cells only:
-    /// send-to-response wall time including framing and loopback; `None`
-    /// for in-process cells, whose latency the server reports itself).
-    end_to_end_us: Option<Vec<f64>>,
+    /// Client-observed end-to-end latency samples, µs, tagged with each
+    /// request's priority: the admitted→responded span of the response's
+    /// [`dsstc_serve::RequestTrace`] for in-process cells, send-to-response
+    /// wall time (framing and loopback included) for wire cells.
+    e2e_us: Vec<(Priority, f64)>,
+    /// Whether the samples came through the TCP front-end.
+    wire_path: bool,
+}
+
+/// Folds one response's trace-derived end-to-end latency into `samples`.
+fn push_trace_e2e(samples: &mut Vec<(Priority, f64)>, response: &dsstc_serve::InferResponse) {
+    if let Some(us) = response.trace.span_us(Stage::Admitted, Stage::Responded) {
+        let priority = response.trace.priority.unwrap_or(Priority::Normal);
+        samples.push((priority, us as f64));
+    }
+}
+
+/// One row of the machine-readable `--bench-json` output.
+struct BenchCell {
+    pool: String,
+    max_batch: usize,
+    /// `None` for closed-loop cells (the driver has no arrival clock).
+    offered_rps: Option<f64>,
+    result: CellResult,
 }
 
 fn cell_config(
@@ -232,14 +271,16 @@ fn run_open_loop_cell(
         handles.into_iter().flat_map(|h| h.join().expect("submitter thread")).collect()
     });
     let mut outputs = HashMap::with_capacity(pending.len());
+    let mut e2e_us = Vec::with_capacity(pending.len());
     for (seed, p) in pending {
         let response = p.wait().expect("response");
+        push_trace_e2e(&mut e2e_us, &response);
         outputs.insert(seed, response.output);
     }
     let elapsed = started.elapsed().as_secs_f64();
     let stats = server.stats();
     server.shutdown();
-    CellResult { achieved_rps: requests as f64 / elapsed, stats, outputs, end_to_end_us: None }
+    CellResult { achieved_rps: requests as f64 / elapsed, stats, outputs, e2e_us, wire_path: false }
 }
 
 /// The same open-loop cell through the TCP front-end on loopback: one
@@ -323,17 +364,14 @@ fn run_wire_cell(
     let stats = server.stats();
     server.shutdown();
     let mut outputs = HashMap::with_capacity(collected.len());
-    let mut end_to_end = Vec::with_capacity(collected.len());
-    for (seed, output, e2e_us) in collected {
+    let mut e2e_us = Vec::with_capacity(collected.len());
+    for (seed, output, sample_us) in collected {
+        // Mirrors `request_for`: every fourth seed is high priority.
+        let priority = if seed.is_multiple_of(4) { Priority::High } else { Priority::Normal };
+        e2e_us.push((priority, sample_us));
         outputs.insert(seed, output);
-        end_to_end.push(e2e_us);
     }
-    CellResult {
-        achieved_rps: requests as f64 / elapsed,
-        stats,
-        outputs,
-        end_to_end_us: Some(end_to_end),
-    }
+    CellResult { achieved_rps: requests as f64 / elapsed, stats, outputs, e2e_us, wire_path: true }
 }
 
 /// `--wire` is rejected in `main` off Linux (the epoll front-end is
@@ -368,9 +406,10 @@ fn open_loop(
     submitters: Option<usize>,
     encode_cache_dir: Option<&PathBuf>,
     wire: bool,
-) {
+) -> (u64, Vec<BenchCell>) {
     let (loads, requests): (&[f64], u64) =
         if smoke { (&[200.0, 800.0], 32) } else { (&[100.0, 200.0, 400.0, 800.0, 1600.0], 96) };
+    let mut cells = Vec::new();
     type PoolMaker = fn() -> DevicePool;
     let pools: &[(&str, PoolMaker)] = &[
         ("2x V100", || DevicePool::homogeneous(GpuConfig::v100(), 2)),
@@ -432,16 +471,22 @@ fn open_loop(
                         encode_cache_dir,
                     );
                     assert_bit_identical(&in_process, &over_wire);
-                    let e2e = over_wire.end_to_end_us.as_deref().unwrap_or(&[]);
+                    let e2e: Vec<f64> = over_wire.e2e_us.iter().map(|&(_, us)| us).collect();
                     println!(
                         "{name:>10} {max_batch:>10} {load:>12.0} {threads:>11} {:>12.1} {:>14.2} {:>12.1} {:>14.2} {:>14.2} {:>10}",
                         in_process.achieved_rps,
                         in_process.stats.queue_p99_us / 1e3,
                         over_wire.achieved_rps,
-                        percentile(e2e, 0.50) / 1e3,
-                        percentile(e2e, 0.99) / 1e3,
+                        percentile(&e2e, 0.50) / 1e3,
+                        percentile(&e2e, 0.99) / 1e3,
                         "identical",
                     );
+                    cells.push(BenchCell {
+                        pool: name.to_string(),
+                        max_batch,
+                        offered_rps: Some(load),
+                        result: over_wire,
+                    });
                 } else {
                     let stats = &in_process.stats;
                     println!(
@@ -454,6 +499,12 @@ fn open_loop(
                         stats.modelled_makespan_us / 1e3,
                     );
                 }
+                cells.push(BenchCell {
+                    pool: name.to_string(),
+                    max_batch,
+                    offered_rps: Some(load),
+                    result: in_process,
+                });
             }
             println!();
         }
@@ -474,6 +525,140 @@ fn open_loop(
              less modelled time than 2x V100)"
         );
     }
+    (requests, cells)
+}
+
+/// A finite float for JSON (`NaN`/`inf` have no JSON encoding → `null`).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Minimal JSON string escaping for the names this sweep emits.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The p-th percentile of the samples matching `priority` (`null` if none).
+fn e2e_quantile_json(samples: &[(Priority, f64)], priority: Option<Priority>, p: f64) -> String {
+    let matching: Vec<f64> = samples
+        .iter()
+        .filter(|(sample_priority, _)| priority.is_none_or(|want| *sample_priority == want))
+        .map(|&(_, us)| us)
+        .collect();
+    if matching.is_empty() {
+        "null".to_string()
+    } else {
+        json_f64(percentile(&matching, p))
+    }
+}
+
+/// Serialises one sweep cell as a `dsstc.bench.serve/1` JSON object.
+fn bench_cell_json(cell: &BenchCell) -> String {
+    let stats = &cell.result.stats;
+    let per_priority: Vec<String> = Priority::ALL
+        .iter()
+        .map(|&priority| {
+            let latency = stats.for_priority(priority);
+            format!(
+                "{{\"priority\": {}, \"completed\": {}, \"queue_p50_us\": {}, \
+                 \"queue_p99_us\": {}, \"e2e_p50_us\": {}, \"e2e_p99_us\": {}}}",
+                json_str(&priority.to_string()),
+                latency.completed,
+                json_f64(latency.queue_p50_us),
+                json_f64(latency.queue_p99_us),
+                e2e_quantile_json(&cell.result.e2e_us, Some(priority), 0.50),
+                e2e_quantile_json(&cell.result.e2e_us, Some(priority), 0.99),
+            )
+        })
+        .collect();
+    let per_device: Vec<String> = stats
+        .per_device
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"device\": {}, \"batches\": {}, \"modelled_busy_us\": {}, \
+                 \"utilisation\": {}}}",
+                json_str(&d.name),
+                d.batches,
+                json_f64(d.modelled_busy_us),
+                json_f64(d.utilisation),
+            )
+        })
+        .collect();
+    let wire = match &stats.wire {
+        Some(w) => format!(
+            "{{\"connections_accepted\": {}, \"frames_received\": {}, \"frames_sent\": {}, \
+             \"error_frames_sent\": {}, \"bytes_received\": {}, \"bytes_sent\": {}}}",
+            w.connections_accepted,
+            w.frames_received,
+            w.frames_sent,
+            w.error_frames_sent,
+            w.bytes_received,
+            w.bytes_sent,
+        ),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"pool\": {}, \"workers\": {}, \"max_batch\": {}, \"path\": {}, \
+         \"offered_rps\": {}, \"achieved_rps\": {}, \"queue_p50_us\": {}, \"queue_p99_us\": {}, \
+         \"execute_p50_us\": {}, \"execute_p99_us\": {}, \"e2e_p50_us\": {}, \"e2e_p99_us\": {}, \
+         \"mean_batch_size\": {}, \"cache_hit_rate\": {}, \"per_priority\": [{}], \
+         \"per_device\": [{}], \"wire\": {}}}",
+        json_str(&cell.pool),
+        stats.per_device.len(),
+        cell.max_batch,
+        json_str(if cell.result.wire_path { "wire" } else { "in_process" }),
+        cell.offered_rps.map_or("null".to_string(), json_f64),
+        json_f64(cell.result.achieved_rps),
+        json_f64(stats.queue_p50_us),
+        json_f64(stats.queue_p99_us),
+        json_f64(stats.execute_p50_us),
+        json_f64(stats.execute_p99_us),
+        e2e_quantile_json(&cell.result.e2e_us, None, 0.50),
+        e2e_quantile_json(&cell.result.e2e_us, None, 0.99),
+        json_f64(stats.mean_batch_size),
+        json_f64(stats.encode_hit_rate),
+        per_priority.join(", "),
+        per_device.join(", "),
+        wire,
+    )
+}
+
+/// Writes the whole sweep as `dsstc.bench.serve/1` JSON (the schema is
+/// documented in `docs/OBSERVABILITY.md`).
+fn write_bench_json(path: &PathBuf, mode: &str, requests_per_cell: u64, cells: &[BenchCell]) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"dsstc.bench.serve/1\",\n");
+    out.push_str(&format!("  \"mode\": {},\n", json_str(mode)));
+    out.push_str(&format!("  \"requests_per_cell\": {requests_per_cell},\n"));
+    out.push_str("  \"cells\": [\n");
+    for (i, cell) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        out.push_str(&format!("    {}{comma}\n", bench_cell_json(cell)));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("serve_throughput: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("\nwrote {} ({} cells)", path.display(), cells.len());
 }
 
 fn main() {
@@ -483,6 +668,7 @@ fn main() {
     let mut wire = false;
     let mut submitters: Option<usize> = None;
     let mut encode_cache_dir: Option<PathBuf> = None;
+    let mut bench_json: Option<PathBuf> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -511,6 +697,12 @@ fn main() {
                     usage_error("--encode-cache-dir needs a directory path");
                 }
             }
+            "--bench-json" => {
+                bench_json = iter.next().filter(|v| !v.starts_with("--")).map(PathBuf::from);
+                if bench_json.is_none() {
+                    usage_error("--bench-json needs a file path");
+                }
+            }
             unknown => {
                 usage_error(&format!("unknown flag {unknown}"));
             }
@@ -522,8 +714,15 @@ fn main() {
         if submitters.is_some() || encode_cache_dir.is_some() || wire {
             usage_error("--wire, --submitters and --encode-cache-dir require --open-loop");
         }
-        closed_loop(smoke);
+        let cells = closed_loop(smoke);
+        if let Some(path) = &bench_json {
+            write_bench_json(path, "closed_loop", REQUESTS, &cells);
+        }
         return;
     }
-    open_loop(smoke, submitters, encode_cache_dir.as_ref(), wire);
+    let (requests, cells) = open_loop(smoke, submitters, encode_cache_dir.as_ref(), wire);
+    if let Some(path) = &bench_json {
+        let mode = if wire { "open_loop_wire" } else { "open_loop" };
+        write_bench_json(path, mode, requests, &cells);
+    }
 }

@@ -31,6 +31,7 @@ use std::time::{Duration, Instant};
 use dsstc_tensor::Matrix;
 
 use crate::request::{InferResponse, ModelKey, Priority};
+use crate::telemetry::{RequestTrace, Stage};
 
 /// Batching policy knobs (a subset of [`crate::ServeConfig`]).
 #[derive(Clone, Copy, Debug)]
@@ -59,6 +60,9 @@ pub(crate) struct PendingRequest {
     pub response_tx: Sender<InferResponse>,
     /// When the request entered the queue.
     pub enqueued: Instant,
+    /// The request's staged timeline, stamped as it moves through the
+    /// pipeline and returned on its [`InferResponse`].
+    pub trace: RequestTrace,
 }
 
 /// A group of compatible requests released to one worker.
@@ -149,11 +153,12 @@ impl BatchScheduler {
 
     /// Enqueues one request. Returns `false` (dropping the request) if the
     /// scheduler has been shut down.
-    pub(crate) fn enqueue(&self, request: PendingRequest) -> bool {
+    pub(crate) fn enqueue(&self, mut request: PendingRequest) -> bool {
         let mut state = self.state.lock().expect("scheduler mutex poisoned");
         if !state.open {
             return false;
         }
+        request.trace.record(Stage::Enqueued);
         state.queue.push_back(request);
         // Wake every waiting worker: some class may just have become full,
         // and a worker watching a deadline needs to re-evaluate.
@@ -274,7 +279,9 @@ impl BatchScheduler {
         let mut requests = Vec::with_capacity(order.len());
         for index in &order {
             let at = taken.iter().position(|(i, _)| i == index).expect("selected index");
-            requests.push(taken.swap_remove(at).1);
+            let mut request = taken.swap_remove(at).1;
+            request.trace.record(Stage::Released);
+            requests.push(request);
         }
         debug_assert!(!requests.is_empty(), "extract called with a matching member");
         Batch { key, requests }
@@ -304,6 +311,7 @@ mod tests {
             features: Matrix::zeros(2, 8),
             response_tx: tx,
             enqueued: Instant::now(),
+            trace: RequestTrace::new(),
         }
     }
 

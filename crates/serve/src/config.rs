@@ -124,6 +124,15 @@ pub struct ServeConfig {
     /// and unflushed response bytes before force-closing the remaining
     /// connections.
     pub drain_timeout: Duration,
+    /// Listen address of the Prometheus-style metrics endpoint
+    /// (`--metrics-addr` in the demo binary). `None` (the default) serves
+    /// no endpoint; set, the wire front-end boots a
+    /// [`crate::telemetry::MetricsServer`] on a dedicated listener.
+    pub metrics_addr: Option<SocketAddr>,
+    /// File that receives completed request traces as chrome-trace JSONL
+    /// (`--trace-out` in the demo binary). `None` keeps traces in the
+    /// bounded in-memory ring only.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -140,6 +149,8 @@ impl Default for ServeConfig {
             max_connections: 256,
             max_frame_len: 1 << 24,
             drain_timeout: Duration::from_secs(30),
+            metrics_addr: None,
+            trace_out: None,
         }
     }
 }
@@ -248,6 +259,19 @@ impl ServeConfig {
         self.drain_timeout = drain_timeout;
         self
     }
+
+    /// Enables the Prometheus-style metrics endpoint on `addr` (e.g.
+    /// `"127.0.0.1:9114"`).
+    pub fn with_metrics_addr(mut self, addr: SocketAddr) -> Self {
+        self.metrics_addr = Some(addr);
+        self
+    }
+
+    /// Streams completed request traces to `path` as chrome-trace JSONL.
+    pub fn with_trace_out(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace_out = Some(path.into());
+        self
+    }
 }
 
 #[cfg(test)]
@@ -281,6 +305,18 @@ mod tests {
         assert_eq!(c.dispatch, DispatchPolicy::RoundRobin);
         assert_eq!(c.encode_cache_dir, Some(PathBuf::from("/tmp/dsstc-test-cache")));
         assert_eq!(c.encode_cache_budget, CacheBudget { max_entries: 4, max_bytes: 1 << 20 });
+    }
+
+    #[test]
+    fn telemetry_knobs_default_off_and_build_on() {
+        let c = ServeConfig::default();
+        assert_eq!(c.metrics_addr, None);
+        assert_eq!(c.trace_out, None);
+        let c = c
+            .with_metrics_addr("127.0.0.1:9114".parse().unwrap())
+            .with_trace_out("/tmp/dsstc-trace.jsonl");
+        assert_eq!(c.metrics_addr, Some("127.0.0.1:9114".parse().unwrap()));
+        assert_eq!(c.trace_out, Some(PathBuf::from("/tmp/dsstc-trace.jsonl")));
     }
 
     #[test]

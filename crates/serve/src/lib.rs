@@ -101,6 +101,7 @@ pub mod repository;
 pub mod request;
 pub mod server;
 pub mod stats;
+pub mod telemetry;
 pub mod timing;
 pub mod traffic;
 pub mod worker;
@@ -116,6 +117,12 @@ pub use crate::repository::{
 pub use crate::request::{InferRequest, InferResponse, ModelId, ModelKey, Priority};
 pub use crate::server::{InferenceServer, PendingResponse, ServeError};
 pub use crate::stats::{percentile, DeviceStats, PriorityLatency, ServerStats, WireStats};
+#[cfg(target_os = "linux")]
+pub use crate::telemetry::MetricsServer;
+pub use crate::telemetry::{
+    render_prometheus, CacheOutcome, LogHistogram, MetricsRegistry, RequestTrace, Stage, Telemetry,
+    TraceSink,
+};
 pub use crate::timing::BatchTimingModel;
 pub use crate::traffic::{pace_until, PoissonArrivals};
 pub use crate::worker::WorkerPool;

@@ -37,7 +37,7 @@
 //! outbound buffer drained (bounded by [`DRAIN_TIMEOUT`]), and only then is
 //! the inference runtime itself shut down.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
@@ -55,6 +55,7 @@ use crate::net::poll::{Event, Poller, Token, Waker, EPOLLIN, EPOLLOUT, EPOLLRDHU
 use crate::request::InferResponse;
 use crate::server::{InferenceServer, ServeError};
 use crate::stats::{ServerStats, WireStats, WireStatsCollector};
+use crate::telemetry::{render_prometheus, MetricsServer, RequestTrace, Stage};
 
 /// Default bound on how long a graceful shutdown keeps draining in-flight
 /// requests and unflushed response bytes before force-closing the remaining
@@ -78,6 +79,13 @@ struct PendingWire {
 /// The server-id → wire-request registry shared by the event loop (insert)
 /// and the completion pump (remove).
 type Registry = Arc<Mutex<HashMap<u64, PendingWire>>>;
+
+/// One encoded response handed from the pump to the event loop: the
+/// destination connection, the frame bytes, and — for successful
+/// inferences — the request's [`RequestTrace`], stamped
+/// [`Stage::WireFlushed`] once the socket accepts the frame's last byte.
+/// Error frames carry `None`.
+type Outbound = (u64, Vec<u8>, Option<RequestTrace>);
 
 /// A TCP front-end for an [`InferenceServer`], speaking the
 /// [`crate::net::frame`] protocol.
@@ -110,6 +118,7 @@ pub struct WireServer {
     stats: Arc<WireStatsCollector>,
     event_loop: Option<JoinHandle<()>>,
     pump: Option<JoinHandle<()>>,
+    metrics: Option<MetricsServer>,
 }
 
 impl WireServer {
@@ -121,6 +130,7 @@ impl WireServer {
         let max_connections = config.max_connections;
         let max_body_len = config.max_frame_len;
         let drain_timeout = config.drain_timeout;
+        let metrics_addr = config.metrics_addr;
         let listener = TcpListener::bind(listen)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
@@ -134,7 +144,7 @@ impl WireServer {
         let registry: Registry = Arc::new(Mutex::new(HashMap::new()));
 
         let (completion_tx, completion_rx) = std::sync::mpsc::channel::<InferResponse>();
-        let (outbox_tx, outbox_rx) = std::sync::mpsc::channel::<(u64, Vec<u8>)>();
+        let (outbox_tx, outbox_rx) = std::sync::mpsc::channel::<Outbound>();
 
         let pump = {
             let registry = Arc::clone(&registry);
@@ -168,6 +178,22 @@ impl WireServer {
                 .expect("failed to spawn wire event loop")
         };
 
+        let metrics = match metrics_addr {
+            Some(addr) => {
+                let source_server = Arc::clone(&server);
+                let source_stats = Arc::clone(&stats);
+                Some(MetricsServer::start(
+                    addr,
+                    Arc::new(move || {
+                        let mut snapshot = source_server.stats();
+                        snapshot.wire = Some(source_stats.snapshot());
+                        render_prometheus(&snapshot, source_server.telemetry().registry())
+                    }),
+                )?)
+            }
+            None => None,
+        };
+
         Ok(WireServer {
             server: Some(server),
             local_addr,
@@ -176,12 +202,19 @@ impl WireServer {
             stats,
             event_loop: Some(event_loop),
             pump: Some(pump),
+            metrics,
         })
     }
 
     /// The bound listen address (with the OS-assigned port resolved).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The bound metrics endpoint address, when
+    /// [`ServeConfig::metrics_addr`](crate::ServeConfig) was set.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics.as_ref().map(MetricsServer::local_addr)
     }
 
     /// The inference runtime behind the front-end (for warm-up and
@@ -212,6 +245,9 @@ impl WireServer {
     /// flight (bounded by [`DRAIN_TIMEOUT`]), close the connections, then
     /// shut the inference runtime down. Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
+        if let Some(mut metrics) = self.metrics.take() {
+            metrics.shutdown();
+        }
         self.shutdown_flag.store(true, Ordering::SeqCst);
         self.waker.wake();
         if let Some(handle) = self.event_loop.take() {
@@ -246,7 +282,7 @@ impl Drop for WireServer {
 fn pump_loop(
     completions: &Receiver<InferResponse>,
     registry: &Registry,
-    outbox: &Sender<(u64, Vec<u8>)>,
+    outbox: &Sender<Outbound>,
     waker: &Waker,
 ) {
     while let Ok(response) = completions.recv() {
@@ -262,7 +298,7 @@ fn pump_loop(
             continue; // Submitted by an in-process caller, not the wire.
         };
         let bytes = ResponseFrame::from_response(client_id, &response).to_bytes();
-        let delivered = outbox.send((conn_id, bytes)).is_ok();
+        let delivered = outbox.send((conn_id, bytes, Some(response.trace.clone()))).is_ok();
         registry.lock().expect("wire registry poisoned").remove(&response.id);
         if !delivered {
             break; // Event loop is gone; nothing can be written any more.
@@ -284,6 +320,17 @@ struct Connection {
     /// Framing is poisoned or the peer sent EOF: read nothing more, flush
     /// what is buffered, close when drained.
     closing: bool,
+    /// Cumulative bytes ever appended to `outbound` (survives the buffer
+    /// compaction in `append_outbound`).
+    enqueued_total: u64,
+    /// Cumulative bytes ever accepted by the socket.
+    flushed_total: u64,
+    /// Traces waiting for their response frame to clear the socket, keyed
+    /// by the `enqueued_total` watermark at which the frame's last byte
+    /// sits. Frames append in order, so the queue stays sorted; once
+    /// `flushed_total` passes a mark the trace is stamped
+    /// [`Stage::WireFlushed`] and recorded.
+    flush_marks: VecDeque<(u64, RequestTrace)>,
 }
 
 impl Connection {
@@ -316,7 +363,7 @@ struct EventLoop {
     stats: Arc<WireStatsCollector>,
     registry: Registry,
     completion_tx: Sender<InferResponse>,
-    outbox_rx: Receiver<(u64, Vec<u8>)>,
+    outbox_rx: Receiver<Outbound>,
     shutdown_flag: Arc<AtomicBool>,
     conns: HashMap<u64, Connection>,
     next_conn_id: u64,
@@ -426,6 +473,9 @@ impl EventLoop {
                             written: 0,
                             interest: EPOLLIN | EPOLLRDHUP,
                             closing: false,
+                            enqueued_total: 0,
+                            flushed_total: 0,
+                            flush_marks: VecDeque::new(),
                         },
                     );
                 }
@@ -496,7 +546,9 @@ impl EventLoop {
             match next {
                 Ok(Some(Frame::Request(frame))) => {
                     self.stats.frame_received();
-                    self.submit_wire_request(conn_id, frame);
+                    let mut trace = RequestTrace::new();
+                    trace.record(Stage::WireDecoded);
+                    self.submit_wire_request(conn_id, frame, trace);
                 }
                 Ok(Some(Frame::Response(_))) => {
                     // Clients must not send response frames.
@@ -521,7 +573,7 @@ impl EventLoop {
     /// Converts one decoded request frame into an [`crate::InferRequest`]
     /// and submits it. Request-level failures answer with an error frame
     /// and leave the connection open.
-    fn submit_wire_request(&mut self, conn_id: u64, frame: RequestFrame) {
+    fn submit_wire_request(&mut self, conn_id: u64, frame: RequestFrame, trace: RequestTrace) {
         let client_id = frame.id;
         let request = frame.into_request();
         // Holding the registry lock across the submit makes the insert
@@ -529,7 +581,7 @@ impl EventLoop {
         // a completion before its registry entry exists.
         let submitted = {
             let mut registry = self.registry.lock().expect("wire registry poisoned");
-            match self.server.submit_with(request, self.completion_tx.clone()) {
+            match self.server.submit_with_trace(request, self.completion_tx.clone(), trace) {
                 Ok(server_id) => {
                     registry.insert(server_id, PendingWire { conn_id, client_id });
                     self.stats.set_in_flight(registry.len() as u64);
@@ -558,7 +610,7 @@ impl EventLoop {
     ) {
         let bytes = ResponseFrame::error(client_id, status, message).to_bytes();
         self.stats.error_frame_sent();
-        self.append_outbound(conn_id, &bytes);
+        self.append_outbound(conn_id, &bytes, None);
     }
 
     /// Framing is broken: answer with a final error frame (under the
@@ -574,10 +626,18 @@ impl EventLoop {
     }
 
     /// Appends bytes to a connection's outbound buffer and flushes as much
-    /// as the socket accepts right now.
-    fn append_outbound(&mut self, conn_id: u64, bytes: &[u8]) {
+    /// as the socket accepts right now. A `trace` rides along as a flush
+    /// mark and is stamped [`Stage::WireFlushed`] once the frame's last
+    /// byte reaches the socket.
+    fn append_outbound(&mut self, conn_id: u64, bytes: &[u8], trace: Option<RequestTrace>) {
         let Some(conn) = self.conns.get_mut(&conn_id) else {
-            return; // Completed after its connection went away: dropped.
+            // Completed after its connection went away: the bytes are
+            // dropped, but the request itself still finished — record its
+            // trace without a flush stamp.
+            if let Some(trace) = trace {
+                self.server.telemetry().record_completed(trace);
+            }
+            return;
         };
         // Compact the flushed prefix before growing the buffer.
         if conn.written == conn.outbound.len() {
@@ -588,6 +648,10 @@ impl EventLoop {
             conn.written = 0;
         }
         conn.outbound.extend_from_slice(bytes);
+        conn.enqueued_total += bytes.len() as u64;
+        if let Some(trace) = trace {
+            conn.flush_marks.push_back((conn.enqueued_total, trace));
+        }
         self.flush_conn(conn_id);
     }
 
@@ -617,7 +681,17 @@ impl EventLoop {
                 }
             }
         }
+        conn.flushed_total += sent;
+        let mut flushed_traces: Vec<RequestTrace> = Vec::new();
+        while conn.flush_marks.front().is_some_and(|(mark, _)| *mark <= conn.flushed_total) {
+            let (_, mut trace) = conn.flush_marks.pop_front().expect("front checked");
+            trace.record(Stage::WireFlushed);
+            flushed_traces.push(trace);
+        }
         self.stats.bytes_sent(sent);
+        for trace in flushed_traces {
+            self.server.telemetry().record_completed(trace);
+        }
         if dead {
             self.close_conn(conn_id);
             return;
@@ -682,9 +756,9 @@ impl EventLoop {
     fn drain_outbox(&mut self) {
         loop {
             match self.outbox_rx.try_recv() {
-                Ok((conn_id, bytes)) => {
+                Ok((conn_id, bytes, trace)) => {
                     self.stats.frame_sent();
-                    self.append_outbound(conn_id, &bytes);
+                    self.append_outbound(conn_id, &bytes, trace);
                     let len = self.registry.lock().expect("wire registry poisoned").len();
                     self.stats.set_in_flight(len as u64);
                 }
@@ -697,6 +771,11 @@ impl EventLoop {
         if let Some(conn) = self.conns.remove(&conn_id) {
             let _ = self.poller.deregister(conn.stream.as_raw_fd());
             self.stats.connection_closed();
+            // Responses that never cleared the socket still had their
+            // request completed: record their traces without a flush stamp.
+            for (_, trace) in conn.flush_marks {
+                self.server.telemetry().record_completed(trace);
+            }
             // The stream drops (and closes) here; in-flight requests from
             // this connection still execute, their responses are dropped by
             // `append_outbound` when they complete.

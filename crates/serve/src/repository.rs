@@ -47,6 +47,7 @@ use dsstc_sim::GpuConfig;
 use dsstc_tensor::{Matrix, RandomMatrixBuilder};
 
 use crate::request::ModelKey;
+use crate::telemetry::CacheOutcome;
 
 /// Magic of the on-disk encoded-model artifact (a thin header over the
 /// per-layer containers of [`dsstc_formats::serialize`]).
@@ -328,6 +329,18 @@ impl ModelRepository {
     /// hits — they are served from the cache); callers for other keys are
     /// unaffected.
     pub fn get_for(&self, key: ModelKey, spec: EncodingSpec) -> Arc<EncodedModel> {
+        self.get_for_traced(key, spec).0
+    }
+
+    /// [`Self::get_for`], additionally reporting how the lookup was
+    /// satisfied — an in-memory [`CacheOutcome::Hit`], a miss restored
+    /// from the on-disk store, or a miss that paid the full prune+encode —
+    /// so workers can stamp the outcome onto the request trace.
+    pub fn get_for_traced(
+        &self,
+        key: ModelKey,
+        spec: EncodingSpec,
+    ) -> (Arc<EncodedModel>, CacheOutcome) {
         let cache_key = (key, spec);
         let mut cache = self.cache.lock().expect("repository mutex poisoned");
         loop {
@@ -336,7 +349,7 @@ impl ModelRepository {
             if let Some(entry) = cache.models.get_mut(&cache_key) {
                 entry.last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(&entry.model);
+                return (Arc::clone(&entry.model), CacheOutcome::Hit);
             }
             if cache.in_flight.insert(cache_key) {
                 break; // this caller owns the load
@@ -347,6 +360,8 @@ impl ModelRepository {
         self.misses.fetch_add(1, Ordering::Relaxed);
         drop(cache);
         let model = Arc::new(self.load(key, spec));
+        let outcome =
+            if model.from_disk { CacheOutcome::MissRestored } else { CacheOutcome::MissFresh };
         let mut cache = self.cache.lock().expect("repository mutex poisoned");
         cache.tick += 1;
         let entry = CacheEntry {
@@ -359,7 +374,7 @@ impl ModelRepository {
         self.evict_over_budget(&mut cache);
         cache.in_flight.remove(&cache_key);
         self.loaded.notify_all();
-        model
+        (model, outcome)
     }
 
     /// Evicts least-recently-used entries until the budget holds, keeping

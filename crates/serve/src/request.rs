@@ -6,6 +6,8 @@ use dsstc_kernels::EncodingSpec;
 use dsstc_models::{networks, Network};
 use dsstc_tensor::Matrix;
 
+use crate::telemetry::RequestTrace;
+
 /// Scheduling priority of a request.
 ///
 /// Priorities order extraction within a batch's compatibility class: when
@@ -297,6 +299,11 @@ pub struct InferResponse {
     pub encoding: EncodingSpec,
     /// The priority the request was scheduled at.
     pub priority: Priority,
+    /// The request's staged timeline: admitted → enqueued → released →
+    /// dispatched → cache resolved → execute start/end → responded (wire
+    /// decode/flush stamps are added by the TCP front-end). Every stage up
+    /// to `Responded` is populated by the time the response arrives.
+    pub trace: RequestTrace,
 }
 
 #[cfg(test)]

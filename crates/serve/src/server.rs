@@ -12,6 +12,7 @@ use crate::dispatch::DeviceDispatcher;
 use crate::repository::ModelRepository;
 use crate::request::{InferRequest, InferResponse};
 use crate::stats::{ServerStats, StatsCollector};
+use crate::telemetry::{RequestTrace, Stage, Telemetry};
 use crate::worker::{WorkerContext, WorkerPool};
 
 /// Why a request could not be served.
@@ -97,6 +98,11 @@ impl InferenceServer {
         let repository = Arc::new(repository);
         let dispatcher = Arc::new(DeviceDispatcher::new(&config.devices, config.dispatch));
         let kernels = WorkerContext::kernels_for(&repository, &dispatcher);
+        let telemetry = match &config.trace_out {
+            Some(path) => Telemetry::with_trace_out(path)
+                .unwrap_or_else(|e| panic!("cannot open trace output {}: {e}", path.display())),
+            None => Telemetry::new(),
+        };
         let context = Arc::new(WorkerContext {
             scheduler: Arc::new(BatchScheduler::new(BatchPolicy {
                 max_batch: config.max_batch,
@@ -105,6 +111,7 @@ impl InferenceServer {
             repository,
             dispatcher,
             stats: Arc::new(StatsCollector::new()),
+            telemetry: Arc::new(telemetry),
             kernels,
         });
         let pool = WorkerPool::spawn(Arc::clone(&context));
@@ -170,6 +177,18 @@ impl InferenceServer {
         request: InferRequest,
         response_tx: std::sync::mpsc::Sender<InferResponse>,
     ) -> Result<u64, ServeError> {
+        self.submit_with_trace(request, response_tx, RequestTrace::new())
+    }
+
+    /// [`Self::submit_with`] continuing a caller-started [`RequestTrace`]
+    /// (the TCP front-end stamps the wire-decode stage before submitting).
+    /// The admission stage, id, model and priority are stamped here.
+    pub fn submit_with_trace(
+        &self,
+        request: InferRequest,
+        response_tx: std::sync::mpsc::Sender<InferResponse>,
+        mut trace: RequestTrace,
+    ) -> Result<u64, ServeError> {
         let expected = self.context.repository.input_dim();
         if request.features.cols() != expected {
             return Err(ServeError::InvalidRequest(format!(
@@ -178,6 +197,10 @@ impl InferenceServer {
             )));
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        trace.id = id;
+        trace.model = Some(request.model);
+        trace.priority = Some(request.priority);
+        trace.record(Stage::Admitted);
         let pending = PendingRequest {
             id,
             key: request.key(),
@@ -186,6 +209,7 @@ impl InferenceServer {
             features: request.features,
             response_tx,
             enqueued: Instant::now(),
+            trace,
         };
         if !self.context.scheduler.enqueue(pending) {
             return Err(ServeError::ShuttingDown);
@@ -211,6 +235,12 @@ impl InferenceServer {
     /// timing models, modelled backlog horizons and makespan).
     pub fn dispatcher(&self) -> &Arc<DeviceDispatcher> {
         &self.context.dispatcher
+    }
+
+    /// The telemetry hub: the live metrics registry and the completed
+    /// request-trace sink.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.context.telemetry
     }
 
     /// Stops accepting requests, drains the queue and joins the workers.

@@ -186,6 +186,10 @@ impl ServerStats {
                 wire.bytes_received,
                 wire.bytes_sent,
             ));
+            out.push_str(&format!(
+                "  decode errors: {}   requests rejected: {}   in flight: {}\n",
+                wire.decode_errors, wire.requests_rejected, wire.in_flight,
+            ));
         }
         out
     }
@@ -659,6 +663,40 @@ mod tests {
         assert_eq!(s.modelled_makespan_us, 0.0);
         assert_eq!(s.per_device[0].utilisation, 0.0);
         assert!(s.render().contains("requests: 0"));
+    }
+
+    #[test]
+    fn render_of_populated_snapshot_covers_every_line_in_order() {
+        let text = crate::telemetry::export::sample_stats().render();
+        // Each fragment must appear after the previous one: the report's
+        // line order is part of its (loose) contract.
+        let fragments = [
+            "requests: 120",
+            "batches: 30",
+            "throughput: 240.5 req/s",
+            "batch size: mean 4.00  max 8",
+            "queue wait us: p50 150  p99 900",
+            "priority low",
+            "priority normal",
+            "priority high",
+            "modelled GPU us/request: p50 85.5",
+            "Tesla V100",
+            "A100",
+            "encode cache: 28 hits / 4 misses (88% hit rate)",
+            "misses paid: 1 fresh encodes (120.5 ms) + 3 disk restores (6.2 ms)   evictions: 2",
+            "active workers: 2",
+            "wire: 5 conns (2 open, 1 rejected)",
+            "frames 120 in / 118 out (2 errors)",
+            "44000 B in / 52000 B out",
+            "decode errors: 1   requests rejected: 1   in flight: 0",
+        ];
+        let mut cursor = 0;
+        for fragment in fragments {
+            match text[cursor..].find(fragment) {
+                Some(at) => cursor += at + fragment.len(),
+                None => panic!("missing or out of order: {fragment:?}\nreport:\n{text}"),
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! End-to-end telemetry for the serving stack: a lock-free metrics
+//! registry with log-bucketed histograms ([`metrics`]), per-request stage
+//! tracing ([`trace`]) and Prometheus-style exposition ([`export`]).
+//!
+//! One [`Telemetry`] hub is created per server and threaded through the
+//! scheduler, dispatcher, workers and (when enabled) the wire front-end,
+//! so every layer stamps the same trace and feeds the same registry. See
+//! `docs/OBSERVABILITY.md` for the metric families, the trace event
+//! schema and scrape examples.
+
+pub mod export;
+pub mod metrics;
+pub mod trace;
+
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::request::Priority;
+
+pub use self::export::render_prometheus;
+#[cfg(target_os = "linux")]
+pub use self::export::MetricsServer;
+pub use self::metrics::{Counter, Gauge, LogHistogram, MetricsRegistry, HISTOGRAM_BUCKETS};
+pub use self::trace::{now_us, CacheOutcome, RequestTrace, Stage, TraceSink, STAGES};
+
+/// The per-server telemetry hub: the metrics registry, the trace sink and
+/// pre-registered hot-path handles so workers never touch the registry
+/// lock while serving.
+#[derive(Debug)]
+pub struct Telemetry {
+    registry: MetricsRegistry,
+    sink: TraceSink,
+    traces_recorded: Arc<Counter>,
+    queue_us: Vec<Arc<LogHistogram>>,
+    e2e_us: Vec<Arc<LogHistogram>>,
+    execute_us: Arc<LogHistogram>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::with_sink(TraceSink::new())
+    }
+}
+
+impl Telemetry {
+    /// A hub with the in-memory trace ring only.
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    /// A hub that additionally streams chrome-trace JSONL to `path`
+    /// (the `--trace-out` file).
+    pub fn with_trace_out(path: &Path) -> io::Result<Self> {
+        Ok(Telemetry::with_sink(TraceSink::with_output(path)?))
+    }
+
+    fn with_sink(sink: TraceSink) -> Self {
+        let registry = MetricsRegistry::new();
+        let traces_recorded = registry.counter(
+            "dsstc_traces_recorded_total",
+            "",
+            "Completed request traces recorded by the sink",
+        );
+        let queue_us = Priority::ALL
+            .iter()
+            .map(|p| {
+                registry.histogram(
+                    "dsstc_trace_queue_us",
+                    &format!("priority=\"{}\"", p.name()),
+                    "Queue wait (enqueued to released) from request traces, microseconds",
+                )
+            })
+            .collect();
+        let e2e_us = Priority::ALL
+            .iter()
+            .map(|p| {
+                registry.histogram(
+                    "dsstc_trace_e2e_us",
+                    &format!("priority=\"{}\"", p.name()),
+                    "End-to-end latency (admitted to responded) from request traces, microseconds",
+                )
+            })
+            .collect();
+        let execute_us = registry.histogram(
+            "dsstc_trace_execute_us",
+            "",
+            "Kernel execution span from request traces, microseconds",
+        );
+        Telemetry { registry, sink, traces_recorded, queue_us, e2e_us, execute_us }
+    }
+
+    /// The live metrics registry (rendered into every scrape).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The completed-trace sink.
+    pub fn sink(&self) -> &TraceSink {
+        &self.sink
+    }
+
+    /// Folds one finished trace into the latency histograms and records
+    /// it with the sink. Called once per request, after its terminal
+    /// stage ([`Stage::Responded`], or [`Stage::WireFlushed`] on the wire
+    /// path).
+    pub fn record_completed(&self, trace: RequestTrace) {
+        let priority = trace.priority.unwrap_or(Priority::Normal).index();
+        if let Some(us) = trace.span_us(Stage::Enqueued, Stage::Released) {
+            self.queue_us[priority].record(us);
+        }
+        if let Some(us) = trace.span_us(Stage::Admitted, Stage::Responded) {
+            self.e2e_us[priority].record(us);
+        }
+        if let Some(us) = trace.span_us(Stage::ExecuteStart, Stage::ExecuteEnd) {
+            self.execute_us.record(us);
+        }
+        self.traces_recorded.inc();
+        self.sink.record(trace);
+    }
+
+    /// Completed traces recorded so far (exact, unlike the bounded ring).
+    pub fn traces_recorded(&self) -> u64 {
+        self.traces_recorded.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hub_folds_completed_traces_into_histograms() {
+        let telemetry = Telemetry::new();
+        let mut trace = RequestTrace::new();
+        trace.priority = Some(Priority::High);
+        trace.record_at(Stage::Admitted, 0);
+        trace.record_at(Stage::Enqueued, 10);
+        trace.record_at(Stage::Released, 110);
+        trace.record_at(Stage::Dispatched, 120);
+        trace.record_at(Stage::CacheResolved, 130);
+        trace.record_at(Stage::ExecuteStart, 140);
+        trace.record_at(Stage::ExecuteEnd, 540);
+        trace.record_at(Stage::Responded, 560);
+        telemetry.record_completed(trace);
+
+        assert_eq!(telemetry.traces_recorded(), 1);
+        assert_eq!(telemetry.sink().len(), 1);
+        let queue = &telemetry.queue_us[Priority::High.index()];
+        let (lower, upper) = queue.quantile_bounds(0.5).expect("queue span recorded");
+        assert!(lower <= 100 && 100 < upper);
+        let (lower, upper) = telemetry.execute_us.quantile_bounds(0.5).expect("execute span");
+        assert!(lower <= 400 && 400 < upper);
+        // The histograms surface in the registry render.
+        let mut out = String::new();
+        telemetry.registry().render(&mut out);
+        assert!(out.contains("dsstc_trace_e2e_us_count{priority=\"high\"} 1"));
+        assert!(out.contains("dsstc_traces_recorded_total 1"));
+    }
+
+    #[test]
+    fn partial_traces_only_feed_recorded_spans() {
+        let telemetry = Telemetry::new();
+        let mut trace = RequestTrace::new();
+        trace.record_at(Stage::Admitted, 0);
+        trace.record_at(Stage::Responded, 50);
+        telemetry.record_completed(trace);
+        assert_eq!(telemetry.e2e_us[Priority::Normal.index()].count(), 1);
+        assert_eq!(telemetry.queue_us[Priority::Normal.index()].count(), 0);
+        assert_eq!(telemetry.execute_us.count(), 0);
+    }
+}

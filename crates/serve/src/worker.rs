@@ -25,6 +25,7 @@ use crate::dispatch::DeviceDispatcher;
 use crate::repository::ModelRepository;
 use crate::request::InferResponse;
 use crate::stats::StatsCollector;
+use crate::telemetry::{Stage, Telemetry};
 
 /// Everything the dispatcher and worker threads need, shared by `Arc`.
 #[derive(Debug)]
@@ -33,6 +34,7 @@ pub(crate) struct WorkerContext {
     pub repository: Arc<ModelRepository>,
     pub dispatcher: Arc<DeviceDispatcher>,
     pub stats: Arc<StatsCollector>,
+    pub telemetry: Arc<Telemetry>,
     /// One SpGEMM kernel per pooled device, running that device's native
     /// tiling — worker `i` executes its batches on `kernels[i]` against
     /// encodings fetched for `dispatcher.spec(i)`.
@@ -136,6 +138,13 @@ fn dispatch_loop(context: &WorkerContext, senders: Vec<SyncSender<DeviceJob>>) {
         context.scheduler.shutdown();
         while context.scheduler.next_batch().is_some() {}
     };
+    // Stamping right before each hand-off attempt means a batch bounced
+    // off a full queue keeps the timestamp of its *successful* dispatch.
+    let stamp_dispatched = |job: &mut DeviceJob| {
+        for request in &mut job.batch.requests {
+            request.trace.record(Stage::Dispatched);
+        }
+    };
     'batches: while let Some(batch) = context.scheduler.next_batch() {
         let (key, size) = (batch.key, batch.len());
         let mut job = DeviceJob { batch, modelled_batch_us: 0.0 };
@@ -149,6 +158,7 @@ fn dispatch_loop(context: &WorkerContext, senders: Vec<SyncSender<DeviceJob>>) {
                     .expect("non-empty device pool");
                 let assignment = context.dispatcher.commit(plan);
                 job.modelled_batch_us = assignment.modelled_batch_us;
+                stamp_dispatched(&mut job);
                 if senders[assignment.device].send(job).is_err() {
                     fail_fast();
                     return;
@@ -156,6 +166,7 @@ fn dispatch_loop(context: &WorkerContext, senders: Vec<SyncSender<DeviceJob>>) {
                 continue 'batches;
             };
             job.modelled_batch_us = plan.modelled_batch_us;
+            stamp_dispatched(&mut job);
             match senders[plan.device].try_send(job) {
                 Ok(()) => {
                     context.dispatcher.commit(plan);
@@ -185,10 +196,15 @@ fn worker_loop(device: usize, context: &WorkerContext, jobs: Receiver<DeviceJob>
 /// tiling (hitting the encode cache after the first request), stack member
 /// features into one larger-M GEMM chain, execute on the device's own
 /// kernel, split the rows back out, and answer every request.
-fn execute_batch(device: usize, context: &WorkerContext, batch: Batch, modelled_batch_us: f64) {
+fn execute_batch(device: usize, context: &WorkerContext, mut batch: Batch, modelled_batch_us: f64) {
     let started = Instant::now();
     let spec = context.dispatcher.spec(device);
-    let model = context.repository.get_for(batch.key, spec);
+    let (model, cache_outcome) = context.repository.get_for_traced(batch.key, spec);
+    for request in &mut batch.requests {
+        request.trace.record(Stage::CacheResolved);
+        request.trace.cache = Some(cache_outcome);
+        request.trace.device = Some(device);
+    }
     let batch_size = batch.len();
 
     // Stack member features row-wise: the batch runs as ONE GEMM chain with
@@ -201,9 +217,15 @@ fn execute_batch(device: usize, context: &WorkerContext, batch: Batch, modelled_
         row += request.features.rows();
     }
 
+    for request in &mut batch.requests {
+        request.trace.record(Stage::ExecuteStart);
+    }
     let output = model.forward(&context.kernels[device], &stacked);
     let modelled_request_us = modelled_batch_us / batch_size as f64;
     let execute_us = started.elapsed().as_secs_f64() * 1e6;
+    for request in &mut batch.requests {
+        request.trace.record(Stage::ExecuteEnd);
+    }
 
     let queue_us: Vec<_> = batch
         .requests
@@ -219,8 +241,10 @@ fn execute_batch(device: usize, context: &WorkerContext, batch: Batch, modelled_
     );
 
     let mut row = 0;
-    for (request, (priority, wait_us)) in batch.requests.into_iter().zip(queue_us) {
+    for (mut request, (priority, wait_us)) in batch.requests.into_iter().zip(queue_us) {
         let rows = request.features.rows();
+        request.trace.record(Stage::Responded);
+        let trace = request.trace;
         let response = InferResponse {
             id: request.id,
             model: batch.key.model,
@@ -233,11 +257,17 @@ fn execute_batch(device: usize, context: &WorkerContext, batch: Batch, modelled_
             device,
             encoding: spec,
             priority,
+            trace: trace.clone(),
         };
         row += rows;
         // A dropped receiver (caller gave up) is not an error for the
         // server; the work is still recorded in the stats.
         let _ = request.response_tx.send(response);
+        // Wire traces are finalised (and recorded) by the front-end once
+        // the response frame's bytes are flushed to the socket.
+        if !trace.is_wire() {
+            context.telemetry.record_completed(trace);
+        }
     }
 }
 
@@ -264,6 +294,7 @@ mod tests {
             repository,
             dispatcher,
             stats: Arc::new(StatsCollector::new()),
+            telemetry: Arc::new(Telemetry::new()),
             kernels,
         })
     }
@@ -290,6 +321,7 @@ mod tests {
                 features,
                 response_tx: tx,
                 enqueued: Instant::now(),
+                trace: crate::telemetry::RequestTrace::new(),
             });
             rxs.push(rx);
         }
@@ -331,6 +363,7 @@ mod tests {
                 features: Matrix::zeros(1, 32),
                 response_tx: tx,
                 enqueued: Instant::now(),
+                trace: crate::telemetry::RequestTrace::new(),
             }));
             rxs.push(rx);
         }
@@ -366,6 +399,7 @@ mod tests {
                 features: Matrix::zeros(1, 32),
                 response_tx: tx,
                 enqueued: Instant::now(),
+                trace: crate::telemetry::RequestTrace::new(),
             }));
             rxs.push(rx);
         }

@@ -9,7 +9,7 @@ use std::time::{Duration, Instant};
 
 use dsstc_serve::{
     DevicePool, DispatchPolicy, InferRequest, InferenceServer, ModelId, ModelKey, ModelRepository,
-    ServeConfig,
+    Priority, ServeConfig,
 };
 use dsstc_sim::GpuConfig;
 use dsstc_tensor::{Matrix, SparsityPattern};
@@ -308,4 +308,73 @@ fn mixed_traffic_reports_modelled_latency_per_model() {
     assert!(rnn.modelled_batch_us > 0.0);
     // The RNN's six 1024x6000x1500 GEMMs dwarf BERT's encoder block.
     assert!(rnn.modelled_batch_us > bert.modelled_batch_us);
+}
+
+#[test]
+fn every_completed_request_carries_a_full_monotonic_trace() {
+    let server = InferenceServer::start(config().with_workers(2).with_max_batch(4));
+    const N: u64 = 24;
+    let pending: Vec<_> = (0..N)
+        .map(|i| {
+            let priority = if i % 3 == 0 { Priority::High } else { Priority::Normal };
+            server
+                .submit(InferRequest::new(ModelId::RnnLm, features(i)).with_priority(priority))
+                .expect("queued")
+        })
+        .collect();
+    for p in pending {
+        let response = p.wait().expect("answered");
+        let trace = &response.trace;
+        assert!(trace.is_complete(), "stages missing on {trace:?}");
+        assert!(trace.is_monotonic(), "stage timestamps regress on {trace:?}");
+        assert!(!trace.is_wire(), "in-process requests must not carry wire stamps");
+        assert_eq!(trace.id, response.id);
+        assert_eq!(trace.model, Some(response.model));
+        assert_eq!(trace.device, Some(response.device), "trace names the executing device");
+        assert!(trace.cache.is_some(), "cache outcome resolved on {trace:?}");
+    }
+    // The worker records each trace just after handing the response back:
+    // give the last recording a moment, then the totals must agree.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.telemetry().traces_recorded() < N && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(server.telemetry().traces_recorded(), N);
+    let recent = server.telemetry().sink().recent();
+    assert_eq!(recent.len() as u64, N);
+    assert!(recent.iter().all(|t| t.is_complete() && t.is_monotonic()));
+}
+
+#[test]
+fn trace_out_streams_chrome_events_for_each_completed_request() {
+    let dir = TempDir::new("trace-out");
+    std::fs::create_dir_all(dir.path()).expect("temp dir");
+    let path = dir.path().join("trace.jsonl");
+    let server = InferenceServer::start(config().with_workers(1).with_trace_out(&path));
+    const N: u64 = 6;
+    let pending: Vec<_> = (0..N)
+        .map(|i| server.submit(InferRequest::new(ModelId::BertBase, features(i))).expect("queued"))
+        .collect();
+    for p in pending {
+        p.wait().expect("answered");
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.telemetry().traces_recorded() < N && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    server.telemetry().sink().flush();
+    let body = std::fs::read_to_string(&path).expect("trace file written");
+    let lines: Vec<&str> = body.lines().collect();
+    // Five spans per in-process request: queue, schedule, cache, execute,
+    // respond (no wire stages).
+    assert_eq!(lines.len() as u64, N * 5, "unexpected event count:\n{body}");
+    for line in &lines {
+        assert!(line.starts_with('{') && line.ends_with('}'), "not a JSON object: {line}");
+        assert!(line.contains("\"ph\":\"X\""), "not a complete event: {line}");
+        assert!(line.contains("\"model\":\"bertbase\""), "model missing: {line}");
+    }
+    for span in ["\"queue\"", "\"schedule\"", "\"cache\"", "\"execute\"", "\"respond\""] {
+        assert!(body.contains(span), "span {span} missing from:\n{body}");
+    }
+    assert!(!body.contains("wire_decode"), "in-process trace must not emit wire spans");
 }

@@ -274,3 +274,108 @@ fn open_loop_sweep_over_loopback_is_bit_identical_to_in_process() {
     assert_eq!(wire.decode_errors, 0);
     server.shutdown();
 }
+
+#[test]
+fn wire_requests_record_full_traces_with_wire_stamps() {
+    use dsstc_serve::Stage;
+    let mut server = wire_server();
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+    const N: u64 = 12;
+    for seed in 0..N {
+        client.send(&request(seed)).expect("send");
+    }
+    for _ in 0..N {
+        client.recv().expect("response").into_body().expect("served");
+    }
+    // WireFlushed is stamped by the event loop as the response bytes clear
+    // the socket, concurrently with the client's reads: poll briefly.
+    let telemetry = std::sync::Arc::clone(server.server().telemetry());
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while telemetry.traces_recorded() < N && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(telemetry.traces_recorded(), N);
+    let traces = telemetry.sink().recent();
+    assert_eq!(traces.len() as u64, N);
+    for trace in &traces {
+        assert!(trace.is_wire(), "wire request must stamp WireDecoded: {trace:?}");
+        assert!(trace.is_complete(), "stages missing on {trace:?}");
+        assert!(trace.is_monotonic(), "stage timestamps regress on {trace:?}");
+        assert!(
+            trace.stage_us(Stage::WireFlushed).is_some(),
+            "response flush must stamp WireFlushed: {trace:?}"
+        );
+        assert!(trace.span_us(Stage::WireDecoded, Stage::WireFlushed).is_some());
+    }
+    server.shutdown();
+}
+
+/// One blocking HTTP/1.0 scrape of the metrics endpoint, returning the body.
+fn scrape_metrics(addr: std::net::SocketAddr) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect metrics endpoint");
+    stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").expect("send scrape");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read scrape response");
+    let (headers, body) = raw.split_once("\r\n\r\n").expect("an HTTP response");
+    assert!(headers.starts_with("HTTP/1.0 200"), "unexpected status: {headers}");
+    body.to_string()
+}
+
+/// The value of an unlabelled sample line `NAME VALUE`.
+fn metric_value(body: &str, name: &str) -> f64 {
+    body.lines()
+        .find(|line| line.strip_prefix(name).is_some_and(|rest| rest.starts_with(' ')))
+        .unwrap_or_else(|| panic!("metric {name} missing from scrape:\n{body}"))
+        .rsplit(' ')
+        .next()
+        .expect("sample value")
+        .parse()
+        .expect("numeric sample")
+}
+
+#[test]
+fn live_metrics_scrape_is_consistent_with_wire_stats() {
+    let metrics_bind: std::net::SocketAddr = "127.0.0.1:0".parse().expect("literal addr");
+    let mut server = WireServer::start(
+        ServeConfig::default()
+            .with_max_batch(4)
+            .with_max_queue_wait(Duration::from_millis(1))
+            .with_proxy_dim(PROXY_DIM)
+            .with_metrics_addr(metrics_bind),
+    )
+    .expect("bind loopback");
+    let metrics_addr = server.metrics_addr().expect("metrics endpoint bound");
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+    const N: u64 = 10;
+    for seed in 0..N {
+        client.infer(&request(seed)).expect("served over the wire");
+    }
+    // All N answered: the frame counters are quiescent, so a scrape and a
+    // snapshot taken back to back must agree exactly.
+    let body = scrape_metrics(metrics_addr);
+    let snapshot = server.wire_stats();
+    assert_eq!(snapshot.frames_received, N);
+    assert_eq!(metric_value(&body, "dsstc_wire_frames_received_total") as u64, N);
+    assert_eq!(metric_value(&body, "dsstc_wire_frames_sent_total") as u64, snapshot.frames_sent);
+    assert_eq!(
+        metric_value(&body, "dsstc_wire_connections_accepted_total") as u64,
+        snapshot.connections_accepted
+    );
+    assert_eq!(
+        metric_value(&body, "dsstc_wire_bytes_received_total") as u64,
+        snapshot.bytes_received
+    );
+    assert_eq!(metric_value(&body, "dsstc_wire_error_frames_total") as u64, 0);
+    assert!(metric_value(&body, "dsstc_requests_completed_total") as u64 >= N);
+    // The trace pipeline feeds the same exposition.
+    assert!(body.contains("dsstc_traces_recorded_total"));
+    assert!(body.contains("dsstc_trace_e2e_us_bucket"));
+    // A second scrape still answers (connections are per-request).
+    let again = scrape_metrics(metrics_addr);
+    assert!(
+        metric_value(&again, "dsstc_wire_frames_received_total") as u64 >= N,
+        "counters must not reset between scrapes"
+    );
+    server.shutdown();
+}

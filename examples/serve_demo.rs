@@ -22,9 +22,15 @@
 //! Pass `--listen ADDR` to serve over TCP instead of driving in-process
 //! traffic: the demo boots the wire front-end, warms the catalogue, prints
 //! the bound address, serves until `--wire-requests N` (default 48)
-//! responses have gone out, then drains gracefully and asserts the wire
+//! responses have gone out (printing a one-line stats heartbeat roughly
+//! every 5 s along the way), then drains gracefully and asserts the wire
 //! counters. `examples/serve_client.rs` is the matching driver; the CI wire
 //! smoke runs the two against each other.
+//!
+//! Observability knobs (see `docs/OBSERVABILITY.md`): `--trace-out PATH`
+//! streams one chrome-trace JSON line per completed request, and
+//! `--metrics-addr ADDR` (with `--listen`) binds a Prometheus-text scrape
+//! endpoint next to the wire listener.
 
 use std::collections::HashSet;
 use std::path::PathBuf;
@@ -35,7 +41,7 @@ use dsstc_sim::GpuConfig;
 use dsstc_tensor::{Matrix, SparsityPattern};
 
 const USAGE: &str = "usage: serve_demo [--encode-cache-dir DIR] [--expect-warm] \
-[--listen ADDR [--wire-requests N]]";
+[--trace-out PATH] [--listen ADDR [--wire-requests N] [--metrics-addr ADDR]]";
 
 fn usage_error(message: &str) -> ! {
     eprintln!("serve_demo: {message}\n{USAGE}");
@@ -53,12 +59,32 @@ fn run_listen(config: ServeConfig, wire_requests: u64) {
         let encode_ms = server.server().warm_model(model, None);
         println!("warmed {model}: encoded weights obtained in {encode_ms:.1} ms");
     }
+    if let Some(addr) = server.metrics_addr() {
+        println!("metrics on http://{addr}/metrics");
+    }
     // The line clients (and the CI smoke) wait for before connecting.
     println!("listening on {}", server.local_addr());
+    let mut last_heartbeat = std::time::Instant::now();
     loop {
         let wire = server.wire_stats();
         if wire.frames_sent + wire.error_frames_sent >= wire_requests {
             break;
+        }
+        // A one-line liveness pulse roughly every 5 s while serving.
+        if last_heartbeat.elapsed() >= Duration::from_secs(5) {
+            last_heartbeat = std::time::Instant::now();
+            let stats = server.stats();
+            println!(
+                "heartbeat: {} requests ({:.1} req/s, queue p99 {:.0} us) | {} conns open, \
+                 frames {} in / {} out, {} in flight",
+                stats.completed_requests,
+                stats.throughput_rps,
+                stats.queue_p99_us,
+                wire.open_connections(),
+                wire.frames_received,
+                wire.frames_sent,
+                wire.in_flight,
+            );
         }
         std::thread::sleep(Duration::from_millis(50));
     }
@@ -82,6 +108,8 @@ fn main() {
     let mut expect_warm = false;
     let mut listen: Option<std::net::SocketAddr> = None;
     let mut wire_requests: u64 = 48;
+    let mut metrics_addr: Option<std::net::SocketAddr> = None;
+    let mut trace_out: Option<PathBuf> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -102,6 +130,16 @@ fn main() {
                     None => usage_error("--wire-requests needs a positive integer"),
                 }
             }
+            "--metrics-addr" => match iter.next().map(|v| v.parse()) {
+                Some(Ok(addr)) => metrics_addr = Some(addr),
+                _ => usage_error("--metrics-addr needs an ADDR:PORT scrape address"),
+            },
+            "--trace-out" => {
+                trace_out = iter.next().filter(|v| !v.starts_with("--")).map(PathBuf::from);
+                if trace_out.is_none() {
+                    usage_error("--trace-out needs a file path");
+                }
+            }
             unknown => usage_error(&format!("unknown flag {unknown}")),
         }
     }
@@ -118,6 +156,16 @@ fn main() {
     if let Some(dir) = &encode_cache_dir {
         config = config.with_encode_cache_dir(dir.clone());
         println!("persistent encode cache: {}", dir.display());
+    }
+    if let Some(path) = &trace_out {
+        config = config.with_trace_out(path.clone());
+        println!("chrome-trace output: {}", path.display());
+    }
+    if metrics_addr.is_some() && listen.is_none() {
+        usage_error("--metrics-addr needs --listen (the scrape endpoint rides the wire front-end)");
+    }
+    if let Some(addr) = metrics_addr {
+        config = config.with_metrics_addr(addr);
     }
     if let Some(addr) = listen {
         if expect_warm {
