@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Schema validators for the benchmark JSON artifacts CI uploads.
+
+Usage: validate_bench.py {serve|kernels} PATH
+
+Exits non-zero when the document violates its schema. ``json.load`` happily
+accepts ``NaN``/``Infinity`` tokens — exactly what a division-by-zero bug in
+the emitters would produce — so parsing runs with ``parse_constant``
+rejecting them outright.
+"""
+
+import json
+import numbers
+import sys
+
+
+def strict_load(path):
+    def reject(token):
+        raise ValueError(f"non-finite JSON token {token}")
+
+    with open(path) as fh:
+        return json.load(fh, parse_constant=reject)
+
+
+def require_number(cell, key, minimum=None):
+    value = cell[key]
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise ValueError(f"{key} is not a number: {value!r}")
+    if minimum is not None and not value >= minimum:
+        raise ValueError(f"{key} = {value} < {minimum}")
+    return value
+
+
+def validate_serve(doc):
+    """dsstc.bench.serve/1 — closed-loop serving sweep cells."""
+    assert doc["schema"] == "dsstc.bench.serve/1", doc["schema"]
+    assert doc["mode"] == "closed_loop", doc["mode"]
+    assert doc["cells"], "no cells"
+    for cell in doc["cells"]:
+        for key in (
+            "pool", "workers", "max_batch", "path", "offered_rps",
+            "completed", "achieved_rps", "queue_p50_us", "queue_p99_us",
+            "execute_p50_us", "execute_p99_us", "e2e_p50_us", "e2e_p99_us",
+            "mean_batch_size", "cache_hit_rate", "per_priority",
+            "per_device", "wire",
+        ):
+            assert key in cell, key
+        # A cell that completed nothing has no meaningful rate or
+        # percentiles; CI sweeps must never produce one.
+        require_number(cell, "completed", minimum=1)
+        assert require_number(cell, "achieved_rps") > 0, "achieved_rps must be positive"
+        assert require_number(cell, "e2e_p99_us") > 0
+        assert len(cell["per_priority"]) == 3
+    return f"{len(doc['cells'])} serve cells"
+
+
+def validate_kernels(doc):
+    """dsstc.bench.kernels/1 — modelled Fig. 21 sweep + measured kernels."""
+    assert doc["schema"] == "dsstc.bench.kernels/1", doc["schema"]
+    modelled = doc["modelled"]
+    for key in ("m", "k", "n"):
+        assert modelled["shape"][key] > 0, key
+    assert require_number(modelled, "dense_baseline_us") > 0
+    assert require_number(modelled, "vector_sparse_us") > 0
+    assert modelled["cells"], "no modelled cells"
+    for cell in modelled["cells"]:
+        require_number(cell, "a_sparsity", minimum=0)
+        require_number(cell, "b_sparsity", minimum=0)
+        assert require_number(cell, "modelled_us") > 0
+        assert require_number(cell, "speedup_vs_dense") > 0
+    measured = doc["measured"]
+    assert require_number(measured, "runs_per_cell", minimum=1)
+    assert measured["cells"], "no measured cells"
+    for cell in measured["cells"]:
+        for key in (
+            "name", "m", "k", "n", "a_sparsity", "b_sparsity",
+            "encode_us", "scalar_us", "word_us", "speedup", "bit_identical",
+        ):
+            assert key in cell, key
+        # The word-parallel path must reproduce the scalar reference
+        # exactly; a fast-but-wrong kernel must fail CI, not ship a number.
+        assert cell["bit_identical"] is True, (
+            f"{cell['name']}: word path diverged from the scalar reference"
+        )
+        require_number(cell, "encode_us", minimum=0)
+        assert require_number(cell, "scalar_us") > 0
+        assert require_number(cell, "word_us") > 0
+        assert require_number(cell, "speedup") > 0
+    return f"{len(measured['cells'])} measured kernel cells"
+
+
+def main():
+    if len(sys.argv) != 3 or sys.argv[1] not in ("serve", "kernels"):
+        sys.exit(__doc__)
+    validate = validate_serve if sys.argv[1] == "serve" else validate_kernels
+    summary = validate(strict_load(sys.argv[2]))
+    print(f"{sys.argv[2]}: {summary} validated")
+
+
+if __name__ == "__main__":
+    main()

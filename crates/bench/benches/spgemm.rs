@@ -46,5 +46,63 @@ fn bench_functional_spgemm(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scheme_estimation, bench_functional_spgemm);
+/// The retained scalar reference against the word-parallel execution path
+/// over identical pre-built encodings — the perf claim `BENCH_kernels.json`
+/// tracks per commit, kept honest here under Criterion's statistics.
+fn bench_word_vs_scalar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spgemm_word_vs_scalar_512");
+    group.sample_size(10);
+    let kernel = BitmapSpGemm::new(GpuConfig::v100());
+    for &(a_sparsity, b_sparsity) in &[(0.5, 0.5), (0.9, 0.9)] {
+        let a = Matrix::random_sparse(512, 512, a_sparsity, SparsityPattern::Uniform, 21);
+        let b = Matrix::random_sparse(512, 512, b_sparsity, SparsityPattern::Uniform, 42);
+        let a_enc = kernel.encode_a(&a);
+        let b_enc = kernel.encode_b(&b);
+        group.bench_with_input(
+            BenchmarkId::new("scalar_reference", format!("a{a_sparsity}_b{b_sparsity}")),
+            &(&a_enc, &b_enc),
+            |bench, (a_enc, b_enc)| {
+                bench.iter(|| black_box(kernel.execute_encoded_scalar(a_enc, b_enc)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("word_parallel", format!("a{a_sparsity}_b{b_sparsity}")),
+            &(&a_enc, &b_enc),
+            |bench, (a_enc, b_enc)| bench.iter(|| black_box(kernel.execute_encoded(a_enc, b_enc))),
+        );
+    }
+    group.finish();
+}
+
+/// The serve hot path — per-batch encode-A plus execute against resident
+/// encoded weights, exactly what a `dsstc-serve` worker pays per batch.
+fn bench_serve_hot_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_hot_path_256x64x64");
+    group.sample_size(10);
+    let kernel = BitmapSpGemm::new(GpuConfig::v100());
+    let a = Matrix::random_sparse(256, 64, 0.4, SparsityPattern::Uniform, 21);
+    let b = Matrix::random_sparse(64, 64, 0.8, SparsityPattern::Uniform, 42);
+    let b_enc = kernel.encode_b(&b);
+    group.bench_function("encode_a_plus_scalar", |bench| {
+        bench.iter(|| {
+            let a_enc = kernel.encode_a(&a);
+            black_box(kernel.execute_encoded_scalar(&a_enc, &b_enc))
+        })
+    });
+    group.bench_function("encode_a_plus_word", |bench| {
+        bench.iter(|| {
+            let a_enc = kernel.encode_a(&a);
+            black_box(kernel.execute_encoded(&a_enc, &b_enc))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scheme_estimation,
+    bench_functional_spgemm,
+    bench_word_vs_scalar,
+    bench_serve_hot_path
+);
 criterion_main!(benches);

@@ -614,8 +614,15 @@ fn bench_cell_json(cell: &BenchCell) -> String {
         ),
         None => "null".to_string(),
     };
+    // A cell that completed nothing has no meaningful rate: its elapsed
+    // division is 0/0 or inf, which `json_f64` would fold to `null` and a
+    // consumer would trip over where the schema promises a number. Pin it
+    // to an explicit 0 and let the `completed` field (and the CI schema
+    // check) flag the cell as broken.
+    let achieved_rps = if stats.completed_requests == 0 { 0.0 } else { cell.result.achieved_rps };
     format!(
         "{{\"pool\": {}, \"workers\": {}, \"max_batch\": {}, \"path\": {}, \
+         \"completed\": {}, \
          \"offered_rps\": {}, \"achieved_rps\": {}, \"queue_p50_us\": {}, \"queue_p99_us\": {}, \
          \"execute_p50_us\": {}, \"execute_p99_us\": {}, \"e2e_p50_us\": {}, \"e2e_p99_us\": {}, \
          \"mean_batch_size\": {}, \"cache_hit_rate\": {}, \"per_priority\": [{}], \
@@ -624,8 +631,9 @@ fn bench_cell_json(cell: &BenchCell) -> String {
         stats.per_device.len(),
         cell.max_batch,
         json_str(if cell.result.wire_path { "wire" } else { "in_process" }),
+        stats.completed_requests,
         cell.offered_rps.map_or("null".to_string(), json_f64),
-        json_f64(cell.result.achieved_rps),
+        json_f64(achieved_rps),
         json_f64(stats.queue_p50_us),
         json_f64(stats.queue_p99_us),
         json_f64(stats.execute_p50_us),
@@ -724,5 +732,62 @@ fn main() {
     if let Some(path) = &bench_json {
         let mode = if wire { "open_loop_wire" } else { "open_loop" };
         write_bench_json(path, mode, requests, &cells);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A sweep cell that completed zero requests (a stalled or crashed
+    /// server) must still serialise schema-valid JSON: `achieved_rps`
+    /// pinned to a real 0 (never the `null` that NaN/inf would fold to),
+    /// sample-less percentiles as explicit `null`, and a `completed: 0`
+    /// field for the CI schema check to reject.
+    #[test]
+    fn zero_request_cells_serialise_finite_json() {
+        let mut server = InferenceServer::start(
+            ServeConfig::default().with_workers(1).with_max_batch(1).with_proxy_dim(32),
+        );
+        let stats = server.stats();
+        server.shutdown();
+        assert_eq!(stats.completed_requests, 0);
+        let cell = BenchCell {
+            pool: "empty".to_string(),
+            max_batch: 1,
+            offered_rps: Some(100.0),
+            result: CellResult {
+                // What an instant 0-request burst divides out to.
+                achieved_rps: f64::NAN,
+                stats,
+                outputs: HashMap::new(),
+                e2e_us: Vec::new(),
+                wire_path: false,
+            },
+        };
+        let json = bench_cell_json(&cell);
+        assert!(json.contains("\"completed\": 0"), "{json}");
+        assert!(json.contains("\"achieved_rps\": 0.000"), "{json}");
+        assert!(json.contains("\"e2e_p50_us\": null"), "{json}");
+        assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+    }
+
+    /// The happy path keeps its measured rate and gains the completed
+    /// count.
+    #[test]
+    fn completed_cells_keep_their_measured_rate() {
+        let cell_json = {
+            let result = run_cell(1, 2);
+            assert!(result.achieved_rps > 0.0);
+            bench_cell_json(&BenchCell {
+                pool: "default".to_string(),
+                max_batch: 2,
+                offered_rps: None,
+                result,
+            })
+        };
+        assert!(cell_json.contains(&format!("\"completed\": {REQUESTS}")), "{cell_json}");
+        assert!(!cell_json.contains("\"achieved_rps\": null"), "{cell_json}");
+        assert!(!cell_json.contains("\"achieved_rps\": 0.000"), "{cell_json}");
     }
 }

@@ -52,17 +52,43 @@ impl BitMatrix {
         BitMatrix { rows, cols, words_per_row, words: vec![0; rows * words_per_row] }
     }
 
-    /// Builds the non-zero mask of a dense matrix.
+    /// Builds the non-zero mask of a dense matrix, packing each row's bits
+    /// a word at a time (the software analogue of the encoder's word-wide
+    /// mask generation — no per-bit indexing).
     pub fn from_matrix(m: &Matrix) -> Self {
         let mut b = BitMatrix::new(m.rows(), m.cols());
         for r in 0..m.rows() {
-            for c in 0..m.cols() {
-                if m[(r, c)] != 0.0 {
-                    b.set(r, c, true);
-                }
-            }
+            b.fill_row_mask(r, m.row(r));
         }
         b
+    }
+
+    /// Packs the non-zero mask of `values` into row `row` starting at bit 0,
+    /// a word at a time; bits past `values.len()` stay clear. Used by the
+    /// encoders so mask generation never touches individual bits.
+    pub(crate) fn fill_row_mask(&mut self, row: usize, values: &[f32]) {
+        self.fill_row_mask_with(row, values, |x| x != 0.0);
+    }
+
+    /// [`Self::fill_row_mask`] with a caller-chosen significance predicate.
+    /// The fused-FP16 encoder passes "survives FP16 rounding" so the mask
+    /// agrees with the rounded values it stores, without a separate
+    /// whole-matrix rounding pass.
+    pub(crate) fn fill_row_mask_with<F: Fn(f32) -> bool>(
+        &mut self,
+        row: usize,
+        values: &[f32],
+        keep: F,
+    ) {
+        debug_assert!(row < self.rows && values.len() <= self.cols);
+        let words = &mut self.words[row * self.words_per_row..(row + 1) * self.words_per_row];
+        for (word, chunk) in words.iter_mut().zip(values.chunks(64)) {
+            let mut w = 0u64;
+            for (i, &x) in chunk.iter().enumerate() {
+                w |= u64::from(keep(x)) << i;
+            }
+            *word = w;
+        }
     }
 
     /// Number of rows.
@@ -130,6 +156,39 @@ impl BitMatrix {
     pub fn row_words(&self, row: usize) -> &[u64] {
         assert!(row < self.rows, "row out of bounds");
         &self.words[row * self.words_per_row..(row + 1) * self.words_per_row]
+    }
+
+    /// The whole of row `row` packed into a single word (bit `c` is
+    /// `get(row, c)`), for matrices at most 64 columns wide — the
+    /// word-parallel accessor the functional SpGEMM hot path uses so a row's
+    /// bitmap participates in AND/`count_ones` operations without per-bit
+    /// indexing.
+    ///
+    /// # Panics
+    /// Panics if `row >= rows()` or `cols() > 64`.
+    pub fn row_word(&self, row: usize) -> u64 {
+        assert!(row < self.rows, "row out of bounds");
+        assert!(self.cols <= 64, "row_word requires at most 64 columns");
+        self.words[row * self.words_per_row]
+    }
+
+    /// Column `col` gathered into a single packed word (bit `r` is
+    /// `get(r, col)`), for matrices at most 64 rows tall. Bits are packed
+    /// row-major, so this gathers one bit per row; callers that need it
+    /// repeatedly (the SpGEMM tile preparation) hoist it out of their inner
+    /// loops.
+    ///
+    /// # Panics
+    /// Panics if `col >= cols()` or `rows() > 64`.
+    pub fn col_word(&self, col: usize) -> u64 {
+        assert!(col < self.cols, "column out of bounds");
+        assert!(self.rows <= 64, "col_word requires at most 64 rows");
+        let (word_idx, shift) = (col / 64, col % 64);
+        let mut out = 0u64;
+        for r in 0..self.rows {
+            out |= ((self.words[r * self.words_per_row + word_idx] >> shift) & 1) << r;
+        }
+        out
     }
 
     /// Number of set bits in row `row` strictly before column `col` — the
@@ -302,6 +361,48 @@ mod tests {
                 assert_eq!(b.get(r, c), m[(r, c)] != 0.0);
             }
         }
+    }
+
+    #[test]
+    fn row_and_col_words_pack_the_right_bits() {
+        let m = Matrix::random_sparse(33, 61, 0.6, SparsityPattern::Uniform, 17);
+        let b = BitMatrix::from_matrix(&m);
+        for r in 0..b.rows() {
+            let w = b.row_word(r);
+            for c in 0..b.cols() {
+                assert_eq!((w >> c) & 1 == 1, b.get(r, c), "row {r} col {c}");
+            }
+            assert_eq!(w.count_ones() as usize, b.row_count_ones(r));
+        }
+        for c in 0..b.cols() {
+            let w = b.col_word(c);
+            for r in 0..b.rows() {
+                assert_eq!((w >> r) & 1 == 1, b.get(r, c), "row {r} col {c}");
+            }
+            assert_eq!(w.count_ones() as usize, b.col_count_ones(c));
+        }
+    }
+
+    #[test]
+    fn col_word_reaches_past_the_first_word() {
+        // 70 columns: column 69 lives in the second packed word per row.
+        let mut b = BitMatrix::new(3, 70);
+        b.set(0, 69, true);
+        b.set(2, 69, true);
+        assert_eq!(b.col_word(69), 0b101);
+        assert_eq!(b.col_word(68), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 columns")]
+    fn row_word_rejects_wide_matrices() {
+        let _ = BitMatrix::new(2, 65).row_word(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 rows")]
+    fn col_word_rejects_tall_matrices() {
+        let _ = BitMatrix::new(65, 2).col_word(0);
     }
 
     #[test]

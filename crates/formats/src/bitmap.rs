@@ -6,10 +6,26 @@
 //! column's non-zeros pushed to the top, Fig. 4c) and row-major for a B
 //! operand (each row's non-zeros pushed to the left).
 
-use dsstc_tensor::Matrix;
+use dsstc_tensor::{f16, Matrix};
 
 use crate::bit_matrix::BitMatrix;
 use crate::StorageFootprint;
+
+/// Smallest magnitude that survives this workspace's FP16 rounding: 2^-24
+/// (`0x3380_0000` as `f32` bits). `f16::from_f32` flushes any |x| < 2^-24
+/// straight to signed zero — its subnormal path never rounds [2^-25, 2^-24)
+/// up — so "rounds to a non-zero" is a single threshold compare.
+const F16_MIN_MAGNITUDE: f32 = 5.960_464_5e-8;
+
+/// Whether `x` is still a non-zero after FP16 rounding, without performing
+/// the rounding. Written as a negated compare so NaN (which `f16::round_f32`
+/// preserves) counts as significant, matching `x != 0.0` on the rounded
+/// value.
+#[inline]
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // `>=` would drop NaN; the negation keeps it
+fn survives_f16(x: f32) -> bool {
+    !(x.abs() < F16_MIN_MAGNITUDE)
+}
 
 /// Which axis the condensed value vectors run along.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -57,22 +73,22 @@ impl BitmapMatrix {
             VectorLayout::ColumnMajor => cols,
             VectorLayout::RowMajor => rows,
         };
-        let mut values = Vec::with_capacity(dense.nnz());
+        let mut values = Vec::with_capacity(bitmap.count_ones());
         let mut offsets = Vec::with_capacity(vector_count + 1);
         offsets.push(0);
+        let data = dense.as_slice();
         for v in 0..vector_count {
             match layout {
                 VectorLayout::ColumnMajor => {
                     for r in 0..rows {
-                        let x = dense[(r, v)];
+                        let x = data[r * cols + v];
                         if x != 0.0 {
                             values.push(x);
                         }
                     }
                 }
                 VectorLayout::RowMajor => {
-                    for c in 0..cols {
-                        let x = dense[(v, c)];
+                    for &x in &data[v * cols..(v + 1) * cols] {
                         if x != 0.0 {
                             values.push(x);
                         }
@@ -82,6 +98,101 @@ impl BitmapMatrix {
             offsets.push(values.len());
         }
         BitmapMatrix { rows, cols, layout, bitmap, values, offsets }
+    }
+
+    /// Encodes the `tile_rows x tile_cols` window of `parent` whose top-left
+    /// corner is `(row0, col0)`, zero-padded past the edges — identical to
+    /// `encode(&parent.tile(..), layout)` but without materialising the
+    /// dense tile, which is what keeps the two-level encoder off the
+    /// allocator in the per-request serve hot path.
+    pub(crate) fn encode_tile(
+        parent: &Matrix,
+        row0: usize,
+        col0: usize,
+        tile_rows: usize,
+        tile_cols: usize,
+        layout: VectorLayout,
+    ) -> Self {
+        Self::encode_tile_impl::<false>(parent, row0, col0, tile_rows, tile_cols, layout)
+    }
+
+    /// [`Self::encode_tile`] with FP16 rounding fused in: the bitmap keeps
+    /// only elements that survive FP16 rounding, and the condensed values are
+    /// stored rounded. Identical to `encode_tile(&parent.to_f16_precision()
+    /// window)` but the threshold test replaces a full rounding pass — only
+    /// the ~nnz kept values pay `f16::round_f32`.
+    pub(crate) fn encode_tile_f16(
+        parent: &Matrix,
+        row0: usize,
+        col0: usize,
+        tile_rows: usize,
+        tile_cols: usize,
+        layout: VectorLayout,
+    ) -> Self {
+        Self::encode_tile_impl::<true>(parent, row0, col0, tile_rows, tile_cols, layout)
+    }
+
+    fn encode_tile_impl<const ROUND_F16: bool>(
+        parent: &Matrix,
+        row0: usize,
+        col0: usize,
+        tile_rows: usize,
+        tile_cols: usize,
+        layout: VectorLayout,
+    ) -> Self {
+        let keep = |x: f32| if ROUND_F16 { survives_f16(x) } else { x != 0.0 };
+        let store = |x: f32| if ROUND_F16 { f16::round_f32(x) } else { x };
+        let copy_rows = tile_rows.min(parent.rows().saturating_sub(row0));
+        let copy_cols = tile_cols.min(parent.cols().saturating_sub(col0));
+        let mut bitmap = BitMatrix::new(tile_rows, tile_cols);
+        for r in 0..copy_rows {
+            bitmap.fill_row_mask_with(r, &parent.row(row0 + r)[col0..col0 + copy_cols], keep);
+        }
+        let nnz = bitmap.count_ones();
+        match layout {
+            VectorLayout::RowMajor => {
+                // Row vectors read straight off the parent's row slices.
+                let mut values = Vec::with_capacity(nnz);
+                let mut offsets = Vec::with_capacity(tile_rows + 1);
+                offsets.push(0);
+                for v in 0..tile_rows {
+                    if v < copy_rows {
+                        for &x in &parent.row(row0 + v)[col0..col0 + copy_cols] {
+                            if keep(x) {
+                                values.push(store(x));
+                            }
+                        }
+                    }
+                    offsets.push(values.len());
+                }
+                BitmapMatrix { rows: tile_rows, cols: tile_cols, layout, bitmap, values, offsets }
+            }
+            VectorLayout::ColumnMajor => {
+                // Column vectors would read the parent with a `tile_cols`
+                // stride per element; count-then-scatter keeps both passes
+                // walking the rows sequentially instead.
+                let mut offsets = vec![0usize; tile_cols + 1];
+                for r in 0..copy_rows {
+                    for (c, &x) in parent.row(row0 + r)[col0..col0 + copy_cols].iter().enumerate() {
+                        offsets[c + 1] += usize::from(keep(x));
+                    }
+                }
+                for c in 0..tile_cols {
+                    offsets[c + 1] += offsets[c];
+                }
+                let mut values = vec![0.0f32; nnz];
+                let mut cursors = offsets[..tile_cols].to_vec();
+                for r in 0..copy_rows {
+                    for (c, &x) in parent.row(row0 + r)[col0..col0 + copy_cols].iter().enumerate() {
+                        if keep(x) {
+                            values[cursors[c]] = store(x);
+                            cursors[c] += 1;
+                        }
+                    }
+                }
+                BitmapMatrix { rows: tile_rows, cols: tile_cols, layout, bitmap, values, offsets }
+            }
+        }
     }
 
     /// Number of rows of the logical (dense) matrix.
@@ -143,6 +254,23 @@ impl BitmapMatrix {
         match self.layout {
             VectorLayout::ColumnMajor => (0..self.rows).map(|r| self.bitmap.get(r, v)).collect(),
             VectorLayout::RowMajor => (0..self.cols).map(|c| self.bitmap.get(v, c)).collect(),
+        }
+    }
+
+    /// The bit pattern of vector `v` packed into a single `u64` (bit `i` set
+    /// iff position `i` of the vector is a non-zero). This is the
+    /// word-parallel sibling of [`Self::vector_bits`]: a step's A-column and
+    /// B-row words feed the bitmap AND + `count_ones` gather of the
+    /// functional SpGEMM without materialising positions.
+    ///
+    /// # Panics
+    /// Panics if `v >= vector_count()` or the vector is longer than 64
+    /// elements (tile encodings of warp tilings up to 64x64 always fit).
+    pub fn vector_word(&self, v: usize) -> u64 {
+        assert!(v < self.vector_count(), "vector index out of bounds");
+        match self.layout {
+            VectorLayout::ColumnMajor => self.bitmap.col_word(v),
+            VectorLayout::RowMajor => self.bitmap.row_word(v),
         }
     }
 
@@ -300,6 +428,22 @@ mod tests {
     }
 
     #[test]
+    fn vector_word_agrees_with_vector_bits_in_both_layouts() {
+        let dense = Matrix::random_sparse(32, 16, 0.55, SparsityPattern::Uniform, 23);
+        for layout in [VectorLayout::ColumnMajor, VectorLayout::RowMajor] {
+            let enc = BitmapMatrix::encode(&dense, layout);
+            for v in 0..enc.vector_count() {
+                let word = enc.vector_word(v);
+                let bits = enc.vector_bits(v);
+                for (i, &bit) in bits.iter().enumerate() {
+                    assert_eq!((word >> i) & 1 == 1, bit, "vector {v} bit {i} ({layout:?})");
+                }
+                assert_eq!(word.count_ones() as usize, enc.vector_nnz(v));
+            }
+        }
+    }
+
+    #[test]
     fn get_matches_dense_elementwise() {
         let dense = Matrix::random_sparse(20, 24, 0.6, SparsityPattern::Uniform, 4);
         for layout in [VectorLayout::ColumnMajor, VectorLayout::RowMajor] {
@@ -330,6 +474,39 @@ mod tests {
         let enc = BitmapMatrix::encode(&empty, VectorLayout::RowMajor);
         assert_eq!(enc.nnz(), 0);
         assert_eq!(enc.decode(), empty);
+    }
+
+    #[test]
+    fn f16_survival_threshold_agrees_with_the_rounding_impl() {
+        assert_eq!(F16_MIN_MAGNITUDE.to_bits(), 0x3380_0000, "threshold must be exactly 2^-24");
+        let tiny = 2.0f32.powi(-24);
+        let probes = [
+            0.0,
+            -0.0,
+            tiny,
+            -tiny,
+            f32::from_bits(tiny.to_bits() - 1),
+            f32::from_bits(tiny.to_bits() + 1),
+            2.0f32.powi(-25),
+            2.0f32.powi(-26),
+            1.0e-7,
+            1.0e-8,
+            1.0,
+            -3.5,
+            70000.0,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            f32::MIN_POSITIVE, // smallest normal f32, far below f16 range
+        ];
+        for &x in &probes {
+            let rounded = f16::round_f32(x);
+            assert_eq!(
+                survives_f16(x),
+                rounded != 0.0,
+                "survives_f16({x}) disagrees with round_f32 -> {rounded}"
+            );
+        }
     }
 
     #[test]

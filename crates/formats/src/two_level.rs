@@ -54,6 +54,33 @@ impl TwoLevelBitmapMatrix {
         tile_cols: usize,
         layout: VectorLayout,
     ) -> Self {
+        Self::encode_impl(dense, tile_rows, tile_cols, layout, false)
+    }
+
+    /// Encodes a dense matrix with FP16 value rounding fused into the tile
+    /// encoder: bit-identical to `encode(&dense.to_f16_precision(), ..)`
+    /// without materialising the rounded matrix. This is the per-batch
+    /// encode the serve hot path pays, so the whole-matrix rounding pass it
+    /// removes is measured in `BENCH_kernels.json`'s `serve_hot_path` cell.
+    ///
+    /// # Panics
+    /// Panics if either tile dimension is zero.
+    pub fn encode_f16(
+        dense: &Matrix,
+        tile_rows: usize,
+        tile_cols: usize,
+        layout: VectorLayout,
+    ) -> Self {
+        Self::encode_impl(dense, tile_rows, tile_cols, layout, true)
+    }
+
+    fn encode_impl(
+        dense: &Matrix,
+        tile_rows: usize,
+        tile_cols: usize,
+        layout: VectorLayout,
+        round_f16: bool,
+    ) -> Self {
         assert!(tile_rows > 0 && tile_cols > 0, "tile dimensions must be non-zero");
         let rows = dense.rows();
         let cols = dense.cols();
@@ -64,11 +91,25 @@ impl TwoLevelBitmapMatrix {
         let mut tile_index = vec![None; grid_rows * grid_cols];
         for tr in 0..grid_rows {
             for tc in 0..grid_cols {
-                let tile = dense.tile(tr * tile_rows, tc * tile_cols, tile_rows, tile_cols);
+                // Encode straight out of the parent rows; no dense tile is
+                // materialised (see `BitmapMatrix::encode_tile`).
+                let encode_tile = if round_f16 {
+                    BitmapMatrix::encode_tile_f16
+                } else {
+                    BitmapMatrix::encode_tile
+                };
+                let tile = encode_tile(
+                    dense,
+                    tr * tile_rows,
+                    tc * tile_cols,
+                    tile_rows,
+                    tile_cols,
+                    layout,
+                );
                 if tile.nnz() > 0 {
                     warp_bitmap.set(tr, tc, true);
                     tile_index[tr * grid_cols + tc] = Some(tiles.len());
-                    tiles.push(BitmapMatrix::encode(&tile, layout));
+                    tiles.push(tile);
                 }
             }
         }
@@ -331,6 +372,58 @@ mod tests {
         let enc = TwoLevelBitmapMatrix::encode(&dense, 32, 32, VectorLayout::ColumnMajor);
         let direct = BitmapMatrix::encode(&dense.tile(32, 0, 32, 32), VectorLayout::ColumnMajor);
         assert_eq!(enc.tile(1, 0), Some(&direct));
+    }
+
+    #[test]
+    fn fused_f16_encode_matches_rounding_then_encoding() {
+        // Random values at mixed magnitudes, plus every boundary the fused
+        // threshold has to get right: exactly 2^-24 (smallest FP16
+        // subnormal, kept), just below (flushed to zero, bit must clear),
+        // 2^-25 (flushed), negatives of each, signed zeros, values past the
+        // FP16 normal range (round to inf, kept), and NaN (kept).
+        let tiny = 2.0f32.powi(-24);
+        let mut dense = Matrix::random_sparse(40, 24, 0.6, SparsityPattern::Uniform, 77);
+        let specials: &[f32] = &[
+            tiny,
+            -tiny,
+            f32::from_bits(tiny.to_bits() - 1),
+            2.0f32.powi(-25),
+            -2.0f32.powi(-25),
+            0.0,
+            -0.0,
+            1.0e-7,
+            70000.0,
+            -70000.0,
+            f32::NAN,
+            1.5,
+        ];
+        for (i, &x) in specials.iter().enumerate() {
+            dense[(i, 3)] = x;
+        }
+        for layout in [VectorLayout::ColumnMajor, VectorLayout::RowMajor] {
+            let fused = TwoLevelBitmapMatrix::encode_f16(&dense, 16, 16, layout);
+            let reference = TwoLevelBitmapMatrix::encode(&dense.to_f16_precision(), 16, 16, layout);
+            // NaN breaks PartialEq on values; compare structure and bits.
+            assert_eq!(fused.warp_bitmap(), reference.warp_bitmap(), "{layout:?}");
+            for tr in 0..fused.grid_rows() {
+                for tc in 0..fused.grid_cols() {
+                    match (fused.tile(tr, tc), reference.tile(tr, tc)) {
+                        (None, None) => {}
+                        (Some(f), Some(r)) => {
+                            assert_eq!(f.bitmap(), r.bitmap(), "tile ({tr},{tc}) {layout:?}");
+                            assert_eq!(f.values().len(), r.values().len());
+                            for (a, b) in f.values().iter().zip(r.values()) {
+                                assert!(
+                                    a == b || (a.is_nan() && b.is_nan()),
+                                    "tile ({tr},{tc}) {layout:?}: {a} vs {b}"
+                                );
+                            }
+                        }
+                        _ => panic!("tile presence mismatch at ({tr},{tc}) {layout:?}"),
+                    }
+                }
+            }
+        }
     }
 
     #[test]

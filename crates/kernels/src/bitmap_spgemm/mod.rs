@@ -9,6 +9,7 @@
 //! OTC accumulation buffer.
 
 pub mod warp;
+mod word;
 
 use dsstc_formats::{TwoLevelBitmapMatrix, VectorLayout};
 use dsstc_sim::{AccumulationBuffer, GpuConfig, OtcStepCost, WorkloadProfile};
@@ -181,6 +182,9 @@ pub struct BitmapSpGemm {
     config: GpuConfig,
     tiling: GemmTiling,
     options: BitmapSpGemmOptions,
+    /// Worker threads [`Self::execute_encoded`] may fan output tiles across
+    /// (`0` = one per available core, resolved at execute time).
+    execute_threads: usize,
 }
 
 impl BitmapSpGemm {
@@ -192,6 +196,7 @@ impl BitmapSpGemm {
             config,
             tiling: GemmTiling::paper_spgemm(),
             options: BitmapSpGemmOptions::default(),
+            execute_threads: 1,
         }
     }
 
@@ -228,6 +233,22 @@ impl BitmapSpGemm {
     pub fn with_options(mut self, options: BitmapSpGemmOptions) -> Self {
         self.options = options;
         self
+    }
+
+    /// Sets how many worker threads [`Self::execute_encoded`] may spread a
+    /// single GEMM's output tiles across (`0` = one per available core,
+    /// resolved when the GEMM runs). The default is `1` (serial). Grids too
+    /// small to amortise thread startup always run serially, and the result
+    /// is bit-identical at every thread count — each thread owns a disjoint
+    /// band of output rows.
+    pub fn with_execute_threads(mut self, threads: usize) -> Self {
+        self.execute_threads = threads;
+        self
+    }
+
+    /// The configured within-GEMM worker thread count (`0` = auto).
+    pub fn execute_threads(&self) -> usize {
+        self.execute_threads
     }
 
     /// The options in use.
@@ -543,10 +564,11 @@ impl BitmapSpGemm {
     /// Encodes the A (activation) operand of an SpGEMM into the two-level
     /// bitmap layout this kernel's warp tiling expects (column-major
     /// condensed vectors, `warp_m x warp_k` tiles), rounding values to FP16
-    /// storage precision first.
+    /// storage precision as it encodes (fused — no whole-matrix rounding
+    /// pass, which matters because this runs per batch on the serve path).
     pub fn encode_a(&self, a: &Matrix) -> TwoLevelBitmapMatrix {
-        TwoLevelBitmapMatrix::encode(
-            &a.to_f16_precision(),
+        TwoLevelBitmapMatrix::encode_f16(
+            a,
             self.tiling.warp_m,
             self.tiling.warp_k,
             VectorLayout::ColumnMajor,
@@ -556,33 +578,23 @@ impl BitmapSpGemm {
     /// Encodes the B (weight) operand of an SpGEMM into the two-level bitmap
     /// layout this kernel's warp tiling expects (row-major condensed
     /// vectors, `warp_k x warp_n` tiles), rounding values to FP16 storage
-    /// precision first.
+    /// precision as it encodes.
     ///
     /// A model-serving stack encodes its pruned weights once with this and
     /// reuses the encoding across requests (the paper encodes weights
     /// offline for the same reason).
     pub fn encode_b(&self, b: &Matrix) -> TwoLevelBitmapMatrix {
-        TwoLevelBitmapMatrix::encode(
-            &b.to_f16_precision(),
+        TwoLevelBitmapMatrix::encode_f16(
+            b,
             self.tiling.warp_k,
             self.tiling.warp_n,
             VectorLayout::RowMajor,
         )
     }
 
-    /// Functionally computes `A * B` over operands that are **already** in
-    /// the two-level bitmap encoding (see [`Self::encode_a`] /
-    /// [`Self::encode_b`]), skipping warp tiles whose warp-bit is 0 on
-    /// either side.
-    ///
-    /// # Panics
-    /// Panics if the operands' inner dimensions disagree or their tile
-    /// shapes do not match this kernel's warp tiling.
-    pub fn execute_encoded(
-        &self,
-        a_enc: &TwoLevelBitmapMatrix,
-        b_enc: &TwoLevelBitmapMatrix,
-    ) -> Matrix {
+    /// Checks that encoded operands agree with each other and with this
+    /// kernel's warp tiling.
+    fn validate_encoded(&self, a_enc: &TwoLevelBitmapMatrix, b_enc: &TwoLevelBitmapMatrix) {
         assert_eq!(a_enc.cols(), b_enc.rows(), "inner dimensions must agree");
         let (wm, wn, wk) = (self.tiling.warp_m, self.tiling.warp_n, self.tiling.warp_k);
         assert!(
@@ -597,6 +609,56 @@ impl BitmapSpGemm {
             b_enc.tile_rows(),
             b_enc.tile_cols()
         );
+    }
+
+    /// Functionally computes `A * B` over operands that are **already** in
+    /// the two-level bitmap encoding (see [`Self::encode_a`] /
+    /// [`Self::encode_b`]), skipping warp tiles whose warp-bit is 0 on
+    /// either side.
+    ///
+    /// This is the word-parallel hot path (the `word` submodule): per-step bitmaps
+    /// are single `u64` words, gathers walk `count_ones`/`trailing_zeros`
+    /// over borrowed condensed-value slices, the tile grid is cache-blocked,
+    /// and large grids fan output bands across
+    /// [`Self::with_execute_threads`] scoped threads. Results are
+    /// bit-identical to [`Self::execute_encoded_scalar`], which tilings
+    /// wider than 64 fall back to.
+    ///
+    /// # Panics
+    /// Panics if the operands' inner dimensions disagree or their tile
+    /// shapes do not match this kernel's warp tiling.
+    pub fn execute_encoded(
+        &self,
+        a_enc: &TwoLevelBitmapMatrix,
+        b_enc: &TwoLevelBitmapMatrix,
+    ) -> Matrix {
+        self.validate_encoded(a_enc, b_enc);
+        let (wm, wn) = (self.tiling.warp_m, self.tiling.warp_n);
+        if wm > 64 || wn > 64 {
+            // A step's bitmap no longer fits one word; keep the scalar path.
+            return self.execute_encoded_scalar(a_enc, b_enc);
+        }
+        let threads = match self.execute_threads {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            n => n,
+        };
+        word::execute(a_enc, b_enc, threads)
+    }
+
+    /// The retained scalar reference for [`Self::execute_encoded`]: the
+    /// straightforward per-position loop over [`warp_spgemm`], against which
+    /// the word-parallel path is differentially tested bit-for-bit.
+    ///
+    /// # Panics
+    /// Panics if the operands' inner dimensions disagree or their tile
+    /// shapes do not match this kernel's warp tiling.
+    pub fn execute_encoded_scalar(
+        &self,
+        a_enc: &TwoLevelBitmapMatrix,
+        b_enc: &TwoLevelBitmapMatrix,
+    ) -> Matrix {
+        self.validate_encoded(a_enc, b_enc);
+        let (wm, wn) = (self.tiling.warp_m, self.tiling.warp_n);
         let mut out = Matrix::zeros(a_enc.rows(), b_enc.cols());
         for im in 0..a_enc.grid_rows() {
             for jn in 0..b_enc.grid_cols() {
@@ -934,6 +996,100 @@ mod tests {
     fn misaligned_block_tiling_panics() {
         let t = GemmTiling { block_m: 100, ..GemmTiling::paper_spgemm() };
         let _ = kernel().with_tiling(t);
+    }
+
+    #[test]
+    fn word_path_is_bit_identical_to_scalar_reference() {
+        // Square, ragged and word-boundary shapes x sparsities including
+        // fully dense, fully empty and ~1.0, on both device tilings.
+        for (m, kd, n) in [(64, 48, 96), (50, 30, 70), (33, 17, 65)] {
+            for (sa, sb) in [(0.0, 0.0), (0.5, 0.5), (0.9, 0.0), (0.99, 0.99), (1.0, 0.5)] {
+                let a = random(m, kd, sa, 100);
+                let b = random(kd, n, sb, 101);
+                for k in [kernel(), BitmapSpGemm::for_device(GpuConfig::a100())] {
+                    let (a_enc, b_enc) = (k.encode_a(&a), k.encode_b(&b));
+                    let word = k.execute_encoded(&a_enc, &b_enc);
+                    let scalar = k.execute_encoded_scalar(&a_enc, &b_enc);
+                    assert_eq!(word, scalar, "shape ({m},{kd},{n}) sparsity ({sa},{sb})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn word_path_is_bit_identical_across_thread_counts() {
+        // Big enough that the threaded path actually engages (>= 64 output
+        // tiles): every thread count must produce the same bits.
+        let a = random(1024, 128, 0.8, 102);
+        let b = random(128, 128, 0.7, 103);
+        let base = kernel();
+        let (a_enc, b_enc) = (base.encode_a(&a), base.encode_b(&b));
+        let serial = base.execute_encoded(&a_enc, &b_enc);
+        assert!(serial.approx_eq(&a.matmul(&b), 1e-2));
+        for threads in [0, 2, 3, 7] {
+            let k = kernel().with_execute_threads(threads);
+            assert_eq!(k.execute_threads(), threads);
+            assert_eq!(k.execute_encoded(&a_enc, &b_enc), serial, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn wide_warp_tiles_fall_back_to_the_scalar_path() {
+        // 65-wide warp tiles exceed one u64 word; execute_encoded must still
+        // answer correctly via the scalar fallback.
+        let t = GemmTiling {
+            block_m: 130,
+            block_n: 130,
+            block_k: 16,
+            warp_m: 65,
+            warp_n: 65,
+            warp_k: 16,
+        };
+        let k = kernel().with_tiling(t);
+        let a = random(70, 32, 0.6, 104);
+        let b = random(32, 70, 0.6, 105);
+        let out = k.execute_encoded(&k.encode_a(&a), &k.encode_b(&b));
+        assert!(out.approx_eq(&a.matmul(&b), 1e-2));
+    }
+
+    proptest::proptest! {
+        // Differential property: the word-parallel kernel is bit-identical
+        // to the retained scalar reference across layouts (three warp
+        // tilings, incl. a non-square 16x8x8), sparsities (incl. 0.0 and
+        // ~1.0) and edge-tile shapes, with the threaded path enabled.
+        #[test]
+        fn word_and_scalar_paths_agree_bitwise(
+            seed in proptest::any::<u64>(),
+            m in 1usize..=80,
+            kd in 1usize..=72,
+            n in 1usize..=80,
+            sa_idx in 0usize..6,
+            sb_idx in 0usize..6,
+            tiling_idx in 0usize..3,
+        ) {
+            const SPARSITIES: [f64; 6] = [0.0, 0.3, 0.75, 0.95, 0.999, 1.0];
+            let tiling = match tiling_idx {
+                0 => GemmTiling::paper_spgemm(),
+                1 => GpuConfig::a100().native_tiling(),
+                _ => GemmTiling {
+                    block_m: 32,
+                    block_n: 16,
+                    block_k: 8,
+                    warp_m: 16,
+                    warp_n: 8,
+                    warp_k: 8,
+                },
+            };
+            let k = BitmapSpGemm::new(GpuConfig::v100())
+                .with_tiling(tiling)
+                .with_execute_threads(3);
+            let a = random(m, kd, SPARSITIES[sa_idx], seed);
+            let b = random(kd, n, SPARSITIES[sb_idx], seed ^ 0x9e37_79b9);
+            let (a_enc, b_enc) = (k.encode_a(&a), k.encode_b(&b));
+            let word = k.execute_encoded(&a_enc, &b_enc);
+            let scalar = k.execute_encoded_scalar(&a_enc, &b_enc);
+            proptest::prop_assert_eq!(word, scalar);
+        }
     }
 
     #[test]

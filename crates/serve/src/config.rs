@@ -133,6 +133,18 @@ pub struct ServeConfig {
     /// (`--trace-out` in the demo binary). `None` keeps traces in the
     /// bounded in-memory ring only.
     pub trace_out: Option<PathBuf>,
+    /// Threads each device worker may fan a single large-M GEMM across
+    /// (see [`dsstc_kernels::BitmapSpGemm::with_execute_threads`]). `0`
+    /// (the default) sizes to the host's available parallelism; small
+    /// GEMMs always run serially regardless.
+    pub execute_threads: usize,
+    /// Largest number of unflushed response bytes the wire front-end
+    /// buffers for one connection. A client that stops reading while
+    /// responses keep completing breaches the cap; the server then drops
+    /// the backlog and poisons the connection with a final error frame
+    /// (counted in [`crate::stats::WireStats::outbound_overflows`])
+    /// instead of growing without bound.
+    pub max_outbound_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -151,6 +163,10 @@ impl Default for ServeConfig {
             drain_timeout: Duration::from_secs(30),
             metrics_addr: None,
             trace_out: None,
+            execute_threads: 0,
+            // Four max-size response frames of headroom before a
+            // non-reading client is declared stuck.
+            max_outbound_bytes: 1 << 26,
         }
     }
 }
@@ -272,6 +288,23 @@ impl ServeConfig {
         self.trace_out = Some(path.into());
         self
     }
+
+    /// Overrides the per-GEMM execute-thread fan-out (`0` = size to the
+    /// host's available parallelism).
+    pub fn with_execute_threads(mut self, execute_threads: usize) -> Self {
+        self.execute_threads = execute_threads;
+        self
+    }
+
+    /// Overrides the per-connection outbound buffer cap.
+    ///
+    /// # Panics
+    /// Panics if `max_outbound_bytes` cannot hold even one error frame.
+    pub fn with_max_outbound_bytes(mut self, max_outbound_bytes: usize) -> Self {
+        assert!(max_outbound_bytes >= 64, "the outbound cap must admit an error frame");
+        self.max_outbound_bytes = max_outbound_bytes;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -317,6 +350,22 @@ mod tests {
             .with_trace_out("/tmp/dsstc-trace.jsonl");
         assert_eq!(c.metrics_addr, Some("127.0.0.1:9114".parse().unwrap()));
         assert_eq!(c.trace_out, Some(PathBuf::from("/tmp/dsstc-trace.jsonl")));
+    }
+
+    #[test]
+    fn execute_threads_and_outbound_cap_have_safe_defaults_and_builders() {
+        let c = ServeConfig::default();
+        assert_eq!(c.execute_threads, 0, "default sizes to the host");
+        assert!(c.max_outbound_bytes >= c.max_frame_len, "cap must admit a full response");
+        let c = c.with_execute_threads(3).with_max_outbound_bytes(1 << 20);
+        assert_eq!(c.execute_threads, 3);
+        assert_eq!(c.max_outbound_bytes, 1 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "outbound cap")]
+    fn outbound_cap_rejects_degenerate_values() {
+        let _ = ServeConfig::default().with_max_outbound_bytes(8);
     }
 
     #[test]

@@ -129,6 +129,7 @@ impl WireServer {
         let listen = config.listen.unwrap_or_else(|| "127.0.0.1:0".parse().expect("literal addr"));
         let max_connections = config.max_connections;
         let max_body_len = config.max_frame_len;
+        let max_outbound_bytes = config.max_outbound_bytes;
         let drain_timeout = config.drain_timeout;
         let metrics_addr = config.metrics_addr;
         let listener = TcpListener::bind(listen)?;
@@ -169,6 +170,7 @@ impl WireServer {
                 next_conn_id: 0,
                 max_connections,
                 max_body_len,
+                max_outbound_bytes,
                 drain_timeout,
                 scratch: vec![0u8; 64 * 1024],
             };
@@ -320,6 +322,11 @@ struct Connection {
     /// Framing is poisoned or the peer sent EOF: read nothing more, flush
     /// what is buffered, close when drained.
     closing: bool,
+    /// The outbound buffer breached `max_outbound_bytes` (the peer stopped
+    /// reading): the backlog was dropped and replaced with a final error
+    /// frame, and every later response for this connection is dropped on
+    /// arrival instead of buffered.
+    overflowed: bool,
     /// Cumulative bytes ever appended to `outbound` (survives the buffer
     /// compaction in `append_outbound`).
     enqueued_total: u64,
@@ -369,6 +376,7 @@ struct EventLoop {
     next_conn_id: u64,
     max_connections: usize,
     max_body_len: usize,
+    max_outbound_bytes: usize,
     drain_timeout: Duration,
     scratch: Vec<u8>,
 }
@@ -473,6 +481,7 @@ impl EventLoop {
                             written: 0,
                             interest: EPOLLIN | EPOLLRDHUP,
                             closing: false,
+                            overflowed: false,
                             enqueued_total: 0,
                             flushed_total: 0,
                             flush_marks: VecDeque::new(),
@@ -639,6 +648,14 @@ impl EventLoop {
             }
             return;
         };
+        if conn.overflowed {
+            // The peer already breached the cap; buffering more would just
+            // regrow what was dropped. Same treatment as a gone connection.
+            if let Some(trace) = trace {
+                self.server.telemetry().record_completed(trace);
+            }
+            return;
+        }
         // Compact the flushed prefix before growing the buffer.
         if conn.written == conn.outbound.len() {
             conn.outbound.clear();
@@ -651,6 +668,44 @@ impl EventLoop {
         conn.enqueued_total += bytes.len() as u64;
         if let Some(trace) = trace {
             conn.flush_marks.push_back((conn.enqueued_total, trace));
+        }
+        if conn.outbound.len() - conn.written > self.max_outbound_bytes {
+            self.poison_overflowed(conn_id);
+            return;
+        }
+        self.flush_conn(conn_id);
+    }
+
+    /// The connection's unflushed backlog breached the configured cap: the
+    /// peer submitted requests but stopped reading responses. Drop the
+    /// backlog (its traces are recorded without a flush stamp), replace it
+    /// with one final error frame, and poison the connection so it closes
+    /// as soon as that frame drains — the server's memory for a slow
+    /// reader is bounded by `max_outbound_bytes` plus one error frame.
+    fn poison_overflowed(&mut self, conn_id: u64) {
+        self.stats.outbound_overflow();
+        let bytes = ResponseFrame::error(
+            POISON_ID,
+            WireStatus::ShuttingDown,
+            format!(
+                "outbound buffer exceeded {} bytes; read your responses",
+                self.max_outbound_bytes
+            ),
+        )
+        .to_bytes();
+        self.stats.error_frame_sent();
+        let Some(conn) = self.conns.get_mut(&conn_id) else { return };
+        conn.overflowed = true;
+        conn.closing = true;
+        conn.outbound.truncate(conn.written);
+        // `flushed_total` can never reach the dropped frames' watermarks,
+        // so retire their traces here rather than leaving them queued.
+        let dropped: Vec<RequestTrace> =
+            conn.flush_marks.drain(..).map(|(_, trace)| trace).collect();
+        conn.outbound.extend_from_slice(&bytes);
+        conn.enqueued_total += bytes.len() as u64;
+        for trace in dropped {
+            self.server.telemetry().record_completed(trace);
         }
         self.flush_conn(conn_id);
     }
@@ -702,11 +757,14 @@ impl EventLoop {
             conn.outbound.clear();
             conn.written = 0;
         }
-        let retire = fully_flushed && conn.closing;
-        if retire && !self.conn_has_in_flight(conn_id) {
-            self.close_conn(conn_id);
-            return;
-        }
+        // Retiring a drained `closing` connection is deferred to
+        // `retire_closing_conns`: deciding here would race the pump, which
+        // removes the registry entry only *after* the outbox send — a
+        // "no in-flight" observation at this point can coincide with the
+        // final response sitting undrained in the outbox channel, and
+        // closing now would drop it. The sweep runs at the end of every
+        // loop iteration (and the pump wakes the loop after each removal),
+        // so deferral costs no latency.
         self.sync_interest(conn_id);
     }
 
@@ -722,16 +780,21 @@ impl EventLoop {
     }
 
     /// Closes every `closing` connection that has flushed its backlog and
-    /// has no request left in flight. `flush_conn` already retires on the
-    /// write path, but the *last* response can race the pump: the registry
-    /// entry is removed only after the response bytes are handed over, so
-    /// the flush that writes the final byte may still see the entry and
-    /// keep the connection — with interest 0 and reads refused, nothing
-    /// else would ever re-examine it. The pump wakes the loop after every
-    /// removal, and this sweep (run each iteration) is what acts on that
-    /// wake; without it, repeated connect/half-close cycles would leak
+    /// has no request left in flight — the **only** place a drained
+    /// connection retires (a connection with interest 0 and reads refused
+    /// is otherwise never re-examined; the pump wakes the loop after every
+    /// registry removal, and this sweep, run each iteration, acts on that
+    /// wake). Without it, repeated connect/half-close cycles would leak
     /// connection slots until the `max_connections` limit starved real
     /// clients.
+    ///
+    /// Ordering matters: the pump removes a registry entry only *after*
+    /// handing the response bytes to the outbox, so an empty in-flight
+    /// count guarantees any final response is already in the channel —
+    /// but possibly not yet in the connection buffer. Re-drain after the
+    /// in-flight check and re-test the backlog before closing, otherwise
+    /// the last response of a half-closed connection can be dropped on the
+    /// floor (the client sees EOF instead of its answer).
     fn retire_closing_conns(&mut self) {
         let candidates: Vec<u64> = self
             .conns
@@ -740,7 +803,16 @@ impl EventLoop {
             .map(|(&id, _)| id)
             .collect();
         for id in candidates {
-            if !self.conn_has_in_flight(id) {
+            if self.conn_has_in_flight(id) {
+                continue;
+            }
+            self.drain_outbox();
+            // If the drain surfaced a late response, `append_outbound`'s
+            // flush may have cleared it again already; close only when the
+            // backlog really is empty. A partially flushed remainder gets
+            // EPOLLOUT, and the flush completion's loop iteration re-runs
+            // this sweep.
+            if self.conns.get(&id).is_none_or(|conn| !conn.has_backlog()) {
                 self.close_conn(id);
             }
         }

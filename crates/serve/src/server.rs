@@ -97,7 +97,7 @@ impl InferenceServer {
         }
         let repository = Arc::new(repository);
         let dispatcher = Arc::new(DeviceDispatcher::new(&config.devices, config.dispatch));
-        let kernels = WorkerContext::kernels_for(&repository, &dispatcher);
+        let kernels = WorkerContext::kernels_for(&repository, &dispatcher, config.execute_threads);
         let telemetry = match &config.trace_out {
             Some(path) => Telemetry::with_trace_out(path)
                 .unwrap_or_else(|e| panic!("cannot open trace output {}: {e}", path.display())),

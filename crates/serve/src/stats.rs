@@ -187,8 +187,8 @@ impl ServerStats {
                 wire.bytes_sent,
             ));
             out.push_str(&format!(
-                "  decode errors: {}   requests rejected: {}   in flight: {}\n",
-                wire.decode_errors, wire.requests_rejected, wire.in_flight,
+                "  decode errors: {}   requests rejected: {}   in flight: {}   outbound overflows: {}\n",
+                wire.decode_errors, wire.requests_rejected, wire.in_flight, wire.outbound_overflows,
             ));
         }
         out
@@ -227,6 +227,10 @@ pub struct WireStats {
     pub requests_rejected: u64,
     /// Wire requests currently inside the batching runtime.
     pub in_flight: u64,
+    /// Connections poisoned for breaching the per-connection outbound
+    /// buffer cap ([`crate::ServeConfig::max_outbound_bytes`]) — a client
+    /// stopped reading while responses kept completing.
+    pub outbound_overflows: u64,
 }
 
 impl WireStats {
@@ -251,6 +255,7 @@ pub(crate) struct WireStatsCollector {
     decode_errors: AtomicU64,
     requests_rejected: AtomicU64,
     in_flight: AtomicU64,
+    outbound_overflows: AtomicU64,
 }
 
 impl WireStatsCollector {
@@ -302,6 +307,10 @@ impl WireStatsCollector {
         self.in_flight.store(n, Ordering::Relaxed);
     }
 
+    pub fn outbound_overflow(&self) {
+        self.outbound_overflows.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> WireStats {
         WireStats {
             connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
@@ -315,6 +324,7 @@ impl WireStatsCollector {
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
             requests_rejected: self.requests_rejected.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Relaxed),
+            outbound_overflows: self.outbound_overflows.load(Ordering::Relaxed),
         }
     }
 }
@@ -527,7 +537,12 @@ pub fn percentile(samples: &[f64], q: f64) -> f64 {
     }
     let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    // IEEE total order, not `partial_cmp(..).unwrap_or(Equal)`: treating
+    // incomparable pairs as equal leaves the slice only partially sorted
+    // around any NaN sample, so low quantiles could silently return
+    // garbage. Under `total_cmp` every NaN sorts above every number, so a
+    // NaN sample can only surface at the quantiles it actually occupies.
+    sorted.sort_by(f64::total_cmp);
     let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
     sorted[rank - 1]
 }
@@ -572,6 +587,26 @@ mod tests {
         assert_eq!(percentile(&v, 4.2), 3.0);
         assert_eq!(percentile(&v, f64::NAN), 1.0);
         assert_eq!(percentile(&v, f64::INFINITY), 3.0);
+    }
+
+    #[test]
+    fn percentile_sorts_nan_samples_last_under_total_order() {
+        // A NaN *sample* must not scramble the sort (the old
+        // `partial_cmp(..).unwrap_or(Equal)` comparator left the slice
+        // order comparator-dependent): every finite quantile stays exact
+        // and NaN surfaces only at the very top.
+        let v = [2.0, f64::NAN, 1.0, 3.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 0.5), 2.0);
+        assert_eq!(percentile(&v, 0.75), 3.0);
+        assert!(percentile(&v, 1.0).is_nan());
+        // All-NaN input is NaN at every quantile, not a panic.
+        assert!(percentile(&[f64::NAN, f64::NAN], 0.5).is_nan());
+        // -NaN < -inf < finite < +inf < +NaN in IEEE total order; the
+        // negative NaN therefore pins the minimum, not the median.
+        let v = [-f64::NAN, 5.0, 4.0];
+        assert!(percentile(&v, 0.0).is_nan());
+        assert_eq!(percentile(&v, 1.0), 5.0);
     }
 
     #[test]

@@ -226,6 +226,13 @@ pub fn render_prometheus(stats: &ServerStats, registry: &MetricsRegistry) -> Str
         sample_u64(&mut out, "dsstc_wire_requests_rejected_total", "", wire.requests_rejected);
         family(&mut out, "dsstc_wire_in_flight", "gauge", "Wire requests inside the runtime");
         sample_u64(&mut out, "dsstc_wire_in_flight", "", wire.in_flight);
+        family(
+            &mut out,
+            "dsstc_wire_outbound_overflows_total",
+            "counter",
+            "Connections poisoned for breaching the outbound buffer cap",
+        );
+        sample_u64(&mut out, "dsstc_wire_outbound_overflows_total", "", wire.outbound_overflows);
     }
 
     registry.render(&mut out);
@@ -531,6 +538,7 @@ mod tests {
                 decode_errors: 1,
                 requests_rejected: 1,
                 in_flight: 0,
+                outbound_overflows: 1,
             }),
         }
     }
@@ -557,6 +565,7 @@ mod tests {
         assert!(text.contains("dsstc_wire_open_connections 2"));
         assert!(text.contains("dsstc_wire_frames_received_total 120"));
         assert!(text.contains("dsstc_wire_decode_errors_total 1"));
+        assert!(text.contains("dsstc_wire_outbound_overflows_total 1"));
         // Registry-backed live metrics ride along.
         assert!(text.contains("dsstc_traces_recorded_total 7"));
         assert!(text.contains("dsstc_e2e_us_bucket{priority=\"high\",le=\"+Inf\"} 1"));

@@ -42,12 +42,20 @@ pub(crate) struct WorkerContext {
 }
 
 impl WorkerContext {
-    /// Builds the per-device kernels from the dispatcher's encoding specs.
+    /// Builds the per-device kernels from the dispatcher's encoding specs,
+    /// each allowed to fan a single large-M GEMM across `execute_threads`
+    /// threads (`0` = size to the host; see
+    /// [`BitmapSpGemm::with_execute_threads`]).
     pub(crate) fn kernels_for(
         repository: &ModelRepository,
         dispatcher: &DeviceDispatcher,
+        execute_threads: usize,
     ) -> Vec<BitmapSpGemm> {
-        dispatcher.specs().iter().map(|&spec| repository.kernel_for(spec)).collect()
+        dispatcher
+            .specs()
+            .iter()
+            .map(|&spec| repository.kernel_for(spec).with_execute_threads(execute_threads))
+            .collect()
     }
 }
 
@@ -285,7 +293,7 @@ mod tests {
     fn context(max_batch: usize, pool: DevicePool) -> Arc<WorkerContext> {
         let repository = Arc::new(ModelRepository::new(pool.primary().clone(), 32));
         let dispatcher = Arc::new(DeviceDispatcher::new(&pool, DispatchPolicy::MinCompletionTime));
-        let kernels = WorkerContext::kernels_for(&repository, &dispatcher);
+        let kernels = WorkerContext::kernels_for(&repository, &dispatcher, 1);
         Arc::new(WorkerContext {
             scheduler: Arc::new(BatchScheduler::new(BatchPolicy {
                 max_batch,

@@ -165,6 +165,50 @@ fn connection_limit_rejects_the_excess_connection() {
 }
 
 #[test]
+fn non_reading_client_cannot_grow_the_outbound_buffer_past_the_cap() {
+    let mut server = WireServer::start(
+        ServeConfig::default()
+            .with_max_batch(4)
+            .with_max_queue_wait(Duration::from_millis(1))
+            .with_proxy_dim(PROXY_DIM)
+            // Far below one response frame, so the first completed response
+            // breaches — exactly what a production-size buffer looks like
+            // under a client that submitted work and stopped reading.
+            .with_max_outbound_bytes(64),
+    )
+    .expect("bind loopback");
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+    for seed in 0..8 {
+        client.send(&request(seed)).expect("send");
+    }
+    // The client reads nothing; the server must poison the connection
+    // instead of buffering responses without bound.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.wire_stats().outbound_overflows == 0 {
+        assert!(Instant::now() < deadline, "server never detected the slow reader");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // When the client finally reads it finds the backlog dropped: one final
+    // error frame under the poison id, then EOF.
+    let response = client.recv().expect("final error frame");
+    assert_eq!(response.id, dsstc_serve::net::POISON_ID);
+    assert_eq!(response.status, WireStatus::ShuttingDown);
+    assert!(response.message.contains("outbound"), "{}", response.message);
+    assert!(matches!(client.recv(), Err(WireError::Truncated | WireError::Io(_))));
+    // The poisoned connection is retired once its in-flight work drains,
+    // and later completions must not re-count the breach.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.wire_stats().connections_closed == 0 {
+        assert!(Instant::now() < deadline, "poisoned connection never retired");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let wire = server.wire_stats();
+    assert_eq!(wire.outbound_overflows, 1);
+    assert!(wire.error_frames_sent >= 1);
+    server.shutdown();
+}
+
+#[test]
 fn graceful_shutdown_answers_every_pipelined_request() {
     let mut server = wire_server();
     let mut client = WireClient::connect(server.local_addr()).expect("connect");

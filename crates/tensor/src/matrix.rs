@@ -234,12 +234,11 @@ impl Matrix {
     /// is `(row0, col0)`, padding with zeros when it overhangs the edge.
     pub fn tile(&self, row0: usize, col0: usize, tile_rows: usize, tile_cols: usize) -> Matrix {
         let mut out = Matrix::zeros(tile_rows, tile_cols);
-        for r in 0..tile_rows {
-            for c in 0..tile_cols {
-                if let Some(v) = self.get(row0 + r, col0 + c) {
-                    out[(r, c)] = v;
-                }
-            }
+        let copy_rows = tile_rows.min(self.rows.saturating_sub(row0));
+        let copy_cols = tile_cols.min(self.cols.saturating_sub(col0));
+        for r in 0..copy_rows {
+            let src = &self.data[(row0 + r) * self.cols + col0..][..copy_cols];
+            out.data[r * tile_cols..r * tile_cols + copy_cols].copy_from_slice(src);
         }
         out
     }
@@ -247,13 +246,11 @@ impl Matrix {
     /// Writes `tile` into this matrix at `(row0, col0)`, ignoring any part
     /// that would fall outside the bounds.
     pub fn set_tile(&mut self, row0: usize, col0: usize, tile: &Matrix) {
-        for r in 0..tile.rows {
-            for c in 0..tile.cols {
-                let (rr, cc) = (row0 + r, col0 + c);
-                if rr < self.rows && cc < self.cols {
-                    self[(rr, cc)] = tile[(r, c)];
-                }
-            }
+        let copy_rows = tile.rows.min(self.rows.saturating_sub(row0));
+        let copy_cols = tile.cols.min(self.cols.saturating_sub(col0));
+        for r in 0..copy_rows {
+            let src = &tile.data[r * tile.cols..][..copy_cols];
+            self.data[(row0 + r) * self.cols + col0..][..copy_cols].copy_from_slice(src);
         }
     }
 
