@@ -32,15 +32,18 @@ def require_number(cell, key, minimum=None):
 
 
 def validate_serve(doc):
-    """dsstc.bench.serve/1 — closed-loop serving sweep cells."""
+    """dsstc.bench.serve/1 — serving sweep cells (any driver mode)."""
     assert doc["schema"] == "dsstc.bench.serve/1", doc["schema"]
-    assert doc["mode"] == "closed_loop", doc["mode"]
+    assert doc["mode"] in (
+        "closed_loop", "open_loop", "open_loop_wire", "wire_fanin",
+    ), doc["mode"]
     assert doc["cells"], "no cells"
     for cell in doc["cells"]:
         for key in (
-            "pool", "workers", "max_batch", "path", "offered_rps",
-            "completed", "achieved_rps", "queue_p50_us", "queue_p99_us",
-            "execute_p50_us", "execute_p99_us", "e2e_p50_us", "e2e_p99_us",
+            "pool", "workers", "max_batch", "path", "connections",
+            "reactors", "offered_rps", "completed", "achieved_rps",
+            "queue_p50_us", "queue_p99_us", "execute_p50_us",
+            "execute_p99_us", "e2e_p50_us", "e2e_p99_us",
             "mean_batch_size", "cache_hit_rate", "per_priority",
             "per_device", "wire",
         ):
@@ -49,8 +52,22 @@ def validate_serve(doc):
         # percentiles; CI sweeps must never produce one.
         require_number(cell, "completed", minimum=1)
         assert require_number(cell, "achieved_rps") > 0, "achieved_rps must be positive"
-        assert require_number(cell, "e2e_p99_us") > 0
+        # Client-side e2e samples exist on every path except the fan-in
+        # burst driver, which measures whole-burst wall clock instead.
+        if doc["mode"] != "wire_fanin":
+            assert require_number(cell, "e2e_p99_us") > 0
         assert len(cell["per_priority"]) == 3
+        # connections/reactors describe the TCP front-end: numbers on
+        # wire cells, null on in-process cells (which have neither).
+        if cell["path"] == "wire":
+            require_number(cell, "connections", minimum=1)
+            require_number(cell, "reactors", minimum=1)
+            assert cell["wire"] is not None, "wire cells carry wire stats"
+            require_number(cell["wire"], "connections_accepted", minimum=1)
+        else:
+            assert cell["path"] == "in_process", cell["path"]
+            assert cell["connections"] is None, cell["connections"]
+            assert cell["reactors"] is None, cell["reactors"]
     return f"{len(doc['cells'])} serve cells"
 
 

@@ -55,6 +55,14 @@ const USAGE: &str = "usage: serve_throughput [FLAGS]
                             and over the TCP front-end on loopback, print the
                             latencies side by side and assert bit-identical
                             outputs
+  --reactors N              [with --wire] shard the server front-end across N
+                            epoll reactors (default 1; 0 = host parallelism)
+  --connections N           [with --wire] fan-in mode: replace the open-loop
+                            grid with a burst of pipelined traffic over N
+                            concurrent connections, served once with a single
+                            reactor and once with --reactors, asserting
+                            bit-identical outputs vs in-process and reporting
+                            the client-observed throughput ratio
   --smoke                   CI-sized grid
   --submitters N            pin the open-loop submitter thread count
   --encode-cache-dir DIR    persist encoded weights across runs
@@ -63,7 +71,8 @@ const USAGE: &str = "usage: serve_throughput [FLAGS]
                             docs/OBSERVABILITY.md)
   --help                    this text
 
---wire, --submitters and --encode-cache-dir require --open-loop.";
+--wire, --submitters and --encode-cache-dir require --open-loop;
+--reactors and --connections require --wire.";
 
 fn usage_error(message: &str) -> ! {
     eprintln!("serve_throughput: {message}\n\n{USAGE}");
@@ -166,6 +175,8 @@ fn closed_loop(smoke: bool) -> Vec<BenchCell> {
                 pool: "default".to_string(),
                 max_batch,
                 offered_rps: None,
+                connections: None,
+                reactors: None,
                 result,
             });
         }
@@ -205,6 +216,11 @@ struct BenchCell {
     max_batch: usize,
     /// `None` for closed-loop cells (the driver has no arrival clock).
     offered_rps: Option<f64>,
+    /// Concurrent client connections driving the cell (`None` for
+    /// in-process cells, which have no connections at all).
+    connections: Option<usize>,
+    /// Server-side reactor count (`None` for in-process cells).
+    reactors: Option<usize>,
     result: CellResult,
 }
 
@@ -294,10 +310,12 @@ fn run_wire_cell(
     offered_rps: f64,
     requests: u64,
     submitters: usize,
+    reactors: usize,
     encode_cache_dir: Option<&PathBuf>,
 ) -> CellResult {
     let mut server =
-        WireServer::start(cell_config(pool, max_batch, encode_cache_dir)).expect("bind loopback");
+        WireServer::start(cell_config(pool, max_batch, encode_cache_dir).with_reactors(reactors))
+            .expect("bind loopback");
     for model in [ModelId::ResNet50, ModelId::BertBase] {
         server.server().warm_model(model, None);
     }
@@ -383,9 +401,381 @@ fn run_wire_cell(
     _offered_rps: f64,
     _requests: u64,
     _submitters: usize,
+    _reactors: usize,
     _encode_cache_dir: Option<&PathBuf>,
 ) -> CellResult {
     unreachable!("--wire is rejected on non-Linux platforms")
+}
+
+/// The fan-in benchmark (`--connections N`): a burst of pipelined traffic
+/// over N concurrent connections, driven by an epoll client fleet, served
+/// once with a single reactor and once with `--reactors`. Outputs are
+/// asserted bit-identical against the in-process path, and the
+/// client-observed throughput ratio is the headline number.
+#[cfg(target_os = "linux")]
+mod fanin {
+    use super::*;
+    use dsstc_serve::net::poll::{Event, Poller, Token, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+    use dsstc_serve::net::{encode_request_into, Frame, FrameDecoder, WireStatus};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::os::fd::AsRawFd;
+    use std::sync::{Arc, Barrier};
+
+    /// Pipelined requests each connection sends in its burst.
+    pub const PER_CONN: u64 = 2;
+    /// Distinct request payloads: connection `c`'s `i`-th request reuses
+    /// seed `(c * PER_CONN + i) % SEED_UNIVERSE`, so the bit-identical
+    /// check only needs this many in-process reference inferences no
+    /// matter how many connections fan in.
+    const SEED_UNIVERSE: u64 = 32;
+    /// Client event-loop threads, each owning a disjoint slice of the
+    /// connections. Fixed (not scaled with `--reactors`) so both server
+    /// variants face the identical client fleet.
+    const CLIENT_THREADS: usize = 8;
+    const FANIN_PROXY_DIM: usize = 32;
+
+    fn seed_for(conn: usize, i: u64) -> u64 {
+        (conn as u64 * PER_CONN + i) % SEED_UNIVERSE
+    }
+
+    fn fanin_request(seed: u64) -> InferRequest {
+        let model = if seed.is_multiple_of(2) { ModelId::RnnLm } else { ModelId::BertBase };
+        let features =
+            Matrix::random_sparse(1, FANIN_PROXY_DIM, 0.4, SparsityPattern::Uniform, seed);
+        InferRequest::new(model, features)
+    }
+
+    /// The cell is meant to be front-end bound: tiny proxy GEMMs, a large
+    /// batch bound and several workers keep the backend out of the way so
+    /// the measured throughput is the reactors' decode/submit/encode path.
+    fn fanin_config(connections: usize, reactors: usize) -> ServeConfig {
+        ServeConfig::default()
+            .with_devices(DevicePool::homogeneous(GpuConfig::v100(), 4))
+            .with_max_batch(64)
+            .with_max_queue_wait(Duration::from_micros(500))
+            .with_proxy_dim(FANIN_PROXY_DIM)
+            .with_max_connections(connections + 16)
+            .with_reactors(reactors)
+    }
+
+    /// Raises `RLIMIT_NOFILE` to its hard limit: a 10k-connection fan-in
+    /// needs ~20k fds in this process (client and server share it).
+    pub fn raise_nofile_limit(connections: usize) {
+        #[repr(C)]
+        struct RLimit {
+            rlim_cur: u64,
+            rlim_max: u64,
+        }
+        extern "C" {
+            fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+            fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+        }
+        const RLIMIT_NOFILE: i32 = 7;
+        let needed = (connections as u64) * 2 + 256;
+        unsafe {
+            let mut lim = RLimit { rlim_cur: 0, rlim_max: 0 };
+            if getrlimit(RLIMIT_NOFILE, &mut lim) != 0 {
+                return;
+            }
+            if lim.rlim_max < needed {
+                // Privileged processes (CI containers run as root) may
+                // raise the hard limit as well; harmless EPERM otherwise.
+                let raised = RLimit { rlim_cur: needed, rlim_max: needed };
+                let _ = setrlimit(RLIMIT_NOFILE, &raised);
+                let _ = getrlimit(RLIMIT_NOFILE, &mut lim);
+            }
+            if lim.rlim_cur < needed && lim.rlim_cur < lim.rlim_max {
+                lim.rlim_cur = needed.min(lim.rlim_max);
+                let _ = setrlimit(RLIMIT_NOFILE, &lim);
+                let _ = getrlimit(RLIMIT_NOFILE, &mut lim);
+            }
+            if lim.rlim_cur < needed {
+                eprintln!(
+                    "serve_throughput: warning: RLIMIT_NOFILE is {} but ~{needed} fds are \
+                     needed for {connections} connections; expect connect failures",
+                    lim.rlim_cur
+                );
+            }
+        }
+    }
+
+    /// One client-side connection in the fleet.
+    struct FanConn {
+        stream: TcpStream,
+        decoder: FrameDecoder,
+        /// The whole pipelined burst, encoded up front (outside the clock).
+        outbound: Vec<u8>,
+        written: usize,
+        /// Responses still expected on this connection.
+        remaining: u64,
+        /// `seeds[id]` is the seed request `id` carried.
+        seeds: [u64; PER_CONN as usize],
+        watching_out: bool,
+    }
+
+    /// Runs one fan-in cell and returns it with the client-observed
+    /// throughput (every response received and verified bit-identical to
+    /// `expected`).
+    pub fn run_fanin_cell(
+        connections: usize,
+        reactors: usize,
+        expected: &HashMap<u64, Matrix>,
+    ) -> CellResult {
+        let mut server =
+            WireServer::start(fanin_config(connections, reactors)).expect("bind loopback");
+        for model in [ModelId::RnnLm, ModelId::BertBase] {
+            server.server().warm_model(model, None);
+        }
+        let addr = server.local_addr();
+        let max_frame_len = ServeConfig::default().max_frame_len;
+        // Encode each distinct (seed, id) frame once; connections reuse
+        // the templates for their outbound bursts.
+        let requests: Vec<InferRequest> = (0..SEED_UNIVERSE).map(fanin_request).collect();
+        let threads = CLIENT_THREADS.min(connections.max(1));
+        let barrier = Arc::new(Barrier::new(threads + 1));
+        let requests_total = (connections as u64) * PER_CONN;
+
+        let (clock, responded) = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let barrier = Arc::clone(&barrier);
+                    let requests = &requests;
+                    scope.spawn(move || {
+                        // This thread's slice of the connection space.
+                        let share: Vec<usize> =
+                            (0..connections).filter(|c| c % threads == t).collect();
+                        let poller = Poller::new().expect("client epoll");
+                        let mut conns: Vec<FanConn> = share
+                            .iter()
+                            .map(|&c| {
+                                // A connect failure (typically EMFILE when the
+                                // fd limit could not be raised) must abort the
+                                // process: panicking here would leave the main
+                                // thread wedged on the start barrier.
+                                let stream = TcpStream::connect(addr).unwrap_or_else(|e| {
+                                    eprintln!(
+                                        "serve_throughput: fan-in connect failed \
+                                         ({e}); is RLIMIT_NOFILE high enough?"
+                                    );
+                                    std::process::exit(1);
+                                });
+                                stream.set_nonblocking(true).expect("nonblocking");
+                                let _ = stream.set_nodelay(true);
+                                let mut outbound = Vec::new();
+                                let mut seeds = [0u64; PER_CONN as usize];
+                                for i in 0..PER_CONN {
+                                    let seed = seed_for(c, i);
+                                    seeds[i as usize] = seed;
+                                    encode_request_into(&mut outbound, i, &requests[seed as usize]);
+                                }
+                                FanConn {
+                                    stream,
+                                    decoder: FrameDecoder::new(max_frame_len),
+                                    outbound,
+                                    written: 0,
+                                    remaining: PER_CONN,
+                                    seeds,
+                                    watching_out: false,
+                                }
+                            })
+                            .collect();
+                        // Everyone connected and encoded: start the clock.
+                        barrier.wait();
+                        for (index, conn) in conns.iter_mut().enumerate() {
+                            flush(conn);
+                            let interest = if conn.written < conn.outbound.len() {
+                                conn.watching_out = true;
+                                EPOLLIN | EPOLLOUT | EPOLLRDHUP
+                            } else {
+                                EPOLLIN | EPOLLRDHUP
+                            };
+                            poller
+                                .register(conn.stream.as_raw_fd(), interest, Token(index as u64))
+                                .expect("register fan-in conn");
+                        }
+                        let mut scratch = vec![0u8; 64 * 1024];
+                        let mut events: Vec<Event> = Vec::new();
+                        let mut open = conns.len() as u64;
+                        let mut responded = 0u64;
+                        while open > 0 {
+                            events.clear();
+                            poller.wait(&mut events, None).expect("client epoll wait");
+                            for event in &events {
+                                let Token(index) = event.token;
+                                let conn = &mut conns[index as usize];
+                                if conn.remaining == 0 {
+                                    continue;
+                                }
+                                if event.writable() && conn.written < conn.outbound.len() {
+                                    flush(conn);
+                                }
+                                if conn.watching_out && conn.written == conn.outbound.len() {
+                                    conn.watching_out = false;
+                                    let _ = poller.reregister(
+                                        conn.stream.as_raw_fd(),
+                                        EPOLLIN | EPOLLRDHUP,
+                                        event.token,
+                                    );
+                                }
+                                if event.readable() {
+                                    responded += read_responses(conn, &mut scratch, expected);
+                                    if conn.remaining == 0 {
+                                        let _ = poller.deregister(conn.stream.as_raw_fd());
+                                        open -= 1;
+                                    }
+                                }
+                            }
+                        }
+                        responded
+                    })
+                })
+                .collect();
+            barrier.wait();
+            let clock = Instant::now();
+            let responded: u64 =
+                handles.into_iter().map(|h| h.join().expect("client thread")).sum();
+            (clock.elapsed(), responded)
+        });
+        assert_eq!(responded, requests_total, "every fan-in request must be answered");
+        let stats = server.stats();
+        server.shutdown();
+        CellResult {
+            achieved_rps: requests_total as f64 / clock.as_secs_f64(),
+            stats,
+            outputs: HashMap::new(),
+            e2e_us: Vec::new(),
+            wire_path: true,
+        }
+    }
+
+    fn flush(conn: &mut FanConn) {
+        while conn.written < conn.outbound.len() {
+            match conn.stream.write(&conn.outbound[conn.written..]) {
+                Ok(0) => panic!("fan-in connection died mid-send"),
+                Ok(n) => conn.written += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => panic!("fan-in send failed: {e}"),
+            }
+        }
+    }
+
+    /// Reads everything the socket has, verifying each decoded response
+    /// against the in-process reference on the spot. Returns how many
+    /// responses arrived.
+    fn read_responses(
+        conn: &mut FanConn,
+        scratch: &mut [u8],
+        expected: &HashMap<u64, Matrix>,
+    ) -> u64 {
+        let mut responded = 0;
+        loop {
+            match conn.stream.read(scratch) {
+                Ok(0) => panic!("server closed a fan-in connection early"),
+                Ok(n) => {
+                    conn.decoder.feed(&scratch[..n]);
+                    while let Some(frame) =
+                        conn.decoder.next_frame().expect("well-formed response stream")
+                    {
+                        let Frame::Response(response) = frame else {
+                            panic!("server sent a request frame");
+                        };
+                        assert_eq!(response.status, WireStatus::Ok, "{}", response.message);
+                        let seed = conn.seeds[response.id as usize];
+                        let body = response.into_body().expect("ok body");
+                        assert_eq!(
+                            &body.output,
+                            expected.get(&seed).expect("reference output"),
+                            "fan-in output differs from in-process for seed {seed}"
+                        );
+                        conn.remaining -= 1;
+                        responded += 1;
+                    }
+                    if conn.remaining == 0 {
+                        return responded;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return responded,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => panic!("fan-in read failed: {e}"),
+            }
+        }
+    }
+
+    /// The in-process reference outputs for the whole seed universe (the
+    /// deterministic request → output mapping is what the fan-in cells are
+    /// checked against).
+    pub fn reference_outputs(connections: usize, reactors: usize) -> HashMap<u64, Matrix> {
+        let mut server = InferenceServer::start(fanin_config(connections, reactors));
+        for model in [ModelId::RnnLm, ModelId::BertBase] {
+            server.warm_model(model, None);
+        }
+        let outputs = (0..SEED_UNIVERSE)
+            .map(|seed| (seed, server.infer(fanin_request(seed)).expect("reference").output))
+            .collect();
+        server.shutdown();
+        outputs
+    }
+}
+
+/// The `--connections N` sweep: single-reactor baseline vs `--reactors`,
+/// same connection count, same client fleet.
+#[cfg(target_os = "linux")]
+fn fan_in(connections: usize, reactors: usize) -> (u64, Vec<BenchCell>) {
+    fanin::raise_nofile_limit(connections);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < reactors {
+        eprintln!(
+            "serve_throughput: note: {reactors} reactors on a {cores}-core host — the \
+             reactor threads time-share, so expect flat (not multiplied) throughput; \
+             the sharding speed-up needs at least {reactors} cores"
+        );
+    }
+    let expected = fanin::reference_outputs(connections, reactors);
+    let requests_total = connections as u64 * fanin::PER_CONN;
+    println!(
+        "dsstc-serve fan-in bench: {connections} pipelined connections x {} requests each, \
+         outputs checked bit-for-bit against the in-process path\n",
+        fanin::PER_CONN
+    );
+    println!("{:>10} {:>13} {:>14} {:>14}", "reactors", "connections", "client req/s", "elapsed s");
+    let mut variants = vec![1usize];
+    if reactors != 1 {
+        variants.push(reactors);
+    }
+    let mut cells = Vec::new();
+    let mut rates = Vec::new();
+    for &r in &variants {
+        let result = fanin::run_fanin_cell(connections, r, &expected);
+        println!(
+            "{r:>10} {connections:>13} {:>14.1} {:>14.2}",
+            result.achieved_rps,
+            requests_total as f64 / result.achieved_rps,
+        );
+        rates.push(result.achieved_rps);
+        cells.push(BenchCell {
+            pool: "4x V100".to_string(),
+            max_batch: 64,
+            offered_rps: None,
+            connections: Some(connections),
+            reactors: Some(r),
+            result,
+        });
+    }
+    if let [baseline, sharded] = rates[..] {
+        println!(
+            "\nclient-observed speed-up at {connections} connections: {:.2}x \
+             ({reactors} reactors vs 1)",
+            sharded / baseline
+        );
+    }
+    (requests_total, cells)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn fan_in(_connections: usize, _reactors: usize) -> (u64, Vec<BenchCell>) {
+    unreachable!("--connections requires --wire, which is rejected off Linux")
 }
 
 /// Asserts the wire path reproduced the in-process outputs bit for bit.
@@ -406,6 +796,7 @@ fn open_loop(
     submitters: Option<usize>,
     encode_cache_dir: Option<&PathBuf>,
     wire: bool,
+    reactors: usize,
 ) -> (u64, Vec<BenchCell>) {
     let (loads, requests): (&[f64], u64) =
         if smoke { (&[200.0, 800.0], 32) } else { (&[100.0, 200.0, 400.0, 800.0, 1600.0], 96) };
@@ -468,6 +859,7 @@ fn open_loop(
                         load,
                         requests,
                         threads,
+                        reactors,
                         encode_cache_dir,
                     );
                     assert_bit_identical(&in_process, &over_wire);
@@ -485,6 +877,9 @@ fn open_loop(
                         pool: name.to_string(),
                         max_batch,
                         offered_rps: Some(load),
+                        // One pipelined connection per submitter thread.
+                        connections: Some(threads),
+                        reactors: Some(reactors),
                         result: over_wire,
                     });
                 } else {
@@ -503,6 +898,8 @@ fn open_loop(
                     pool: name.to_string(),
                     max_batch,
                     offered_rps: Some(load),
+                    connections: None,
+                    reactors: None,
                     result: in_process,
                 });
             }
@@ -622,7 +1019,7 @@ fn bench_cell_json(cell: &BenchCell) -> String {
     let achieved_rps = if stats.completed_requests == 0 { 0.0 } else { cell.result.achieved_rps };
     format!(
         "{{\"pool\": {}, \"workers\": {}, \"max_batch\": {}, \"path\": {}, \
-         \"completed\": {}, \
+         \"connections\": {}, \"reactors\": {}, \"completed\": {}, \
          \"offered_rps\": {}, \"achieved_rps\": {}, \"queue_p50_us\": {}, \"queue_p99_us\": {}, \
          \"execute_p50_us\": {}, \"execute_p99_us\": {}, \"e2e_p50_us\": {}, \"e2e_p99_us\": {}, \
          \"mean_batch_size\": {}, \"cache_hit_rate\": {}, \"per_priority\": [{}], \
@@ -631,6 +1028,8 @@ fn bench_cell_json(cell: &BenchCell) -> String {
         stats.per_device.len(),
         cell.max_batch,
         json_str(if cell.result.wire_path { "wire" } else { "in_process" }),
+        cell.connections.map_or("null".to_string(), |n| n.to_string()),
+        cell.reactors.map_or("null".to_string(), |n| n.to_string()),
         stats.completed_requests,
         cell.offered_rps.map_or("null".to_string(), json_f64),
         json_f64(achieved_rps),
@@ -674,6 +1073,8 @@ fn main() {
     let mut open = false;
     let mut smoke = false;
     let mut wire = false;
+    let mut reactors: Option<usize> = None;
+    let mut connections: Option<usize> = None;
     let mut submitters: Option<usize> = None;
     let mut encode_cache_dir: Option<PathBuf> = None;
     let mut bench_json: Option<PathBuf> = None;
@@ -691,6 +1092,20 @@ fn main() {
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
+            }
+            "--reactors" => {
+                // 0 is meaningful (host parallelism), so only reject
+                // a missing or non-numeric value.
+                reactors = iter.next().and_then(|v| v.parse().ok());
+                if reactors.is_none() {
+                    usage_error("--reactors needs a non-negative integer");
+                }
+            }
+            "--connections" => {
+                connections = iter.next().and_then(|v| v.parse().ok()).filter(|&n: &usize| n > 0);
+                if connections.is_none() {
+                    usage_error("--connections needs a positive integer");
+                }
             }
             "--submitters" => {
                 submitters = iter.next().and_then(|v| v.parse().ok()).filter(|&n: &usize| n > 0);
@@ -728,7 +1143,20 @@ fn main() {
         }
         return;
     }
-    let (requests, cells) = open_loop(smoke, submitters, encode_cache_dir.as_ref(), wire);
+    if !wire && (reactors.is_some() || connections.is_some()) {
+        usage_error("--reactors and --connections require --wire");
+    }
+    if let Some(connections) = connections {
+        // Fan-in mode replaces the open-loop grid: one burst over N
+        // concurrent connections, single-reactor baseline vs --reactors.
+        let (requests, cells) = fan_in(connections, reactors.unwrap_or(1));
+        if let Some(path) = &bench_json {
+            write_bench_json(path, "wire_fanin", requests, &cells);
+        }
+        return;
+    }
+    let (requests, cells) =
+        open_loop(smoke, submitters, encode_cache_dir.as_ref(), wire, reactors.unwrap_or(1));
     if let Some(path) = &bench_json {
         let mode = if wire { "open_loop_wire" } else { "open_loop" };
         write_bench_json(path, mode, requests, &cells);
@@ -756,6 +1184,8 @@ mod tests {
             pool: "empty".to_string(),
             max_batch: 1,
             offered_rps: Some(100.0),
+            connections: None,
+            reactors: None,
             result: CellResult {
                 // What an instant 0-request burst divides out to.
                 achieved_rps: f64::NAN,
@@ -783,6 +1213,8 @@ mod tests {
                 pool: "default".to_string(),
                 max_batch: 2,
                 offered_rps: None,
+                connections: None,
+                reactors: None,
                 result,
             })
         };

@@ -113,6 +113,13 @@ pub struct ServeConfig {
     /// accepts beyond the limit are closed immediately (counted in
     /// [`crate::stats::WireStats::connections_rejected`]).
     pub max_connections: usize,
+    /// Number of wire front-end reactors: epoll event loops that each own a
+    /// disjoint subset of the connections, with one completion pump per
+    /// reactor. The first reactor owns the listener and hands accepted
+    /// connections to the least-loaded reactor. `1` (the default) is the
+    /// single-loop front-end; `0` sizes to the host's available parallelism
+    /// when the [`crate::net::WireServer`] starts.
+    pub reactors: usize,
     /// Largest **request** frame body accepted, in bytes. A request
     /// declaring more is rejected from its ten-byte envelope, before any
     /// allocation. Responses to legal requests may exceed this by the
@@ -159,6 +166,7 @@ impl Default for ServeConfig {
             encode_cache_budget: CacheBudget::default(),
             listen: None,
             max_connections: 256,
+            reactors: 1,
             max_frame_len: 1 << 24,
             drain_timeout: Duration::from_secs(30),
             metrics_addr: None,
@@ -260,6 +268,13 @@ impl ServeConfig {
         self
     }
 
+    /// Overrides the wire front-end's reactor count (`0` = size to the
+    /// host's available parallelism at start time).
+    pub fn with_reactors(mut self, reactors: usize) -> Self {
+        self.reactors = reactors;
+        self
+    }
+
     /// Overrides the wire frame-body size bound.
     ///
     /// # Panics
@@ -319,6 +334,15 @@ mod tests {
         assert!(c.proxy_dim % 32 == 0);
         assert_eq!(c.dispatch, DispatchPolicy::MinCompletionTime);
         assert_eq!(c.devices.primary().name, "Tesla V100");
+        assert_eq!(c.reactors, 1, "the default front-end is single-reactor");
+    }
+
+    #[test]
+    fn reactor_count_builds_on_and_zero_means_host_sized() {
+        let c = ServeConfig::default().with_reactors(4);
+        assert_eq!(c.reactors, 4);
+        // 0 is a valid setting: the wire server resolves it at start time.
+        assert_eq!(ServeConfig::default().with_reactors(0).reactors, 0);
     }
 
     #[test]

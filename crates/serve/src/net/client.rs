@@ -12,8 +12,8 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 use crate::net::frame::{
-    Frame, FrameDecoder, RequestFrame, ResponseBody, ResponseFrame, WireError, WireStatus,
-    RESPONSE_HEADROOM,
+    encode_request_into, Frame, FrameDecoder, RequestFrame, ResponseBody, ResponseFrame, WireError,
+    WireStatus, RESPONSE_HEADROOM,
 };
 use crate::request::InferRequest;
 
@@ -23,6 +23,9 @@ pub struct WireClient {
     stream: TcpStream,
     decoder: FrameDecoder,
     scratch: Vec<u8>,
+    /// Reused per [`WireClient::send`]: the request frame is encoded in
+    /// place, so steady-state sends allocate nothing.
+    encode_buf: Vec<u8>,
     next_id: u64,
     /// Request-side frame bound; the response decoder allows
     /// [`RESPONSE_HEADROOM`] on top (a response to a legal request is that
@@ -43,6 +46,7 @@ impl WireClient {
             stream,
             decoder: FrameDecoder::new(max_frame_len + RESPONSE_HEADROOM),
             scratch: vec![0u8; 64 * 1024],
+            encode_buf: Vec::new(),
             next_id: 0,
             max_frame_len,
         })
@@ -67,6 +71,7 @@ impl WireClient {
             stream: self.stream.try_clone()?,
             decoder: FrameDecoder::new(self.max_frame_len + RESPONSE_HEADROOM),
             scratch: vec![0u8; 64 * 1024],
+            encode_buf: Vec::new(),
             next_id: 0,
             max_frame_len: self.max_frame_len,
         })
@@ -87,11 +92,15 @@ impl WireClient {
     }
 
     /// Sends one request frame; returns the id the response will echo.
-    /// Does not wait for the response — requests pipeline freely.
+    /// Does not wait for the response — requests pipeline freely. The
+    /// frame is encoded straight from the borrowed request into a reused
+    /// buffer (no intermediate feature copy).
     pub fn send(&mut self, request: &InferRequest) -> Result<u64, WireError> {
         let id = self.next_id;
         self.next_id += 1;
-        self.send_frame(&RequestFrame::from_request(id, request))?;
+        self.encode_buf.clear();
+        encode_request_into(&mut self.encode_buf, id, request);
+        self.stream.write_all(&self.encode_buf)?;
         Ok(id)
     }
 

@@ -231,14 +231,17 @@ impl RequestFrame {
 
     /// Encodes the frame, envelope and checksum included.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut body = Vec::with_capacity(32 + self.features.as_slice().len() * 4);
-        put_u64(&mut body, self.id);
-        body.push(self.model.wire_code());
-        put_u16(&mut body, self.sparsity_permille.unwrap_or(SPARSITY_NONE));
-        body.push(self.priority.wire_code());
-        put_u32(&mut body, self.deadline_us.unwrap_or(0));
-        put_matrix(&mut body, &self.features);
-        seal(REQUEST_MAGIC, body)
+        let mut out =
+            Vec::with_capacity(HEADER_LEN + 32 + self.features.as_slice().len() * 4 + CHECKSUM_LEN);
+        seal_into(&mut out, REQUEST_MAGIC, |body| {
+            put_u64(body, self.id);
+            body.push(self.model.wire_code());
+            put_u16(body, self.sparsity_permille.unwrap_or(SPARSITY_NONE));
+            body.push(self.priority.wire_code());
+            put_u32(body, self.deadline_us.unwrap_or(0));
+            put_matrix(body, &self.features);
+        });
+        out
     }
 
     /// Decodes one request body (the envelope already stripped and the
@@ -340,28 +343,30 @@ impl ResponseFrame {
 
     /// Encodes the frame, envelope and checksum included.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut body = Vec::new();
-        put_u64(&mut body, self.id);
-        body.push(self.status.code());
+        let mut out = Vec::new();
         match &self.body {
-            Some(ok) => {
+            Some(ok) => seal_into(&mut out, RESPONSE_MAGIC, |body| {
+                put_u64(body, self.id);
+                body.push(self.status.code());
                 body.push(ok.model.wire_code());
                 body.push(ok.priority.wire_code());
-                put_u16(&mut body, ok.device);
-                put_u16(&mut body, ok.batch_size);
-                put_f64(&mut body, ok.queue_us);
-                put_f64(&mut body, ok.execute_us);
-                put_f64(&mut body, ok.modelled_batch_us);
-                put_f64(&mut body, ok.modelled_request_us);
-                put_matrix(&mut body, &ok.output);
-            }
-            None => {
+                put_u16(body, ok.device);
+                put_u16(body, ok.batch_size);
+                put_f64(body, ok.queue_us);
+                put_f64(body, ok.execute_us);
+                put_f64(body, ok.modelled_batch_us);
+                put_f64(body, ok.modelled_request_us);
+                put_matrix(body, &ok.output);
+            }),
+            None => seal_into(&mut out, RESPONSE_MAGIC, |body| {
+                put_u64(body, self.id);
+                body.push(self.status.code());
                 let message = self.message.as_bytes();
-                put_u32(&mut body, message.len().min(u32::MAX as usize) as u32);
+                put_u32(body, message.len().min(u32::MAX as usize) as u32);
                 body.extend_from_slice(message);
-            }
+            }),
         }
-        seal(RESPONSE_MAGIC, body)
+        out
     }
 
     /// Decodes one response body (envelope stripped, checksum verified).
@@ -372,8 +377,11 @@ impl ResponseFrame {
             .ok_or(WireError::Malformed("unknown status tag"))?;
         if status != WireStatus::Ok {
             let len = cursor.u32()? as usize;
-            let message = String::from_utf8(cursor.take(len)?.to_vec())
-                .map_err(|_| WireError::Malformed("error message is not UTF-8"))?;
+            // Validate in place and copy once; `from_utf8(..to_vec())` would
+            // allocate before knowing the bytes are even text.
+            let message = std::str::from_utf8(cursor.take(len)?)
+                .map_err(|_| WireError::Malformed("error message is not UTF-8"))?
+                .to_owned();
             cursor.finish()?;
             return Ok(ResponseFrame { id, status, body: None, message });
         }
@@ -417,17 +425,80 @@ pub enum Frame {
     Response(ResponseFrame),
 }
 
-/// Wraps a body in the shared envelope: magic, version, length prefix,
-/// body, FNV-1a checksum.
-fn seal(magic: [u8; 4], body: Vec<u8>) -> Vec<u8> {
-    let mut out = Vec::with_capacity(HEADER_LEN + body.len() + CHECKSUM_LEN);
+/// Appends one sealed frame to `out`: writes the envelope, lets `fill`
+/// append the body **in place**, then back-patches the length prefix and
+/// checksums the written body slice. Byte-identical to building the body in
+/// its own `Vec` and copying it into a fresh envelope, without either
+/// allocation — the hot-path encoders below serialise straight into a
+/// connection's outbound buffer through this.
+fn seal_into(out: &mut Vec<u8>, magic: [u8; 4], fill: impl FnOnce(&mut Vec<u8>)) {
     out.extend_from_slice(&magic);
-    put_u16(&mut out, WIRE_VERSION);
-    put_u32(&mut out, body.len().try_into().expect("frame bodies are bounded well below 4 GiB"));
-    let checksum = fnv1a(&body);
-    out.extend_from_slice(&body);
-    put_u64(&mut out, checksum);
-    out
+    put_u16(out, WIRE_VERSION);
+    let length_at = out.len();
+    put_u32(out, 0); // back-patched once the body length is known
+    let body_start = out.len();
+    fill(out);
+    let body_len: u32 =
+        (out.len() - body_start).try_into().expect("frame bodies are bounded well below 4 GiB");
+    out[length_at..length_at + 4].copy_from_slice(&body_len.to_le_bytes());
+    let checksum = fnv1a(&out[body_start..]);
+    put_u64(out, checksum);
+}
+
+/// Serialises the request frame for `request` under the client-chosen `id`
+/// directly into `out` — byte-identical to
+/// `RequestFrame::from_request(id, request).to_bytes()` without cloning the
+/// feature matrix or allocating an intermediate body.
+pub fn encode_request_into(out: &mut Vec<u8>, id: u64, request: &InferRequest) {
+    let sparsity = crate::ModelKey::new(request.model, request.weight_sparsity)
+        .sparsity_permille
+        .unwrap_or(SPARSITY_NONE);
+    // Clamped to >= 1, mirroring `RequestFrame::from_request`: 0 is the "no
+    // deadline" sentinel on the wire.
+    let deadline_us =
+        request.deadline.map_or(0, |d| d.as_micros().clamp(1, u128::from(u32::MAX)) as u32);
+    out.reserve(HEADER_LEN + 24 + request.features.as_slice().len() * 4 + CHECKSUM_LEN);
+    seal_into(out, REQUEST_MAGIC, |body| {
+        put_u64(body, id);
+        body.push(request.model.wire_code());
+        put_u16(body, sparsity);
+        body.push(request.priority.wire_code());
+        put_u32(body, deadline_us);
+        put_matrix(body, &request.features);
+    });
+}
+
+/// Serialises the `Ok` response frame answering `id` directly into `out` —
+/// byte-identical to `ResponseFrame::from_response(id, response).to_bytes()`
+/// without cloning the output matrix or allocating an intermediate body.
+pub fn encode_response_into(out: &mut Vec<u8>, id: u64, response: &InferResponse) {
+    out.reserve(HEADER_LEN + 55 + response.output.as_slice().len() * 4 + CHECKSUM_LEN);
+    seal_into(out, RESPONSE_MAGIC, |body| {
+        put_u64(body, id);
+        body.push(WireStatus::Ok.code());
+        body.push(response.model.wire_code());
+        body.push(response.priority.wire_code());
+        put_u16(body, response.device.min(usize::from(u16::MAX)) as u16);
+        put_u16(body, response.batch_size.min(usize::from(u16::MAX)) as u16);
+        put_f64(body, response.queue_us);
+        put_f64(body, response.execute_us);
+        put_f64(body, response.modelled_batch_us);
+        put_f64(body, response.modelled_request_us);
+        put_matrix(body, &response.output);
+    });
+}
+
+/// Serialises an error frame directly into `out` — byte-identical to
+/// `ResponseFrame::error(id, status, message).to_bytes()`.
+pub fn encode_error_into(out: &mut Vec<u8>, id: u64, status: WireStatus, message: &str) {
+    debug_assert!(status != WireStatus::Ok, "error frames carry a non-Ok status");
+    seal_into(out, RESPONSE_MAGIC, |body| {
+        put_u64(body, id);
+        body.push(status.code());
+        let message = message.as_bytes();
+        put_u32(body, message.len().min(u32::MAX as usize) as u32);
+        body.extend_from_slice(message);
+    });
 }
 
 /// Decodes exactly one frame from the front of `bytes`.
@@ -494,13 +565,18 @@ pub fn decode_frame(
 #[derive(Debug, Default)]
 pub struct FrameDecoder {
     buffer: Vec<u8>,
+    /// Consumed prefix of `buffer`: frames decode at this offset, so
+    /// pulling a frame is O(frame), not an O(buffer) `drain` memmove of
+    /// everything still pending behind it. The prefix is reclaimed lazily —
+    /// see `compact`.
+    read_at: usize,
     max_body_len: usize,
 }
 
 impl FrameDecoder {
     /// A decoder enforcing `max_body_len` on every frame's length prefix.
     pub fn new(max_body_len: usize) -> Self {
-        FrameDecoder { buffer: Vec::new(), max_body_len }
+        FrameDecoder { buffer: Vec::new(), read_at: 0, max_body_len }
     }
 
     /// Appends freshly read bytes to the internal buffer.
@@ -510,9 +586,10 @@ impl FrameDecoder {
 
     /// Pulls the next complete frame, if the buffer holds one.
     pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
-        match decode_frame(&self.buffer, self.max_body_len)? {
+        match decode_frame(&self.buffer[self.read_at..], self.max_body_len)? {
             Some((frame, consumed)) => {
-                self.buffer.drain(..consumed);
+                self.read_at += consumed;
+                self.compact();
                 Ok(Some(frame))
             }
             None => Ok(None),
@@ -521,7 +598,21 @@ impl FrameDecoder {
 
     /// Bytes buffered but not yet decoded.
     pub fn pending_bytes(&self) -> usize {
-        self.buffer.len()
+        self.buffer.len() - self.read_at
+    }
+
+    /// Reclaims the consumed prefix — but only when it dominates the
+    /// buffer, so a burst of pipelined frames pays one amortised memmove
+    /// instead of one per frame. A fully drained buffer resets for free.
+    fn compact(&mut self) {
+        if self.read_at == self.buffer.len() {
+            self.buffer.clear();
+            self.read_at = 0;
+        } else if self.read_at > self.buffer.len() / 2 {
+            self.buffer.copy_within(self.read_at.., 0);
+            self.buffer.truncate(self.buffer.len() - self.read_at);
+            self.read_at = 0;
+        }
     }
 }
 
@@ -609,10 +700,14 @@ impl<'a> Cursor<'a> {
         if byte_len > self.bytes.len().saturating_sub(self.pos) {
             return Err(WireError::Truncated);
         }
-        let mut data = Vec::with_capacity(elements);
-        for _ in 0..elements {
-            data.push(f32::from_le_bytes(self.take(4)?.try_into().expect("4-byte slice")));
-        }
+        // One bounds check for the whole payload, then a straight-line
+        // chunked conversion the compiler can vectorise — the per-element
+        // `take(4)` loop re-checked bounds on every element.
+        let data = self
+            .take(byte_len)?
+            .chunks_exact(4)
+            .map(|chunk| f32::from_le_bytes(chunk.try_into().expect("4-byte chunk")))
+            .collect();
         Ok(Matrix::from_vec(rows, cols, data))
     }
 
@@ -791,6 +886,87 @@ mod tests {
             assert_eq!(d, Frame::Request(sent));
         }
         assert_eq!(decoder.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn decoder_read_offset_survives_single_burst_and_trailing_fragment() {
+        // One big feed of many pipelined frames plus a partial trailer: the
+        // read-offset cursor must hand back every frame without losing sync,
+        // and the pending count must track the undecoded remainder exactly.
+        let frames: Vec<RequestFrame> = (10..30).map(frame).collect();
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&f.to_bytes());
+        }
+        let tail = frame(99).to_bytes();
+        stream.extend_from_slice(&tail[..tail.len() - 3]);
+
+        let mut decoder = FrameDecoder::new(1 << 24);
+        decoder.feed(&stream);
+        let mut decoded = Vec::new();
+        while let Some(f) = decoder.next_frame().expect("in sync") {
+            decoded.push(f);
+        }
+        assert_eq!(decoded.len(), frames.len());
+        for (d, sent) in decoded.into_iter().zip(frames) {
+            assert_eq!(d, Frame::Request(sent));
+        }
+        assert_eq!(decoder.pending_bytes(), tail.len() - 3);
+        // The missing trailer completes the final frame.
+        decoder.feed(&tail[tail.len() - 3..]);
+        let last = decoder.next_frame().expect("in sync").expect("complete");
+        assert_eq!(last, Frame::Request(frame(99)));
+        assert_eq!(decoder.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn encode_request_into_matches_the_frame_builder_byte_for_byte() {
+        for seed in 0..24 {
+            let request = frame(seed).into_request();
+            let id = seed * 31 + 7;
+            let built = RequestFrame::from_request(id, &request).to_bytes();
+            let mut direct = vec![0xAA; 5]; // must append, not clobber
+            encode_request_into(&mut direct, id, &request);
+            assert_eq!(&direct[..5], &[0xAA; 5]);
+            assert_eq!(&direct[5..], &built[..], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn encode_response_into_matches_the_frame_builder_byte_for_byte() {
+        let response = InferResponse {
+            id: 4242,
+            model: ModelId::BertBase,
+            output: Matrix::random_sparse(3, 48, 0.3, SparsityPattern::Uniform, 21),
+            queue_us: 17.25,
+            execute_us: 310.5,
+            modelled_batch_us: 88.875,
+            modelled_request_us: 29.625,
+            batch_size: 3,
+            device: 1,
+            encoding: dsstc_kernels::EncodingSpec::for_gpu(&dsstc_sim::GpuConfig::v100()),
+            priority: Priority::High,
+            trace: crate::telemetry::RequestTrace::new(),
+        };
+        let client_id = 9;
+        let built = ResponseFrame::from_response(client_id, &response).to_bytes();
+        let mut direct = Vec::new();
+        encode_response_into(&mut direct, client_id, &response);
+        assert_eq!(direct, built);
+    }
+
+    #[test]
+    fn encode_error_into_matches_the_frame_builder_byte_for_byte() {
+        for (status, message) in [
+            (WireStatus::InvalidRequest, "features have 9 columns"),
+            (WireStatus::ShuttingDown, ""),
+            (WireStatus::UnsupportedVersion, "unsupported wire version 2, this peer speaks 1"),
+        ] {
+            let built = ResponseFrame::error(17, status, message).to_bytes();
+            let mut direct = Vec::new();
+            encode_error_into(&mut direct, 17, status, message);
+            assert_eq!(direct, built);
+        }
     }
 
     proptest! {

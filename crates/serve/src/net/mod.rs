@@ -7,9 +7,10 @@
 //!   versioning. Byte-level spec in `docs/WIRE_PROTOCOL.md`.
 //! * [`poll`] — a minimal mio-style epoll readiness loop (raw syscalls
 //!   against the already-linked C library; no tokio, no crates).
-//! * [`server`] — the [`WireServer`]: accept, decode, submit through
-//!   [`crate::InferenceServer::submit_with`], stream responses back as
-//!   batches complete; pipelining, connection limits, graceful drain.
+//! * [`server`] — the [`WireServer`]: N sharded epoll reactors (accept on
+//!   one listener, hand off to the least-loaded peer), decode, submit
+//!   through [`crate::InferenceServer::submit_with`], stream responses back
+//!   as batches complete; pipelining, connection limits, graceful drain.
 //! * [`client`] — the blocking [`WireClient`] used by tests, the
 //!   `serve_client` example and the `serve_throughput --wire` sweep.
 
@@ -20,7 +21,7 @@ pub mod server;
 
 pub use client::WireClient;
 pub use frame::{
-    Frame, FrameDecoder, RequestFrame, ResponseBody, ResponseFrame, WireError, WireStatus,
-    POISON_ID, WIRE_VERSION,
+    encode_error_into, encode_request_into, encode_response_into, Frame, FrameDecoder,
+    RequestFrame, ResponseBody, ResponseFrame, WireError, WireStatus, POISON_ID, WIRE_VERSION,
 };
 pub use server::{WireServer, DRAIN_TIMEOUT};

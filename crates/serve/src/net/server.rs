@@ -4,24 +4,37 @@
 //!
 //! # Architecture
 //!
-//! Two threads run next to the serving runtime's own dispatcher + workers:
+//! The front-end is sharded across `N = ServeConfig::reactors` **reactors**
+//! (`0` sizes N to the host's available parallelism). Each reactor is a
+//! pair of threads next to the serving runtime's own dispatcher + workers:
 //!
 //! * the **event loop** — a level-triggered epoll readiness loop
-//!   ([`crate::net::poll`]) over the listener and every client socket. It
-//!   accepts connections (up to the configured limit), reads whatever bytes
-//!   are ready, feeds them through each connection's [`FrameDecoder`]
-//!   (several pipelined frames per read decode back-to-back), converts each
-//!   request frame into an [`crate::InferRequest`] and submits it through
-//!   the same path in-process callers use. It also owns all writes:
-//!   response bytes are flushed opportunistically and under `EPOLLOUT` when
-//!   a socket's send buffer fills.
+//!   ([`crate::net::poll`]) over the reactor's own disjoint subset of the
+//!   client sockets. It reads whatever bytes are ready, feeds them through
+//!   each connection's [`FrameDecoder`] (several pipelined frames per read
+//!   decode back-to-back), converts each request frame into an
+//!   [`crate::InferRequest`] and submits it through the same path
+//!   in-process callers use. It also owns all writes on its connections:
+//!   response frames are serialised **directly into** the connection's
+//!   outbound buffer (no intermediate body `Vec`, no second copy) and
+//!   flushed opportunistically and under `EPOLLOUT` when a socket's send
+//!   buffer fills.
 //! * the **completion pump** — a plain blocking thread draining the
-//!   responses the worker pool sends back. Every wire request is submitted
-//!   with a clone of one shared response channel; the pump maps each
-//!   completed [`crate::InferResponse`] back to its connection and
-//!   client-chosen id, encodes the response frame, hands the bytes to the
-//!   event loop over an outbox channel and wakes the epoll wait through an
-//!   `eventfd` [`Waker`].
+//!   responses the worker pool sends back for this reactor's requests.
+//!   Every wire request is submitted with a clone of its reactor's
+//!   response channel; the pump maps each completed
+//!   [`crate::InferResponse`] back to its connection and client-chosen id,
+//!   hands the still-unencoded response to the event loop over an outbox
+//!   channel and wakes the epoll wait through an `eventfd` [`Waker`].
+//!
+//! Reactor 0 additionally owns the single listener and is the **acceptor**:
+//! each accepted connection is handed to the least-loaded reactor
+//! (round-robin on ties) over a small mutex-guarded intake queue plus a
+//! waker nudge, or adopted directly when reactor 0 itself is least loaded.
+//! The owning reactor registers the socket with *its* poller and counts the
+//! accept in *its* `WireStatsCollector`; merged counters are the
+//! field-wise sum of the per-reactor collectors
+//! ([`crate::stats::WireStats::merged`]).
 //!
 //! Responses stream back **as batches complete**, so pipelined requests on
 //! one connection may be answered out of submission order; the echoed id is
@@ -32,16 +45,17 @@
 //! so the server answers with a final error frame and closes that
 //! connection.
 //!
-//! Shutdown is graceful: the listener closes first, then the loop keeps
-//! flushing until every in-flight request has been answered and every
-//! outbound buffer drained (bounded by [`DRAIN_TIMEOUT`]), and only then is
-//! the inference runtime itself shut down.
+//! Shutdown is graceful: the listener closes first, then every reactor
+//! independently keeps flushing until each of its in-flight requests has
+//! been answered and every outbound buffer drained (bounded by
+//! [`DRAIN_TIMEOUT`]), and only then is the inference runtime itself shut
+//! down.
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -49,7 +63,8 @@ use std::time::{Duration, Instant};
 
 use crate::config::ServeConfig;
 use crate::net::frame::{
-    Frame, FrameDecoder, RequestFrame, ResponseFrame, WireError, WireStatus, POISON_ID,
+    encode_error_into, encode_response_into, Frame, FrameDecoder, RequestFrame, WireError,
+    WireStatus, POISON_ID,
 };
 use crate::net::poll::{Event, Poller, Token, Waker, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use crate::request::InferResponse;
@@ -66,7 +81,7 @@ pub const DRAIN_TIMEOUT: Duration = Duration::from_secs(30);
 const TOKEN_LISTENER: Token = Token(0);
 const TOKEN_WAKER: Token = Token(1);
 /// Connection ids start here; `Token(CONN_BASE + id)` addresses connection
-/// `id`.
+/// `id` (ids are per-reactor, like the tokens they map to).
 const CONN_BASE: u64 = 2;
 
 /// One wire request in flight through the batching runtime: which
@@ -76,16 +91,20 @@ struct PendingWire {
     client_id: u64,
 }
 
-/// The server-id → wire-request registry shared by the event loop (insert)
-/// and the completion pump (remove).
+/// The server-id → wire-request registry shared by a reactor's event loop
+/// (insert) and its completion pump (remove). One per reactor.
 type Registry = Arc<Mutex<HashMap<u64, PendingWire>>>;
 
-/// One encoded response handed from the pump to the event loop: the
-/// destination connection, the frame bytes, and — for successful
-/// inferences — the request's [`RequestTrace`], stamped
-/// [`Stage::WireFlushed`] once the socket accepts the frame's last byte.
-/// Error frames carry `None`.
-type Outbound = (u64, Vec<u8>, Option<RequestTrace>);
+/// One completed response handed from a pump to its event loop: the
+/// destination connection, the client-chosen id, and the **still
+/// un-encoded** response — the event loop serialises it straight into the
+/// connection's outbound buffer, so the frame bytes are written exactly
+/// once.
+type Outbound = (u64, u64, InferResponse);
+
+/// Accepted sockets handed from the acceptor (reactor 0) to the reactor
+/// that will own them.
+type Intake = Arc<Mutex<Vec<TcpStream>>>;
 
 /// A TCP front-end for an [`InferenceServer`], speaking the
 /// [`crate::net::frame`] protocol.
@@ -114,17 +133,18 @@ pub struct WireServer {
     server: Option<Arc<InferenceServer>>,
     local_addr: SocketAddr,
     shutdown_flag: Arc<AtomicBool>,
-    waker: Arc<Waker>,
-    stats: Arc<WireStatsCollector>,
-    event_loop: Option<JoinHandle<()>>,
-    pump: Option<JoinHandle<()>>,
+    wakers: Vec<Arc<Waker>>,
+    stats: Vec<Arc<WireStatsCollector>>,
+    event_loops: Vec<JoinHandle<()>>,
+    pumps: Vec<JoinHandle<()>>,
     metrics: Option<MetricsServer>,
 }
 
 impl WireServer {
     /// Boots the inference runtime from `config`, binds the listener at
     /// `config.listen` (loopback with an OS-assigned port by default) and
-    /// spawns the event loop + completion pump.
+    /// spawns `config.reactors` event loops, each with its own completion
+    /// pump.
     pub fn start(config: ServeConfig) -> io::Result<WireServer> {
         let listen = config.listen.unwrap_or_else(|| "127.0.0.1:0".parse().expect("literal addr"));
         let max_connections = config.max_connections;
@@ -132,36 +152,63 @@ impl WireServer {
         let max_outbound_bytes = config.max_outbound_bytes;
         let drain_timeout = config.drain_timeout;
         let metrics_addr = config.metrics_addr;
+        let reactors = match config.reactors {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        };
         let listener = TcpListener::bind(listen)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
 
         let server = Arc::new(InferenceServer::start(config));
-        let poller = Poller::new()?;
-        poller.register(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
-        let waker = Arc::new(Waker::new(&poller, TOKEN_WAKER)?);
-        let stats = Arc::new(WireStatsCollector::new());
         let shutdown_flag = Arc::new(AtomicBool::new(false));
-        let registry: Registry = Arc::new(Mutex::new(HashMap::new()));
+        // Open-connection counts per reactor, shared so the acceptor can
+        // enforce the global limit and pick the least-loaded target.
+        let loads: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..reactors).map(|_| AtomicUsize::new(0)).collect());
+        let intakes: Vec<Intake> =
+            (0..reactors).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
 
-        let (completion_tx, completion_rx) = std::sync::mpsc::channel::<InferResponse>();
-        let (outbox_tx, outbox_rx) = std::sync::mpsc::channel::<Outbound>();
+        // Every poller + waker pair exists before any thread spawns: the
+        // acceptor needs each peer's waker to signal hand-offs.
+        let mut pollers = Vec::with_capacity(reactors);
+        let mut wakers = Vec::with_capacity(reactors);
+        for index in 0..reactors {
+            let poller = Poller::new()?;
+            if index == 0 {
+                poller.register(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+            }
+            wakers.push(Arc::new(Waker::new(&poller, TOKEN_WAKER)?));
+            pollers.push(poller);
+        }
+        let stats: Vec<Arc<WireStatsCollector>> =
+            (0..reactors).map(|_| Arc::new(WireStatsCollector::new())).collect();
 
-        let pump = {
-            let registry = Arc::clone(&registry);
-            let waker = Arc::clone(&waker);
-            std::thread::Builder::new()
-                .name("dsstc-wire-pump".to_string())
-                .spawn(move || pump_loop(&completion_rx, &registry, &outbox_tx, &waker))
-                .expect("failed to spawn completion pump")
-        };
-        let event_loop = {
-            let mut state = EventLoop {
+        let mut listener = Some(listener);
+        let mut pumps = Vec::with_capacity(reactors);
+        let mut event_loops = Vec::with_capacity(reactors);
+        for (index, poller) in pollers.into_iter().enumerate() {
+            let registry: Registry = Arc::new(Mutex::new(HashMap::new()));
+            let (completion_tx, completion_rx) = std::sync::mpsc::channel::<InferResponse>();
+            let (outbox_tx, outbox_rx) = std::sync::mpsc::channel::<Outbound>();
+            pumps.push({
+                let registry = Arc::clone(&registry);
+                let waker = Arc::clone(&wakers[index]);
+                std::thread::Builder::new()
+                    .name(format!("dsstc-wire-pump-{index}"))
+                    .spawn(move || pump_loop(&completion_rx, &registry, &outbox_tx, &waker))
+                    .expect("failed to spawn completion pump")
+            });
+            let mut state = Reactor {
+                index,
                 poller,
-                listener,
-                waker: Arc::clone(&waker),
+                listener: if index == 0 { listener.take() } else { None },
+                wakers: wakers.clone(),
+                intakes: intakes.clone(),
+                loads: Arc::clone(&loads),
+                rr: 0,
                 server: Arc::clone(&server),
-                stats: Arc::clone(&stats),
+                stats: Arc::clone(&stats[index]),
                 registry,
                 completion_tx,
                 outbox_rx,
@@ -174,21 +221,26 @@ impl WireServer {
                 drain_timeout,
                 scratch: vec![0u8; 64 * 1024],
             };
-            std::thread::Builder::new()
-                .name("dsstc-wire-loop".to_string())
-                .spawn(move || state.run())
-                .expect("failed to spawn wire event loop")
-        };
+            event_loops.push(
+                std::thread::Builder::new()
+                    .name(format!("dsstc-wire-loop-{index}"))
+                    .spawn(move || state.run())
+                    .expect("failed to spawn wire event loop"),
+            );
+        }
 
         let metrics = match metrics_addr {
             Some(addr) => {
                 let source_server = Arc::clone(&server);
-                let source_stats = Arc::clone(&stats);
+                let source_stats = stats.clone();
                 Some(MetricsServer::start(
                     addr,
                     Arc::new(move || {
                         let mut snapshot = source_server.stats();
-                        snapshot.wire = Some(source_stats.snapshot());
+                        let per_reactor: Vec<WireStats> =
+                            source_stats.iter().map(|s| s.snapshot()).collect();
+                        snapshot.wire = Some(WireStats::merged(&per_reactor));
+                        snapshot.wire_reactors = per_reactor;
                         render_prometheus(&snapshot, source_server.telemetry().registry())
                     }),
                 )?)
@@ -200,10 +252,10 @@ impl WireServer {
             server: Some(server),
             local_addr,
             shutdown_flag,
-            waker,
+            wakers,
             stats,
-            event_loop: Some(event_loop),
-            pump: Some(pump),
+            event_loops,
+            pumps,
             metrics,
         })
     }
@@ -219,6 +271,12 @@ impl WireServer {
         self.metrics.as_ref().map(MetricsServer::local_addr)
     }
 
+    /// How many reactors the front-end is running (after resolving the
+    /// `reactors = 0` host-parallelism sentinel).
+    pub fn reactors(&self) -> usize {
+        self.stats.len()
+    }
+
     /// The inference runtime behind the front-end (for warm-up and
     /// inspection).
     ///
@@ -228,9 +286,16 @@ impl WireServer {
         self.server.as_ref().expect("wire server already shut down")
     }
 
-    /// A point-in-time snapshot of the per-connection / per-frame counters.
+    /// A point-in-time snapshot of the per-connection / per-frame counters,
+    /// merged across every reactor.
     pub fn wire_stats(&self) -> WireStats {
-        self.stats.snapshot()
+        WireStats::merged(&self.reactor_stats())
+    }
+
+    /// Per-reactor counter snapshots, in reactor order (reactor 0 owns the
+    /// listener). Their field-wise sum is [`WireServer::wire_stats`].
+    pub fn reactor_stats(&self) -> Vec<WireStats> {
+        self.stats.iter().map(|s| s.snapshot()).collect()
     }
 
     /// The runtime's metrics snapshot with the wire counters attached.
@@ -239,25 +304,30 @@ impl WireServer {
     /// Panics after [`WireServer::shutdown`].
     pub fn stats(&self) -> ServerStats {
         let mut stats = self.server().stats();
-        stats.wire = Some(self.wire_stats());
+        let per_reactor = self.reactor_stats();
+        stats.wire = Some(WireStats::merged(&per_reactor));
+        stats.wire_reactors = per_reactor;
         stats
     }
 
     /// Graceful shutdown: stop accepting, answer and flush everything in
-    /// flight (bounded by [`DRAIN_TIMEOUT`]), close the connections, then
-    /// shut the inference runtime down. Idempotent; also runs on drop.
+    /// flight on every reactor (bounded by [`DRAIN_TIMEOUT`]), close the
+    /// connections, then shut the inference runtime down. Idempotent; also
+    /// runs on drop.
     pub fn shutdown(&mut self) {
         if let Some(mut metrics) = self.metrics.take() {
             metrics.shutdown();
         }
         self.shutdown_flag.store(true, Ordering::SeqCst);
-        self.waker.wake();
-        if let Some(handle) = self.event_loop.take() {
+        for waker in &self.wakers {
+            waker.wake();
+        }
+        for handle in self.event_loops.drain(..) {
             if let Err(panic) = handle.join() {
                 std::panic::resume_unwind(panic);
             }
         }
-        if let Some(handle) = self.pump.take() {
+        for handle in self.pumps.drain(..) {
             if let Err(panic) = handle.join() {
                 std::panic::resume_unwind(panic);
             }
@@ -265,7 +335,7 @@ impl WireServer {
         if let Some(server) = self.server.take() {
             match Arc::try_unwrap(server) {
                 Ok(mut server) => server.shutdown(),
-                // Unreachable in practice: both thread-held clones were
+                // Unreachable in practice: every thread-held clone was
                 // just joined away.
                 Err(shared) => drop(shared),
             }
@@ -280,7 +350,7 @@ impl Drop for WireServer {
 }
 
 /// Maps completed inferences back to their connection + client id and hands
-/// the encoded response frame to the event loop.
+/// the un-encoded response to the owning reactor's event loop.
 fn pump_loop(
     completions: &Receiver<InferResponse>,
     registry: &Registry,
@@ -299,9 +369,9 @@ fn pump_loop(
         let Some((conn_id, client_id)) = pending else {
             continue; // Submitted by an in-process caller, not the wire.
         };
-        let bytes = ResponseFrame::from_response(client_id, &response).to_bytes();
-        let delivered = outbox.send((conn_id, bytes, Some(response.trace.clone()))).is_ok();
-        registry.lock().expect("wire registry poisoned").remove(&response.id);
+        let server_id = response.id;
+        let delivered = outbox.send((conn_id, client_id, response)).is_ok();
+        registry.lock().expect("wire registry poisoned").remove(&server_id);
         if !delivered {
             break; // Event loop is gone; nothing can be written any more.
         }
@@ -309,7 +379,7 @@ fn pump_loop(
     }
 }
 
-/// Per-connection state owned by the event loop.
+/// Per-connection state owned by one reactor's event loop.
 struct Connection {
     stream: TcpStream,
     decoder: FrameDecoder,
@@ -328,7 +398,7 @@ struct Connection {
     /// arrival instead of buffered.
     overflowed: bool,
     /// Cumulative bytes ever appended to `outbound` (survives the buffer
-    /// compaction in `append_outbound`).
+    /// compaction in `append_frame`).
     enqueued_total: u64,
     /// Cumulative bytes ever accepted by the socket.
     flushed_total: u64,
@@ -362,10 +432,26 @@ impl Connection {
     }
 }
 
-struct EventLoop {
+/// One sharded event loop: a poller, the reactor's own connections, its
+/// registry/outbox pair, and — on reactor 0 only — the listener plus the
+/// hand-off state for every peer.
+struct Reactor {
+    index: usize,
     poller: Poller,
-    listener: TcpListener,
-    waker: Arc<Waker>,
+    /// `Some` on reactor 0 (the acceptor), `None` everywhere else.
+    listener: Option<TcpListener>,
+    /// Every reactor's waker, indexable by reactor: `wakers[index]` drains
+    /// this reactor's own eventfd; the acceptor nudges peers after a
+    /// hand-off.
+    wakers: Vec<Arc<Waker>>,
+    /// Every reactor's hand-off queue; this reactor adopts from
+    /// `intakes[index]`.
+    intakes: Vec<Intake>,
+    /// Per-reactor open-connection counts (acceptor increments at
+    /// hand-off, owner decrements at close).
+    loads: Arc<Vec<AtomicUsize>>,
+    /// Round-robin cursor breaking least-loaded ties in `pick_reactor`.
+    rr: usize,
     server: Arc<InferenceServer>,
     stats: Arc<WireStatsCollector>,
     registry: Registry,
@@ -381,7 +467,7 @@ struct EventLoop {
     scratch: Vec<u8>,
 }
 
-impl EventLoop {
+impl Reactor {
     fn run(&mut self) {
         let mut events: Vec<Event> = Vec::new();
         let mut draining = false;
@@ -402,24 +488,30 @@ impl EventLoop {
                             self.accept_ready();
                         }
                     }
-                    TOKEN_WAKER => self.waker.drain(),
+                    TOKEN_WAKER => self.wakers[self.index].drain(),
                     Token(t) => self.handle_conn_event(t - CONN_BASE, event),
                 }
             }
             events = drained_events;
+            self.drain_intake();
             self.drain_outbox();
             self.retire_closing_conns();
             if self.shutdown_flag.load(Ordering::SeqCst) && !draining {
                 draining = true;
                 drain_deadline = Instant::now() + self.drain_timeout;
-                // Stop accepting: deregister the listener. Connected peers
-                // keep their sockets until the drain completes.
-                let _ = self.poller.deregister(self.listener.as_raw_fd());
+                // Stop accepting: deregister the listener (reactor 0).
+                // Connected peers keep their sockets until the drain
+                // completes.
+                if let Some(listener) = &self.listener {
+                    let _ = self.poller.deregister(listener.as_raw_fd());
+                }
                 // Final read sweep: requests already on the wire when the
                 // shutdown was requested may still sit unread in kernel
                 // buffers, invisible to the in-flight count. Pull them in
                 // now so "drained" really means "everything the clients
-                // sent before the shutdown is answered".
+                // sent before the shutdown is answered". (`drain_intake`
+                // above already adopted — and `adopt` read — any
+                // connection handed off just before the flag flipped.)
                 let ids: Vec<u64> = self.conns.keys().copied().collect();
                 for id in ids {
                     self.read_ready(id);
@@ -446,11 +538,16 @@ impl EventLoop {
         }
     }
 
+    /// Accepts every pending connection (reactor 0 only) and hands each to
+    /// the least-loaded reactor — possibly itself. The global
+    /// `max_connections` limit is enforced here, against the sum of every
+    /// reactor's open count.
     fn accept_ready(&mut self) {
         loop {
-            match self.listener.accept() {
+            match self.listener.as_ref().expect("only the acceptor sees listener events").accept() {
                 Ok((stream, _peer)) => {
-                    if self.conns.len() >= self.max_connections {
+                    let open: usize = self.loads.iter().map(|l| l.load(Ordering::Relaxed)).sum();
+                    if open >= self.max_connections {
                         self.stats.connection_rejected();
                         drop(stream); // The client sees a closed socket.
                         continue;
@@ -460,39 +557,88 @@ impl EventLoop {
                         continue;
                     }
                     let _ = stream.set_nodelay(true);
-                    let conn_id = self.next_conn_id;
-                    let token = Token(CONN_BASE + conn_id);
-                    if self
-                        .poller
-                        .register(stream.as_raw_fd(), EPOLLIN | EPOLLRDHUP, token)
-                        .is_err()
-                    {
-                        self.stats.connection_rejected();
-                        continue;
+                    let target = self.pick_reactor();
+                    // Claim the load slot before the hand-off so the next
+                    // accept in this burst sees it.
+                    self.loads[target].fetch_add(1, Ordering::Relaxed);
+                    if target == self.index {
+                        self.adopt(stream);
+                    } else {
+                        self.intakes[target].lock().expect("wire intake poisoned").push(stream);
+                        self.wakers[target].wake();
                     }
-                    self.next_conn_id += 1;
-                    self.stats.connection_accepted();
-                    self.conns.insert(
-                        conn_id,
-                        Connection {
-                            stream,
-                            decoder: FrameDecoder::new(self.max_body_len),
-                            outbound: Vec::new(),
-                            written: 0,
-                            interest: EPOLLIN | EPOLLRDHUP,
-                            closing: false,
-                            overflowed: false,
-                            enqueued_total: 0,
-                            flushed_total: 0,
-                            flush_marks: VecDeque::new(),
-                        },
-                    );
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => break,
             }
         }
+    }
+
+    /// The reactor the next accepted connection goes to: least-loaded,
+    /// with a rotating starting point so ties spread round-robin instead
+    /// of piling onto reactor 0.
+    fn pick_reactor(&mut self) -> usize {
+        let n = self.loads.len();
+        let mut best = self.rr % n;
+        let mut best_load = self.loads[best].load(Ordering::Relaxed);
+        for offset in 1..n {
+            let candidate = (self.rr + offset) % n;
+            let load = self.loads[candidate].load(Ordering::Relaxed);
+            if load < best_load {
+                best = candidate;
+                best_load = load;
+            }
+        }
+        self.rr = (self.rr + 1) % n;
+        best
+    }
+
+    /// Adopts every connection the acceptor handed to this reactor since
+    /// the last wake.
+    fn drain_intake(&mut self) {
+        let streams = {
+            let mut intake = self.intakes[self.index].lock().expect("wire intake poisoned");
+            std::mem::take(&mut *intake)
+        };
+        for stream in streams {
+            self.adopt(stream);
+        }
+    }
+
+    /// Registers a handed-off (or self-accepted) socket with this
+    /// reactor's poller; the **owning** reactor counts the accept, so
+    /// merged counters stay an exact per-reactor sum. The acceptor already
+    /// claimed the load slot, so a failed adopt must release it.
+    fn adopt(&mut self, stream: TcpStream) {
+        let conn_id = self.next_conn_id;
+        let token = Token(CONN_BASE + conn_id);
+        if self.poller.register(stream.as_raw_fd(), EPOLLIN | EPOLLRDHUP, token).is_err() {
+            self.stats.connection_rejected();
+            self.loads[self.index].fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
+        self.next_conn_id += 1;
+        self.stats.connection_accepted();
+        self.conns.insert(
+            conn_id,
+            Connection {
+                stream,
+                decoder: FrameDecoder::new(self.max_body_len),
+                outbound: Vec::new(),
+                written: 0,
+                interest: EPOLLIN | EPOLLRDHUP,
+                closing: false,
+                overflowed: false,
+                enqueued_total: 0,
+                flushed_total: 0,
+                flush_marks: VecDeque::new(),
+            },
+        );
+        // Bytes may already be waiting (clients often write immediately
+        // after connect, and the hand-off adds a scheduling delay): read
+        // now instead of waiting a full poll round.
+        self.read_ready(conn_id);
     }
 
     fn handle_conn_event(&mut self, conn_id: u64, event: &Event) {
@@ -572,7 +718,7 @@ impl EventLoop {
                         WireError::UnsupportedVersion(_) => WireStatus::UnsupportedVersion,
                         _ => WireStatus::InvalidRequest,
                     };
-                    self.poison(conn_id, status, error.to_string());
+                    self.poison(conn_id, status, &error.to_string());
                     return;
                 }
             }
@@ -605,21 +751,20 @@ impl EventLoop {
                 ServeError::ShuttingDown | ServeError::Timeout => WireStatus::ShuttingDown,
             };
             self.stats.request_rejected();
-            self.send_error_frame(conn_id, client_id, status, error.to_string());
+            self.send_error_frame(conn_id, client_id, status, &error.to_string());
         }
     }
 
-    /// Appends an error frame to the connection's outbound buffer.
+    /// Encodes an error frame into the connection's outbound buffer.
     fn send_error_frame(
         &mut self,
         conn_id: u64,
         client_id: u64,
         status: WireStatus,
-        message: String,
+        message: &str,
     ) {
-        let bytes = ResponseFrame::error(client_id, status, message).to_bytes();
         self.stats.error_frame_sent();
-        self.append_outbound(conn_id, &bytes, None);
+        self.append_frame(conn_id, None, |out| encode_error_into(out, client_id, status, message));
     }
 
     /// Framing is broken: answer with a final error frame (under the
@@ -627,18 +772,25 @@ impl EventLoop {
     /// reading and close once the outbound buffer drains. `closing` is set
     /// **before** the error frame goes out so the flush that writes its
     /// last byte also retires the connection.
-    fn poison(&mut self, conn_id: u64, status: WireStatus, message: impl Into<String>) {
+    fn poison(&mut self, conn_id: u64, status: WireStatus, message: &str) {
         if let Some(conn) = self.conns.get_mut(&conn_id) {
             conn.closing = true;
         }
-        self.send_error_frame(conn_id, POISON_ID, status, message.into());
+        self.send_error_frame(conn_id, POISON_ID, status, message);
     }
 
-    /// Appends bytes to a connection's outbound buffer and flushes as much
-    /// as the socket accepts right now. A `trace` rides along as a flush
-    /// mark and is stamped [`Stage::WireFlushed`] once the frame's last
-    /// byte reaches the socket.
-    fn append_outbound(&mut self, conn_id: u64, bytes: &[u8], trace: Option<RequestTrace>) {
+    /// Appends one frame to a connection's outbound buffer — `encode`
+    /// serialises it **directly into the buffer**, no intermediate frame
+    /// `Vec` — and flushes as much as the socket accepts right now. A
+    /// `trace` rides along as a flush mark and is stamped
+    /// [`Stage::WireFlushed`] once the frame's last byte reaches the
+    /// socket.
+    fn append_frame(
+        &mut self,
+        conn_id: u64,
+        trace: Option<RequestTrace>,
+        encode: impl FnOnce(&mut Vec<u8>),
+    ) {
         let Some(conn) = self.conns.get_mut(&conn_id) else {
             // Completed after its connection went away: the bytes are
             // dropped, but the request itself still finished — record its
@@ -664,8 +816,9 @@ impl EventLoop {
             conn.outbound.drain(..conn.written);
             conn.written = 0;
         }
-        conn.outbound.extend_from_slice(bytes);
-        conn.enqueued_total += bytes.len() as u64;
+        let before = conn.outbound.len();
+        encode(&mut conn.outbound);
+        conn.enqueued_total += (conn.outbound.len() - before) as u64;
         if let Some(trace) = trace {
             conn.flush_marks.push_back((conn.enqueued_total, trace));
         }
@@ -684,16 +837,11 @@ impl EventLoop {
     /// reader is bounded by `max_outbound_bytes` plus one error frame.
     fn poison_overflowed(&mut self, conn_id: u64) {
         self.stats.outbound_overflow();
-        let bytes = ResponseFrame::error(
-            POISON_ID,
-            WireStatus::ShuttingDown,
-            format!(
-                "outbound buffer exceeded {} bytes; read your responses",
-                self.max_outbound_bytes
-            ),
-        )
-        .to_bytes();
         self.stats.error_frame_sent();
+        let message = format!(
+            "outbound buffer exceeded {} bytes; read your responses",
+            self.max_outbound_bytes
+        );
         let Some(conn) = self.conns.get_mut(&conn_id) else { return };
         conn.overflowed = true;
         conn.closing = true;
@@ -702,8 +850,9 @@ impl EventLoop {
         // so retire their traces here rather than leaving them queued.
         let dropped: Vec<RequestTrace> =
             conn.flush_marks.drain(..).map(|(_, trace)| trace).collect();
-        conn.outbound.extend_from_slice(&bytes);
-        conn.enqueued_total += bytes.len() as u64;
+        let before = conn.outbound.len();
+        encode_error_into(&mut conn.outbound, POISON_ID, WireStatus::ShuttingDown, &message);
+        conn.enqueued_total += (conn.outbound.len() - before) as u64;
         for trace in dropped {
             self.server.telemetry().record_completed(trace);
         }
@@ -789,9 +938,9 @@ impl EventLoop {
     /// clients.
     ///
     /// Ordering matters: the pump removes a registry entry only *after*
-    /// handing the response bytes to the outbox, so an empty in-flight
-    /// count guarantees any final response is already in the channel —
-    /// but possibly not yet in the connection buffer. Re-drain after the
+    /// handing the response to the outbox, so an empty in-flight count
+    /// guarantees any final response is already in the channel — but
+    /// possibly not yet in the connection buffer. Re-drain after the
     /// in-flight check and re-test the backlog before closing, otherwise
     /// the last response of a half-closed connection can be dropped on the
     /// floor (the client sees EOF instead of its answer).
@@ -807,7 +956,7 @@ impl EventLoop {
                 continue;
             }
             self.drain_outbox();
-            // If the drain surfaced a late response, `append_outbound`'s
+            // If the drain surfaced a late response, `append_frame`'s
             // flush may have cleared it again already; close only when the
             // backlog really is empty. A partially flushed remainder gets
             // EPOLLOUT, and the flush completion's loop iteration re-runs
@@ -824,13 +973,16 @@ impl EventLoop {
         self.registry.lock().expect("wire registry poisoned").values().any(|p| p.conn_id == conn_id)
     }
 
-    /// Moves every pump-encoded response into its connection's buffer.
+    /// Moves every pump-delivered response into its connection's buffer,
+    /// encoding each frame straight into the outbound bytes.
     fn drain_outbox(&mut self) {
         loop {
             match self.outbox_rx.try_recv() {
-                Ok((conn_id, bytes, trace)) => {
+                Ok((conn_id, client_id, response)) => {
                     self.stats.frame_sent();
-                    self.append_outbound(conn_id, &bytes, trace);
+                    self.append_frame(conn_id, Some(response.trace.clone()), |out| {
+                        encode_response_into(out, client_id, &response)
+                    });
                     let len = self.registry.lock().expect("wire registry poisoned").len();
                     self.stats.set_in_flight(len as u64);
                 }
@@ -843,6 +995,7 @@ impl EventLoop {
         if let Some(conn) = self.conns.remove(&conn_id) {
             let _ = self.poller.deregister(conn.stream.as_raw_fd());
             self.stats.connection_closed();
+            self.loads[self.index].fetch_sub(1, Ordering::Relaxed);
             // Responses that never cleared the socket still had their
             // request completed: record their traces without a flush stamp.
             for (_, trace) in conn.flush_marks {
@@ -850,7 +1003,7 @@ impl EventLoop {
             }
             // The stream drops (and closes) here; in-flight requests from
             // this connection still execute, their responses are dropped by
-            // `append_outbound` when they complete.
+            // `append_frame` when they complete.
         }
     }
 }

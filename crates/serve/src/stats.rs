@@ -105,8 +105,14 @@ pub struct ServerStats {
     pub timing_hit_rate: f64,
     /// Per-connection / per-frame counters of the TCP front-end, when the
     /// snapshot came from a [`crate::net::WireServer`] (`None` for a plain
-    /// in-process server).
+    /// in-process server). When the front-end runs more than one reactor
+    /// this is the field-wise sum of `wire_reactors`.
     pub wire: Option<WireStats>,
+    /// Per-reactor counter snapshots of a sharded wire front-end, in
+    /// reactor order (reactor 0 owns the listener). Empty for a plain
+    /// in-process server; a single-reactor front-end reports one entry
+    /// equal to `wire`.
+    pub wire_reactors: Vec<WireStats>,
 }
 
 impl ServerStats {
@@ -237,6 +243,29 @@ impl WireStats {
     /// Connections currently open.
     pub fn open_connections(&self) -> u64 {
         self.connections_accepted.saturating_sub(self.connections_closed)
+    }
+
+    /// Field-wise sum of per-reactor snapshots. Every field — including the
+    /// `in_flight` gauge, which each reactor stores from its own registry —
+    /// is owned by exactly one reactor, so the merged view is an exact sum,
+    /// not an approximation.
+    pub fn merged(parts: &[WireStats]) -> WireStats {
+        let mut total = WireStats::default();
+        for part in parts {
+            total.connections_accepted += part.connections_accepted;
+            total.connections_rejected += part.connections_rejected;
+            total.connections_closed += part.connections_closed;
+            total.frames_received += part.frames_received;
+            total.frames_sent += part.frames_sent;
+            total.error_frames_sent += part.error_frames_sent;
+            total.bytes_received += part.bytes_received;
+            total.bytes_sent += part.bytes_sent;
+            total.decode_errors += part.decode_errors;
+            total.requests_rejected += part.requests_rejected;
+            total.in_flight += part.in_flight;
+            total.outbound_overflows += part.outbound_overflows;
+        }
+        total
     }
 }
 
@@ -520,6 +549,7 @@ impl StatsCollector {
             encode_hit_rate: encode.hit_rate(),
             timing_hit_rate,
             wire: None,
+            wire_reactors: Vec::new(),
         }
     }
 }
@@ -732,6 +762,55 @@ mod tests {
                 None => panic!("missing or out of order: {fragment:?}\nreport:\n{text}"),
             }
         }
+    }
+
+    #[test]
+    fn merged_wire_stats_sum_every_field() {
+        let a = WireStats {
+            connections_accepted: 3,
+            connections_rejected: 1,
+            connections_closed: 2,
+            frames_received: 40,
+            frames_sent: 38,
+            error_frames_sent: 2,
+            bytes_received: 4000,
+            bytes_sent: 5000,
+            decode_errors: 1,
+            requests_rejected: 1,
+            in_flight: 2,
+            outbound_overflows: 1,
+        };
+        let b = WireStats {
+            connections_accepted: 5,
+            connections_rejected: 0,
+            connections_closed: 4,
+            frames_received: 60,
+            frames_sent: 61,
+            error_frames_sent: 0,
+            bytes_received: 6000,
+            bytes_sent: 7000,
+            decode_errors: 0,
+            requests_rejected: 0,
+            in_flight: 3,
+            outbound_overflows: 0,
+        };
+        let merged = WireStats::merged(&[a.clone(), b.clone()]);
+        assert_eq!(merged.connections_accepted, 8);
+        assert_eq!(merged.connections_rejected, 1);
+        assert_eq!(merged.connections_closed, 6);
+        assert_eq!(merged.open_connections(), 2);
+        assert_eq!(merged.frames_received, 100);
+        assert_eq!(merged.frames_sent, 99);
+        assert_eq!(merged.error_frames_sent, 2);
+        assert_eq!(merged.bytes_received, 10_000);
+        assert_eq!(merged.bytes_sent, 12_000);
+        assert_eq!(merged.decode_errors, 1);
+        assert_eq!(merged.requests_rejected, 1);
+        assert_eq!(merged.in_flight, 5);
+        assert_eq!(merged.outbound_overflows, 1);
+        // Degenerate shapes behave: empty = zero, singleton = identity.
+        assert_eq!(WireStats::merged(&[]), WireStats::default());
+        assert_eq!(WireStats::merged(std::slice::from_ref(&a)), a);
     }
 
     #[test]

@@ -233,6 +233,108 @@ pub fn render_prometheus(stats: &ServerStats, registry: &MetricsRegistry) -> Str
             "Connections poisoned for breaching the outbound buffer cap",
         );
         sample_u64(&mut out, "dsstc_wire_outbound_overflows_total", "", wire.outbound_overflows);
+
+        // Per-reactor rows: one sample per event loop, labelled
+        // `reactor="i"` in reactor order (reactor 0 owns the listener).
+        // Field-wise, the merged families above are the exact sum of these
+        // rows — CI scrapes both and asserts the equality.
+        if !stats.wire_reactors.is_empty() {
+            family(
+                &mut out,
+                "dsstc_wire_reactor_connections_accepted_total",
+                "counter",
+                "Connections adopted per reactor",
+            );
+            for (index, r) in stats.wire_reactors.iter().enumerate() {
+                let labels = format!("reactor=\"{index}\"");
+                sample_u64(
+                    &mut out,
+                    "dsstc_wire_reactor_connections_accepted_total",
+                    &labels,
+                    r.connections_accepted,
+                );
+            }
+            family(
+                &mut out,
+                "dsstc_wire_reactor_connections_closed_total",
+                "counter",
+                "Connections closed per reactor",
+            );
+            for (index, r) in stats.wire_reactors.iter().enumerate() {
+                let labels = format!("reactor=\"{index}\"");
+                sample_u64(
+                    &mut out,
+                    "dsstc_wire_reactor_connections_closed_total",
+                    &labels,
+                    r.connections_closed,
+                );
+            }
+            family(
+                &mut out,
+                "dsstc_wire_reactor_frames_received_total",
+                "counter",
+                "Request frames decoded per reactor",
+            );
+            for (index, r) in stats.wire_reactors.iter().enumerate() {
+                let labels = format!("reactor=\"{index}\"");
+                sample_u64(
+                    &mut out,
+                    "dsstc_wire_reactor_frames_received_total",
+                    &labels,
+                    r.frames_received,
+                );
+            }
+            family(
+                &mut out,
+                "dsstc_wire_reactor_frames_sent_total",
+                "counter",
+                "Response frames sent per reactor",
+            );
+            for (index, r) in stats.wire_reactors.iter().enumerate() {
+                let labels = format!("reactor=\"{index}\"");
+                sample_u64(
+                    &mut out,
+                    "dsstc_wire_reactor_frames_sent_total",
+                    &labels,
+                    r.frames_sent,
+                );
+            }
+            family(
+                &mut out,
+                "dsstc_wire_reactor_bytes_received_total",
+                "counter",
+                "Raw bytes read off sockets per reactor",
+            );
+            for (index, r) in stats.wire_reactors.iter().enumerate() {
+                let labels = format!("reactor=\"{index}\"");
+                sample_u64(
+                    &mut out,
+                    "dsstc_wire_reactor_bytes_received_total",
+                    &labels,
+                    r.bytes_received,
+                );
+            }
+            family(
+                &mut out,
+                "dsstc_wire_reactor_bytes_sent_total",
+                "counter",
+                "Raw bytes the sockets accepted per reactor",
+            );
+            for (index, r) in stats.wire_reactors.iter().enumerate() {
+                let labels = format!("reactor=\"{index}\"");
+                sample_u64(&mut out, "dsstc_wire_reactor_bytes_sent_total", &labels, r.bytes_sent);
+            }
+            family(
+                &mut out,
+                "dsstc_wire_reactor_in_flight",
+                "gauge",
+                "Wire requests inside the runtime per reactor",
+            );
+            for (index, r) in stats.wire_reactors.iter().enumerate() {
+                let labels = format!("reactor=\"{index}\"");
+                sample_u64(&mut out, "dsstc_wire_reactor_in_flight", &labels, r.in_flight);
+            }
+        }
     }
 
     registry.render(&mut out);
@@ -540,6 +642,37 @@ mod tests {
                 in_flight: 0,
                 outbound_overflows: 1,
             }),
+            // A two-reactor split whose field-wise sum is `wire` above.
+            wire_reactors: vec![
+                WireStats {
+                    connections_accepted: 3,
+                    connections_rejected: 1,
+                    connections_closed: 2,
+                    frames_received: 70,
+                    frames_sent: 69,
+                    error_frames_sent: 1,
+                    bytes_received: 26_000,
+                    bytes_sent: 30_000,
+                    decode_errors: 1,
+                    requests_rejected: 1,
+                    in_flight: 0,
+                    outbound_overflows: 1,
+                },
+                WireStats {
+                    connections_accepted: 2,
+                    connections_rejected: 0,
+                    connections_closed: 1,
+                    frames_received: 50,
+                    frames_sent: 49,
+                    error_frames_sent: 1,
+                    bytes_received: 18_000,
+                    bytes_sent: 22_000,
+                    decode_errors: 0,
+                    requests_rejected: 0,
+                    in_flight: 0,
+                    outbound_overflows: 0,
+                },
+            ],
         }
     }
 
@@ -566,6 +699,12 @@ mod tests {
         assert!(text.contains("dsstc_wire_frames_received_total 120"));
         assert!(text.contains("dsstc_wire_decode_errors_total 1"));
         assert!(text.contains("dsstc_wire_outbound_overflows_total 1"));
+        // Per-reactor rows, one sample per event loop.
+        assert!(text.contains("dsstc_wire_reactor_frames_received_total{reactor=\"0\"} 70"));
+        assert!(text.contains("dsstc_wire_reactor_frames_received_total{reactor=\"1\"} 50"));
+        assert!(text.contains("dsstc_wire_reactor_connections_accepted_total{reactor=\"0\"} 3"));
+        assert!(text.contains("dsstc_wire_reactor_bytes_sent_total{reactor=\"1\"} 22000"));
+        assert!(text.contains("dsstc_wire_reactor_in_flight{reactor=\"0\"} 0"));
         // Registry-backed live metrics ride along.
         assert!(text.contains("dsstc_traces_recorded_total 7"));
         assert!(text.contains("dsstc_e2e_us_bucket{priority=\"high\",le=\"+Inf\"} 1"));
@@ -580,6 +719,7 @@ mod tests {
     fn exposition_without_wire_omits_wire_families() {
         let mut stats = sample_stats();
         stats.wire = None;
+        stats.wire_reactors = Vec::new();
         let text = render_prometheus(&stats, &MetricsRegistry::new());
         assert!(!text.contains("dsstc_wire_"));
         assert!(text.contains("dsstc_requests_completed_total 120"));

@@ -4,6 +4,13 @@
 //! model on the dual-side SpGEMM kernel and fans responses back out per
 //! request.
 //!
+//! Completion routing is per-request, not per-ingress: every request
+//! carries its own response `Sender` (captured at submit time), so one
+//! batch can fan its responses out to any mix of in-process callers and
+//! wire reactors — each wire reactor submits with a clone of *its own*
+//! completion channel, and its pump sees only its own connections'
+//! responses back ([`crate::net::server`]).
+//!
 //! Device queues are **bounded to one in-flight batch** (`sync_channel(1)`)
 //! so the dispatcher barely runs ahead of the pool: requests wait in the
 //! priority-aware scheduler — where SLO flushes and priority extraction

@@ -354,6 +354,151 @@ fn wire_requests_record_full_traces_with_wire_stamps() {
     server.shutdown();
 }
 
+/// The sharding acceptance test: the same pipelined multi-connection load
+/// served with 1, 2 and 4 reactors must preserve per-connection frame
+/// ordering and answer bit-identically to the in-process path.
+#[test]
+fn sharded_reactors_preserve_ordering_and_bit_identical_responses() {
+    const CONNS: usize = 6;
+    const PER_CONN: u64 = 8;
+    for reactors in [1usize, 2, 4] {
+        let mut server = WireServer::start(
+            ServeConfig::default()
+                .with_max_batch(4)
+                .with_max_queue_wait(Duration::from_millis(1))
+                .with_proxy_dim(PROXY_DIM)
+                .with_reactors(reactors),
+        )
+        .expect("bind loopback");
+        assert_eq!(server.reactors(), reactors);
+        let addr = server.local_addr();
+        let outputs: Vec<(u64, Matrix)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CONNS)
+                .map(|c| {
+                    scope.spawn(move || {
+                        let mut client = WireClient::connect(addr).expect("connect");
+                        let mut ids = std::collections::HashMap::new();
+                        let mut error_ids = Vec::new();
+                        for i in 0..PER_CONN {
+                            if i % 4 == 3 {
+                                // Wrong feature width: answered with an error
+                                // frame generated synchronously at decode
+                                // time, so the order these come back in
+                                // proves the reactor consumed this
+                                // connection's frames in the order sent.
+                                let bad = InferRequest::new(
+                                    ModelId::RnnLm,
+                                    Matrix::zeros(2, PROXY_DIM * 2),
+                                );
+                                error_ids.push(client.send(&bad).expect("send"));
+                            } else {
+                                let seed = c as u64 * 1_000_003 + i;
+                                ids.insert(client.send(&request(seed)).expect("send"), seed);
+                            }
+                        }
+                        let mut outputs = Vec::new();
+                        let mut seen_errors = Vec::new();
+                        for _ in 0..PER_CONN {
+                            let response = client.recv().expect("response");
+                            if response.status == WireStatus::Ok {
+                                let seed = ids.remove(&response.id).expect("unique id");
+                                outputs.push((seed, response.into_body().expect("ok").output));
+                            } else {
+                                assert_eq!(response.status, WireStatus::InvalidRequest);
+                                seen_errors.push(response.id);
+                            }
+                        }
+                        assert!(ids.is_empty(), "unanswered requests on conn {c}");
+                        assert_eq!(seen_errors, error_ids, "conn {c} frame order broke");
+                        outputs
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("client")).collect()
+        });
+        // 2 of every 8 frames per connection were the deliberate errors.
+        assert_eq!(outputs.len(), CONNS * (PER_CONN as usize - 2));
+        for (seed, wire_output) in outputs {
+            let in_process = server.server().infer(request(seed)).expect("in-process");
+            assert_eq!(wire_output, in_process.output, "reactors {reactors} seed {seed}");
+        }
+        // Quiescent (every response read), so the counters are exact: the
+        // merged view must be the field-wise sum of the per-reactor
+        // snapshots, and with more connections than reactors the
+        // least-loaded hand-off must have spread load to every reactor.
+        let per = server.reactor_stats();
+        assert_eq!(per.len(), reactors);
+        let merged = server.wire_stats();
+        assert_eq!(merged, dsstc_serve::WireStats::merged(&per));
+        assert_eq!(merged.frames_received, (CONNS as u64) * PER_CONN);
+        assert_eq!(merged.frames_sent, (CONNS as u64) * (PER_CONN - 2));
+        assert_eq!(merged.error_frames_sent, (CONNS as u64) * 2);
+        assert_eq!(merged.connections_accepted, CONNS as u64);
+        assert!(
+            per.iter().all(|r| r.connections_accepted >= 1),
+            "reactors {reactors}: a reactor was starved of connections: {per:?}"
+        );
+        server.shutdown();
+    }
+}
+
+#[test]
+fn multi_reactor_graceful_drain_answers_every_reactors_in_flight() {
+    let mut server = WireServer::start(
+        ServeConfig::default()
+            .with_max_batch(4)
+            .with_max_queue_wait(Duration::from_millis(1))
+            .with_proxy_dim(PROXY_DIM)
+            .with_reactors(4),
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    const CONNS: usize = 4;
+    const N: u64 = 8;
+    // One connection per reactor (the balanced hand-off guarantees the
+    // spread), each with a full pipeline of unanswered requests.
+    let mut clients = Vec::new();
+    for _ in 0..CONNS {
+        let mut client = WireClient::connect(addr).expect("connect");
+        for seed in 0..N {
+            client.send(&request(seed)).expect("send");
+        }
+        clients.push(client);
+    }
+    let readers: Vec<_> = clients
+        .into_iter()
+        .map(|mut client| {
+            std::thread::spawn(move || {
+                for _ in 0..N {
+                    match client.recv() {
+                        Ok(response) if response.status == WireStatus::Ok => {}
+                        other => panic!("expected Ok response during drain, got {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    // Shut down while responses are still streaming on every reactor: the
+    // drain must answer everything already submitted, well before the
+    // drain timeout would force-close.
+    std::thread::sleep(Duration::from_millis(5));
+    let drain_started = Instant::now();
+    server.shutdown();
+    assert!(
+        drain_started.elapsed() < dsstc_serve::net::DRAIN_TIMEOUT,
+        "drain must finish by answering, not by timing out"
+    );
+    for reader in readers {
+        reader.join().expect("reader got all its responses");
+    }
+    let per = server.reactor_stats();
+    assert!(
+        per.iter().all(|r| r.connections_accepted == 1),
+        "every reactor owned one draining connection: {per:?}"
+    );
+    assert_eq!(server.wire_stats().frames_sent, (CONNS as u64) * N);
+}
+
 /// One blocking HTTP/1.0 scrape of the metrics endpoint, returning the body.
 fn scrape_metrics(addr: std::net::SocketAddr) -> String {
     use std::io::{Read, Write};

@@ -24,8 +24,9 @@
 //! the bound address, serves until `--wire-requests N` (default 48)
 //! responses have gone out (printing a one-line stats heartbeat roughly
 //! every 5 s along the way), then drains gracefully and asserts the wire
-//! counters. `examples/serve_client.rs` is the matching driver; the CI wire
-//! smoke runs the two against each other.
+//! counters. `--reactors N` shards the front-end across N event loops
+//! (0 = one per host core). `examples/serve_client.rs` is the matching
+//! driver; the CI wire smoke runs the two against each other.
 //!
 //! Observability knobs (see `docs/OBSERVABILITY.md`): `--trace-out PATH`
 //! streams one chrome-trace JSON line per completed request, and
@@ -41,7 +42,7 @@ use dsstc_sim::GpuConfig;
 use dsstc_tensor::{Matrix, SparsityPattern};
 
 const USAGE: &str = "usage: serve_demo [--encode-cache-dir DIR] [--expect-warm] \
-[--trace-out PATH] [--listen ADDR [--wire-requests N] [--metrics-addr ADDR]]";
+[--trace-out PATH] [--listen ADDR [--wire-requests N] [--reactors N] [--metrics-addr ADDR]]";
 
 fn usage_error(message: &str) -> ! {
     eprintln!("serve_demo: {message}\n{USAGE}");
@@ -62,6 +63,7 @@ fn run_listen(config: ServeConfig, wire_requests: u64) {
     if let Some(addr) = server.metrics_addr() {
         println!("metrics on http://{addr}/metrics");
     }
+    println!("wire front-end sharded across {} reactor(s)", server.reactors());
     // The line clients (and the CI smoke) wait for before connecting.
     println!("listening on {}", server.local_addr());
     let mut last_heartbeat = std::time::Instant::now();
@@ -108,6 +110,7 @@ fn main() {
     let mut expect_warm = false;
     let mut listen: Option<std::net::SocketAddr> = None;
     let mut wire_requests: u64 = 48;
+    let mut reactors: Option<usize> = None;
     let mut metrics_addr: Option<std::net::SocketAddr> = None;
     let mut trace_out: Option<PathBuf> = None;
     let mut iter = args.iter();
@@ -128,6 +131,14 @@ fn main() {
                 match iter.next().and_then(|v| v.parse().ok()).filter(|&n: &u64| n > 0) {
                     Some(n) => wire_requests = n,
                     None => usage_error("--wire-requests needs a positive integer"),
+                }
+            }
+            "--reactors" => {
+                // 0 is meaningful (one reactor per host core), so only a
+                // missing or non-numeric value is rejected.
+                match iter.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => reactors = Some(n),
+                    None => usage_error("--reactors needs a non-negative integer"),
                 }
             }
             "--metrics-addr" => match iter.next().map(|v| v.parse()) {
@@ -167,13 +178,20 @@ fn main() {
     if let Some(addr) = metrics_addr {
         config = config.with_metrics_addr(addr);
     }
+    if reactors.is_some() && listen.is_none() {
+        usage_error("--reactors needs --listen (it shards the wire front-end)");
+    }
     if let Some(addr) = listen {
         if expect_warm {
             usage_error("--expect-warm applies to the in-process demo, not --listen");
         }
         #[cfg(target_os = "linux")]
         {
-            run_listen(config.with_listen(addr), wire_requests);
+            let mut config = config.with_listen(addr);
+            if let Some(n) = reactors {
+                config = config.with_reactors(n);
+            }
+            run_listen(config, wire_requests);
             return;
         }
         #[cfg(not(target_os = "linux"))]
