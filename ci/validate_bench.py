@@ -41,10 +41,11 @@ def validate_serve(doc):
     for cell in doc["cells"]:
         for key in (
             "pool", "workers", "max_batch", "path", "connections",
-            "reactors", "offered_rps", "completed", "achieved_rps",
+            "reactors", "offered_rps", "completed", "shed", "achieved_rps",
             "queue_p50_us", "queue_p99_us", "execute_p50_us",
             "execute_p99_us", "e2e_p50_us", "e2e_p99_us",
-            "mean_batch_size", "cache_hit_rate", "per_priority",
+            "mean_batch_size", "cache_hit_rate", "warm_restored",
+            "store_entries", "store_bytes", "per_priority",
             "per_device", "wire",
         ):
             assert key in cell, key
@@ -52,6 +53,19 @@ def validate_serve(doc):
         # percentiles; CI sweeps must never produce one.
         require_number(cell, "completed", minimum=1)
         assert require_number(cell, "achieved_rps") > 0, "achieved_rps must be positive"
+        # Encoding-store lifecycle counters are plain non-negative
+        # integers on every cell (zero when no store or shedding).
+        require_number(cell, "shed", minimum=0)
+        require_number(cell, "warm_restored", minimum=0)
+        require_number(cell, "store_entries", minimum=0)
+        require_number(cell, "store_bytes", minimum=0)
+        # Per-priority shed counts reconcile with the cell total.
+        shed_sum = sum(
+            require_number(p, "shed", minimum=0) for p in cell["per_priority"]
+        )
+        assert shed_sum == cell["shed"], (
+            f"per-priority shed {shed_sum} != cell shed {cell['shed']}"
+        )
         # Client-side e2e samples exist on every path except the fan-in
         # burst driver, which measures whole-burst wall clock instead.
         if doc["mode"] != "wire_fanin":
@@ -64,6 +78,7 @@ def validate_serve(doc):
             require_number(cell, "reactors", minimum=1)
             assert cell["wire"] is not None, "wire cells carry wire stats"
             require_number(cell["wire"], "connections_accepted", minimum=1)
+            require_number(cell["wire"], "shed", minimum=0)
         else:
             assert cell["path"] == "in_process", cell["path"]
             assert cell["connections"] is None, cell["connections"]

@@ -973,10 +973,11 @@ fn bench_cell_json(cell: &BenchCell) -> String {
         .map(|&priority| {
             let latency = stats.for_priority(priority);
             format!(
-                "{{\"priority\": {}, \"completed\": {}, \"queue_p50_us\": {}, \
+                "{{\"priority\": {}, \"completed\": {}, \"shed\": {}, \"queue_p50_us\": {}, \
                  \"queue_p99_us\": {}, \"e2e_p50_us\": {}, \"e2e_p99_us\": {}}}",
                 json_str(&priority.to_string()),
                 latency.completed,
+                latency.shed,
                 json_f64(latency.queue_p50_us),
                 json_f64(latency.queue_p99_us),
                 e2e_quantile_json(&cell.result.e2e_us, Some(priority), 0.50),
@@ -1001,11 +1002,12 @@ fn bench_cell_json(cell: &BenchCell) -> String {
     let wire = match &stats.wire {
         Some(w) => format!(
             "{{\"connections_accepted\": {}, \"frames_received\": {}, \"frames_sent\": {}, \
-             \"error_frames_sent\": {}, \"bytes_received\": {}, \"bytes_sent\": {}}}",
+             \"error_frames_sent\": {}, \"shed\": {}, \"bytes_received\": {}, \"bytes_sent\": {}}}",
             w.connections_accepted,
             w.frames_received,
             w.frames_sent,
             w.error_frames_sent,
+            w.shed_total(),
             w.bytes_received,
             w.bytes_sent,
         ),
@@ -1019,10 +1021,11 @@ fn bench_cell_json(cell: &BenchCell) -> String {
     let achieved_rps = if stats.completed_requests == 0 { 0.0 } else { cell.result.achieved_rps };
     format!(
         "{{\"pool\": {}, \"workers\": {}, \"max_batch\": {}, \"path\": {}, \
-         \"connections\": {}, \"reactors\": {}, \"completed\": {}, \
+         \"connections\": {}, \"reactors\": {}, \"completed\": {}, \"shed\": {}, \
          \"offered_rps\": {}, \"achieved_rps\": {}, \"queue_p50_us\": {}, \"queue_p99_us\": {}, \
          \"execute_p50_us\": {}, \"execute_p99_us\": {}, \"e2e_p50_us\": {}, \"e2e_p99_us\": {}, \
-         \"mean_batch_size\": {}, \"cache_hit_rate\": {}, \"per_priority\": [{}], \
+         \"mean_batch_size\": {}, \"cache_hit_rate\": {}, \"warm_restored\": {}, \
+         \"store_entries\": {}, \"store_bytes\": {}, \"per_priority\": [{}], \
          \"per_device\": [{}], \"wire\": {}}}",
         json_str(&cell.pool),
         stats.per_device.len(),
@@ -1031,6 +1034,7 @@ fn bench_cell_json(cell: &BenchCell) -> String {
         cell.connections.map_or("null".to_string(), |n| n.to_string()),
         cell.reactors.map_or("null".to_string(), |n| n.to_string()),
         stats.completed_requests,
+        stats.total_shed(),
         cell.offered_rps.map_or("null".to_string(), json_f64),
         json_f64(achieved_rps),
         json_f64(stats.queue_p50_us),
@@ -1041,6 +1045,9 @@ fn bench_cell_json(cell: &BenchCell) -> String {
         e2e_quantile_json(&cell.result.e2e_us, None, 0.99),
         json_f64(stats.mean_batch_size),
         json_f64(stats.encode_hit_rate),
+        stats.encode_warm_restored,
+        stats.store_entries,
+        stats.store_bytes,
         per_priority.join(", "),
         per_device.join(", "),
         wire,
@@ -1200,6 +1207,12 @@ mod tests {
         assert!(json.contains("\"achieved_rps\": 0.000"), "{json}");
         assert!(json.contains("\"e2e_p50_us\": null"), "{json}");
         assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+        // The lifecycle counters are additive schema fields: present (and
+        // zero) even on a cell that never shed or touched a store.
+        assert!(json.contains("\"shed\": 0"), "{json}");
+        assert!(json.contains("\"warm_restored\": 0"), "{json}");
+        assert!(json.contains("\"store_entries\": 0"), "{json}");
+        assert!(json.contains("\"store_bytes\": 0"), "{json}");
     }
 
     /// The happy path keeps its measured rate and gains the completed

@@ -194,6 +194,20 @@ impl BatchScheduler {
         self.state.lock().expect("scheduler mutex poisoned").len
     }
 
+    /// Queued requests per priority level, indexed by
+    /// [`Priority::index`] — what admission control projects queue delay
+    /// from. O(classes), like the release decision.
+    pub fn queue_depths(&self) -> [usize; Priority::ALL.len()] {
+        let state = self.state.lock().expect("scheduler mutex poisoned");
+        let mut depths = [0; Priority::ALL.len()];
+        for class in &state.classes {
+            for (slot, count) in depths.iter_mut().zip(class.priority_counts) {
+                *slot += count;
+            }
+        }
+        depths
+    }
+
     /// Whether the scheduler still accepts requests.
     pub fn is_open(&self) -> bool {
         self.state.lock().expect("scheduler mutex poisoned").open
@@ -410,6 +424,24 @@ mod tests {
 
     fn prioritised(model: ModelId, id: u64, priority: Priority) -> PendingRequest {
         PendingRequest { id, priority, ..request(model) }
+    }
+
+    #[test]
+    fn queue_depths_track_per_priority_counts_across_classes() {
+        let s = BatchScheduler::new(policy(8, 50));
+        assert_eq!(s.queue_depths(), [0, 0, 0]);
+        assert!(s.enqueue(prioritised(ModelId::BertBase, 0, Priority::Low)));
+        assert!(s.enqueue(prioritised(ModelId::BertBase, 1, Priority::High)));
+        assert!(s.enqueue(prioritised(ModelId::RnnLm, 2, Priority::High)));
+        assert!(s.enqueue(prioritised(ModelId::RnnLm, 3, Priority::Normal)));
+        assert_eq!(s.queue_depths(), [1, 1, 2], "summed across model classes");
+        assert_eq!(s.queue_depths().iter().sum::<usize>(), s.queue_len());
+        // Extraction drains the counts class by class.
+        s.shutdown();
+        while let Some(batch) = s.next_batch() {
+            drop(batch);
+        }
+        assert_eq!(s.queue_depths(), [0, 0, 0]);
     }
 
     #[test]

@@ -9,6 +9,93 @@ use dsstc_sim::GpuConfig;
 
 use crate::dispatch::DispatchPolicy;
 use crate::repository::CacheBudget;
+use crate::request::Priority;
+
+/// SLO-aware admission control / load shedding.
+///
+/// The server keeps a per-class latency SLO; at submit time it projects the
+/// queue delay a new request would see from the **modelled** completion
+/// time of the work already queued at or above its priority (queued
+/// requests × the key's modelled unit cost ÷ pool size — the same
+/// [`crate::BatchTimingModel`] pricing the dispatcher plans with, so the
+/// decision is deterministic and testable). When the projection exceeds the
+/// class SLO scaled by `headroom`, the request is **shed** — rejected at
+/// submit with [`crate::ServeError::ShedLoad`] (a `ShedLoad` error frame on
+/// the wire) — so overload degrades low-priority traffic instead of
+/// growing queues without bound. High-priority requests are never shed on
+/// projection, only by the hard `max_queue` depth bound.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdmissionControl {
+    /// Per-class latency SLO, indexed by [`Priority::index`] (Low = 0).
+    pub slo: [Duration; 3],
+    /// Fraction of the SLO the projected queue delay may consume before
+    /// new requests of that class are shed, in `(0, 1]`. Lower sheds
+    /// earlier, reserving more of the SLO for execution itself.
+    pub headroom: f64,
+    /// Hard bound on total queued requests; at or beyond it every class
+    /// (including high priority) is shed. The backstop that keeps queue
+    /// depth bounded under adversarial arrivals.
+    pub max_queue: usize,
+}
+
+impl AdmissionControl {
+    /// Builds a policy from per-class SLOs (Low, Normal, High order), a
+    /// headroom fraction and a hard queue-depth bound.
+    ///
+    /// # Panics
+    /// Panics if `headroom` is outside `(0, 1]`, `max_queue` is zero, or
+    /// any SLO is zero.
+    pub fn new(slo: [Duration; 3], headroom: f64, max_queue: usize) -> Self {
+        assert!(
+            headroom > 0.0 && headroom <= 1.0,
+            "headroom must be a fraction of the SLO in (0, 1]"
+        );
+        assert!(max_queue > 0, "the queue bound must admit at least one request");
+        assert!(slo.iter().all(|s| !s.is_zero()), "every class SLO must be non-zero");
+        AdmissionControl { slo, headroom, max_queue }
+    }
+
+    /// The latency SLO of `priority`'s class.
+    pub fn slo_for(&self, priority: Priority) -> Duration {
+        self.slo[priority.index()]
+    }
+
+    /// Microseconds of projected queue delay `priority` may absorb before
+    /// shedding (its SLO × headroom).
+    pub fn budget_us(&self, priority: Priority) -> f64 {
+        self.slo[priority.index()].as_secs_f64() * 1e6 * self.headroom
+    }
+
+    /// The admission decision, as a pure function of the class, the
+    /// modelled queue-delay projection and the current total queue depth
+    /// (property-tested in this module): shed when the queue is at its
+    /// hard bound, otherwise shed non-high classes whose projection
+    /// exhausts their SLO headroom. High priority is never shed on
+    /// projection alone.
+    pub fn should_shed(&self, priority: Priority, projected_us: f64, queued: usize) -> bool {
+        if queued >= self.max_queue {
+            return true;
+        }
+        if priority == Priority::High {
+            return false;
+        }
+        projected_us > self.budget_us(priority)
+    }
+}
+
+impl Default for AdmissionControl {
+    /// 50 ms / 200 ms / 1 s SLOs for High / Normal / Low with 80% headroom
+    /// and a 10 000-request queue bound: tight enough that a saturated
+    /// server sheds background work within tens of milliseconds, loose
+    /// enough that bursty but sustainable traffic is never touched.
+    fn default() -> Self {
+        AdmissionControl::new(
+            [Duration::from_secs(1), Duration::from_millis(200), Duration::from_millis(50)],
+            0.8,
+            10_000,
+        )
+    }
+}
 
 /// A pool of modelled GPUs batches are dispatched onto.
 ///
@@ -104,6 +191,20 @@ pub struct ServeConfig {
     pub encode_cache_dir: Option<PathBuf>,
     /// Entry/byte bound on the in-memory encode-cache tier.
     pub encode_cache_budget: CacheBudget,
+    /// Entry/**file**-byte bound on the on-disk store tier. The store is
+    /// GC'd back under this budget (LRU by last restore) at boot and on
+    /// every store touch; see `docs/ENCODING_CACHE.md`.
+    pub encode_store_budget: CacheBudget,
+    /// Worker threads [`crate::ModelRepository::warm_boot`] restores
+    /// persisted artifacts with at server start (`0` = the host's
+    /// available parallelism). Only meaningful with `encode_cache_dir`
+    /// set.
+    pub warm_boot_threads: usize,
+    /// SLO-aware admission control. `None` (the default) admits every
+    /// well-formed request, exactly as before this knob existed; `Some`
+    /// sheds load at submit time once projected queue delay exhausts a
+    /// class's SLO headroom.
+    pub admission: Option<AdmissionControl>,
     /// Listen address of the TCP front-end ([`crate::net::WireServer`]).
     /// `None` (the default) binds loopback with an OS-assigned port when a
     /// wire server is started, and is ignored entirely by the in-process
@@ -164,6 +265,9 @@ impl Default for ServeConfig {
             dispatch: DispatchPolicy::MinCompletionTime,
             encode_cache_dir: None,
             encode_cache_budget: CacheBudget::default(),
+            encode_store_budget: CacheBudget::store_default(),
+            warm_boot_threads: 4,
+            admission: None,
             listen: None,
             max_connections: 256,
             reactors: 1,
@@ -249,6 +353,25 @@ impl ServeConfig {
     /// Overrides the in-memory encode-cache budget.
     pub fn with_encode_cache_budget(mut self, budget: CacheBudget) -> Self {
         self.encode_cache_budget = budget;
+        self
+    }
+
+    /// Overrides the on-disk store budget.
+    pub fn with_encode_store_budget(mut self, budget: CacheBudget) -> Self {
+        self.encode_store_budget = budget;
+        self
+    }
+
+    /// Overrides the warm-boot worker-thread count (`0` = size to the
+    /// host's available parallelism).
+    pub fn with_warm_boot_threads(mut self, threads: usize) -> Self {
+        self.warm_boot_threads = threads;
+        self
+    }
+
+    /// Enables SLO-aware admission control with `policy`.
+    pub fn with_admission_control(mut self, policy: AdmissionControl) -> Self {
+        self.admission = Some(policy);
         self
     }
 
@@ -428,5 +551,180 @@ mod tests {
     #[should_panic(expected = "at least one request")]
     fn zero_batch_panics() {
         let _ = ServeConfig::default().with_max_batch(0);
+    }
+
+    #[test]
+    fn store_lifecycle_knobs_default_sanely_and_build_on() {
+        let c = ServeConfig::default();
+        assert_eq!(c.encode_store_budget, CacheBudget::store_default());
+        assert!(c.encode_store_budget.max_bytes > c.encode_cache_budget.max_bytes);
+        assert!(c.warm_boot_threads > 0);
+        let c = c
+            .with_encode_store_budget(CacheBudget { max_entries: 8, max_bytes: 1 << 16 })
+            .with_warm_boot_threads(2);
+        assert_eq!(c.encode_store_budget, CacheBudget { max_entries: 8, max_bytes: 1 << 16 });
+        assert_eq!(c.warm_boot_threads, 2);
+    }
+
+    #[test]
+    fn admission_control_defaults_off_and_builds_on() {
+        let c = ServeConfig::default();
+        assert_eq!(c.admission, None, "admission control must be opt-in");
+        let c = c.with_admission_control(AdmissionControl::default());
+        let policy = c.admission.expect("enabled");
+        assert!(policy.slo_for(Priority::High) < policy.slo_for(Priority::Normal));
+        assert!(policy.slo_for(Priority::Normal) < policy.slo_for(Priority::Low));
+        assert!(policy.headroom > 0.0 && policy.headroom <= 1.0);
+        assert!(policy.max_queue > 0);
+    }
+
+    #[test]
+    fn should_shed_compares_projection_to_slo_headroom() {
+        let policy = AdmissionControl::new(
+            [Duration::from_millis(100), Duration::from_millis(100), Duration::from_millis(100)],
+            0.5,
+            1000,
+        );
+        // Budget is 100 ms × 0.5 = 50 000 µs; at or under it admits.
+        assert_eq!(policy.budget_us(Priority::Low), 50_000.0);
+        assert!(!policy.should_shed(Priority::Low, 50_000.0, 0), "boundary admits");
+        assert!(policy.should_shed(Priority::Low, 50_000.1, 0), "over the boundary sheds");
+        assert!(!policy.should_shed(Priority::Normal, 0.0, 0));
+    }
+
+    #[test]
+    fn the_queue_bound_sheds_every_class_including_high() {
+        let policy = AdmissionControl::new([Duration::from_secs(1); 3], 1.0, 4);
+        assert!(
+            !policy.should_shed(Priority::High, f64::INFINITY, 3),
+            "projection never sheds high"
+        );
+        assert!(policy.should_shed(Priority::High, 0.0, 4), "the hard bound does");
+        assert!(policy.should_shed(Priority::Low, 0.0, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "headroom")]
+    fn zero_headroom_panics() {
+        let _ = AdmissionControl::new([Duration::from_secs(1); 3], 0.0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "headroom")]
+    fn over_unity_headroom_panics() {
+        let _ = AdmissionControl::new([Duration::from_secs(1); 3], 1.1, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue bound")]
+    fn zero_queue_bound_panics() {
+        let _ = AdmissionControl::new([Duration::from_secs(1); 3], 0.5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "SLO must be non-zero")]
+    fn zero_slo_panics() {
+        let _ = AdmissionControl::new(
+            [Duration::from_secs(1), Duration::ZERO, Duration::from_secs(1)],
+            0.5,
+            10,
+        );
+    }
+
+    mod admission_props {
+        use super::*;
+        use proptest::prelude::*;
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+
+        fn arb_policy() -> impl Strategy<Value = AdmissionControl> {
+            (1u64..=2_000_000, 1u64..=2_000_000, 1u64..=2_000_000, 1u32..=100, 1usize..=64)
+                .prop_map(|(low, normal, high, headroom_pct, max_queue)| {
+                    AdmissionControl::new(
+                        [
+                            Duration::from_micros(low),
+                            Duration::from_micros(normal),
+                            Duration::from_micros(high),
+                        ],
+                        f64::from(headroom_pct) / 100.0,
+                        max_queue,
+                    )
+                })
+        }
+
+        proptest! {
+            /// Shedding never rejects a request whose class still has SLO
+            /// headroom (while the hard queue bound holds).
+            #[test]
+            fn never_sheds_within_slo_headroom(
+                policy in arb_policy(),
+                class in 0usize..3,
+                fraction_permille in 0u32..=1000,
+            ) {
+                let priority = Priority::ALL[class];
+                let projected = policy.budget_us(priority) * f64::from(fraction_permille) / 1e3;
+                prop_assert!(
+                    !policy.should_shed(priority, projected, policy.max_queue - 1),
+                    "shed at {fraction_permille} permille of the SLO headroom"
+                );
+            }
+
+            /// High priority is never shed by projection, however extreme.
+            #[test]
+            fn high_priority_is_never_shed_by_projection(
+                policy in arb_policy(),
+                projected_us in 0u64..1_000_000_000_000,
+            ) {
+                let projected = projected_us as f64;
+                prop_assert!(!policy.should_shed(Priority::High, projected, policy.max_queue - 1));
+            }
+
+            /// Shedding is monotone in the projection: once a class sheds
+            /// at some projected delay, every larger delay sheds too.
+            #[test]
+            fn shedding_is_monotone_in_projection(
+                policy in arb_policy(),
+                class in 0usize..3,
+                projected_us in 0u64..1_000_000_000,
+                extra_us in 0u64..1_000_000_000,
+                queued in 0usize..64,
+            ) {
+                let (projected, extra) = (projected_us as f64, extra_us as f64);
+                let priority = Priority::ALL[class];
+                if policy.should_shed(priority, projected, queued) {
+                    prop_assert!(policy.should_shed(priority, projected + extra, queued));
+                }
+            }
+
+            /// Under an adversarial arrival sequence the admitted queue
+            /// depth never exceeds the configured bound.
+            #[test]
+            fn queue_depth_stays_within_the_bound_under_adversarial_arrivals(
+                policy in arb_policy(),
+                seed in any::<u64>(),
+                arrivals in 1usize..=512,
+            ) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut queued = 0usize;
+                for _ in 0..arrivals {
+                    // The adversary picks the class, an arbitrary modelled
+                    // projection, and occasionally drains a request.
+                    if queued > 0 && rng.random_bool(0.3) {
+                        queued -= 1;
+                        continue;
+                    }
+                    let priority = Priority::ALL[rng.random_range(0usize..3)];
+                    let projected = rng.random_range(0.0f64..3e6);
+                    if !policy.should_shed(priority, projected, queued) {
+                        queued += 1;
+                    }
+                    prop_assert!(
+                        queued <= policy.max_queue,
+                        "queue depth {queued} exceeded the bound {}",
+                        policy.max_queue
+                    );
+                }
+            }
+        }
     }
 }

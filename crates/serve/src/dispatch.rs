@@ -211,6 +211,25 @@ impl DeviceDispatcher {
         self.busy_until_us().into_iter().fold(0.0, f64::max)
     }
 
+    /// Modelled microseconds one request of `key` costs on the fastest
+    /// pooled device (batch of one): the admission controller's unit price
+    /// for turning queue depth into projected queue delay. Same pricing as
+    /// [`Self::plan`] — timing caches first, the key's layer table for
+    /// cold buckets — so the admission decision is deterministic and never
+    /// consults a wall clock.
+    pub fn unit_cost_us(&self, key: ModelKey) -> f64 {
+        let mut network = None;
+        self.timings
+            .iter()
+            .map(|timing| {
+                timing.cached_batched_us(key, 1).unwrap_or_else(|| {
+                    let network = network.get_or_insert_with(|| key.network());
+                    timing.batched_us_for(key, network, 1)
+                })
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+
     /// Aggregate timing-cache hit rate across the pool's models.
     pub fn timing_hit_rate(&self) -> f64 {
         let hits: u64 = self.timings.iter().map(|t| t.hit_count()).sum();
@@ -323,5 +342,24 @@ mod tests {
         assert!(c.modelled_finish_us > a.modelled_finish_us);
         assert!(b.modelled_finish_us > 0.0);
         assert!(d.timing_hit_rate() > 0.0, "repeat pricing hits the cache");
+    }
+
+    #[test]
+    fn unit_cost_is_the_fastest_devices_single_request_price_and_is_stable() {
+        let d = DeviceDispatcher::new(&mixed_pool(), DispatchPolicy::MinCompletionTime);
+        let key = bert();
+        let network = key.network();
+        let unit = d.unit_cost_us(key);
+        assert!(unit > 0.0 && unit.is_finite());
+        let v100 = d.timing(0).batched_us_for(key, &network, 1);
+        let a100 = d.timing(1).batched_us_for(key, &network, 1);
+        assert!((unit - v100.min(a100)).abs() < 1e-9, "min over devices");
+        // Pure pricing: repeated calls agree and never advance the
+        // modelled clock (nothing to drain, nothing time-dependent).
+        assert_eq!(d.unit_cost_us(key), unit);
+        assert_eq!(d.makespan_us(), 0.0);
+        // Heavier models price strictly higher.
+        let vgg = d.unit_cost_us(ModelKey::new(ModelId::Vgg16, None));
+        assert!(vgg > unit, "VGG-16 {vgg} us should out-price BERT {unit} us");
     }
 }

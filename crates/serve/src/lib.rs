@@ -107,12 +107,12 @@ pub mod traffic;
 pub mod worker;
 
 pub use crate::batcher::{BatchPolicy, BatchScheduler};
-pub use crate::config::{DevicePool, ServeConfig};
+pub use crate::config::{AdmissionControl, DevicePool, ServeConfig};
 pub use crate::dispatch::{DeviceAssignment, DeviceDispatcher, DispatchPolicy};
 #[cfg(target_os = "linux")]
 pub use crate::net::{WireClient, WireServer};
 pub use crate::repository::{
-    CacheBudget, EncodeCacheStats, EncodedLayer, EncodedModel, ModelRepository,
+    CacheBudget, EncodeCacheStats, EncodedLayer, EncodedModel, ModelRepository, WarmBootReport,
 };
 pub use crate::request::{InferRequest, InferResponse, ModelId, ModelKey, Priority};
 pub use crate::server::{InferenceServer, PendingResponse, ServeError};

@@ -154,6 +154,11 @@ pub enum WireStatus {
     ShuttingDown,
     /// The client spoke a protocol version this server does not.
     UnsupportedVersion,
+    /// Admission control rejected the request: the projected queue delay
+    /// exhausts its priority class's SLO headroom (or the queue bound is
+    /// breached). The connection stays open; retry later or escalate the
+    /// request's priority.
+    ShedLoad,
 }
 
 impl WireStatus {
@@ -164,6 +169,7 @@ impl WireStatus {
             WireStatus::InvalidRequest => 1,
             WireStatus::ShuttingDown => 2,
             WireStatus::UnsupportedVersion => 3,
+            WireStatus::ShedLoad => 4,
         }
     }
 
@@ -174,6 +180,7 @@ impl WireStatus {
             1 => Some(WireStatus::InvalidRequest),
             2 => Some(WireStatus::ShuttingDown),
             3 => Some(WireStatus::UnsupportedVersion),
+            4 => Some(WireStatus::ShedLoad),
             _ => None,
         }
     }
@@ -961,11 +968,46 @@ mod tests {
             (WireStatus::InvalidRequest, "features have 9 columns"),
             (WireStatus::ShuttingDown, ""),
             (WireStatus::UnsupportedVersion, "unsupported wire version 2, this peer speaks 1"),
+            (WireStatus::ShedLoad, "load shed: projected queue delay 125000 us"),
         ] {
             let built = ResponseFrame::error(17, status, message).to_bytes();
             let mut direct = Vec::new();
             encode_error_into(&mut direct, 17, status, message);
             assert_eq!(direct, built);
+        }
+    }
+
+    #[test]
+    fn every_wire_status_round_trips_and_unknown_codes_fail() {
+        for status in [
+            WireStatus::Ok,
+            WireStatus::InvalidRequest,
+            WireStatus::ShuttingDown,
+            WireStatus::UnsupportedVersion,
+            WireStatus::ShedLoad,
+        ] {
+            assert_eq!(WireStatus::from_code(status.code()), Some(status));
+        }
+        assert_eq!(WireStatus::ShedLoad.code(), 4, "wire byte is part of the protocol");
+        for code in 5..=u8::MAX {
+            assert_eq!(WireStatus::from_code(code), None);
+        }
+    }
+
+    #[test]
+    fn a_shed_load_error_frame_round_trips() {
+        let sent =
+            ResponseFrame::error(88, WireStatus::ShedLoad, "load shed: projected queue delay");
+        let bytes = sent.to_bytes();
+        let (decoded, consumed) = decode_one(&bytes).expect("decodes").expect("complete");
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(decoded, Frame::Response(sent.clone()));
+        match sent.into_body() {
+            Err(WireError::Rejected { status, message }) => {
+                assert_eq!(status, WireStatus::ShedLoad);
+                assert!(message.contains("load shed"));
+            }
+            other => panic!("expected Rejected, got {other:?}"),
         }
     }
 

@@ -749,8 +749,15 @@ impl Reactor {
             let status = match &error {
                 ServeError::InvalidRequest(_) => WireStatus::InvalidRequest,
                 ServeError::ShuttingDown | ServeError::Timeout => WireStatus::ShuttingDown,
+                ServeError::ShedLoad { .. } => WireStatus::ShedLoad,
             };
-            self.stats.request_rejected();
+            // Shed requests are load management, not client mistakes: they
+            // get their own per-priority counter instead of the rejected one.
+            if let ServeError::ShedLoad { priority, .. } = &error {
+                self.stats.request_shed(*priority);
+            } else {
+                self.stats.request_rejected();
+            }
             self.send_error_frame(conn_id, client_id, status, &error.to_string());
         }
     }

@@ -21,6 +21,17 @@
 //! [`CacheBudget`], least-recently-used artifacts are evicted (in-flight
 //! `Arc`s keep evicted models alive for their current batches).
 //!
+//! The disk tier has a **lifecycle** of its own (see
+//! `docs/ENCODING_CACHE.md`): a checksummed `MANIFEST.dsstcm` tracks every
+//! artifact's size and last-restore time; the store is GC'd back under its
+//! own [`CacheBudget`] (LRU by last restore) whenever it is touched;
+//! [`ModelRepository::warm_boot`] walks the store at startup with bounded
+//! worker threads, restoring artifacts into the memory tier (healing
+//! corrupt ones via a fresh encode and re-encoding stale-spec ones for the
+//! current device pool) so the first request after a restart is a memory
+//! hit; and every store mutation runs under a cross-process `flock` so two
+//! servers sharing a directory cannot interleave GC with writes.
+//!
 //! Each served model carries two representations:
 //!
 //! * a **functional proxy** — one `proxy_dim x proxy_dim` GEMM per network
@@ -56,6 +67,24 @@ const STORE_MAGIC: [u8; 4] = *b"DSMR";
 /// Version of the artifact header. Bump on layout change; mismatches fall
 /// back to a fresh encode (and overwrite the stale file).
 const STORE_VERSION: u16 = 1;
+
+/// Filename of the store manifest that tracks every artifact's size and
+/// last-restore time (the GC's LRU key). Deliberately not `.dsstc` so
+/// store scans never mistake it for an artifact.
+const MANIFEST_NAME: &str = "MANIFEST.dsstcm";
+
+/// First line of a valid manifest; the trailing integer is the format
+/// version. Unknown versions (or any parse/checksum failure) cause a
+/// rebuild from a directory scan, never an error.
+const MANIFEST_HEADER: &str = "dsstc-store-manifest 1";
+
+/// Filename of the zero-length file the cross-process store lock is taken
+/// on (`flock`, advisory — see [`store_lock`]).
+const STORE_LOCK_NAME: &str = ".dsstc-store.lock";
+
+/// Monotonic per-process sequence for unique temp-file names (artifacts and
+/// manifests share it).
+static WRITE_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// One layer of a served model: the pre-encoded proxy weights plus the real
 /// layer descriptor the timing model charges.
@@ -151,6 +180,15 @@ impl CacheBudget {
     pub fn unbounded() -> Self {
         CacheBudget { max_entries: usize::MAX, max_bytes: u64::MAX }
     }
+
+    /// The default bound of the on-disk store tier: wider than the
+    /// in-memory default (disk is cheap, artifacts are small), but still
+    /// finite so a long-lived shared `--encode-cache-dir` cannot grow
+    /// without bound. Here `max_bytes` counts **file** bytes, not modelled
+    /// encoded bytes.
+    pub fn store_default() -> Self {
+        CacheBudget { max_entries: 256, max_bytes: 4 << 30 }
+    }
 }
 
 impl Default for CacheBudget {
@@ -180,6 +218,21 @@ pub struct EncodeCacheStats {
     pub fresh_encode_ms: f64,
     /// Cumulative wall-clock milliseconds spent restoring from disk.
     pub disk_load_ms: f64,
+    /// Artifacts the boot warmer restored intact from the store.
+    pub warm_restored: u64,
+    /// Stale-spec artifacts the boot warmer re-encoded for the current
+    /// device pool (and removed from the store).
+    pub warm_reencoded: u64,
+    /// Corrupt artifacts the boot warmer healed via a fresh encode and
+    /// rewrite.
+    pub warm_healed: u64,
+    /// Artifacts currently tracked by the store manifest (gauge).
+    pub store_entries: u64,
+    /// File bytes currently tracked by the store manifest (gauge).
+    pub store_bytes: u64,
+    /// Artifacts removed by store GC so far (budget evictions plus orphan
+    /// and corrupt-name sweeps).
+    pub store_gc_removed: u64,
 }
 
 impl EncodeCacheStats {
@@ -192,6 +245,205 @@ impl EncodeCacheStats {
             self.hits as f64 / total as f64
         }
     }
+}
+
+/// What [`ModelRepository::warm_boot`] did: how many artifacts it restored,
+/// re-encoded for the current pool, healed after corruption, skipped, and
+/// garbage-collected.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WarmBootReport {
+    /// Artifacts restored intact into the memory tier.
+    pub restored: u64,
+    /// Stale-spec artifacts re-encoded for the current device pool and
+    /// removed from the store.
+    pub reencoded: u64,
+    /// Corrupt artifacts healed via a fresh encode (the store copy is
+    /// rewritten in place).
+    pub healed: u64,
+    /// Artifacts left on disk untouched (foreign proxy width — they still
+    /// count against the store budget but cannot serve this repository).
+    pub skipped: u64,
+    /// Files swept because they are not valid artifacts (leftover temp
+    /// files, unparseable names).
+    pub orphans_removed: u64,
+    /// Artifacts LRU-evicted to bring the store back under its budget.
+    pub gc_removed: u64,
+    /// Wall-clock milliseconds the warm boot took end to end.
+    pub elapsed_ms: f64,
+}
+
+impl WarmBootReport {
+    /// Artifacts the warmer materialised into the memory tier (restored +
+    /// re-encoded + healed).
+    pub fn warmed(&self) -> u64 {
+        self.restored + self.reencoded + self.healed
+    }
+}
+
+/// One artifact tracked by the store manifest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct ManifestEntry {
+    /// Artifact filename (no directory component; artifact names never
+    /// contain whitespace, which keeps the manifest line format trivial).
+    file: String,
+    /// File size in bytes at the last manifest update.
+    bytes: u64,
+    /// Microseconds since the Unix epoch of the last restore (or persist)
+    /// of this artifact — the GC's LRU key.
+    last_restore_us: u64,
+    /// The encoding-spec id recorded in the artifact name; compared against
+    /// the device pool's specs to detect stale encodings at warm boot.
+    spec_id: String,
+}
+
+/// A warm-boot work item: either restore an artifact for a spec the current
+/// pool uses, or re-encode a stale-spec artifact's model for the pool.
+enum WarmJob {
+    Restore { key: ModelKey, spec: EncodingSpec },
+    Reencode { key: ModelKey, file: String },
+}
+
+/// FNV-1a over `bytes`, the manifest's integrity checksum (same hash family
+/// the wire frames use).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Microseconds since the Unix epoch (0 if the clock is before it).
+fn unix_now_us() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_micros() as u64)
+}
+
+/// Parses an artifact filename (`{slug}-{s####|table}-d{dim}-{spec}.dsstc`)
+/// back into its identity. `None` for anything that is not a well-formed
+/// artifact name — those are orphans the warm-boot sweep removes.
+fn parse_artifact_name(name: &str) -> Option<(ModelKey, usize, &str)> {
+    let stem = name.strip_suffix(".dsstc")?;
+    let mut parts = stem.splitn(4, '-');
+    let slug = parts.next()?;
+    let sparsity = parts.next()?;
+    let dim = parts.next()?;
+    let spec_id = parts.next()?;
+    let model = crate::request::ModelId::ALL.into_iter().find(|m| m.slug() == slug)?;
+    let sparsity_permille = if sparsity == "table" {
+        None
+    } else {
+        let permille: u16 = sparsity.strip_prefix('s')?.parse().ok()?;
+        if permille > 1000 {
+            return None;
+        }
+        Some(permille)
+    };
+    let proxy_dim: usize = dim.strip_prefix('d')?.parse().ok()?;
+    if proxy_dim == 0 || spec_id.is_empty() {
+        return None;
+    }
+    Some((ModelKey { model, sparsity_permille }, proxy_dim, spec_id))
+}
+
+/// Reads and verifies the manifest. `None` on any missing file, bad
+/// header, parse failure or checksum mismatch — callers rebuild from a
+/// directory scan, so a corrupt manifest self-heals instead of erroring.
+fn read_manifest(dir: &Path) -> Option<Vec<ManifestEntry>> {
+    let text = std::fs::read_to_string(dir.join(MANIFEST_NAME)).ok()?;
+    let (body, checksum_line) = text.rsplit_once("fnv ")?;
+    let want = u64::from_str_radix(checksum_line.trim(), 16).ok()?;
+    if fnv1a(body.as_bytes()) != want {
+        return None;
+    }
+    let mut lines = body.lines();
+    if lines.next()? != MANIFEST_HEADER {
+        return None;
+    }
+    let mut entries = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let last_restore_us = fields.next()?.parse().ok()?;
+        let bytes = fields.next()?.parse().ok()?;
+        let spec_id = fields.next()?.to_string();
+        let file = fields.next()?.to_string();
+        if fields.next().is_some() {
+            return None;
+        }
+        entries.push(ManifestEntry { file, bytes, last_restore_us, spec_id });
+    }
+    Some(entries)
+}
+
+/// Serialises and atomically replaces the manifest (temp + rename, like
+/// artifact writes, so a crash mid-write never publishes a torn manifest).
+fn write_manifest(dir: &Path, entries: &[ManifestEntry]) -> std::io::Result<()> {
+    let mut body = String::new();
+    body.push_str(MANIFEST_HEADER);
+    body.push('\n');
+    for e in entries {
+        body.push_str(&format!("{} {} {} {}\n", e.last_restore_us, e.bytes, e.spec_id, e.file));
+    }
+    let text = format!("{body}fnv {:016x}\n", fnv1a(body.as_bytes()));
+    let path = dir.join(MANIFEST_NAME);
+    let tmp = path.with_extension(format!(
+        "dsstcm.tmp-{}-{}",
+        std::process::id(),
+        WRITE_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let result = std::fs::write(&tmp, text.as_bytes()).and_then(|()| std::fs::rename(&tmp, &path));
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Rebuilds manifest entries from a directory scan: every `.dsstc` file,
+/// sized from its metadata, last-restore approximated by mtime, spec id
+/// parsed from the name (empty when unparseable — the warm-boot sweep
+/// removes those). This is the self-healing path behind a missing or
+/// corrupt manifest.
+fn scan_store(dir: &Path) -> Vec<ManifestEntry> {
+    let mut entries = Vec::new();
+    let Ok(read_dir) = std::fs::read_dir(dir) else {
+        return entries;
+    };
+    for entry in read_dir.flatten() {
+        let Ok(name) = entry.file_name().into_string() else {
+            continue;
+        };
+        if !name.ends_with(".dsstc") {
+            continue;
+        }
+        let Ok(meta) = entry.metadata() else {
+            continue;
+        };
+        let modified_us = meta
+            .modified()
+            .ok()
+            .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+            .map_or(0, |d| d.as_micros() as u64);
+        let spec_id =
+            parse_artifact_name(&name).map_or(String::new(), |(_, _, spec)| spec.to_string());
+        entries.push(ManifestEntry {
+            file: name,
+            bytes: meta.len(),
+            last_restore_us: modified_us,
+            spec_id,
+        });
+    }
+    entries.sort_by(|a, b| a.file.cmp(&b.file));
+    entries
+}
+
+/// Sum of manifest file sizes.
+fn manifest_bytes(entries: &[ManifestEntry]) -> u64 {
+    entries.iter().map(|e| e.bytes).sum()
 }
 
 #[derive(Debug)]
@@ -225,6 +477,7 @@ pub struct ModelRepository {
     default_spec: EncodingSpec,
     kernel: BitmapSpGemm,
     budget: CacheBudget,
+    store_budget: CacheBudget,
     disk_dir: Option<PathBuf>,
     cache: Mutex<CacheState>,
     loaded: Condvar,
@@ -235,6 +488,12 @@ pub struct ModelRepository {
     evictions: AtomicU64,
     fresh_encode_us: AtomicU64,
     disk_load_us: AtomicU64,
+    warm_restored: AtomicU64,
+    warm_reencoded: AtomicU64,
+    warm_healed: AtomicU64,
+    store_gc_removed: AtomicU64,
+    store_entries: AtomicU64,
+    store_bytes: AtomicU64,
 }
 
 impl ModelRepository {
@@ -252,6 +511,7 @@ impl ModelRepository {
             kernel: BitmapSpGemm::for_device(gpu.clone()),
             base_gpu: gpu,
             budget: CacheBudget::default(),
+            store_budget: CacheBudget::store_default(),
             disk_dir: None,
             cache: Mutex::new(CacheState::default()),
             loaded: Condvar::new(),
@@ -262,6 +522,12 @@ impl ModelRepository {
             evictions: AtomicU64::new(0),
             fresh_encode_us: AtomicU64::new(0),
             disk_load_us: AtomicU64::new(0),
+            warm_restored: AtomicU64::new(0),
+            warm_reencoded: AtomicU64::new(0),
+            warm_healed: AtomicU64::new(0),
+            store_gc_removed: AtomicU64::new(0),
+            store_entries: AtomicU64::new(0),
+            store_bytes: AtomicU64::new(0),
         }
     }
 
@@ -281,6 +547,14 @@ impl ModelRepository {
         self
     }
 
+    /// Overrides the on-disk store budget (entries + **file** bytes).
+    /// Enforced by [`Self::gc_store`], by [`Self::warm_boot`], and on every
+    /// store touch (restore or persist).
+    pub fn with_store_budget(mut self, budget: CacheBudget) -> Self {
+        self.store_budget = budget;
+        self
+    }
+
     /// Feature width requests must supply.
     pub fn input_dim(&self) -> usize {
         self.proxy_dim
@@ -289,6 +563,17 @@ impl ModelRepository {
     /// The in-memory budget in force.
     pub fn budget(&self) -> CacheBudget {
         self.budget
+    }
+
+    /// The on-disk store budget in force.
+    pub fn store_budget(&self) -> CacheBudget {
+        self.store_budget
+    }
+
+    /// Last-known `(entries, file bytes)` of the on-disk store, from the
+    /// most recent manifest update (both 0 until the store is touched).
+    pub fn store_usage(&self) -> (u64, u64) {
+        (self.store_entries.load(Ordering::Relaxed), self.store_bytes.load(Ordering::Relaxed))
     }
 
     /// The on-disk store directory, if persistence is enabled.
@@ -423,6 +708,12 @@ impl ModelRepository {
             evictions: self.evictions.load(Ordering::Relaxed),
             fresh_encode_ms: self.fresh_encode_us.load(Ordering::Relaxed) as f64 / 1e3,
             disk_load_ms: self.disk_load_us.load(Ordering::Relaxed) as f64 / 1e3,
+            warm_restored: self.warm_restored.load(Ordering::Relaxed),
+            warm_reencoded: self.warm_reencoded.load(Ordering::Relaxed),
+            warm_healed: self.warm_healed.load(Ordering::Relaxed),
+            store_entries: self.store_entries.load(Ordering::Relaxed),
+            store_bytes: self.store_bytes.load(Ordering::Relaxed),
+            store_gc_removed: self.store_gc_removed.load(Ordering::Relaxed),
         }
     }
 
@@ -451,6 +742,7 @@ impl ModelRepository {
                 let us = started.elapsed().as_micros() as u64;
                 self.disk_loads.fetch_add(1, Ordering::Relaxed);
                 self.disk_load_us.fetch_add(us, Ordering::Relaxed);
+                self.note_store_touch(dir, &path);
                 return model;
             }
             // Missing, stale-version or corrupt artifact: fall through to a
@@ -464,7 +756,10 @@ impl ModelRepository {
         if let Some(dir) = &self.disk_dir {
             // Best effort: a failed persist only costs the next restart its
             // warm start.
-            let _ = self.persist(dir, &model);
+            if self.persist(dir, &model).is_ok() {
+                let path = self.artifact_path(dir, key, spec);
+                self.note_store_touch(dir, &path);
+            }
         }
         model
     }
@@ -582,7 +877,6 @@ impl ModelRepository {
     /// interleave into (and then publish) one file — the last complete
     /// rename wins, every published artifact is internally consistent.
     fn persist(&self, dir: &Path, model: &EncodedModel) -> Result<(), CodecError> {
-        static WRITE_SEQ: AtomicU64 = AtomicU64::new(0);
         std::fs::create_dir_all(dir)?;
         let path = self.artifact_path(dir, model.key, model.spec);
         let tmp = path.with_extension(format!(
@@ -608,6 +902,338 @@ impl ModelRepository {
             let _ = std::fs::remove_file(&tmp);
         }
         result
+    }
+
+    /// Records a restore/persist of `path` in the store manifest (upserting
+    /// the entry as most-recently-used) and GCs the store back under its
+    /// budget, all under the cross-process store lock. Best effort: a
+    /// failed lock or manifest write costs bookkeeping, never correctness.
+    fn note_store_touch(&self, dir: &Path, path: &Path) {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            return;
+        };
+        let Some(_lock) = store_lock::StoreLock::acquire(dir) else {
+            return;
+        };
+        let mut entries = read_manifest(dir).unwrap_or_else(|| scan_store(dir));
+        entries.retain(|e| dir.join(&e.file).exists());
+        let bytes = std::fs::metadata(path).map_or(0, |m| m.len());
+        // Strictly-greater-than-everything timestamp so LRU order is exact
+        // even under coarse (or backwards-stepping) system clocks.
+        let now = unix_now_us()
+            .max(entries.iter().map(|e| e.last_restore_us).max().unwrap_or(0).saturating_add(1));
+        let spec_id =
+            parse_artifact_name(name).map_or(String::new(), |(_, _, spec)| spec.to_string());
+        match entries.iter_mut().find(|e| e.file == name) {
+            Some(entry) => {
+                entry.bytes = bytes;
+                entry.last_restore_us = now;
+            }
+            None => entries.push(ManifestEntry {
+                file: name.to_string(),
+                bytes,
+                last_restore_us: now,
+                spec_id,
+            }),
+        }
+        self.gc_entries(dir, &mut entries);
+        let _ = write_manifest(dir, &entries);
+        self.update_store_gauges(&entries);
+    }
+
+    /// Evicts least-recently-restored artifacts until the store budget
+    /// holds (keeping at least one, mirroring the memory tier), deleting
+    /// both the file and its manifest entry. Ties on timestamp break by
+    /// filename so GC order is deterministic. Returns how many were
+    /// removed. Caller holds the store lock.
+    fn gc_entries(&self, dir: &Path, entries: &mut Vec<ManifestEntry>) -> u64 {
+        let mut removed = 0;
+        while entries.len() > 1
+            && (entries.len() > self.store_budget.max_entries
+                || manifest_bytes(entries) > self.store_budget.max_bytes)
+        {
+            let victim = entries
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    a.last_restore_us.cmp(&b.last_restore_us).then_with(|| a.file.cmp(&b.file))
+                })
+                .map(|(i, _)| i)
+                .expect("non-empty entries");
+            let entry = entries.remove(victim);
+            let _ = std::fs::remove_file(dir.join(&entry.file));
+            removed += 1;
+        }
+        self.store_gc_removed.fetch_add(removed, Ordering::Relaxed);
+        removed
+    }
+
+    /// Publishes the manifest's entry/byte totals to the store gauges.
+    fn update_store_gauges(&self, entries: &[ManifestEntry]) {
+        self.store_entries.store(entries.len() as u64, Ordering::Relaxed);
+        self.store_bytes.store(manifest_bytes(entries), Ordering::Relaxed);
+    }
+
+    /// Garbage-collects the on-disk store back under its budget right now
+    /// (reading — or rebuilding — the manifest under the store lock) and
+    /// returns how many artifacts were removed. No-op without a disk tier.
+    pub fn gc_store(&self) -> u64 {
+        let Some(dir) = self.disk_dir.clone() else {
+            return 0;
+        };
+        let Some(_lock) = store_lock::StoreLock::acquire(&dir) else {
+            return 0;
+        };
+        let mut entries = read_manifest(&dir).unwrap_or_else(|| scan_store(&dir));
+        entries.retain(|e| dir.join(&e.file).exists());
+        let removed = self.gc_entries(&dir, &mut entries);
+        let _ = write_manifest(&dir, &entries);
+        self.update_store_gauges(&entries);
+        removed
+    }
+
+    /// Removes one artifact (and its manifest entry) from the store, under
+    /// the store lock. Used when warm boot re-encodes a stale-spec
+    /// artifact: the replacement was persisted under its own name.
+    fn remove_store_entry(&self, dir: &Path, file: &str) {
+        let Some(_lock) = store_lock::StoreLock::acquire(dir) else {
+            return;
+        };
+        let mut entries = read_manifest(dir).unwrap_or_else(|| scan_store(dir));
+        entries.retain(|e| e.file != file);
+        entries.retain(|e| dir.join(&e.file).exists());
+        let _ = std::fs::remove_file(dir.join(file));
+        let _ = write_manifest(dir, &entries);
+        self.update_store_gauges(&entries);
+    }
+
+    /// Walks the on-disk store at startup with at most `threads` worker
+    /// threads (0 = the host's available parallelism) and restores every
+    /// artifact usable under one of `specs` into the memory tier, so the
+    /// first request after a restart is a memory **hit**.
+    ///
+    /// Before any restore, under the cross-process store lock: leftover
+    /// temp files and unparseable artifact names are swept, the manifest is
+    /// read (or rebuilt from a directory scan if missing/corrupt), and the
+    /// store is GC'd back under its budget. Then, lock released, the
+    /// surviving artifacts are processed oldest-first (so the most recently
+    /// used end up most recent in the memory LRU):
+    ///
+    /// * artifacts whose spec id matches one of `specs` are **restored**
+    ///   (a corrupt payload self-heals through the normal fresh-encode
+    ///   fallback and is counted as **healed**);
+    /// * artifacts for this proxy width whose spec no device uses any more
+    ///   are **re-encoded** for every wanted spec and the stale file is
+    ///   removed (re-encode-on-spec-change);
+    /// * artifacts for a different proxy width are **skipped** (another
+    ///   server's working set; they stay on disk and in the budget).
+    ///
+    /// Returns what happened; the same counts feed the
+    /// `dsstc_cache_warm_*` metric family via [`Self::counters`]. No-op
+    /// without a disk tier.
+    pub fn warm_boot(&self, specs: &[EncodingSpec], threads: usize) -> WarmBootReport {
+        let started = Instant::now();
+        let mut report = WarmBootReport::default();
+        let Some(dir) = self.disk_dir.clone() else {
+            return report;
+        };
+        let mut wanted: Vec<EncodingSpec> = Vec::new();
+        for &spec in specs {
+            if !wanted.contains(&spec) {
+                wanted.push(spec);
+            }
+        }
+        let wanted_ids: Vec<String> = wanted.iter().map(|s| s.id()).collect();
+
+        // Phase 1, under the store lock: sweep, read-or-rebuild, GC.
+        let mut jobs: Vec<WarmJob> = Vec::new();
+        {
+            let Some(_lock) = store_lock::StoreLock::acquire(&dir) else {
+                return report;
+            };
+            if let Ok(read_dir) = std::fs::read_dir(&dir) {
+                for entry in read_dir.flatten() {
+                    let name = entry.file_name().to_string_lossy().into_owned();
+                    if name.contains(".tmp-") {
+                        let _ = std::fs::remove_file(entry.path());
+                        report.orphans_removed += 1;
+                    }
+                }
+            }
+            let mut entries = read_manifest(&dir).unwrap_or_else(|| scan_store(&dir));
+            entries.retain(|e| dir.join(&e.file).exists());
+            // Pick up artifacts the manifest missed (e.g. written by a
+            // process that crashed between rename and manifest update).
+            for scanned in scan_store(&dir) {
+                if !entries.iter().any(|e| e.file == scanned.file) {
+                    entries.push(scanned);
+                }
+            }
+            entries.retain(|e| {
+                if parse_artifact_name(&e.file).is_some() {
+                    true
+                } else {
+                    let _ = std::fs::remove_file(dir.join(&e.file));
+                    report.orphans_removed += 1;
+                    false
+                }
+            });
+            report.gc_removed = self.gc_entries(&dir, &mut entries);
+            let _ = write_manifest(&dir, &entries);
+            self.update_store_gauges(&entries);
+            // Oldest first: most-recently-restored artifacts are published
+            // into the memory LRU last and survive a tight memory budget.
+            entries.sort_by(|a, b| {
+                a.last_restore_us.cmp(&b.last_restore_us).then_with(|| a.file.cmp(&b.file))
+            });
+            for entry in &entries {
+                let Some((key, proxy_dim, spec_id)) = parse_artifact_name(&entry.file) else {
+                    continue;
+                };
+                if proxy_dim != self.proxy_dim {
+                    report.skipped += 1;
+                    continue;
+                }
+                match wanted_ids.iter().position(|id| id == spec_id) {
+                    Some(i) => jobs.push(WarmJob::Restore { key, spec: wanted[i] }),
+                    None => jobs.push(WarmJob::Reencode { key, file: entry.file.clone() }),
+                }
+            }
+        } // lock released: restore/persist paths re-acquire it per touch
+
+        // Phase 2: bounded workers drain the queue through the normal
+        // get_for path, which restores, heals and publishes.
+        let restored = AtomicU64::new(0);
+        let reencoded = AtomicU64::new(0);
+        let healed = AtomicU64::new(0);
+        let workers = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        }
+        .min(jobs.len().max(1));
+        // Workers pop from the back; reverse so the oldest job runs first.
+        jobs.reverse();
+        let queue = Mutex::new(jobs);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let job = queue.lock().expect("warm-boot queue poisoned").pop();
+                    let Some(job) = job else {
+                        break;
+                    };
+                    match job {
+                        WarmJob::Restore { key, spec } => {
+                            let (_, outcome) = self.get_for_traced(key, spec);
+                            match outcome {
+                                CacheOutcome::MissFresh => {
+                                    // Corrupt on disk: the fresh encode
+                                    // already rewrote the artifact.
+                                    healed.fetch_add(1, Ordering::Relaxed);
+                                }
+                                CacheOutcome::Hit | CacheOutcome::MissRestored => {
+                                    restored.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        WarmJob::Reencode { key, file } => {
+                            for &spec in &wanted {
+                                let _ = self.get_for(key, spec);
+                            }
+                            self.remove_store_entry(&dir, &file);
+                            reencoded.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        report.restored = restored.into_inner();
+        report.reencoded = reencoded.into_inner();
+        report.healed = healed.into_inner();
+        report.elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+        self.warm_restored.fetch_add(report.restored, Ordering::Relaxed);
+        self.warm_reencoded.fetch_add(report.reencoded, Ordering::Relaxed);
+        self.warm_healed.fetch_add(report.healed, Ordering::Relaxed);
+        self.store_gc_removed.fetch_add(report.orphans_removed, Ordering::Relaxed);
+        report
+    }
+}
+
+/// Cross-process advisory locking of the store directory.
+///
+/// GC, manifest updates and the warm-boot sweep mutate shared files, so two
+/// servers pointed at one `--encode-cache-dir` take `flock(LOCK_EX)` on a
+/// dedicated lock file first — one process's GC can no longer interleave
+/// with another's manifest rewrite. Artifact *payload* writes stay safe
+/// without the lock (unique temp name + atomic rename), so the hot restore
+/// path never blocks on it; only the brief manifest touch afterwards does.
+///
+/// The lock is advisory and held on an open file descriptor: dropping the
+/// guard (or crashing) releases it, so a dead server never wedges the
+/// store. Note `flock` locks are per open-file-description — two handles
+/// *within one process* exclude each other too, which is why no store-lock
+/// guard is ever held across `get_for` (its persist path re-acquires).
+mod store_lock {
+    use std::fs::File;
+    use std::path::Path;
+
+    /// Holds `flock(LOCK_EX)` on the store's lock file until dropped.
+    #[derive(Debug)]
+    pub(super) struct StoreLock {
+        _file: File,
+    }
+
+    #[cfg(unix)]
+    mod sys {
+        use std::os::unix::io::AsRawFd;
+
+        const LOCK_EX: i32 = 2;
+        const LOCK_NB: i32 = 4;
+
+        extern "C" {
+            fn flock(fd: i32, operation: i32) -> i32;
+        }
+
+        /// `flock`s `file` exclusively; blocking unless `nonblocking`.
+        pub(super) fn lock_exclusive(file: &std::fs::File, nonblocking: bool) -> bool {
+            let op = if nonblocking { LOCK_EX | LOCK_NB } else { LOCK_EX };
+            unsafe { flock(file.as_raw_fd(), op) == 0 }
+        }
+    }
+
+    #[cfg(not(unix))]
+    mod sys {
+        /// Without `flock` the lock degrades to single-process semantics —
+        /// temp+rename keeps individual files consistent either way.
+        pub(super) fn lock_exclusive(_file: &std::fs::File, _nonblocking: bool) -> bool {
+            true
+        }
+    }
+
+    impl StoreLock {
+        /// Blocks until the exclusive lock is held. `None` when the lock
+        /// file cannot even be created — store mutations then proceed
+        /// without bookkeeping, matching the store's best-effort posture.
+        pub(super) fn acquire(dir: &Path) -> Option<StoreLock> {
+            Self::lock(dir, false)
+        }
+
+        /// Non-blocking variant: `None` when another holder (process or
+        /// file handle) has the lock right now.
+        #[cfg(test)]
+        pub(super) fn try_acquire(dir: &Path) -> Option<StoreLock> {
+            Self::lock(dir, true)
+        }
+
+        fn lock(dir: &Path, nonblocking: bool) -> Option<StoreLock> {
+            let file = File::options()
+                .create(true)
+                .truncate(false)
+                .write(true)
+                .open(dir.join(super::STORE_LOCK_NAME))
+                .ok()?;
+            sys::lock_exclusive(&file, nonblocking).then_some(StoreLock { _file: file })
+        }
     }
 }
 
@@ -884,13 +1510,13 @@ mod tests {
         // A different proxy width writes a third artifact.
         let r64 = ModelRepository::new(GpuConfig::v100(), 64).with_disk_cache(dir.path());
         let _ = r64.get(key);
-        let files: Vec<_> = std::fs::read_dir(dir.path())
-            .unwrap()
-            .map(|e| e.unwrap().file_name().into_string().unwrap())
-            .collect();
+        let files = artifact_names(dir.path());
         assert_eq!(files.len(), 3, "one artifact per (spec, proxy): {files:?}");
-        assert!(files.iter().all(|f| f.ends_with(".dsstc")), "{files:?}");
         assert!(files.iter().all(|f| f.starts_with("rnnlm-s0900")), "{files:?}");
+        // The lifecycle bookkeeping rides along: a manifest tracks all
+        // three artifacts.
+        let entries = read_manifest(dir.path()).expect("manifest is present and verifies");
+        assert_eq!(entries.len(), 3);
     }
 
     #[test]
@@ -902,7 +1528,7 @@ mod tests {
             let _ = r.get(key);
         }
         // Truncate the artifact to garbage.
-        let file = std::fs::read_dir(dir.path()).unwrap().next().unwrap().unwrap().path();
+        let file = dir.path().join(&artifact_names(dir.path())[0]);
         std::fs::write(&file, b"DSMRgarbage").unwrap();
         let r = ModelRepository::new(GpuConfig::v100(), 32).with_disk_cache(dir.path());
         let m = r.get(key);
@@ -912,5 +1538,320 @@ mod tests {
         // The fresh encode rewrote the artifact; a third repository warms.
         let r3 = ModelRepository::new(GpuConfig::v100(), 32).with_disk_cache(dir.path());
         assert!(r3.get(key).from_disk, "rewritten artifact restores cleanly");
+    }
+
+    /// Artifact filenames in `dir`, sorted (skips the manifest + lock).
+    fn artifact_names(dir: &Path) -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|f| f.ends_with(".dsstc"))
+            .collect();
+        names.sort();
+        names
+    }
+
+    #[test]
+    fn parse_artifact_name_round_trips_every_model_and_sparsity() {
+        let r = ModelRepository::new(GpuConfig::v100(), 32);
+        let dir = PathBuf::from("/store");
+        for model in ModelId::ALL {
+            for sparsity in [None, Some(0.9)] {
+                let key = ModelKey::new(model, sparsity);
+                for gpu in [GpuConfig::v100(), GpuConfig::a100()] {
+                    let spec = EncodingSpec::for_gpu(&gpu);
+                    let path = r.artifact_path(&dir, key, spec);
+                    let name = path.file_name().unwrap().to_str().unwrap();
+                    let (parsed_key, dim, spec_id) =
+                        parse_artifact_name(name).unwrap_or_else(|| panic!("parse {name}"));
+                    assert_eq!(parsed_key, key, "{name}");
+                    assert_eq!(dim, 32, "{name}");
+                    assert_eq!(spec_id, spec.id(), "{name}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parse_artifact_name_rejects_malformed_names() {
+        for name in [
+            "",
+            "MANIFEST.dsstcm",
+            ".dsstc-store.lock",
+            "rnnlm-s0900-d32",               // no suffix
+            "nonesuch-s0900-d32-spec.dsstc", // unknown slug
+            "rnnlm-x0900-d32-spec.dsstc",    // bad sparsity field
+            "rnnlm-s1500-d32-spec.dsstc",    // sparsity over 1000 permille
+            "rnnlm-s0900-32-spec.dsstc",     // bad dim field
+            "rnnlm-s0900-d0-spec.dsstc",     // zero dim
+            "rnnlm-s0900-d32-.dsstc",        // empty spec id
+            "rnnlm-s0900.dsstc",             // too few fields
+            "vgg16-table-dxx-spec.dsstc",    // non-numeric dim
+        ] {
+            assert!(parse_artifact_name(name).is_none(), "{name:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_and_detects_tampering() {
+        let dir = TempDir::new("manifest");
+        std::fs::create_dir_all(dir.path()).unwrap();
+        let entries = vec![
+            ManifestEntry {
+                file: "a.dsstc".into(),
+                bytes: 100,
+                last_restore_us: 7,
+                spec_id: "b128x128x16-w32x32x16-cm-rm".into(),
+            },
+            ManifestEntry {
+                file: "b.dsstc".into(),
+                bytes: 2,
+                last_restore_us: 9,
+                spec_id: "x".into(),
+            },
+        ];
+        write_manifest(dir.path(), &entries).unwrap();
+        assert_eq!(read_manifest(dir.path()).unwrap(), entries);
+        // Flip one byte anywhere in the file: the checksum must catch it.
+        let path = dir.path().join(MANIFEST_NAME);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_manifest(dir.path()).is_none(), "tampered manifest must not verify");
+        // An empty manifest round-trips too.
+        write_manifest(dir.path(), &[]).unwrap();
+        assert_eq!(read_manifest(dir.path()).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn a_missing_manifest_rebuilds_from_a_directory_scan() {
+        let dir = TempDir::new("rebuild");
+        let key = ModelKey::new(ModelId::RnnLm, Some(0.9));
+        {
+            let r = ModelRepository::new(GpuConfig::v100(), 32).with_disk_cache(dir.path());
+            let _ = r.get(key);
+        }
+        std::fs::remove_file(dir.path().join(MANIFEST_NAME)).unwrap();
+        let scanned = scan_store(dir.path());
+        assert_eq!(scanned.len(), 1);
+        assert_eq!(scanned[0].file, artifact_names(dir.path())[0]);
+        assert!(scanned[0].bytes > 0);
+        // warm_boot regenerates the manifest from the scan.
+        let r = ModelRepository::new(GpuConfig::v100(), 32).with_disk_cache(dir.path());
+        let report = r.warm_boot(&[EncodingSpec::for_gpu(&GpuConfig::v100())], 1);
+        assert_eq!(report.restored, 1);
+        assert_eq!(read_manifest(dir.path()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn warm_boot_restores_artifacts_so_the_first_request_hits() {
+        let dir = TempDir::new("warmboot");
+        let spec = EncodingSpec::for_gpu(&GpuConfig::v100());
+        let k1 = ModelKey::new(ModelId::RnnLm, Some(0.9));
+        let k2 = ModelKey::new(ModelId::BertBase, None);
+        {
+            let r = ModelRepository::new(GpuConfig::v100(), 32).with_disk_cache(dir.path());
+            let _ = r.get(k1);
+            let _ = r.get(k2);
+        }
+        // "Restart": warm boot restores both artifacts into memory.
+        let r = ModelRepository::new(GpuConfig::v100(), 32).with_disk_cache(dir.path());
+        let report = r.warm_boot(&[spec], 2);
+        assert_eq!(report.restored, 2);
+        assert_eq!(report.warmed(), 2);
+        assert_eq!((report.healed, report.reencoded, report.skipped), (0, 0, 0));
+        assert!(report.elapsed_ms >= 0.0);
+        let counters = r.counters();
+        assert_eq!(counters.fresh_encodes, 0, "warm boot never re-encodes intact artifacts");
+        assert_eq!(counters.disk_loads, 2);
+        assert_eq!(counters.warm_restored, 2);
+        assert_eq!(counters.store_entries, 2);
+        assert!(counters.store_bytes > 0);
+        // The first request after restart is a memory hit.
+        let hits_before = r.hit_count();
+        let m = r.get(k1);
+        assert_eq!(r.hit_count(), hits_before + 1, "first request after warm boot hits");
+        assert!(m.from_disk);
+    }
+
+    #[test]
+    fn warm_boot_without_a_disk_tier_is_a_no_op() {
+        let r = repo();
+        let report = r.warm_boot(&[r.default_spec()], 4);
+        assert_eq!(report, WarmBootReport { elapsed_ms: report.elapsed_ms, ..Default::default() });
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn warm_boot_heals_a_corrupt_artifact_in_place() {
+        let dir = TempDir::new("heal");
+        let spec = EncodingSpec::for_gpu(&GpuConfig::v100());
+        let key = ModelKey::new(ModelId::BertBase, None);
+        {
+            let r = ModelRepository::new(GpuConfig::v100(), 32).with_disk_cache(dir.path());
+            let _ = r.get(key);
+        }
+        let file = dir.path().join(&artifact_names(dir.path())[0]);
+        std::fs::write(&file, b"DSMR\x01\x00garbage").unwrap();
+        let r = ModelRepository::new(GpuConfig::v100(), 32).with_disk_cache(dir.path());
+        let report = r.warm_boot(&[spec], 1);
+        assert_eq!((report.restored, report.healed), (0, 1));
+        assert_eq!(r.counters().fresh_encodes, 1, "healing pays one fresh encode");
+        // The rewrite is durable: a third repository restores cleanly.
+        let r3 = ModelRepository::new(GpuConfig::v100(), 32).with_disk_cache(dir.path());
+        assert!(r3.get(key).from_disk);
+    }
+
+    #[test]
+    fn warm_boot_reencodes_stale_spec_artifacts_for_the_current_pool() {
+        let dir = TempDir::new("respec");
+        let a100 = EncodingSpec::for_gpu(&GpuConfig::a100());
+        let v100 = EncodingSpec::for_gpu(&GpuConfig::v100());
+        let key = ModelKey::new(ModelId::RnnLm, Some(0.9));
+        {
+            let r = ModelRepository::new(GpuConfig::v100(), 32).with_disk_cache(dir.path());
+            let _ = r.get_for(key, a100);
+        }
+        // The pool changed: only V100 encodings are wanted now.
+        let r = ModelRepository::new(GpuConfig::v100(), 32).with_disk_cache(dir.path());
+        let report = r.warm_boot(&[v100], 1);
+        assert_eq!(report.reencoded, 1);
+        assert_eq!(report.restored, 0);
+        let files = artifact_names(dir.path());
+        assert_eq!(files.len(), 1, "stale artifact replaced, not accumulated: {files:?}");
+        assert!(files[0].contains(&v100.id()), "{files:?}");
+        // The re-encoded model is already resident: the next get hits.
+        let hits_before = r.hit_count();
+        let _ = r.get_for(key, v100);
+        assert_eq!(r.hit_count(), hits_before + 1);
+    }
+
+    #[test]
+    fn warm_boot_skips_artifacts_of_a_foreign_proxy_width() {
+        let dir = TempDir::new("foreign");
+        let spec = EncodingSpec::for_gpu(&GpuConfig::v100());
+        let key = ModelKey::new(ModelId::RnnLm, None);
+        {
+            let r = ModelRepository::new(GpuConfig::v100(), 64).with_disk_cache(dir.path());
+            let _ = r.get(key);
+        }
+        let r = ModelRepository::new(GpuConfig::v100(), 32).with_disk_cache(dir.path());
+        let report = r.warm_boot(&[spec], 1);
+        assert_eq!(report.skipped, 1);
+        assert_eq!(report.warmed(), 0);
+        assert!(r.is_empty(), "foreign-width artifacts are not loaded");
+        assert_eq!(artifact_names(dir.path()).len(), 1, "and not deleted");
+    }
+
+    #[test]
+    fn warm_boot_sweeps_temp_files_and_unparseable_names() {
+        let dir = TempDir::new("sweep");
+        let spec = EncodingSpec::for_gpu(&GpuConfig::v100());
+        let key = ModelKey::new(ModelId::BertBase, None);
+        {
+            let r = ModelRepository::new(GpuConfig::v100(), 32).with_disk_cache(dir.path());
+            let _ = r.get(key);
+        }
+        std::fs::write(dir.path().join("bertbase-table-d32-x.dsstc.tmp-99-0"), b"half").unwrap();
+        std::fs::write(dir.path().join("nonesuch-s0900-d32-spec.dsstc"), b"junk").unwrap();
+        let r = ModelRepository::new(GpuConfig::v100(), 32).with_disk_cache(dir.path());
+        let report = r.warm_boot(&[spec], 1);
+        assert_eq!(report.orphans_removed, 2);
+        assert_eq!(report.restored, 1);
+        assert_eq!(artifact_names(dir.path()).len(), 1, "only the real artifact survives");
+        assert!(!dir.path().join("nonesuch-s0900-d32-spec.dsstc").exists());
+    }
+
+    #[test]
+    fn gc_store_evicts_least_recently_restored_artifacts_past_the_budget() {
+        let dir = TempDir::new("gc");
+        let keys: Vec<ModelKey> = [800, 900, 950]
+            .iter()
+            .map(|&p| ModelKey::new(ModelId::RnnLm, Some(p as f64 / 1e3)))
+            .collect();
+        {
+            let r = ModelRepository::new(GpuConfig::v100(), 32).with_disk_cache(dir.path());
+            for &k in &keys {
+                let _ = r.get(k);
+            }
+        }
+        assert_eq!(artifact_names(dir.path()).len(), 3);
+        // Budget of two entries: the oldest (s0800, persisted first) goes.
+        let r = ModelRepository::new(GpuConfig::v100(), 32)
+            .with_disk_cache(dir.path())
+            .with_store_budget(CacheBudget { max_entries: 2, max_bytes: u64::MAX });
+        let removed = r.gc_store();
+        assert_eq!(removed, 1);
+        let files = artifact_names(dir.path());
+        assert_eq!(files.len(), 2);
+        assert!(!files.iter().any(|f| f.contains("s0800")), "LRU artifact evicted: {files:?}");
+        let (entries, bytes) = r.store_usage();
+        assert_eq!(entries, 2);
+        assert!(bytes > 0);
+        assert_eq!(r.counters().store_gc_removed, 1);
+    }
+
+    #[test]
+    fn gc_store_honours_the_byte_budget_but_keeps_at_least_one_artifact() {
+        let dir = TempDir::new("gcbytes");
+        {
+            let r = ModelRepository::new(GpuConfig::v100(), 32).with_disk_cache(dir.path());
+            let _ = r.get(ModelKey::new(ModelId::RnnLm, Some(0.8)));
+            let _ = r.get(ModelKey::new(ModelId::RnnLm, Some(0.9)));
+        }
+        let r = ModelRepository::new(GpuConfig::v100(), 32)
+            .with_disk_cache(dir.path())
+            .with_store_budget(CacheBudget { max_entries: usize::MAX, max_bytes: 1 });
+        assert_eq!(r.gc_store(), 1, "over a 1-byte budget, all but one artifact go");
+        assert_eq!(artifact_names(dir.path()).len(), 1);
+        assert!(!dir.path().join(MANIFEST_NAME).exists() || read_manifest(dir.path()).is_some());
+    }
+
+    #[test]
+    fn restores_refresh_lru_order_in_the_store_manifest() {
+        let dir = TempDir::new("lrutouch");
+        let k1 = ModelKey::new(ModelId::RnnLm, Some(0.8));
+        let k2 = ModelKey::new(ModelId::RnnLm, Some(0.9));
+        {
+            let r = ModelRepository::new(GpuConfig::v100(), 32).with_disk_cache(dir.path());
+            let _ = r.get(k1);
+            let _ = r.get(k2); // k2 persisted last: most recent so far
+        }
+        {
+            // Restoring k1 makes it the most recently used on disk.
+            let r = ModelRepository::new(GpuConfig::v100(), 32).with_disk_cache(dir.path());
+            assert!(r.get(k1).from_disk);
+        }
+        let r = ModelRepository::new(GpuConfig::v100(), 32)
+            .with_disk_cache(dir.path())
+            .with_store_budget(CacheBudget { max_entries: 1, max_bytes: u64::MAX });
+        assert_eq!(r.gc_store(), 1);
+        let files = artifact_names(dir.path());
+        assert!(files[0].contains("s0800"), "the freshly-restored artifact survives: {files:?}");
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn store_lock_excludes_a_second_holder() {
+        let dir = TempDir::new("lock");
+        std::fs::create_dir_all(dir.path()).unwrap();
+        let first = store_lock::StoreLock::try_acquire(dir.path());
+        assert!(first.is_some(), "uncontended lock acquires");
+        // flock is per open-file-description, so a second handle in this
+        // process stands in for a second server sharing the store.
+        assert!(
+            store_lock::StoreLock::try_acquire(dir.path()).is_none(),
+            "held lock excludes a second holder"
+        );
+        drop(first);
+        assert!(store_lock::StoreLock::try_acquire(dir.path()).is_some(), "drop releases");
+    }
+
+    #[test]
+    fn fnv1a_matches_known_vectors() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"), "order-sensitive");
     }
 }

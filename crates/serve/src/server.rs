@@ -10,7 +10,7 @@ use crate::batcher::{BatchPolicy, BatchScheduler, PendingRequest};
 use crate::config::ServeConfig;
 use crate::dispatch::DeviceDispatcher;
 use crate::repository::ModelRepository;
-use crate::request::{InferRequest, InferResponse};
+use crate::request::{InferRequest, InferResponse, Priority};
 use crate::stats::{ServerStats, StatsCollector};
 use crate::telemetry::{RequestTrace, Stage, Telemetry};
 use crate::worker::{WorkerContext, WorkerPool};
@@ -24,6 +24,15 @@ pub enum ServeError {
     ShuttingDown,
     /// A bounded wait elapsed before the response arrived.
     Timeout,
+    /// Admission control shed the request: the projected queue delay for
+    /// its priority class exhausted the class's SLO headroom (or the hard
+    /// queue bound was hit). Retry later, or at a higher priority.
+    ShedLoad {
+        /// The class the request was shed from.
+        priority: Priority,
+        /// The modelled queue delay the request was projected to see, µs.
+        projected_us: u64,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -32,6 +41,12 @@ impl std::fmt::Display for ServeError {
             ServeError::InvalidRequest(why) => write!(f, "invalid request: {why}"),
             ServeError::ShuttingDown => f.write_str("server is shutting down"),
             ServeError::Timeout => f.write_str("timed out waiting for the response"),
+            ServeError::ShedLoad { priority, projected_us } => write!(
+                f,
+                "load shed: projected queue delay {projected_us} us exhausts the {} class's \
+                 SLO headroom",
+                priority.name()
+            ),
         }
     }
 }
@@ -91,12 +106,25 @@ impl InferenceServer {
         assert!(config.max_batch > 0, "batches need at least one request");
         let mut repository =
             ModelRepository::new(config.devices.primary().clone(), config.proxy_dim)
-                .with_budget(config.encode_cache_budget);
+                .with_budget(config.encode_cache_budget)
+                .with_store_budget(config.encode_store_budget);
         if let Some(dir) = &config.encode_cache_dir {
             repository = repository.with_disk_cache(dir.clone());
         }
         let repository = Arc::new(repository);
         let dispatcher = Arc::new(DeviceDispatcher::new(&config.devices, config.dispatch));
+        if repository.disk_cache_dir().is_some() {
+            // Boot-time warmer: restore (heal, or re-encode for the current
+            // pool) every persisted artifact before the first request, so a
+            // restarted server's first lookup is a memory hit.
+            let mut specs: Vec<crate::EncodingSpec> = Vec::new();
+            for &spec in dispatcher.specs() {
+                if !specs.contains(&spec) {
+                    specs.push(spec);
+                }
+            }
+            let _ = repository.warm_boot(&specs, config.warm_boot_threads);
+        }
         let kernels = WorkerContext::kernels_for(&repository, &dispatcher, config.execute_threads);
         let telemetry = match &config.trace_out {
             Some(path) => Telemetry::with_trace_out(path)
@@ -196,6 +224,17 @@ impl InferenceServer {
                 request.features.cols()
             )));
         }
+        if let Some(policy) = &self.config.admission {
+            let queued = self.context.scheduler.queue_len();
+            let projected_us = self.projected_queue_delay_us(request.key(), request.priority);
+            if policy.should_shed(request.priority, projected_us, queued) {
+                self.context.stats.record_shed(request.priority);
+                return Err(ServeError::ShedLoad {
+                    priority: request.priority,
+                    projected_us: projected_us.round() as u64,
+                });
+            }
+        }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         trace.id = id;
         trace.model = Some(request.model);
@@ -220,6 +259,22 @@ impl InferenceServer {
     /// Convenience: submit and block for the response.
     pub fn infer(&self, request: InferRequest) -> Result<InferResponse, ServeError> {
         self.submit(request)?.wait()
+    }
+
+    /// Modelled queue delay a newly admitted request of `priority` for
+    /// `key` would see: the requests queued at or above its priority
+    /// (everything the batcher extracts before it), spread across the
+    /// pool, each priced at the key's modelled unit cost. Driven entirely
+    /// by the [`crate::BatchTimingModel`] — deterministic, no wall clock —
+    /// which is what makes the admission decision testable.
+    pub fn projected_queue_delay_us(&self, key: crate::ModelKey, priority: Priority) -> f64 {
+        let depths = self.context.scheduler.queue_depths();
+        let ahead: usize = depths[priority.index()..].iter().sum();
+        if ahead == 0 {
+            return 0.0;
+        }
+        let unit_us = self.context.dispatcher.unit_cost_us(key);
+        ahead as f64 * unit_us / self.context.dispatcher.len() as f64
     }
 
     /// A point-in-time metrics snapshot.
@@ -357,6 +412,133 @@ mod tests {
         assert_eq!(stats.for_priority(Priority::High).completed, 1);
         assert_eq!(stats.per_device.len(), 2);
         assert!(stats.modelled_makespan_us > 0.0);
+    }
+
+    #[test]
+    fn shed_load_error_names_the_class_and_the_projection() {
+        let e = ServeError::ShedLoad { priority: Priority::Low, projected_us: 1234 };
+        let text = e.to_string();
+        assert!(text.contains("1234 us"), "{text}");
+        assert!(text.contains("low"), "{text}");
+    }
+
+    #[test]
+    fn projected_queue_delay_is_zero_on_an_idle_server() {
+        let server = tiny_server(1, 4);
+        let key = crate::ModelKey::new(ModelId::BertBase, None);
+        assert_eq!(server.projected_queue_delay_us(key, Priority::Low), 0.0);
+        assert_eq!(server.projected_queue_delay_us(key, Priority::High), 0.0);
+    }
+
+    #[test]
+    fn admission_sheds_low_priority_once_the_queue_exhausts_its_slo() {
+        use crate::config::AdmissionControl;
+        // One worker, batches of 8, a long batching window: submitted
+        // requests sit visibly in the queue while we probe admission.
+        // The low class gets a 1 us SLO (any backlog sheds it); normal and
+        // high get an hour (projection never sheds them).
+        let hour = Duration::from_secs(3600);
+        let server = InferenceServer::start(
+            ServeConfig::default()
+                .with_workers(1)
+                .with_max_batch(8)
+                .with_max_queue_wait(Duration::from_millis(500))
+                .with_proxy_dim(32)
+                .with_admission_control(AdmissionControl::new(
+                    [Duration::from_micros(1), hour, hour],
+                    1.0,
+                    10_000,
+                )),
+        );
+        let mut pending = Vec::new();
+        for seed in 0..3 {
+            let request = InferRequest::new(ModelId::BertBase, features(seed))
+                .with_priority(Priority::Normal);
+            pending.push(server.submit(request).expect("normal class has headroom"));
+        }
+        assert!(server.queue_len() > 0, "requests should still be queued");
+        let low = InferRequest::new(ModelId::BertBase, features(10)).with_priority(Priority::Low);
+        match server.submit(low) {
+            Err(ServeError::ShedLoad { priority, projected_us }) => {
+                assert_eq!(priority, Priority::Low);
+                assert!(projected_us > 0, "a non-empty queue projects a positive delay");
+            }
+            other => panic!("expected ShedLoad, got {other:?}"),
+        }
+        // High priority is never shed by projection.
+        let high = InferRequest::new(ModelId::BertBase, features(11)).with_priority(Priority::High);
+        pending.push(server.submit(high).expect("high class is projection-proof"));
+        let stats = server.stats();
+        assert_eq!(stats.total_shed(), 1);
+        assert_eq!(stats.for_priority(Priority::Low).shed, 1);
+        assert_eq!(stats.for_priority(Priority::High).shed, 0);
+        for p in pending {
+            p.wait().expect("admitted requests complete");
+        }
+    }
+
+    #[test]
+    fn the_queue_bound_sheds_every_class_even_high() {
+        use crate::config::AdmissionControl;
+        let hour = Duration::from_secs(3600);
+        let server = InferenceServer::start(
+            ServeConfig::default()
+                .with_workers(1)
+                .with_max_batch(8)
+                .with_max_queue_wait(Duration::from_millis(500))
+                .with_proxy_dim(32)
+                .with_admission_control(AdmissionControl::new([hour, hour, hour], 1.0, 2)),
+        );
+        let mut pending = Vec::new();
+        for seed in 0..2 {
+            let request =
+                InferRequest::new(ModelId::BertBase, features(seed)).with_priority(Priority::High);
+            pending.push(server.submit(request).expect("under the bound"));
+        }
+        let over = InferRequest::new(ModelId::BertBase, features(5)).with_priority(Priority::High);
+        match server.submit(over) {
+            Err(ServeError::ShedLoad { priority, .. }) => assert_eq!(priority, Priority::High),
+            other => panic!("expected ShedLoad, got {other:?}"),
+        }
+        assert_eq!(server.stats().for_priority(Priority::High).shed, 1);
+        for p in pending {
+            p.wait().expect("admitted requests complete");
+        }
+    }
+
+    #[test]
+    fn a_restarted_server_warm_boots_and_skips_the_fresh_encode() {
+        let dir = std::env::temp_dir().join(format!(
+            "dsstc-server-warm-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = || {
+            ServeConfig::default()
+                .with_workers(1)
+                .with_max_batch(2)
+                .with_max_queue_wait(Duration::from_millis(1))
+                .with_proxy_dim(32)
+                .with_encode_cache_dir(&dir)
+        };
+        {
+            let cold = InferenceServer::start(config());
+            cold.infer(InferRequest::new(ModelId::RnnLm, features(1))).expect("served");
+            let stats = cold.stats();
+            assert_eq!(stats.encode_fresh, 1, "first run pays the encode");
+            assert_eq!(stats.encode_warm_restored, 0, "nothing to warm on an empty store");
+        }
+        let warm = InferenceServer::start(config());
+        let booted = warm.stats();
+        assert_eq!(booted.encode_warm_restored, 1, "the artifact is restored at boot");
+        assert!(booted.store_entries >= 1);
+        warm.infer(InferRequest::new(ModelId::RnnLm, features(2))).expect("served");
+        let stats = warm.stats();
+        assert_eq!(stats.encode_fresh, 0, "the warmed artifact serves from memory");
+        assert!(stats.encode_hits >= 1);
+        drop(warm);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -23,6 +23,10 @@ pub struct PriorityLatency {
     pub priority: Priority,
     /// Requests of this priority answered so far.
     pub completed: u64,
+    /// Requests of this priority rejected at submit by admission control
+    /// ([`crate::ServeError::ShedLoad`]); zero unless
+    /// [`crate::ServeConfig::admission`] is enabled.
+    pub shed: u64,
     /// Median wall-clock queue wait, µs.
     pub queue_p50_us: f64,
     /// 99th-percentile wall-clock queue wait, µs.
@@ -99,6 +103,21 @@ pub struct ServerStats {
     /// Cumulative wall-clock milliseconds spent restoring artifacts from
     /// disk.
     pub encode_disk_ms: f64,
+    /// Artifacts restored into the memory tier by the boot-time warmer
+    /// ([`crate::ModelRepository::warm_boot`]).
+    pub encode_warm_restored: u64,
+    /// Stale-spec artifacts the warmer re-encoded for the current device
+    /// pool.
+    pub encode_warm_reencoded: u64,
+    /// Corrupt artifacts the warmer healed with a fresh encode.
+    pub encode_warm_healed: u64,
+    /// Artifacts currently tracked by the on-disk store manifest.
+    pub store_entries: u64,
+    /// Bytes of artifact files currently tracked by the store manifest.
+    pub store_bytes: u64,
+    /// Artifacts removed from the on-disk store by garbage collection
+    /// (budget evictions plus orphan sweeps).
+    pub store_gc_removed: u64,
     /// Fraction of repository lookups served from the in-memory cache.
     pub encode_hit_rate: f64,
     /// Fraction of modelled-latency lookups served from the cache.
@@ -127,6 +146,11 @@ impl ServerStats {
         &self.per_priority[priority.index()]
     }
 
+    /// Requests rejected by admission control across every priority class.
+    pub fn total_shed(&self) -> u64 {
+        self.per_priority.iter().map(|p| p.shed).sum()
+    }
+
     /// Renders the snapshot as a small text report.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -143,10 +167,10 @@ impl ServerStats {
             self.queue_p50_us, self.queue_p99_us, self.execute_p50_us, self.execute_p99_us
         ));
         for p in &self.per_priority {
-            if p.completed > 0 {
+            if p.completed > 0 || p.shed > 0 {
                 out.push_str(&format!(
-                    "  priority {:<7} {:>6} requests   queue us: p50 {:.0}  p99 {:.0}\n",
-                    p.priority, p.completed, p.queue_p50_us, p.queue_p99_us
+                    "  priority {:<7} {:>6} requests   queue us: p50 {:.0}  p99 {:.0}   shed {}\n",
+                    p.priority, p.completed, p.queue_p50_us, p.queue_p99_us, p.shed
                 ));
             }
         }
@@ -175,6 +199,21 @@ impl ServerStats {
             self.encode_disk_ms,
             self.encode_evictions
         ));
+        let warm_activity = self.encode_warm_restored
+            + self.encode_warm_reencoded
+            + self.encode_warm_healed
+            + self.store_gc_removed;
+        if self.store_entries > 0 || warm_activity > 0 {
+            out.push_str(&format!(
+                "  store: {} artifacts / {} B   warm boot: {} restored + {} re-encoded + {} healed   gc removed: {}\n",
+                self.store_entries,
+                self.store_bytes,
+                self.encode_warm_restored,
+                self.encode_warm_reencoded,
+                self.encode_warm_healed,
+                self.store_gc_removed
+            ));
+        }
         out.push_str(&format!(
             "active workers: {} {:?}\n",
             self.active_workers(),
@@ -193,8 +232,15 @@ impl ServerStats {
                 wire.bytes_sent,
             ));
             out.push_str(&format!(
-                "  decode errors: {}   requests rejected: {}   in flight: {}   outbound overflows: {}\n",
-                wire.decode_errors, wire.requests_rejected, wire.in_flight, wire.outbound_overflows,
+                "  decode errors: {}   requests rejected: {}   in flight: {}   outbound overflows: {}   shed {} ({} low / {} normal / {} high)\n",
+                wire.decode_errors,
+                wire.requests_rejected,
+                wire.in_flight,
+                wire.outbound_overflows,
+                wire.shed_total(),
+                wire.shed_low,
+                wire.shed_normal,
+                wire.shed_high,
             ));
         }
         out
@@ -237,12 +283,34 @@ pub struct WireStats {
     /// buffer cap ([`crate::ServeConfig::max_outbound_bytes`]) — a client
     /// stopped reading while responses kept completing.
     pub outbound_overflows: u64,
+    /// Low-priority wire requests rejected by admission control (answered
+    /// with a [`crate::net::WireStatus::ShedLoad`] error frame).
+    pub shed_low: u64,
+    /// Normal-priority wire requests rejected by admission control.
+    pub shed_normal: u64,
+    /// High-priority wire requests rejected by admission control (only the
+    /// queue-depth bound sheds this class).
+    pub shed_high: u64,
 }
 
 impl WireStats {
     /// Connections currently open.
     pub fn open_connections(&self) -> u64 {
         self.connections_accepted.saturating_sub(self.connections_closed)
+    }
+
+    /// Wire requests rejected by admission control, across every priority.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_low + self.shed_normal + self.shed_high
+    }
+
+    /// The shed counter of one priority class.
+    pub fn shed_for(&self, priority: Priority) -> u64 {
+        match priority {
+            Priority::Low => self.shed_low,
+            Priority::Normal => self.shed_normal,
+            Priority::High => self.shed_high,
+        }
     }
 
     /// Field-wise sum of per-reactor snapshots. Every field — including the
@@ -264,6 +332,9 @@ impl WireStats {
             total.requests_rejected += part.requests_rejected;
             total.in_flight += part.in_flight;
             total.outbound_overflows += part.outbound_overflows;
+            total.shed_low += part.shed_low;
+            total.shed_normal += part.shed_normal;
+            total.shed_high += part.shed_high;
         }
         total
     }
@@ -285,6 +356,7 @@ pub(crate) struct WireStatsCollector {
     requests_rejected: AtomicU64,
     in_flight: AtomicU64,
     outbound_overflows: AtomicU64,
+    shed: [AtomicU64; Priority::ALL.len()],
 }
 
 impl WireStatsCollector {
@@ -332,6 +404,10 @@ impl WireStatsCollector {
         self.requests_rejected.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub fn request_shed(&self, priority: Priority) {
+        self.shed[priority.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn set_in_flight(&self, n: u64) {
         self.in_flight.store(n, Ordering::Relaxed);
     }
@@ -354,6 +430,9 @@ impl WireStatsCollector {
             requests_rejected: self.requests_rejected.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Relaxed),
             outbound_overflows: self.outbound_overflows.load(Ordering::Relaxed),
+            shed_low: self.shed[Priority::Low.index()].load(Ordering::Relaxed),
+            shed_normal: self.shed[Priority::Normal.index()].load(Ordering::Relaxed),
+            shed_high: self.shed[Priority::High.index()].load(Ordering::Relaxed),
         }
     }
 }
@@ -414,6 +493,9 @@ impl Reservoir {
 pub(crate) struct StatsCollector {
     started: Instant,
     inner: Mutex<Inner>,
+    /// Requests rejected at submit by admission control, per priority
+    /// class; atomics so the submit path never takes the batch mutex.
+    shed: [AtomicU64; Priority::ALL.len()],
 }
 
 impl StatsCollector {
@@ -440,7 +522,13 @@ impl StatsCollector {
                 device_batches: Vec::new(),
                 device_busy_modelled_us: Vec::new(),
             }),
+            shed: Default::default(),
         }
+    }
+
+    /// Records one request rejected at submit by admission control.
+    pub fn record_shed(&self, priority: Priority) {
+        self.shed[priority.index()].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one executed batch: the device it ran on, each member's
@@ -499,6 +587,7 @@ impl StatsCollector {
                 PriorityLatency {
                     priority,
                     completed: agg.completed,
+                    shed: self.shed[priority.index()].load(Ordering::Relaxed),
                     queue_p50_us: percentile(&agg.queue_us.samples, 0.50),
                     queue_p99_us: percentile(&agg.queue_us.samples, 0.99),
                     execute_p50_us: percentile(&agg.execute_us.samples, 0.50),
@@ -546,6 +635,12 @@ impl StatsCollector {
             encode_evictions: encode.evictions,
             encode_fresh_ms: encode.fresh_encode_ms,
             encode_disk_ms: encode.disk_load_ms,
+            encode_warm_restored: encode.warm_restored,
+            encode_warm_reencoded: encode.warm_reencoded,
+            encode_warm_healed: encode.warm_healed,
+            store_entries: encode.store_entries,
+            store_bytes: encode.store_bytes,
+            store_gc_removed: encode.store_gc_removed,
             encode_hit_rate: encode.hit_rate(),
             timing_hit_rate,
             wire: None,
@@ -742,18 +837,23 @@ mod tests {
             "batch size: mean 4.00  max 8",
             "queue wait us: p50 150  p99 900",
             "priority low",
+            "shed 6",
             "priority normal",
+            "shed 2",
             "priority high",
+            "shed 0",
             "modelled GPU us/request: p50 85.5",
             "Tesla V100",
             "A100",
             "encode cache: 28 hits / 4 misses (88% hit rate)",
             "misses paid: 1 fresh encodes (120.5 ms) + 3 disk restores (6.2 ms)   evictions: 2",
+            "store: 4 artifacts / 88000 B   warm boot: 3 restored + 1 re-encoded + 1 healed   gc removed: 2",
             "active workers: 2",
             "wire: 5 conns (2 open, 1 rejected)",
             "frames 120 in / 118 out (2 errors)",
             "44000 B in / 52000 B out",
             "decode errors: 1   requests rejected: 1   in flight: 0",
+            "shed 4 (3 low / 1 normal / 0 high)",
         ];
         let mut cursor = 0;
         for fragment in fragments {
@@ -779,6 +879,9 @@ mod tests {
             requests_rejected: 1,
             in_flight: 2,
             outbound_overflows: 1,
+            shed_low: 3,
+            shed_normal: 1,
+            shed_high: 0,
         };
         let b = WireStats {
             connections_accepted: 5,
@@ -793,6 +896,9 @@ mod tests {
             requests_rejected: 0,
             in_flight: 3,
             outbound_overflows: 0,
+            shed_low: 2,
+            shed_normal: 0,
+            shed_high: 1,
         };
         let merged = WireStats::merged(&[a.clone(), b.clone()]);
         assert_eq!(merged.connections_accepted, 8);
@@ -808,9 +914,77 @@ mod tests {
         assert_eq!(merged.requests_rejected, 1);
         assert_eq!(merged.in_flight, 5);
         assert_eq!(merged.outbound_overflows, 1);
+        assert_eq!(merged.shed_low, 5);
+        assert_eq!(merged.shed_normal, 1);
+        assert_eq!(merged.shed_high, 1);
+        assert_eq!(merged.shed_total(), 7);
+        assert_eq!(merged.shed_for(Priority::Low), 5);
         // Degenerate shapes behave: empty = zero, singleton = identity.
         assert_eq!(WireStats::merged(&[]), WireStats::default());
         assert_eq!(WireStats::merged(std::slice::from_ref(&a)), a);
+    }
+
+    #[test]
+    fn record_shed_surfaces_per_priority_even_with_zero_completions() {
+        let c = StatsCollector::new();
+        c.record_shed(Priority::Low);
+        c.record_shed(Priority::Low);
+        c.record_shed(Priority::Normal);
+        let s = c.snapshot(enc(0, 0), 0.0, &["gpu0".to_string()]);
+        assert_eq!(s.total_shed(), 3);
+        assert_eq!(s.for_priority(Priority::Low).shed, 2);
+        assert_eq!(s.for_priority(Priority::Normal).shed, 1);
+        assert_eq!(s.for_priority(Priority::High).shed, 0);
+        assert_eq!(s.for_priority(Priority::Low).completed, 0);
+        // A class that only shed still earns its report line.
+        let text = s.render();
+        assert!(text.contains("priority low"), "report:\n{text}");
+        assert!(text.contains("shed 2"), "report:\n{text}");
+        assert!(!text.contains("priority high"), "report:\n{text}");
+    }
+
+    #[test]
+    fn wire_collector_counts_shed_per_priority() {
+        let c = WireStatsCollector::new();
+        c.request_shed(Priority::Low);
+        c.request_shed(Priority::High);
+        c.request_shed(Priority::Low);
+        let s = c.snapshot();
+        assert_eq!(s.shed_low, 2);
+        assert_eq!(s.shed_normal, 0);
+        assert_eq!(s.shed_high, 1);
+        assert_eq!(s.shed_total(), 3);
+        assert_eq!(s.shed_for(Priority::High), 1);
+    }
+
+    #[test]
+    fn warm_and_store_counters_flow_into_the_snapshot_and_render() {
+        let c = StatsCollector::new();
+        let encode = EncodeCacheStats {
+            warm_restored: 5,
+            warm_healed: 1,
+            store_entries: 6,
+            store_bytes: 1234,
+            store_gc_removed: 3,
+            ..Default::default()
+        };
+        let s = c.snapshot(encode, 0.0, &["gpu0".to_string()]);
+        assert_eq!(s.encode_warm_restored, 5);
+        assert_eq!(s.encode_warm_reencoded, 0);
+        assert_eq!(s.encode_warm_healed, 1);
+        assert_eq!(s.store_entries, 6);
+        assert_eq!(s.store_bytes, 1234);
+        assert_eq!(s.store_gc_removed, 3);
+        let text = s.render();
+        assert!(
+            text.contains(
+                "store: 6 artifacts / 1234 B   warm boot: 5 restored + 0 re-encoded + 1 healed   gc removed: 3"
+            ),
+            "report:\n{text}"
+        );
+        // Without store or warm activity the line is omitted entirely.
+        let idle = c.snapshot(enc(0, 0), 0.0, &["gpu0".to_string()]).render();
+        assert!(!idle.contains("store:"), "report:\n{idle}");
     }
 
     #[test]

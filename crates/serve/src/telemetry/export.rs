@@ -92,6 +92,16 @@ pub fn render_prometheus(stats: &ServerStats, registry: &MetricsRegistry) -> Str
             p.queue_p99_us,
         );
     }
+    family(
+        &mut out,
+        "dsstc_shed_requests_total",
+        "counter",
+        "Requests rejected at submit by admission control, per priority class",
+    );
+    for p in &stats.per_priority {
+        let labels = format!("priority=\"{}\"", p.priority.name());
+        sample_u64(&mut out, "dsstc_shed_requests_total", &labels, p.shed);
+    }
 
     family(&mut out, "dsstc_device_batches_total", "counter", "Batches executed per device");
     for (index, d) in stats.per_device.iter().enumerate() {
@@ -151,6 +161,48 @@ pub fn render_prometheus(stats: &ServerStats, registry: &MetricsRegistry) -> Str
         "Artifacts LRU-evicted from the in-memory tier",
     );
     sample_u64(&mut out, "dsstc_encode_cache_evictions_total", "", stats.encode_evictions);
+    family(
+        &mut out,
+        "dsstc_cache_warm_restored_total",
+        "counter",
+        "Artifacts the boot-time warmer restored into the memory tier",
+    );
+    sample_u64(&mut out, "dsstc_cache_warm_restored_total", "", stats.encode_warm_restored);
+    family(
+        &mut out,
+        "dsstc_cache_warm_reencoded_total",
+        "counter",
+        "Stale-spec artifacts the warmer re-encoded for the current pool",
+    );
+    sample_u64(&mut out, "dsstc_cache_warm_reencoded_total", "", stats.encode_warm_reencoded);
+    family(
+        &mut out,
+        "dsstc_cache_warm_healed_total",
+        "counter",
+        "Corrupt artifacts the warmer healed with a fresh encode",
+    );
+    sample_u64(&mut out, "dsstc_cache_warm_healed_total", "", stats.encode_warm_healed);
+    family(
+        &mut out,
+        "dsstc_cache_store_entries",
+        "gauge",
+        "Artifacts tracked by the on-disk store manifest",
+    );
+    sample_u64(&mut out, "dsstc_cache_store_entries", "", stats.store_entries);
+    family(
+        &mut out,
+        "dsstc_cache_store_bytes",
+        "gauge",
+        "Bytes of artifact files tracked by the store manifest",
+    );
+    sample_u64(&mut out, "dsstc_cache_store_bytes", "", stats.store_bytes);
+    family(
+        &mut out,
+        "dsstc_cache_store_gc_removed_total",
+        "counter",
+        "Artifacts removed from the on-disk store by garbage collection",
+    );
+    sample_u64(&mut out, "dsstc_cache_store_gc_removed_total", "", stats.store_gc_removed);
     family(
         &mut out,
         "dsstc_encode_cache_hit_rate",
@@ -224,6 +276,16 @@ pub fn render_prometheus(stats: &ServerStats, registry: &MetricsRegistry) -> Str
             "Requests refused at submit time",
         );
         sample_u64(&mut out, "dsstc_wire_requests_rejected_total", "", wire.requests_rejected);
+        family(
+            &mut out,
+            "dsstc_wire_shed_total",
+            "counter",
+            "Wire requests answered with a ShedLoad error frame, per priority class",
+        );
+        for &priority in &crate::request::Priority::ALL {
+            let labels = format!("priority=\"{}\"", priority.name());
+            sample_u64(&mut out, "dsstc_wire_shed_total", &labels, wire.shed_for(priority));
+        }
         family(&mut out, "dsstc_wire_in_flight", "gauge", "Wire requests inside the runtime");
         sample_u64(&mut out, "dsstc_wire_in_flight", "", wire.in_flight);
         family(
@@ -598,6 +660,11 @@ mod tests {
                 .map(|&priority| PriorityLatency {
                     priority,
                     completed: 40,
+                    shed: match priority {
+                        Priority::Low => 6,
+                        Priority::Normal => 2,
+                        Priority::High => 0,
+                    },
                     queue_p50_us: 100.0,
                     queue_p99_us: 800.0,
                     execute_p50_us: 350.0,
@@ -626,6 +693,12 @@ mod tests {
             encode_evictions: 2,
             encode_fresh_ms: 120.5,
             encode_disk_ms: 6.25,
+            encode_warm_restored: 3,
+            encode_warm_reencoded: 1,
+            encode_warm_healed: 1,
+            store_entries: 4,
+            store_bytes: 88_000,
+            store_gc_removed: 2,
             encode_hit_rate: 0.875,
             timing_hit_rate: 0.9,
             wire: Some(WireStats {
@@ -641,6 +714,9 @@ mod tests {
                 requests_rejected: 1,
                 in_flight: 0,
                 outbound_overflows: 1,
+                shed_low: 3,
+                shed_normal: 1,
+                shed_high: 0,
             }),
             // A two-reactor split whose field-wise sum is `wire` above.
             wire_reactors: vec![
@@ -657,6 +733,9 @@ mod tests {
                     requests_rejected: 1,
                     in_flight: 0,
                     outbound_overflows: 1,
+                    shed_low: 2,
+                    shed_normal: 1,
+                    shed_high: 0,
                 },
                 WireStats {
                     connections_accepted: 2,
@@ -671,6 +750,9 @@ mod tests {
                     requests_rejected: 0,
                     in_flight: 0,
                     outbound_overflows: 0,
+                    shed_low: 1,
+                    shed_normal: 0,
+                    shed_high: 0,
                 },
             ],
         }
@@ -693,12 +775,26 @@ mod tests {
         assert!(text.contains("dsstc_encode_cache_disk_restores_total 3"));
         assert!(text.contains("dsstc_encode_cache_evictions_total 2"));
         assert!(text.contains("dsstc_encode_cache_hit_rate 0.875"));
+        // Admission-control shed counters, one row per class.
+        assert!(text.contains("dsstc_shed_requests_total{priority=\"low\"} 6"));
+        assert!(text.contains("dsstc_shed_requests_total{priority=\"normal\"} 2"));
+        assert!(text.contains("dsstc_shed_requests_total{priority=\"high\"} 0"));
+        // Store-lifecycle families from the warmer and manifest GC.
+        assert!(text.contains("dsstc_cache_warm_restored_total 3"));
+        assert!(text.contains("dsstc_cache_warm_reencoded_total 1"));
+        assert!(text.contains("dsstc_cache_warm_healed_total 1"));
+        assert!(text.contains("dsstc_cache_store_entries 4"));
+        assert!(text.contains("dsstc_cache_store_bytes 88000"));
+        assert!(text.contains("dsstc_cache_store_gc_removed_total 2"));
         // Wire families mirror WireStats field for field.
         assert!(text.contains("dsstc_wire_connections_accepted_total 5"));
         assert!(text.contains("dsstc_wire_open_connections 2"));
         assert!(text.contains("dsstc_wire_frames_received_total 120"));
         assert!(text.contains("dsstc_wire_decode_errors_total 1"));
         assert!(text.contains("dsstc_wire_outbound_overflows_total 1"));
+        assert!(text.contains("dsstc_wire_shed_total{priority=\"low\"} 3"));
+        assert!(text.contains("dsstc_wire_shed_total{priority=\"normal\"} 1"));
+        assert!(text.contains("dsstc_wire_shed_total{priority=\"high\"} 0"));
         // Per-reactor rows, one sample per event loop.
         assert!(text.contains("dsstc_wire_reactor_frames_received_total{reactor=\"0\"} 70"));
         assert!(text.contains("dsstc_wire_reactor_frames_received_total{reactor=\"1\"} 50"));

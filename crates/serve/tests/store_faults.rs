@@ -1,0 +1,234 @@
+//! Fault-injection property tests for the on-disk encoding store.
+//!
+//! Every case doctors a freshly seeded store — truncating, bit-flipping or
+//! zeroing the artifact or the manifest at an arbitrary offset — then
+//! proves the lifecycle self-heals: warm boot and lookups never panic,
+//! corrupt artifacts fall back to a fresh encode and are rewritten, the
+//! manifest is rebuilt, and the bytes served always match a clean encode.
+//!
+//! Case count honours `PROPTEST_CASES` (CI runs the suite in release mode
+//! with 64 cases).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dsstc_serve::{CacheBudget, EncodingSpec, ModelId, ModelKey, ModelRepository};
+use dsstc_sim::GpuConfig;
+use dsstc_tensor::{Matrix, SparsityPattern};
+use proptest::prelude::*;
+
+/// The manifest filename — part of the store's documented on-disk format
+/// (see `docs/ENCODING_CACHE.md`).
+const MANIFEST_NAME: &str = "MANIFEST.dsstcm";
+
+/// A narrow proxy width keeps each fresh encode cheap enough to run dozens
+/// of fault cases.
+const PROXY_DIM: usize = 16;
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+/// A unique, self-cleaning store directory per fault case.
+struct TempStore(PathBuf);
+
+impl TempStore {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "dsstc-faults-{tag}-{}-{}",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp store");
+        TempStore(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempStore {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn repo(dir: &Path) -> ModelRepository {
+    ModelRepository::new(GpuConfig::v100(), PROXY_DIM).with_disk_cache(dir)
+}
+
+fn key() -> ModelKey {
+    ModelKey::new(ModelId::RnnLm, Some(0.9))
+}
+
+fn spec() -> EncodingSpec {
+    EncodingSpec::for_gpu(&GpuConfig::v100())
+}
+
+fn probe_input() -> Matrix {
+    Matrix::random_sparse(2, PROXY_DIM, 0.4, SparsityPattern::Uniform, 7)
+}
+
+/// The output a clean, memory-only encode serves for the probe input.
+/// Encoding is deterministic, so any correctly restored or re-encoded
+/// artifact must reproduce these bytes exactly.
+fn reference_output() -> Vec<f32> {
+    let r = ModelRepository::new(GpuConfig::v100(), PROXY_DIM);
+    let m = r.get_for(key(), spec());
+    m.forward(r.kernel(), &probe_input()).as_slice().to_vec()
+}
+
+/// Seeds `dir` with one persisted artifact (plus its manifest) and returns
+/// the artifact's filename.
+fn seed_store(dir: &Path) -> String {
+    let r = repo(dir);
+    let _ = r.get_for(key(), spec());
+    artifact_names(dir).pop().expect("seeding persisted an artifact")
+}
+
+/// Artifact filenames in `dir`, sorted (skips the manifest + lock).
+fn artifact_names(dir: &Path) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .filter(|n| n.ends_with(".dsstc"))
+        .collect();
+    names.sort();
+    names
+}
+
+/// Applies one fault to `file`: 0 truncates at `offset`, 1 flips one bit
+/// at `offset`, 2 replaces the file with a zero-length write.
+fn inject(file: &Path, mode: u8, offset_permille: u32, bit: u8) {
+    let bytes = std::fs::read(file).expect("read target");
+    let offset = (bytes.len().saturating_sub(1)) * offset_permille as usize / 1000;
+    match mode {
+        0 => std::fs::write(file, &bytes[..offset]).expect("truncate"),
+        1 => {
+            let mut bytes = bytes;
+            if !bytes.is_empty() {
+                bytes[offset] ^= 1 << (bit % 8);
+            }
+            std::fs::write(file, bytes).expect("bit flip");
+        }
+        _ => std::fs::write(file, b"").expect("zero-length write"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Whatever happens to the artifact file, warm boot self-heals: no
+    /// panic, the store ends up with a valid artifact again, and the bytes
+    /// served match a clean encode exactly.
+    #[test]
+    fn any_artifact_corruption_self_heals(
+        mode in 0u8..3,
+        offset_permille in 0u32..=1000,
+        bit in 0u8..8,
+    ) {
+        let store = TempStore::new("artifact");
+        let file = seed_store(store.path());
+        inject(&store.path().join(&file), mode, offset_permille, bit);
+
+        let r = repo(store.path());
+        let report = r.warm_boot(&[spec()], 1);
+        // A flipped bit in a slack byte can leave the artifact readable;
+        // every outcome must be one of restored-intact or healed-by-fresh-
+        // encode — never a crash, never silence.
+        prop_assert_eq!(report.restored + report.healed, 1,
+            "restored {} healed {}", report.restored, report.healed);
+        let m = r.get_for(key(), spec());
+        prop_assert_eq!(
+            m.forward(r.kernel(), &probe_input()).as_slice().to_vec(),
+            reference_output()
+        );
+
+        // The heal (or intact restore) is durable: a fresh process restores
+        // from disk and serves the same bytes.
+        let r2 = repo(store.path());
+        let m2 = r2.get_for(key(), spec());
+        prop_assert!(m2.from_disk, "rewritten artifact restores cleanly");
+        prop_assert_eq!(
+            m2.forward(r2.kernel(), &probe_input()).as_slice().to_vec(),
+            reference_output()
+        );
+    }
+
+    /// Whatever happens to the manifest file, the store rebuilds it from a
+    /// directory scan: warm boot restores the artifact, the rewritten
+    /// manifest verifies, and GC keeps working.
+    #[test]
+    fn any_manifest_corruption_is_rebuilt(
+        mode in 0u8..3,
+        offset_permille in 0u32..=1000,
+        bit in 0u8..8,
+    ) {
+        let store = TempStore::new("manifest");
+        let _ = seed_store(store.path());
+        let manifest = store.path().join(MANIFEST_NAME);
+        prop_assert!(manifest.exists(), "seeding writes a manifest");
+        inject(&manifest, mode, offset_permille, bit);
+
+        let r = repo(store.path());
+        let report = r.warm_boot(&[spec()], 1);
+        prop_assert_eq!(report.restored, 1, "the artifact itself is intact");
+        prop_assert_eq!(r.counters().fresh_encodes, 0);
+
+        // The rebuilt manifest round-trips: a second warm boot trusts it.
+        let r2 = repo(store.path());
+        let report2 = r2.warm_boot(&[spec()], 1);
+        prop_assert_eq!(report2.restored, 1);
+
+        // GC over the rebuilt manifest behaves: a 1-byte budget shrinks the
+        // store to its floor of one artifact without panicking.
+        let gc = ModelRepository::new(GpuConfig::v100(), PROXY_DIM)
+            .with_disk_cache(store.path())
+            .with_store_budget(CacheBudget { max_entries: usize::MAX, max_bytes: 1 });
+        let _ = gc.gc_store();
+        prop_assert_eq!(artifact_names(store.path()).len(), 1);
+    }
+
+    /// Corrupting artifact and manifest together still converges: the
+    /// artifact heals via a fresh encode and both files verify afterwards.
+    #[test]
+    fn simultaneous_artifact_and_manifest_corruption_converges(
+        artifact_mode in 0u8..3,
+        manifest_mode in 0u8..3,
+        offset_permille in 0u32..=1000,
+    ) {
+        let store = TempStore::new("both");
+        let file = seed_store(store.path());
+        inject(&store.path().join(&file), artifact_mode, offset_permille, 3);
+        inject(&store.path().join(MANIFEST_NAME), manifest_mode, offset_permille, 3);
+
+        let r = repo(store.path());
+        let report = r.warm_boot(&[spec()], 1);
+        prop_assert_eq!(report.restored + report.healed, 1);
+        let m = r.get_for(key(), spec());
+        prop_assert_eq!(
+            m.forward(r.kernel(), &probe_input()).as_slice().to_vec(),
+            reference_output()
+        );
+        // Converged: the next boot is a clean restore with nothing to heal.
+        let r2 = repo(store.path());
+        let report2 = r2.warm_boot(&[spec()], 1);
+        prop_assert_eq!((report2.restored, report2.healed), (1, 0));
+    }
+}
+
+/// Lookups (not just warm boot) self-heal too: a poisoned artifact under a
+/// live repository falls back to a fresh encode and rewrites the file.
+#[test]
+fn a_lookup_on_a_poisoned_store_falls_back_and_rewrites() {
+    let store = TempStore::new("lookup");
+    let file = seed_store(store.path());
+    inject(&store.path().join(&file), 2, 0, 0); // zero-length artifact
+    let r = repo(store.path());
+    let m = r.get_for(key(), spec());
+    assert!(!m.from_disk, "a zeroed artifact must not be served");
+    assert_eq!(r.counters().fresh_encodes, 1);
+    assert_eq!(m.forward(r.kernel(), &probe_input()).as_slice().to_vec(), reference_output());
+    let r2 = repo(store.path());
+    assert!(r2.get_for(key(), spec()).from_disk, "the fallback rewrote the artifact");
+}

@@ -7,7 +7,9 @@
 use std::time::{Duration, Instant};
 
 use dsstc_serve::net::{WireClient, WireError, WireServer, WireStatus, WIRE_VERSION};
-use dsstc_serve::{pace_until, InferRequest, ModelId, PoissonArrivals, Priority, ServeConfig};
+use dsstc_serve::{
+    pace_until, AdmissionControl, InferRequest, ModelId, PoissonArrivals, Priority, ServeConfig,
+};
 use dsstc_tensor::{Matrix, SparsityPattern};
 
 const PROXY_DIM: usize = 32;
@@ -497,6 +499,75 @@ fn multi_reactor_graceful_drain_answers_every_reactors_in_flight() {
         "every reactor owned one draining connection: {per:?}"
     );
     assert_eq!(server.wire_stats().frames_sent, (CONNS as u64) * N);
+}
+
+#[test]
+fn shed_requests_answer_with_shed_load_frames_and_reconcile_with_metrics() {
+    // Admission control with a 1 us low-priority SLO: any backlog sheds the
+    // low class. Three pipelined normal requests sit in the 500 ms batching
+    // window, so the low request that follows them on the same connection
+    // is rejected synchronously with a ShedLoad error frame — and the
+    // connection survives to serve more traffic.
+    let hour = Duration::from_secs(3600);
+    let metrics_bind: std::net::SocketAddr = "127.0.0.1:0".parse().expect("literal addr");
+    let mut server = WireServer::start(
+        ServeConfig::default()
+            .with_workers(1)
+            .with_max_batch(8)
+            .with_max_queue_wait(Duration::from_millis(500))
+            .with_proxy_dim(PROXY_DIM)
+            .with_metrics_addr(metrics_bind)
+            .with_admission_control(AdmissionControl::new(
+                [Duration::from_micros(1), hour, hour],
+                1.0,
+                10_000,
+            )),
+    )
+    .expect("bind loopback");
+    let metrics_addr = server.metrics_addr().expect("metrics endpoint bound");
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+    let normal =
+        |seed| InferRequest::new(ModelId::BertBase, features(seed)).with_priority(Priority::Normal);
+    for seed in 0..3 {
+        client.send(&normal(seed)).expect("send normal");
+    }
+    let low = InferRequest::new(ModelId::BertBase, features(9)).with_priority(Priority::Low);
+    let low_id = client.send(&low).expect("send low");
+    // The shed frame is generated at submit time, so it overtakes the
+    // normal responses still waiting out the batching window.
+    let response = client.recv().expect("shed frame");
+    assert_eq!(response.id, low_id);
+    assert_eq!(response.status, WireStatus::ShedLoad);
+    assert!(response.message.contains("load shed"), "{}", response.message);
+    assert!(response.message.contains("low"), "{}", response.message);
+    for _ in 0..3 {
+        let ok = client.recv().expect("normal response");
+        assert_eq!(ok.status, WireStatus::Ok, "admitted requests still serve");
+    }
+    // The same connection keeps working; high priority is projection-proof.
+    let high = InferRequest::new(ModelId::BertBase, features(11)).with_priority(Priority::High);
+    client.infer(&high).expect("high priority admitted after the shed");
+
+    let wire = server.wire_stats();
+    assert_eq!(wire.shed_low, 1);
+    assert_eq!((wire.shed_normal, wire.shed_high), (0, 0));
+    assert_eq!(wire.shed_total(), 1);
+    assert_eq!(wire.requests_rejected, 0, "shed is not counted as a client mistake");
+    assert_eq!(wire.error_frames_sent, 1);
+    assert_eq!(wire.connections_closed, 0, "shedding must not poison the connection");
+
+    // The scrape, the wire counters and the server-side admission counters
+    // must reconcile exactly.
+    let body = scrape_metrics(metrics_addr);
+    assert_eq!(metric_value(&body, "dsstc_wire_shed_total{priority=\"low\"}") as u64, 1);
+    assert_eq!(metric_value(&body, "dsstc_wire_shed_total{priority=\"normal\"}") as u64, 0);
+    assert_eq!(metric_value(&body, "dsstc_wire_shed_total{priority=\"high\"}") as u64, 0);
+    assert_eq!(metric_value(&body, "dsstc_shed_requests_total{priority=\"low\"}") as u64, 1);
+    assert_eq!(metric_value(&body, "dsstc_shed_requests_total{priority=\"high\"}") as u64, 0);
+    let stats = server.stats();
+    assert_eq!(stats.total_shed(), 1);
+    assert_eq!(stats.for_priority(Priority::Low).shed, 1);
+    server.shutdown();
 }
 
 /// One blocking HTTP/1.0 scrape of the metrics endpoint, returning the body.

@@ -13,11 +13,16 @@
 //! encode-cache hit rate (one encode per model, everything after is a hit).
 //!
 //! Run with `cargo run --release -p dsstc --example serve_demo`. Pass
-//! `--encode-cache-dir DIR` to persist encoded weights across runs (a
-//! second run restores them from disk instead of prune+encoding), and
-//! `--expect-warm` to additionally assert the run was a pure warm start —
-//! zero fresh encodes (the CI warm-start smoke runs the demo twice this
-//! way).
+//! `--encode-cache-dir DIR` to persist encoded weights across runs (the
+//! server walks the store at boot and restores every artifact into the
+//! memory tier, so a second run starts warm), and `--expect-warm` to
+//! additionally assert the run was a pure warm start — the boot warmer
+//! restored artifacts and zero fresh encodes were paid, so even the first
+//! request hit the cache (the CI warm-start smoke runs the demo twice this
+//! way). `--store-budget-bytes N` caps the on-disk store: warm boot GCs
+//! least-recently-restored artifacts until the store fits (the CI GC
+//! negative case doctors an oversized store this way and asserts it
+//! shrinks).
 //!
 //! Pass `--listen ADDR` to serve over TCP instead of driving in-process
 //! traffic: the demo boots the wire front-end, warms the catalogue, prints
@@ -37,12 +42,15 @@ use std::collections::HashSet;
 use std::path::PathBuf;
 use std::time::Duration;
 
-use dsstc::serve::{DevicePool, InferRequest, InferenceServer, ModelId, Priority, ServeConfig};
+use dsstc::serve::{
+    CacheBudget, DevicePool, InferRequest, InferenceServer, ModelId, Priority, ServeConfig,
+};
 use dsstc_sim::GpuConfig;
 use dsstc_tensor::{Matrix, SparsityPattern};
 
 const USAGE: &str = "usage: serve_demo [--encode-cache-dir DIR] [--expect-warm] \
-[--trace-out PATH] [--listen ADDR [--wire-requests N] [--reactors N] [--metrics-addr ADDR]]";
+[--store-budget-bytes N] [--trace-out PATH] \
+[--listen ADDR [--wire-requests N] [--reactors N] [--metrics-addr ADDR]]";
 
 fn usage_error(message: &str) -> ! {
     eprintln!("serve_demo: {message}\n{USAGE}");
@@ -108,6 +116,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut encode_cache_dir: Option<PathBuf> = None;
     let mut expect_warm = false;
+    let mut store_budget_bytes: Option<u64> = None;
     let mut listen: Option<std::net::SocketAddr> = None;
     let mut wire_requests: u64 = 48;
     let mut reactors: Option<usize> = None;
@@ -123,6 +132,12 @@ fn main() {
                 }
             }
             "--expect-warm" => expect_warm = true,
+            "--store-budget-bytes" => {
+                match iter.next().and_then(|v| v.parse().ok()).filter(|&n: &u64| n > 0) {
+                    Some(n) => store_budget_bytes = Some(n),
+                    None => usage_error("--store-budget-bytes needs a positive byte count"),
+                }
+            }
             "--listen" => match iter.next().map(|v| v.parse()) {
                 Some(Ok(addr)) => listen = Some(addr),
                 _ => usage_error("--listen needs an ADDR:PORT listen address"),
@@ -168,6 +183,14 @@ fn main() {
         config = config.with_encode_cache_dir(dir.clone());
         println!("persistent encode cache: {}", dir.display());
     }
+    if let Some(bytes) = store_budget_bytes {
+        if encode_cache_dir.is_none() {
+            usage_error("--store-budget-bytes needs --encode-cache-dir (it caps the disk store)");
+        }
+        config = config
+            .with_encode_store_budget(CacheBudget { max_entries: usize::MAX, max_bytes: bytes });
+        println!("encode store budget: {bytes} B");
+    }
     if let Some(path) = &trace_out {
         config = config.with_trace_out(path.clone());
         println!("chrome-trace output: {}", path.display());
@@ -207,6 +230,22 @@ fn main() {
         server.config().devices.names().join(", "),
         server.config().max_batch
     );
+    if encode_cache_dir.is_some() {
+        // The boot-time store state, before any traffic touches the cache:
+        // what the warmer restored/healed and what GC removed to fit the
+        // budget. The CI GC negative case greps this line.
+        let boot = server.stats();
+        println!(
+            "boot store: {} artifacts / {} B, warm boot restored {} + re-encoded {} + healed {}, \
+             gc removed {}\n",
+            boot.store_entries,
+            boot.store_bytes,
+            boot.encode_warm_restored,
+            boot.encode_warm_reencoded,
+            boot.encode_warm_healed,
+            boot.store_gc_removed,
+        );
+    }
 
     // Deploy-time warm-up: obtain both models' encoded weights for every
     // pooled device tiling (fresh prune+encode on a cold start, restored
@@ -272,16 +311,23 @@ fn main() {
     );
     if expect_warm {
         // A populated --encode-cache-dir makes the restart a pure warm
-        // start: every artifact restores from disk, nothing prune+encodes.
+        // start: the boot warmer restores every artifact into the memory
+        // tier before traffic arrives, nothing prune+encodes, and the
+        // first request is already a cache hit.
         assert_eq!(
             stats.encode_fresh, 0,
             "--expect-warm: {} artifacts were freshly encoded ({:.1} ms wasted)",
             stats.encode_fresh, stats.encode_fresh_ms
         );
         assert!(stats.encode_disk_loads > 0, "--expect-warm: nothing was restored from disk");
+        assert!(
+            stats.encode_warm_restored > 0,
+            "--expect-warm: the boot warmer restored nothing at startup"
+        );
         println!(
-            "warm start confirmed: {} artifacts restored from disk in {:.1} ms, 0 fresh encodes",
-            stats.encode_disk_loads, stats.encode_disk_ms
+            "warm start confirmed: {} artifacts restored from disk in {:.1} ms ({} at boot), \
+             0 fresh encodes",
+            stats.encode_disk_loads, stats.encode_disk_ms, stats.encode_warm_restored
         );
     }
     println!(
