@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Schema validators for the benchmark JSON artifacts CI uploads.
 
-Usage: validate_bench.py {serve|kernels} PATH
+Usage: validate_bench.py {serve|kernels|cluster} PATH
 
 Exits non-zero when the document violates its schema. ``json.load`` happily
 accepts ``NaN``/``Infinity`` tokens — exactly what a division-by-zero bug in
@@ -121,11 +121,50 @@ def validate_kernels(doc):
     return f"{len(measured['cells'])} measured kernel cells"
 
 
+def validate_cluster(doc):
+    """dsstc.bench.cluster/1 — N-node loopback cluster phases."""
+    assert doc["schema"] == "dsstc.bench.cluster/1", doc["schema"]
+    require_number(doc, "requests_per_cell", minimum=1)
+    assert doc["cells"], "no cells"
+    for cell in doc["cells"]:
+        for key in (
+            "phase", "nodes", "replication", "requests", "completed",
+            "redirects", "failovers", "redirect_rate", "bit_identical",
+        ):
+            assert key in cell, key
+        assert cell["phase"] in ("steady", "failover"), cell["phase"]
+        nodes = require_number(cell, "nodes", minimum=1)
+        replication = require_number(cell, "replication", minimum=1)
+        assert replication <= nodes, (
+            f"replication {replication} exceeds {nodes} node(s)"
+        )
+        requests = require_number(cell, "requests", minimum=1)
+        assert require_number(cell, "completed", minimum=1) == requests, (
+            "every request in the sweep must complete"
+        )
+        require_number(cell, "redirects", minimum=0)
+        require_number(cell, "failovers", minimum=0)
+        rate = require_number(cell, "redirect_rate", minimum=0)
+        assert rate <= 1, f"redirect_rate {rate} > 1"
+        # The cluster's whole point: outputs must match a single-node
+        # server bit for bit, steady state and under failover alike.
+        assert cell["bit_identical"] is True, (
+            f"{cell['phase']}: cluster outputs diverged from a single node"
+        )
+    return f"{len(doc['cells'])} cluster cells"
+
+
+VALIDATORS = {
+    "serve": validate_serve,
+    "kernels": validate_kernels,
+    "cluster": validate_cluster,
+}
+
+
 def main():
-    if len(sys.argv) != 3 or sys.argv[1] not in ("serve", "kernels"):
+    if len(sys.argv) != 3 or sys.argv[1] not in VALIDATORS:
         sys.exit(__doc__)
-    validate = validate_serve if sys.argv[1] == "serve" else validate_kernels
-    summary = validate(strict_load(sys.argv[2]))
+    summary = VALIDATORS[sys.argv[1]](strict_load(sys.argv[2]))
     print(f"{sys.argv[2]}: {summary} validated")
 
 

@@ -63,16 +63,25 @@ const USAGE: &str = "usage: serve_throughput [FLAGS]
                             reactor and once with --reactors, asserting
                             bit-identical outputs vs in-process and reporting
                             the client-observed throughput ratio
+  --cluster N               cluster mode: boot an N-node loopback cluster
+                            (consistent-hash sharding, replication
+                            min(N, 2)), serve a deterministic sweep through
+                            the cluster-aware client, assert the outputs
+                            bit-identical to a single-node server, then
+                            kill one node and re-serve the sweep to measure
+                            failover (no acknowledged request may be lost)
   --smoke                   CI-sized grid
   --submitters N            pin the open-loop submitter thread count
   --encode-cache-dir DIR    persist encoded weights across runs
   --bench-json PATH         write the sweep as machine-readable JSON
-                            (schema dsstc.bench.serve/1, any mode; see
+                            (schema dsstc.bench.serve/1, or
+                            dsstc.bench.cluster/1 with --cluster; see
                             docs/OBSERVABILITY.md)
   --help                    this text
 
 --wire, --submitters and --encode-cache-dir require --open-loop;
---reactors and --connections require --wire.";
+--reactors and --connections require --wire; --cluster is its own mode
+and combines only with --bench-json.";
 
 fn usage_error(message: &str) -> ! {
     eprintln!("serve_throughput: {message}\n\n{USAGE}");
@@ -778,6 +787,255 @@ fn fan_in(_connections: usize, _reactors: usize) -> (u64, Vec<BenchCell>) {
     unreachable!("--connections requires --wire, which is rejected off Linux")
 }
 
+/// The `--cluster N` benchmark: an N-node loopback cluster with
+/// consistent-hash sharding, served through the cluster-aware client and
+/// checked bit-for-bit against a single-node reference, then re-served
+/// after killing one node to measure failover.
+#[cfg(target_os = "linux")]
+mod cluster {
+    use super::*;
+    use dsstc_serve::net::{ClusterClient, WireServer};
+    use dsstc_serve::ClusterConfig;
+    use std::net::{SocketAddr, TcpListener};
+
+    /// Requests per phase. Model and weight sparsity both vary with the
+    /// seed, so the sweep spreads over 12 distinct shard keys (and
+    /// therefore over the whole ring) instead of a couple of shards.
+    pub const SWEEP: u64 = 48;
+    const CLUSTER_PROXY_DIM: usize = 32;
+    /// Fixed ring seed: placement — and the redirect/failover counts the
+    /// bench reports — is reproducible run to run.
+    const RING_SEED: u64 = 0x5EED;
+
+    /// One measured phase of the cluster bench (`dsstc.bench.cluster/1`).
+    pub struct ClusterCell {
+        pub phase: &'static str,
+        pub nodes: usize,
+        pub replication: usize,
+        pub requests: u64,
+        pub completed: u64,
+        /// `NotMine` redirects answered by the servers during the phase.
+        pub redirects: u64,
+        /// Dead-replica failovers the client performed during the phase.
+        pub failovers: u64,
+        pub redirect_rate: f64,
+        pub bit_identical: bool,
+    }
+
+    fn cluster_request(seed: u64) -> InferRequest {
+        let model = if seed.is_multiple_of(2) { ModelId::RnnLm } else { ModelId::BertBase };
+        let features =
+            Matrix::random_sparse(1, CLUSTER_PROXY_DIM, 0.4, SparsityPattern::Uniform, seed);
+        InferRequest::new(model, features).with_weight_sparsity(0.50 + (seed % 12) as f64 * 0.04)
+    }
+
+    /// Reserves `n` distinct loopback ports by binding them all at once,
+    /// then releasing: nodes need each other's addresses before binding.
+    fn free_addrs(n: usize) -> Vec<SocketAddr> {
+        let listeners: Vec<TcpListener> =
+            (0..n).map(|_| TcpListener::bind("127.0.0.1:0").expect("reserve port")).collect();
+        listeners.iter().map(|l| l.local_addr().expect("bound addr")).collect()
+    }
+
+    fn node_config() -> ServeConfig {
+        ServeConfig::default()
+            .with_max_queue_wait(Duration::from_millis(1))
+            .with_proxy_dim(CLUSTER_PROXY_DIM)
+            .with_reactors(1)
+    }
+
+    /// The single-node reference outputs the cluster must reproduce bit
+    /// for bit (encoding and inference are deterministic).
+    fn reference_outputs() -> HashMap<u64, Matrix> {
+        let mut server = InferenceServer::start(node_config());
+        let outputs = (0..SWEEP)
+            .map(|seed| (seed, server.infer(cluster_request(seed)).expect("reference").output))
+            .collect();
+        server.shutdown();
+        outputs
+    }
+
+    /// Serves the whole sweep through `client`, returning how many outputs
+    /// matched the reference exactly.
+    fn serve_sweep(client: &mut ClusterClient, expected: &HashMap<u64, Matrix>) -> u64 {
+        (0..SWEEP)
+            .filter(|&seed| {
+                let body = client.infer(&cluster_request(seed)).expect("cluster serves");
+                &body.output == expected.get(&seed).expect("reference output")
+            })
+            .count() as u64
+    }
+
+    /// Sums a per-node cluster counter over the servers still running.
+    fn sum_counter(servers: &[WireServer], f: impl Fn(&dsstc_serve::ClusterStats) -> u64) -> u64 {
+        servers.iter().map(|s| f(&s.stats().cluster.expect("cluster stats"))).sum()
+    }
+
+    pub fn run(nodes: usize) -> (u64, Vec<ClusterCell>) {
+        let replication = nodes.min(2);
+        let expected = reference_outputs();
+        let addrs = free_addrs(nodes);
+        let mut servers: Vec<WireServer> = (0..nodes)
+            .map(|i| {
+                let peers: Vec<(u16, String)> = (0..nodes)
+                    .filter(|&j| j != i)
+                    .map(|j| (j as u16, addrs[j].to_string()))
+                    .collect();
+                let cluster = ClusterConfig::new(i as u16, addrs[i].to_string(), peers)
+                    .with_replication(replication)
+                    .with_seed(RING_SEED)
+                    .with_ping(Duration::from_millis(100), 2);
+                WireServer::start(node_config().with_listen(addrs[i]).with_cluster(cluster))
+                    .expect("bind cluster node")
+            })
+            .collect();
+        let mut client = ClusterClient::connect(&addrs).expect("cluster hello");
+        println!(
+            "dsstc-serve cluster bench: {nodes} loopback node(s), replication {replication}, \
+             {SWEEP} requests per phase, outputs checked bit-for-bit against a single node\n"
+        );
+        println!(
+            "{:>10} {:>8} {:>13} {:>11} {:>11} {:>11} {:>14} {:>10}",
+            "phase",
+            "nodes",
+            "replication",
+            "requests",
+            "redirects",
+            "failovers",
+            "redirect rate",
+            "outputs"
+        );
+        let mut cells = Vec::new();
+        let mut report = |phase: &'static str,
+                          servers: &[WireServer],
+                          client: &ClusterClient,
+                          identical: u64,
+                          redirects_before: u64,
+                          failovers_before: u64| {
+            let redirects = sum_counter(servers, |c| c.redirects) - redirects_before;
+            let failovers = client.failovers() - failovers_before;
+            let cell = ClusterCell {
+                phase,
+                nodes: servers.len(),
+                replication,
+                requests: SWEEP,
+                completed: identical,
+                redirects,
+                failovers,
+                redirect_rate: redirects as f64 / SWEEP as f64,
+                bit_identical: identical == SWEEP,
+            };
+            println!(
+                "{phase:>10} {:>8} {replication:>13} {SWEEP:>11} {redirects:>11} {failovers:>11} \
+                 {:>14.3} {:>10}",
+                cell.nodes,
+                cell.redirect_rate,
+                if cell.bit_identical { "identical" } else { "DIFFER" },
+            );
+            assert!(cell.bit_identical, "{phase}: {identical}/{SWEEP} outputs matched");
+            cells.push(cell);
+        };
+
+        // Steady state: every node up, client and servers share a map.
+        let identical = serve_sweep(&mut client, &expected);
+        report("steady", &servers, &client, identical, 0, 0);
+
+        if nodes >= 2 {
+            // Kill the last node and re-serve the identical sweep: the
+            // requests it acknowledged must be reproduced bit-identically
+            // by the survivors (deterministic inference makes the client's
+            // failover resends idempotent).
+            let redirects_before = sum_counter(&servers[..nodes - 1], |c| c.redirects);
+            let failovers_before = client.failovers();
+            servers.pop().expect("last node").shutdown();
+            let identical = serve_sweep(&mut client, &expected);
+            report("failover", &servers, &client, identical, redirects_before, failovers_before);
+            assert!(
+                client.failovers() > 0 || client.redirects_followed() > 0,
+                "killing a node must exercise failover or redirects"
+            );
+        }
+
+        // The per-node serving split plus each node's cluster counters —
+        // the same numbers the /metrics endpoint exports per node.
+        println!("\nper-node split (survivors):");
+        for server in &servers {
+            let stats = server.stats();
+            let c = stats.cluster.expect("cluster stats");
+            println!(
+                "  node {}: {} served, map v{}, {}/{} peers alive, {} redirects, \
+                 {} failover serves, {} hellos",
+                c.node_id,
+                stats.completed_requests,
+                c.shard_map_version,
+                c.peers_alive,
+                c.peers_total,
+                c.redirects,
+                c.failover_serves,
+                c.hellos,
+            );
+        }
+        for server in &mut servers {
+            server.shutdown();
+        }
+        (SWEEP, cells)
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod cluster {
+    //! `--cluster` is rejected in `main` off Linux; this stub keeps the
+    //! sweep compiling everywhere.
+    pub struct ClusterCell {
+        pub phase: &'static str,
+        pub nodes: usize,
+        pub replication: usize,
+        pub requests: u64,
+        pub completed: u64,
+        pub redirects: u64,
+        pub failovers: u64,
+        pub redirect_rate: f64,
+        pub bit_identical: bool,
+    }
+
+    pub fn run(_nodes: usize) -> (u64, Vec<ClusterCell>) {
+        unreachable!("--cluster needs the epoll front-end, which is Linux-only")
+    }
+}
+
+/// Writes the cluster bench as `dsstc.bench.cluster/1` JSON (schema
+/// documented in `docs/CLUSTER.md`; validated by `ci/validate_bench.py`).
+fn write_cluster_json(path: &PathBuf, requests_per_cell: u64, cells: &[cluster::ClusterCell]) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"dsstc.bench.cluster/1\",\n");
+    out.push_str(&format!("  \"requests_per_cell\": {requests_per_cell},\n"));
+    out.push_str("  \"cells\": [\n");
+    for (i, cell) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"phase\": {}, \"nodes\": {}, \"replication\": {}, \"requests\": {}, \
+             \"completed\": {}, \"redirects\": {}, \"failovers\": {}, \"redirect_rate\": {}, \
+             \"bit_identical\": {}}}{comma}\n",
+            json_str(cell.phase),
+            cell.nodes,
+            cell.replication,
+            cell.requests,
+            cell.completed,
+            cell.redirects,
+            cell.failovers,
+            json_f64(cell.redirect_rate),
+            cell.bit_identical,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("serve_throughput: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("\nwrote {} ({} cells)", path.display(), cells.len());
+}
+
 /// Asserts the wire path reproduced the in-process outputs bit for bit.
 fn assert_bit_identical(in_process: &CellResult, wire: &CellResult) {
     assert_eq!(
@@ -1082,6 +1340,7 @@ fn main() {
     let mut wire = false;
     let mut reactors: Option<usize> = None;
     let mut connections: Option<usize> = None;
+    let mut cluster_nodes: Option<usize> = None;
     let mut submitters: Option<usize> = None;
     let mut encode_cache_dir: Option<PathBuf> = None;
     let mut bench_json: Option<PathBuf> = None;
@@ -1114,6 +1373,15 @@ fn main() {
                     usage_error("--connections needs a positive integer");
                 }
             }
+            "--cluster" => {
+                if !cfg!(target_os = "linux") {
+                    usage_error("--cluster needs the epoll front-end, which is Linux-only");
+                }
+                cluster_nodes = iter.next().and_then(|v| v.parse().ok()).filter(|&n: &usize| n > 0);
+                if cluster_nodes.is_none() {
+                    usage_error("--cluster needs a positive node count");
+                }
+            }
             "--submitters" => {
                 submitters = iter.next().and_then(|v| v.parse().ok()).filter(|&n: &usize| n > 0);
                 if submitters.is_none() {
@@ -1137,6 +1405,17 @@ fn main() {
                 usage_error(&format!("unknown flag {unknown}"));
             }
         }
+    }
+    if let Some(nodes) = cluster_nodes {
+        // Cluster mode replaces the sweeps entirely.
+        if open || wire || smoke || reactors.is_some() || connections.is_some() {
+            usage_error("--cluster is its own mode and combines only with --bench-json");
+        }
+        let (requests, cells) = cluster::run(nodes);
+        if let Some(path) = &bench_json {
+            write_cluster_json(path, requests, &cells);
+        }
+        return;
     }
     if !open {
         // Fail loudly rather than silently ignoring flags only the

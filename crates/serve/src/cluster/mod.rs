@@ -1,0 +1,343 @@
+//! Cluster-scale serving: consistent-hash model sharding over a small
+//! fleet of wire servers.
+//!
+//! One process per node, each running the full serving stack; the
+//! [`HashRing`] in [`ring`] deterministically assigns every
+//! [`crate::ModelKey`] a **replica group** of nodes, so the catalogue and
+//! the request rate both scale horizontally while any client and any node
+//! that share a [`ShardMap`] agree on routing with no coordinator.
+//!
+//! The shard map is versioned and exchanged at connect time: clients open
+//! with a `HELO` frame and the server answers with its current map. A node
+//! that receives a request for a shard it does not own answers a
+//! `NotMine` redirect naming the owners; clients follow redirects with
+//! bounded retries and fail over to the next replica when a node dies
+//! mid-request (inference is deterministic, so resends are idempotent).
+//! Liveness is peer-observed: each node periodically pings its peers with
+//! the same `HELO` exchange, and marking a peer dead (or alive again)
+//! bumps the local map version so clients refresh.
+
+pub mod ring;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+use crate::config::ClusterConfig;
+use crate::stats::ClusterStats;
+
+pub use ring::{shard_hash, shard_string, HashRing};
+
+/// One member node as published in a [`ShardMap`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeEntry {
+    /// Stable node id (the ring hashes this, not the address).
+    pub id: u16,
+    /// The address clients dial, e.g. `127.0.0.1:7401`.
+    pub addr: String,
+    /// Whether the publishing node currently believes this peer is up.
+    pub alive: bool,
+}
+
+/// The versioned cluster membership exchanged in shard-map frames.
+///
+/// Everything a client needs to route: the ring parameters (`seed`,
+/// `vnodes`, `replication`) and the member list with liveness. Two peers
+/// holding maps with equal `version` and equal contents route identically.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardMap {
+    /// Monotonic map version; bumped on every liveness transition.
+    pub version: u64,
+    /// Ring seed (all nodes must agree; set in [`ClusterConfig`]).
+    pub seed: u64,
+    /// Virtual nodes per member.
+    pub vnodes: u16,
+    /// Replica-group size for every shard.
+    pub replication: u16,
+    /// All known members, dead or alive.
+    pub nodes: Vec<NodeEntry>,
+}
+
+impl ShardMap {
+    /// The single-node map a server without a [`ClusterConfig`] publishes:
+    /// one alive member (id 0) at `addr`, so cluster-aware clients work
+    /// unchanged against a standalone server.
+    pub fn standalone(addr: String) -> Self {
+        ShardMap {
+            version: 1,
+            seed: 0,
+            vnodes: 1,
+            replication: 1,
+            nodes: vec![NodeEntry { id: 0, addr, alive: true }],
+        }
+    }
+
+    /// Builds the initial map from a node's own config: every configured
+    /// member starts alive at version 1.
+    pub fn from_config(config: &ClusterConfig, local_addr: &str) -> Self {
+        let mut nodes = vec![NodeEntry {
+            id: config.node_id,
+            addr: if config.advertise.is_empty() {
+                local_addr.to_string()
+            } else {
+                config.advertise.clone()
+            },
+            alive: true,
+        }];
+        for (id, addr) in &config.peers {
+            nodes.push(NodeEntry { id: *id, addr: addr.clone(), alive: true });
+        }
+        nodes.sort_by_key(|node| node.id);
+        nodes.dedup_by_key(|node| node.id);
+        ShardMap {
+            version: 1,
+            seed: config.seed,
+            vnodes: config.vnodes.max(1).min(u16::MAX as usize) as u16,
+            replication: config.replication.max(1).min(u16::MAX as usize) as u16,
+            nodes,
+        }
+    }
+
+    /// The ring over the map's **alive** members. Dead nodes own nothing;
+    /// their shards fall to the next replica on the ring.
+    pub fn ring(&self) -> HashRing {
+        let alive: Vec<u16> =
+            self.nodes.iter().filter(|node| node.alive).map(|node| node.id).collect();
+        HashRing::build(&alive, self.vnodes as usize, self.seed)
+    }
+
+    /// The address of node `id`, if the map knows it.
+    pub fn addr_of(&self, id: u16) -> Option<&str> {
+        self.nodes.iter().find(|node| node.id == id).map(|node| node.addr.as_str())
+    }
+
+    /// Count of members currently marked alive.
+    pub fn alive_count(&self) -> usize {
+        self.nodes.iter().filter(|node| node.alive).count()
+    }
+}
+
+/// Shared cluster state on a serving node: the current map + ring behind a
+/// lock, and lock-free counters feeding `dsstc_cluster_*` telemetry.
+#[derive(Debug)]
+pub struct ClusterState {
+    /// Local node id (requests whose replica group excludes it redirect).
+    node_id: u16,
+    map: RwLock<(ShardMap, HashRing)>,
+    redirects: AtomicU64,
+    failover_serves: AtomicU64,
+    hellos: AtomicU64,
+    auth_failures: AtomicU64,
+    peer_probes: AtomicU64,
+    peer_failures: AtomicU64,
+}
+
+impl ClusterState {
+    /// Wraps an initial map for `node_id`.
+    pub fn new(node_id: u16, map: ShardMap) -> Self {
+        let ring = map.ring();
+        ClusterState {
+            node_id,
+            map: RwLock::new((map, ring)),
+            redirects: AtomicU64::new(0),
+            failover_serves: AtomicU64::new(0),
+            hellos: AtomicU64::new(0),
+            auth_failures: AtomicU64::new(0),
+            peer_probes: AtomicU64::new(0),
+            peer_failures: AtomicU64::new(0),
+        }
+    }
+
+    /// This node's id.
+    pub fn node_id(&self) -> u16 {
+        self.node_id
+    }
+
+    /// A clone of the current shard map (what hello replies carry).
+    pub fn map(&self) -> ShardMap {
+        self.map.read().expect("cluster map lock").0.clone()
+    }
+
+    /// Routes `hash`: the replica group (primary first) under the current
+    /// map, plus the map version it was computed under.
+    pub fn route(&self, hash: u64) -> (Vec<u16>, u64) {
+        let guard = self.map.read().expect("cluster map lock");
+        (guard.1.replicas(hash, guard.0.replication as usize), guard.0.version)
+    }
+
+    /// Flips peer `id`'s liveness. Returns `true` (after bumping the map
+    /// version and rebuilding the ring) if that actually changed the map.
+    pub fn set_alive(&self, id: u16, alive: bool) -> bool {
+        let mut guard = self.map.write().expect("cluster map lock");
+        let Some(node) = guard.0.nodes.iter_mut().find(|node| node.id == id) else {
+            return false;
+        };
+        if node.alive == alive {
+            return false;
+        }
+        node.alive = alive;
+        guard.0.version += 1;
+        guard.1 = guard.0.ring();
+        true
+    }
+
+    /// Counts a request redirected because this node does not own it.
+    pub fn record_redirect(&self) {
+        self.redirects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a request served as a non-primary replica (failover serve).
+    pub fn record_failover_serve(&self) {
+        self.failover_serves.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a hello handshake answered.
+    pub fn record_hello(&self) {
+        self.hellos.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a hello rejected for a bad or missing auth token.
+    pub fn record_auth_failure(&self) {
+        self.auth_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one peer liveness probe, failed or not.
+    pub fn record_peer_probe(&self, failed: bool) {
+        self.peer_probes.fetch_add(1, Ordering::Relaxed);
+        if failed {
+            self.peer_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot for [`crate::ServerStats::cluster`].
+    pub fn snapshot(&self) -> ClusterStats {
+        let (shard_map_version, peers_alive, peers_total) = {
+            let guard = self.map.read().expect("cluster map lock");
+            (guard.0.version, guard.0.alive_count() as u64, guard.0.nodes.len() as u64)
+        };
+        ClusterStats {
+            node_id: self.node_id as u64,
+            shard_map_version,
+            peers_alive,
+            peers_total,
+            redirects: self.redirects.load(Ordering::Relaxed),
+            failover_serves: self.failover_serves.load(Ordering::Relaxed),
+            hellos: self.hellos.load(Ordering::Relaxed),
+            auth_failures: self.auth_failures.load(Ordering::Relaxed),
+            peer_probes: self.peer_probes.load(Ordering::Relaxed),
+            peer_failures: self.peer_failures.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Constant-time equality for auth tokens: scans both inputs fully so the
+/// comparison's timing leaks neither the mismatch position nor (beyond
+/// equality) the lengths.
+pub fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    let mut diff = (a.len() ^ b.len()) as u8;
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn config() -> ClusterConfig {
+        ClusterConfig {
+            node_id: 0,
+            advertise: "127.0.0.1:7400".into(),
+            peers: vec![(1, "127.0.0.1:7401".into()), (2, "127.0.0.1:7402".into())],
+            replication: 2,
+            vnodes: 64,
+            seed: 11,
+            ping_interval: Duration::from_millis(200),
+            ping_failures: 2,
+        }
+    }
+
+    #[test]
+    fn map_from_config_lists_every_member_alive_and_sorted() {
+        let map = ShardMap::from_config(&config(), "0.0.0.0:0");
+        assert_eq!(map.version, 1);
+        assert_eq!(map.nodes.len(), 3);
+        assert!(map.nodes.iter().all(|node| node.alive));
+        assert_eq!(
+            map.nodes.iter().map(|node| node.id).collect::<Vec<_>>(),
+            vec![0, 1, 2],
+            "members are sorted by id"
+        );
+        assert_eq!(map.addr_of(0), Some("127.0.0.1:7400"));
+        assert_eq!(map.addr_of(7), None);
+    }
+
+    #[test]
+    fn standalone_map_routes_everything_to_the_one_node() {
+        let map = ShardMap::standalone("127.0.0.1:9000".into());
+        let ring = map.ring();
+        for probe in [0u64, 1, u64::MAX / 2, u64::MAX] {
+            assert_eq!(ring.replicas(probe, map.replication as usize), vec![0]);
+        }
+    }
+
+    #[test]
+    fn liveness_transition_bumps_version_and_shrinks_the_ring() {
+        let state = ClusterState::new(0, ShardMap::from_config(&config(), "0.0.0.0:0"));
+        let before = state.map();
+        assert_eq!(before.version, 1);
+        assert_eq!(before.alive_count(), 3);
+
+        assert!(state.set_alive(2, false), "first death changes the map");
+        assert!(!state.set_alive(2, false), "repeat death is a no-op");
+        let during = state.map();
+        assert_eq!(during.version, 2);
+        assert_eq!(during.alive_count(), 2);
+        // The dead node owns nothing: every replica group avoids it.
+        for probe in 0..64u64 {
+            let (owners, version) = state.route(probe.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            assert_eq!(version, 2);
+            assert!(!owners.contains(&2), "dead node 2 still owns {owners:?}");
+            assert_eq!(owners.len(), 2, "replication 2 still satisfied by survivors");
+        }
+
+        assert!(state.set_alive(2, true), "recovery changes the map again");
+        assert_eq!(state.map().version, 3);
+        assert!(!state.set_alive(9, false), "unknown peers never change the map");
+    }
+
+    #[test]
+    fn counters_land_in_the_snapshot() {
+        let state = ClusterState::new(4, ShardMap::standalone("127.0.0.1:1".into()));
+        state.record_redirect();
+        state.record_redirect();
+        state.record_failover_serve();
+        state.record_hello();
+        state.record_auth_failure();
+        state.record_peer_probe(false);
+        state.record_peer_probe(true);
+        let snap = state.snapshot();
+        assert_eq!(snap.node_id, 4);
+        assert_eq!(snap.redirects, 2);
+        assert_eq!(snap.failover_serves, 1);
+        assert_eq!(snap.hellos, 1);
+        assert_eq!(snap.auth_failures, 1);
+        assert_eq!(snap.peer_probes, 2);
+        assert_eq!(snap.peer_failures, 1);
+        assert_eq!(snap.shard_map_version, 1);
+        assert_eq!(snap.peers_alive, 1);
+        assert_eq!(snap.peers_total, 1);
+    }
+
+    #[test]
+    fn constant_time_eq_agrees_with_plain_equality() {
+        assert!(constant_time_eq(b"", b""));
+        assert!(constant_time_eq(b"sesame", b"sesame"));
+        assert!(!constant_time_eq(b"sesame", b"Sesame"));
+        assert!(!constant_time_eq(b"sesame", b"sesame!"));
+        assert!(!constant_time_eq(b"sesame", b""));
+    }
+}

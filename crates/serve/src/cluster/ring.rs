@@ -1,0 +1,265 @@
+//! The consistent-hash ring assigning [`crate::ModelKey`]s to nodes.
+//!
+//! Each member node contributes `vnodes` **virtual nodes**: points on a
+//! `u64` circle at `fnv1a(seed ‖ node_id ‖ vnode_index)`. A key lives at
+//! `fnv1a` of its filesystem-safe shard string (the same
+//! [`crate::ModelId::slug`] + sparsity-permille identity the encode store
+//! names artifacts with), and is owned by the first virtual node at or
+//! clockwise after it; replicas keep walking clockwise collecting the next
+//! *distinct* nodes. The construction is fully determined by
+//! `(members, vnodes, seed)`, so every node and every client that agree on
+//! a [`super::ShardMap`] agree on every routing decision without further
+//! coordination.
+//!
+//! The two properties serving cares about are property-tested below:
+//! **balance** (with enough virtual nodes no member owns a pathological
+//! share of the key space) and **minimal disruption** (adding a member
+//! moves a key only *to* that member — never between survivors — so a
+//! membership change remaps ~K/N of K keys, not all of them).
+
+use dsstc_formats::serialize::fnv1a;
+
+use crate::request::ModelKey;
+
+/// A seeded consistent-hash ring over `u16` node ids.
+#[derive(Clone, Debug, Default)]
+pub struct HashRing {
+    /// Virtual nodes, sorted by ring position: `(point, node_id)`.
+    points: Vec<(u64, u16)>,
+    /// Distinct member count (bounds how many replicas a walk can find).
+    members: usize,
+}
+
+impl HashRing {
+    /// Builds the ring for `members` with `vnodes` virtual nodes per
+    /// member under `seed`. An empty member list yields an empty ring
+    /// (every lookup returns no replicas).
+    pub fn build(members: &[u16], vnodes: usize, seed: u64) -> Self {
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(members.len() * vnodes);
+        for &node in members {
+            for index in 0..vnodes {
+                points.push((vnode_point(seed, node, index as u32), node));
+            }
+        }
+        // Ties (astronomically unlikely with 64-bit points, but the ring
+        // must stay deterministic even then) break on node id.
+        points.sort_unstable();
+        let mut distinct: Vec<u16> = members.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        HashRing { points, members: distinct.len() }
+    }
+
+    /// Number of distinct member nodes.
+    pub fn len(&self) -> usize {
+        self.members
+    }
+
+    /// Whether the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members == 0
+    }
+
+    /// The first `replicas` distinct nodes clockwise from `hash`: the
+    /// shard's **replica group**, primary first. Returns fewer when the
+    /// ring has fewer distinct members.
+    pub fn replicas(&self, hash: u64, replicas: usize) -> Vec<u16> {
+        let want = replicas.min(self.members);
+        let mut owners: Vec<u16> = Vec::with_capacity(want);
+        if want == 0 {
+            return owners;
+        }
+        let start = self.points.partition_point(|&(point, _)| point < hash);
+        for offset in 0..self.points.len() {
+            let (_, node) = self.points[(start + offset) % self.points.len()];
+            if !owners.contains(&node) {
+                owners.push(node);
+                if owners.len() == want {
+                    break;
+                }
+            }
+        }
+        owners
+    }
+
+    /// The primary owner of `hash`, if the ring has any member.
+    pub fn primary(&self, hash: u64) -> Option<u16> {
+        self.replicas(hash, 1).first().copied()
+    }
+}
+
+/// The ring position of one virtual node.
+fn vnode_point(seed: u64, node: u16, index: u32) -> u64 {
+    let mut bytes = [0u8; 14];
+    bytes[..8].copy_from_slice(&seed.to_le_bytes());
+    bytes[8..10].copy_from_slice(&node.to_le_bytes());
+    bytes[10..].copy_from_slice(&index.to_le_bytes());
+    fnv1a(&bytes)
+}
+
+/// The stable shard hash of a model key: FNV-1a over the same
+/// filesystem-safe identity the encode store names artifacts with
+/// (`<slug>-s<permille>`, `snone` for the published table), so the wire
+/// routing key and the on-disk artifact identity can never drift apart.
+pub fn shard_hash(key: &ModelKey) -> u64 {
+    fnv1a(shard_string(key).as_bytes())
+}
+
+/// The human-readable shard identity behind [`shard_hash`].
+pub fn shard_string(key: &ModelKey) -> String {
+    match key.sparsity_permille {
+        Some(permille) => format!("{}-s{permille}", key.model.slug()),
+        None => format!("{}-snone", key.model.slug()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ModelId;
+    use proptest::prelude::*;
+
+    fn key_hashes(count: u64) -> Vec<u64> {
+        (0..count).map(|i| fnv1a(format!("key-{i}").as_bytes())).collect()
+    }
+
+    #[test]
+    fn ring_is_deterministic_and_seed_sensitive() {
+        let a = HashRing::build(&[0, 1, 2], 64, 7);
+        let b = HashRing::build(&[0, 1, 2], 64, 7);
+        let c = HashRing::build(&[0, 1, 2], 64, 8);
+        let hashes = key_hashes(64);
+        let owners = |ring: &HashRing| -> Vec<Option<u16>> {
+            hashes.iter().map(|&h| ring.primary(h)).collect()
+        };
+        assert_eq!(owners(&a), owners(&b), "same (members, vnodes, seed) = same routing");
+        assert_ne!(owners(&a), owners(&c), "the seed perturbs the whole ring");
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing_and_walks_return_distinct_nodes() {
+        let empty = HashRing::build(&[], 64, 1);
+        assert!(empty.is_empty());
+        assert_eq!(empty.replicas(42, 3), Vec::<u16>::new());
+        assert_eq!(empty.primary(42), None);
+
+        let ring = HashRing::build(&[5, 9, 13], 32, 1);
+        assert_eq!(ring.len(), 3);
+        for &hash in &key_hashes(32) {
+            let owners = ring.replicas(hash, 2);
+            assert_eq!(owners.len(), 2);
+            assert_ne!(owners[0], owners[1], "replica groups hold distinct nodes");
+            // Asking for more replicas than members caps at the member count.
+            assert_eq!(ring.replicas(hash, 16).len(), 3);
+        }
+    }
+
+    #[test]
+    fn shard_hash_matches_the_fs_safe_identity() {
+        let published = ModelKey::new(ModelId::BertBase, None);
+        let pruned = ModelKey::new(ModelId::BertBase, Some(0.9));
+        assert_eq!(shard_string(&published), "bertbase-snone");
+        assert_eq!(shard_string(&pruned), "bertbase-s900");
+        assert_ne!(shard_hash(&published), shard_hash(&pruned));
+        assert_eq!(shard_hash(&pruned), fnv1a(b"bertbase-s900"));
+    }
+
+    #[test]
+    fn virtual_nodes_balance_the_key_space() {
+        // 128 vnodes keep per-node shares within a small factor of the
+        // mean; the bound below is loose enough to be deterministic-safe
+        // (consistent-hashing share stddev ~ 1/sqrt(vnodes) ≈ 9%).
+        let members: Vec<u16> = (0..8).collect();
+        let ring = HashRing::build(&members, 128, 3);
+        let hashes = key_hashes(8192);
+        let mut counts = [0usize; 8];
+        for &hash in &hashes {
+            counts[ring.primary(hash).expect("non-empty ring") as usize] += 1;
+        }
+        let mean = hashes.len() / members.len();
+        for (node, &count) in counts.iter().enumerate() {
+            assert!(
+                count > mean / 3 && count < mean * 3,
+                "node {node} owns {count} of {} keys (mean {mean})",
+                hashes.len()
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Adding a member moves a key only *to* that member: survivors
+        /// never trade keys among themselves. This is the structural form
+        /// of the minimal-disruption property — the moved count below is
+        /// its corollary.
+        #[test]
+        fn membership_growth_only_moves_keys_to_the_new_node(
+            seed in proptest::any::<u64>(),
+            existing in 1usize..=7,
+            new_node in 8u16..=15,
+        ) {
+            let members: Vec<u16> = (0..existing as u16).collect();
+            let before = HashRing::build(&members, 64, seed);
+            let mut grown = members.clone();
+            grown.push(new_node);
+            let after = HashRing::build(&grown, 64, seed);
+            for &hash in &key_hashes(256) {
+                let old = before.primary(hash).expect("non-empty");
+                let new = after.primary(hash).expect("non-empty");
+                prop_assert!(
+                    new == old || new == new_node,
+                    "key {hash:#x} moved {old} -> {new}, not to the new node {new_node}"
+                );
+            }
+        }
+
+        /// A membership change remaps ~K/N of K keys, not all of them:
+        /// the moved share stays within a small multiple of the fair
+        /// 1/(N+1) share (plus slack for hashing variance).
+        #[test]
+        fn membership_growth_remaps_about_k_over_n_keys(
+            seed in proptest::any::<u64>(),
+            existing in 1usize..=7,
+        ) {
+            let members: Vec<u16> = (0..existing as u16).collect();
+            let before = HashRing::build(&members, 64, seed);
+            let mut grown = members.clone();
+            grown.push(99);
+            let after = HashRing::build(&grown, 64, seed);
+            let hashes = key_hashes(512);
+            let moved = hashes
+                .iter()
+                .filter(|&&h| before.primary(h) != after.primary(h))
+                .count();
+            let fair = hashes.len() / (existing + 1);
+            let bound = fair * 3 + 32;
+            prop_assert!(
+                moved <= bound,
+                "{moved} of {} keys remapped; fair share is {fair} (bound {bound})",
+                hashes.len()
+            );
+        }
+
+        /// Replica walks always return the requested distinct count (capped
+        /// by membership) and the primary is the walk's first element.
+        #[test]
+        fn replica_walks_are_distinct_and_primary_prefixed(
+            seed in proptest::any::<u64>(),
+            members in 1usize..=9,
+            replicas in 1usize..=4,
+            probe in proptest::any::<u64>(),
+        ) {
+            let ids: Vec<u16> = (0..members as u16).map(|i| i * 3 + 1).collect();
+            let ring = HashRing::build(&ids, 48, seed);
+            let group = ring.replicas(probe, replicas);
+            prop_assert_eq!(group.len(), replicas.min(members));
+            let mut unique = group.clone();
+            unique.sort_unstable();
+            unique.dedup();
+            prop_assert_eq!(unique.len(), group.len(), "replica group repeats a node");
+            prop_assert_eq!(ring.primary(probe), group.first().copied());
+        }
+    }
+}

@@ -97,6 +97,99 @@ impl Default for AdmissionControl {
     }
 }
 
+/// Cluster membership of one serving node (see `docs/CLUSTER.md`).
+///
+/// Every node in a cluster runs with the same `seed`, `vnodes` and
+/// `replication`, its own `node_id`/`advertise`, and the full peer list;
+/// from these each node builds the identical consistent-hash ring (see
+/// [`crate::cluster::HashRing`]) and the initial versioned
+/// [`crate::cluster::ShardMap`] it hands to clients at `HELO` time. There
+/// is no coordinator: liveness is peer-observed through periodic `HELO`
+/// pings, and a peer that misses `ping_failures` consecutive probes is
+/// marked dead locally, bumping the local map version.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// This node's stable id — the ring hashes ids, not addresses, so an
+    /// address change does not reshard the catalogue.
+    pub node_id: u16,
+    /// The address published to clients in shard maps. Empty means "use
+    /// the wire listener's actual bound address", which only works when
+    /// clients share the node's network namespace (tests, loopback).
+    pub advertise: String,
+    /// The other members as `(node_id, address)` pairs.
+    pub peers: Vec<(u16, String)>,
+    /// Replica-group size per shard: how many distinct nodes serve each
+    /// model key. `1` is plain sharding; `2`+ keeps hot models servable
+    /// through a single node failure.
+    pub replication: usize,
+    /// Virtual nodes per member on the ring. More vnodes = better balance
+    /// at slightly larger ring-build cost; 64–128 is the useful range.
+    pub vnodes: usize,
+    /// Ring seed; all members must agree.
+    pub seed: u64,
+    /// How often this node pings each peer for liveness.
+    pub ping_interval: Duration,
+    /// Consecutive failed pings before a peer is marked dead.
+    pub ping_failures: u32,
+}
+
+impl ClusterConfig {
+    /// A cluster member with the given identity and peers, defaulting to
+    /// replication 2, 64 virtual nodes, seed 0, 500 ms pings and death
+    /// after 3 consecutive failures.
+    pub fn new(node_id: u16, advertise: impl Into<String>, peers: Vec<(u16, String)>) -> Self {
+        ClusterConfig {
+            node_id,
+            advertise: advertise.into(),
+            peers,
+            replication: 2,
+            vnodes: 64,
+            seed: 0,
+            ping_interval: Duration::from_millis(500),
+            ping_failures: 3,
+        }
+    }
+
+    /// Overrides the replica-group size.
+    ///
+    /// # Panics
+    /// Panics if `replication` is zero.
+    pub fn with_replication(mut self, replication: usize) -> Self {
+        assert!(replication > 0, "each shard needs at least one replica");
+        self.replication = replication;
+        self
+    }
+
+    /// Overrides the virtual-node count per member.
+    ///
+    /// # Panics
+    /// Panics if `vnodes` is zero.
+    pub fn with_vnodes(mut self, vnodes: usize) -> Self {
+        assert!(vnodes > 0, "the ring needs at least one virtual node per member");
+        self.vnodes = vnodes;
+        self
+    }
+
+    /// Overrides the ring seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the peer-ping cadence and the consecutive-failure death
+    /// threshold.
+    ///
+    /// # Panics
+    /// Panics if `interval` is zero or `failures` is zero.
+    pub fn with_ping(mut self, interval: Duration, failures: u32) -> Self {
+        assert!(!interval.is_zero(), "the ping interval must be non-zero");
+        assert!(failures > 0, "at least one failed ping must precede death");
+        self.ping_interval = interval;
+        self.ping_failures = failures;
+        self
+    }
+}
+
 /// A pool of modelled GPUs batches are dispatched onto.
 ///
 /// Each device gets one pinned worker thread and its own
@@ -253,6 +346,16 @@ pub struct ServeConfig {
     /// (counted in [`crate::stats::WireStats::outbound_overflows`])
     /// instead of growing without bound.
     pub max_outbound_bytes: usize,
+    /// Cluster membership of this node. `None` (the default) serves
+    /// standalone: the wire front-end still answers `HELO` with a
+    /// single-node shard map so cluster-aware clients work unchanged.
+    pub cluster: Option<ClusterConfig>,
+    /// Shared secret required in every client `HELO` (`--auth-token` in
+    /// the demo and sweep binaries). `None` (the default) accepts
+    /// tokenless hellos; set, a hello with a wrong or missing token is
+    /// answered with an `Unauthorized` error frame and the connection
+    /// closes. Compared in constant time.
+    pub auth_token: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -279,6 +382,8 @@ impl Default for ServeConfig {
             // Four max-size response frames of headroom before a
             // non-reading client is declared stuck.
             max_outbound_bytes: 1 << 26,
+            cluster: None,
+            auth_token: None,
         }
     }
 }
@@ -443,6 +548,18 @@ impl ServeConfig {
         self.max_outbound_bytes = max_outbound_bytes;
         self
     }
+
+    /// Joins this node to a cluster.
+    pub fn with_cluster(mut self, cluster: ClusterConfig) -> Self {
+        self.cluster = Some(cluster);
+        self
+    }
+
+    /// Requires `token` in every client `HELO`.
+    pub fn with_auth_token(mut self, token: impl Into<String>) -> Self {
+        self.auth_token = Some(token.into());
+        self
+    }
 }
 
 #[cfg(test)]
@@ -564,6 +681,48 @@ mod tests {
             .with_warm_boot_threads(2);
         assert_eq!(c.encode_store_budget, CacheBudget { max_entries: 8, max_bytes: 1 << 16 });
         assert_eq!(c.warm_boot_threads, 2);
+    }
+
+    #[test]
+    fn cluster_and_auth_default_off_and_build_on() {
+        let c = ServeConfig::default();
+        assert_eq!(c.cluster, None, "standalone by default");
+        assert_eq!(c.auth_token, None, "tokenless by default");
+        let member = ClusterConfig::new(1, "127.0.0.1:7401", vec![(0, "127.0.0.1:7400".into())])
+            .with_replication(3)
+            .with_vnodes(128)
+            .with_seed(42)
+            .with_ping(Duration::from_millis(100), 2);
+        let c = c.with_cluster(member.clone()).with_auth_token("sesame");
+        let cluster = c.cluster.expect("joined");
+        assert_eq!(cluster, member);
+        assert_eq!(cluster.node_id, 1);
+        assert_eq!(cluster.replication, 3);
+        assert_eq!(cluster.vnodes, 128);
+        assert_eq!(cluster.seed, 42);
+        assert_eq!(cluster.ping_interval, Duration::from_millis(100));
+        assert_eq!(cluster.ping_failures, 2);
+        assert_eq!(c.auth_token.as_deref(), Some("sesame"));
+    }
+
+    #[test]
+    fn cluster_defaults_survive_a_single_node_failure() {
+        let member = ClusterConfig::new(0, "", Vec::new());
+        assert!(member.replication >= 2, "hot models must outlive one node");
+        assert!(member.vnodes >= 64, "enough vnodes for balance");
+        assert!(member.ping_failures >= 2, "one dropped ping must not kill a peer");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replication_panics() {
+        let _ = ClusterConfig::new(0, "", Vec::new()).with_replication(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual node")]
+    fn zero_vnodes_panics() {
+        let _ = ClusterConfig::new(0, "", Vec::new()).with_vnodes(0);
     }
 
     #[test]

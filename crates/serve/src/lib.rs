@@ -93,6 +93,7 @@
 #![deny(missing_docs)]
 
 pub mod batcher;
+pub mod cluster;
 pub mod config;
 pub mod dispatch;
 #[cfg(target_os = "linux")]
@@ -107,16 +108,19 @@ pub mod traffic;
 pub mod worker;
 
 pub use crate::batcher::{BatchPolicy, BatchScheduler};
-pub use crate::config::{AdmissionControl, DevicePool, ServeConfig};
+pub use crate::cluster::{HashRing, NodeEntry, ShardMap};
+pub use crate::config::{AdmissionControl, ClusterConfig, DevicePool, ServeConfig};
 pub use crate::dispatch::{DeviceAssignment, DeviceDispatcher, DispatchPolicy};
 #[cfg(target_os = "linux")]
-pub use crate::net::{WireClient, WireServer};
+pub use crate::net::{ClusterClient, WireClient, WireServer};
 pub use crate::repository::{
     CacheBudget, EncodeCacheStats, EncodedLayer, EncodedModel, ModelRepository, WarmBootReport,
 };
 pub use crate::request::{InferRequest, InferResponse, ModelId, ModelKey, Priority};
 pub use crate::server::{InferenceServer, PendingResponse, ServeError};
-pub use crate::stats::{percentile, DeviceStats, PriorityLatency, ServerStats, WireStats};
+pub use crate::stats::{
+    percentile, ClusterStats, DeviceStats, PriorityLatency, ServerStats, WireStats,
+};
 #[cfg(target_os = "linux")]
 pub use crate::telemetry::MetricsServer;
 pub use crate::telemetry::{

@@ -8,6 +8,7 @@
 //!
 //! ```text
 //! magic   : 4 bytes   b"DSRQ" (request) | b"DSRS" (response)
+//!                   | b"DSHI" (hello)   | b"DSMP" (shard map)
 //! version : u16 LE    WIRE_VERSION
 //! length  : u32 LE    body byte count
 //! body    : `length` bytes (direction-specific, little-endian)
@@ -19,8 +20,11 @@
 //! an optional queue-deadline and the feature matrix; the response body
 //! echoes the id and carries either the output features plus the server's
 //! per-request measurements, or a status code + message (an **error
-//! frame**). See `docs/WIRE_PROTOCOL.md` for the byte-level specification
-//! and a worked hex example.
+//! frame**). A **hello** frame (client → server, optionally carrying an
+//! auth token) opens a cluster-aware connection; the server answers with a
+//! **shard map** frame carrying the versioned cluster membership (see
+//! [`crate::cluster`]). See `docs/WIRE_PROTOCOL.md` for the byte-level
+//! specification and a worked hex example.
 //!
 //! Decoding **never panics**: truncation, a bad magic, an unsupported
 //! version, an oversized length prefix, a flipped payload bit or an
@@ -32,6 +36,7 @@
 use dsstc_formats::serialize::fnv1a;
 use dsstc_tensor::Matrix;
 
+use crate::cluster::{NodeEntry, ShardMap};
 use crate::request::{InferRequest, InferResponse, ModelId, Priority};
 
 /// Magic of a request frame (client → server).
@@ -40,11 +45,21 @@ pub const REQUEST_MAGIC: [u8; 4] = *b"DSRQ";
 /// Magic of a response frame (server → client).
 pub const RESPONSE_MAGIC: [u8; 4] = *b"DSRS";
 
+/// Magic of a hello frame (client → server; opens a cluster-aware
+/// connection, optionally carrying an auth token).
+pub const HELLO_MAGIC: [u8; 4] = *b"DSHI";
+
+/// Magic of a shard-map frame (server → client; answers a hello with the
+/// versioned cluster membership).
+pub const SHARD_MAP_MAGIC: [u8; 4] = *b"DSMP";
+
 /// Current wire-protocol version. Bump on any layout change; peers reject
 /// every other version with [`WireError::UnsupportedVersion`] (the server
 /// answers with a [`WireStatus::UnsupportedVersion`] error frame first, so
-/// old clients get a diagnosis instead of a dead socket).
-pub const WIRE_VERSION: u16 = 1;
+/// old clients get a diagnosis instead of a dead socket). Version 2 added
+/// the hello / shard-map frame kinds and the `NotMine` / `Unauthorized`
+/// statuses.
+pub const WIRE_VERSION: u16 = 2;
 
 /// Envelope bytes around the body: magic + version + length prefix.
 pub const HEADER_LEN: usize = 4 + 2 + 4;
@@ -159,6 +174,15 @@ pub enum WireStatus {
     /// breached). The connection stays open; retry later or escalate the
     /// request's priority.
     ShedLoad,
+    /// This node does not own the request's shard: a **redirect**. The
+    /// message names the owning replica group as
+    /// `owners=<addr>[,<addr>...];version=<map version>`; the connection
+    /// stays open. Cluster-aware clients re-route to an owner (and refresh
+    /// their shard map when the version advanced).
+    NotMine,
+    /// The hello's auth token was missing or wrong; the server closes the
+    /// connection after this frame.
+    Unauthorized,
 }
 
 impl WireStatus {
@@ -170,6 +194,8 @@ impl WireStatus {
             WireStatus::ShuttingDown => 2,
             WireStatus::UnsupportedVersion => 3,
             WireStatus::ShedLoad => 4,
+            WireStatus::NotMine => 5,
+            WireStatus::Unauthorized => 6,
         }
     }
 
@@ -181,6 +207,8 @@ impl WireStatus {
             2 => Some(WireStatus::ShuttingDown),
             3 => Some(WireStatus::UnsupportedVersion),
             4 => Some(WireStatus::ShedLoad),
+            5 => Some(WireStatus::NotMine),
+            6 => Some(WireStatus::Unauthorized),
             _ => None,
         }
     }
@@ -423,6 +451,131 @@ impl ResponseFrame {
     }
 }
 
+/// One decoded hello frame: a client opening a cluster-aware connection,
+/// optionally presenting a shared-secret auth token. The server answers
+/// with a [`ShardMapFrame`] (or an `Unauthorized` error frame and a
+/// close).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HelloFrame {
+    /// The auth token, if the client presents one. `Some("")` is a
+    /// present-but-empty token, distinct on the wire from `None`.
+    pub token: Option<String>,
+}
+
+/// Hello-body flag bit: a token length + token follows.
+const HELLO_HAS_TOKEN: u8 = 0b0000_0001;
+
+impl HelloFrame {
+    /// Encodes the frame, envelope and checksum included.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_hello_into(&mut out, self.token.as_deref());
+        out
+    }
+
+    /// Decodes one hello body (envelope stripped, checksum verified).
+    fn from_body(body: &[u8]) -> Result<Self, WireError> {
+        let mut cursor = Cursor::new(body);
+        let flags = cursor.u8()?;
+        if flags & !HELLO_HAS_TOKEN != 0 {
+            return Err(WireError::Malformed("unknown hello flags"));
+        }
+        let token = if flags & HELLO_HAS_TOKEN != 0 {
+            let len = cursor.u32()? as usize;
+            let token = std::str::from_utf8(cursor.take(len)?)
+                .map_err(|_| WireError::Malformed("auth token is not UTF-8"))?
+                .to_owned();
+            Some(token)
+        } else {
+            None
+        };
+        cursor.finish()?;
+        Ok(HelloFrame { token })
+    }
+}
+
+/// One decoded shard-map frame: the versioned cluster membership a server
+/// hands a client at hello time (see [`crate::cluster::ShardMap`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardMapFrame {
+    /// The carried map.
+    pub map: ShardMap,
+}
+
+impl ShardMapFrame {
+    /// Encodes the frame, envelope and checksum included.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_shard_map_into(&mut out, &self.map);
+        out
+    }
+
+    /// Decodes one shard-map body (envelope stripped, checksum verified).
+    fn from_body(body: &[u8]) -> Result<Self, WireError> {
+        let mut cursor = Cursor::new(body);
+        let version = cursor.u64()?;
+        let seed = cursor.u64()?;
+        let vnodes = cursor.u16()?;
+        let replication = cursor.u16()?;
+        if vnodes == 0 || replication == 0 {
+            return Err(WireError::Malformed("shard map with zero vnodes or replication"));
+        }
+        let count = cursor.u16()? as usize;
+        if count == 0 {
+            return Err(WireError::Malformed("shard map without members"));
+        }
+        let mut nodes = Vec::with_capacity(count);
+        for _ in 0..count {
+            let id = cursor.u16()?;
+            let alive = match cursor.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(WireError::Malformed("node liveness is not 0 or 1")),
+            };
+            let len = cursor.u16()? as usize;
+            let addr = std::str::from_utf8(cursor.take(len)?)
+                .map_err(|_| WireError::Malformed("node address is not UTF-8"))?
+                .to_owned();
+            nodes.push(NodeEntry { id, addr, alive });
+        }
+        cursor.finish()?;
+        Ok(ShardMapFrame { map: ShardMap { version, seed, vnodes, replication, nodes } })
+    }
+}
+
+/// Serialises a hello frame directly into `out` — byte-identical to
+/// `HelloFrame { token }.to_bytes()`.
+pub fn encode_hello_into(out: &mut Vec<u8>, token: Option<&str>) {
+    seal_into(out, HELLO_MAGIC, |body| match token {
+        Some(token) => {
+            body.push(HELLO_HAS_TOKEN);
+            let token = token.as_bytes();
+            put_u32(body, token.len().min(u32::MAX as usize) as u32);
+            body.extend_from_slice(token);
+        }
+        None => body.push(0),
+    });
+}
+
+/// Serialises a shard-map frame directly into `out` — byte-identical to
+/// `ShardMapFrame { map }.to_bytes()`.
+pub fn encode_shard_map_into(out: &mut Vec<u8>, map: &ShardMap) {
+    seal_into(out, SHARD_MAP_MAGIC, |body| {
+        put_u64(body, map.version);
+        put_u64(body, map.seed);
+        put_u16(body, map.vnodes);
+        put_u16(body, map.replication);
+        put_u16(body, map.nodes.len().min(usize::from(u16::MAX)) as u16);
+        for node in map.nodes.iter().take(usize::from(u16::MAX)) {
+            put_u16(body, node.id);
+            body.push(u8::from(node.alive));
+            let addr = node.addr.as_bytes();
+            put_u16(body, addr.len().min(usize::from(u16::MAX)) as u16);
+            body.extend_from_slice(&addr[..addr.len().min(usize::from(u16::MAX))]);
+        }
+    });
+}
+
 /// Either decoded frame direction (what [`FrameDecoder`] yields).
 #[derive(Clone, Debug, PartialEq)]
 pub enum Frame {
@@ -430,6 +583,10 @@ pub enum Frame {
     Request(RequestFrame),
     /// A server → client frame.
     Response(ResponseFrame),
+    /// A client → server connection-opening handshake.
+    Hello(HelloFrame),
+    /// A server → client cluster-membership answer.
+    ShardMap(ShardMapFrame),
 }
 
 /// Appends one sealed frame to `out`: writes the envelope, lets `fill`
@@ -519,13 +676,11 @@ pub fn decode_frame(
     bytes: &[u8],
     max_body_len: usize,
 ) -> Result<Option<(Frame, usize)>, WireError> {
+    const MAGICS: [[u8; 4]; 4] = [REQUEST_MAGIC, RESPONSE_MAGIC, HELLO_MAGIC, SHARD_MAP_MAGIC];
     if bytes.len() < HEADER_LEN {
         // An early bad magic is still reportable before the full header.
         let probe = bytes.len().min(4);
-        if probe > 0
-            && bytes[..probe] != REQUEST_MAGIC[..probe]
-            && bytes[..probe] != RESPONSE_MAGIC[..probe]
-        {
+        if probe > 0 && MAGICS.iter().all(|magic| bytes[..probe] != magic[..probe]) {
             let mut found = [0u8; 4];
             found[..probe].copy_from_slice(&bytes[..probe]);
             return Err(WireError::BadMagic(found));
@@ -533,8 +688,7 @@ pub fn decode_frame(
         return Ok(None);
     }
     let magic: [u8; 4] = bytes[0..4].try_into().expect("4-byte slice");
-    let is_request = magic == REQUEST_MAGIC;
-    if !is_request && magic != RESPONSE_MAGIC {
+    if !MAGICS.contains(&magic) {
         return Err(WireError::BadMagic(magic));
     }
     let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2-byte slice"));
@@ -555,10 +709,11 @@ pub fn decode_frame(
     if fnv1a(body) != declared {
         return Err(WireError::ChecksumMismatch);
     }
-    let frame = if is_request {
-        Frame::Request(RequestFrame::from_body(body)?)
-    } else {
-        Frame::Response(ResponseFrame::from_body(body)?)
+    let frame = match magic {
+        REQUEST_MAGIC => Frame::Request(RequestFrame::from_body(body)?),
+        RESPONSE_MAGIC => Frame::Response(ResponseFrame::from_body(body)?),
+        HELLO_MAGIC => Frame::Hello(HelloFrame::from_body(body)?),
+        _ => Frame::ShardMap(ShardMapFrame::from_body(body)?),
     };
     Ok(Some((frame, total)))
 }
@@ -849,9 +1004,13 @@ mod tests {
     fn bad_magic_is_rejected_early() {
         assert!(matches!(decode_one(b"HTTP"), Err(WireError::BadMagic(_))));
         assert!(matches!(decode_one(b"GE"), Err(WireError::BadMagic(_))));
-        // A correct prefix of either magic is "need more bytes", not an error.
+        // A correct prefix of any magic is "need more bytes", not an error.
         assert!(matches!(decode_one(b"DS"), Ok(None)));
         assert!(matches!(decode_one(b"DSR"), Ok(None)));
+        assert!(matches!(decode_one(b"DSH"), Ok(None)));
+        assert!(matches!(decode_one(b"DSM"), Ok(None)));
+        // ...while a wrong fourth byte is rejected from four bytes.
+        assert!(matches!(decode_one(b"DSRX"), Err(WireError::BadMagic(_))));
     }
 
     #[test]
@@ -967,8 +1126,10 @@ mod tests {
         for (status, message) in [
             (WireStatus::InvalidRequest, "features have 9 columns"),
             (WireStatus::ShuttingDown, ""),
-            (WireStatus::UnsupportedVersion, "unsupported wire version 2, this peer speaks 1"),
+            (WireStatus::UnsupportedVersion, "unsupported wire version 1, this peer speaks 2"),
             (WireStatus::ShedLoad, "load shed: projected queue delay 125000 us"),
+            (WireStatus::NotMine, "owners=127.0.0.1:7401;version=3"),
+            (WireStatus::Unauthorized, "hello token rejected"),
         ] {
             let built = ResponseFrame::error(17, status, message).to_bytes();
             let mut direct = Vec::new();
@@ -985,13 +1146,116 @@ mod tests {
             WireStatus::ShuttingDown,
             WireStatus::UnsupportedVersion,
             WireStatus::ShedLoad,
+            WireStatus::NotMine,
+            WireStatus::Unauthorized,
         ] {
             assert_eq!(WireStatus::from_code(status.code()), Some(status));
         }
         assert_eq!(WireStatus::ShedLoad.code(), 4, "wire byte is part of the protocol");
-        for code in 5..=u8::MAX {
+        for code in 7..=u8::MAX {
             assert_eq!(WireStatus::from_code(code), None);
         }
+    }
+
+    /// Append-only regression guard for the version-2 wire tables: the
+    /// magics, version and status bytes below are the protocol. Any edit
+    /// that changes an existing value (rather than appending a new one)
+    /// breaks deployed peers and must bump `WIRE_VERSION` instead.
+    #[test]
+    fn wire_tables_are_append_only() {
+        assert_eq!(WIRE_VERSION, 2, "version 2 added hello/shard-map + NotMine/Unauthorized");
+        assert_eq!(REQUEST_MAGIC, *b"DSRQ");
+        assert_eq!(RESPONSE_MAGIC, *b"DSRS");
+        assert_eq!(HELLO_MAGIC, *b"DSHI");
+        assert_eq!(SHARD_MAP_MAGIC, *b"DSMP");
+        let table: [(WireStatus, u8); 7] = [
+            (WireStatus::Ok, 0),
+            (WireStatus::InvalidRequest, 1),
+            (WireStatus::ShuttingDown, 2),
+            (WireStatus::UnsupportedVersion, 3),
+            (WireStatus::ShedLoad, 4),
+            (WireStatus::NotMine, 5),
+            (WireStatus::Unauthorized, 6),
+        ];
+        for (status, code) in table {
+            assert_eq!(status.code(), code, "{status:?} moved in the status table");
+        }
+    }
+
+    fn sample_map() -> ShardMap {
+        ShardMap {
+            version: 7,
+            seed: 0xDEAD_BEEF,
+            vnodes: 64,
+            replication: 2,
+            nodes: vec![
+                NodeEntry { id: 0, addr: "127.0.0.1:7400".into(), alive: true },
+                NodeEntry { id: 1, addr: "127.0.0.1:7401".into(), alive: false },
+                NodeEntry { id: 2, addr: "[::1]:7402".into(), alive: true },
+            ],
+        }
+    }
+
+    #[test]
+    fn hello_and_shard_map_frames_round_trip() {
+        for token in [None, Some(String::new()), Some("open sesame".to_string())] {
+            let sent = HelloFrame { token };
+            let bytes = sent.to_bytes();
+            let (decoded, consumed) = decode_one(&bytes).expect("decodes").expect("complete");
+            assert_eq!(consumed, bytes.len());
+            assert_eq!(decoded, Frame::Hello(sent));
+        }
+        let sent = ShardMapFrame { map: sample_map() };
+        let bytes = sent.to_bytes();
+        let (decoded, consumed) = decode_one(&bytes).expect("decodes").expect("complete");
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(decoded, Frame::ShardMap(sent));
+    }
+
+    #[test]
+    fn hello_and_shard_map_truncation_never_panics() {
+        for bytes in [
+            HelloFrame { token: Some("t".into()) }.to_bytes(),
+            ShardMapFrame { map: sample_map() }.to_bytes(),
+        ] {
+            for len in 0..bytes.len() {
+                match decode_one(&bytes[..len]) {
+                    Ok(None) => {}
+                    other => panic!("prefix of {len} bytes gave {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_hello_and_shard_map_bodies_are_rejected() {
+        // Unknown hello flag bits.
+        let mut out = Vec::new();
+        seal_into(&mut out, HELLO_MAGIC, |body| body.push(0x02));
+        assert!(matches!(decode_one(&out), Err(WireError::Malformed(_))));
+        // A shard map with no members.
+        let mut out = Vec::new();
+        seal_into(&mut out, SHARD_MAP_MAGIC, |body| {
+            put_u64(body, 1);
+            put_u64(body, 0);
+            put_u16(body, 64);
+            put_u16(body, 2);
+            put_u16(body, 0);
+        });
+        assert!(matches!(decode_one(&out), Err(WireError::Malformed(_))));
+        // Liveness bytes other than 0/1.
+        let mut out = Vec::new();
+        seal_into(&mut out, SHARD_MAP_MAGIC, |body| {
+            put_u64(body, 1);
+            put_u64(body, 0);
+            put_u16(body, 64);
+            put_u16(body, 2);
+            put_u16(body, 1);
+            put_u16(body, 0);
+            body.push(9);
+            put_u16(body, 0);
+        });
+        assert!(matches!(decode_one(&out), Err(WireError::Malformed(_))));
     }
 
     #[test]
@@ -1053,6 +1317,11 @@ mod tests {
                     // magic's Q<->S bit can legally re-type the frame; any
                     // other byte must not survive as a valid response.
                     prop_assert!(at == 3 && bit == 1, "byte {at} bit {bit} re-typed the frame");
+                }
+                Ok(Some((Frame::Hello(_) | Frame::ShardMap(_), _))) => {
+                    // No single-bit flip of b"DSRQ" reaches b"DSHI" or
+                    // b"DSMP" (each differs in at least two bits).
+                    prop_assert!(false, "byte {at} bit {bit} re-typed a request to a handshake");
                 }
             }
         }

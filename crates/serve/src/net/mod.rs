@@ -12,16 +12,18 @@
 //!   through [`crate::InferenceServer::submit_with`], stream responses back
 //!   as batches complete; pipelining, connection limits, graceful drain.
 //! * [`client`] — the blocking [`WireClient`] used by tests, the
-//!   `serve_client` example and the `serve_throughput --wire` sweep.
+//!   `serve_client` example and the `serve_throughput --wire` sweep, and
+//!   the shard-aware [`ClusterClient`] layered on top of it.
 
 pub mod client;
 pub mod frame;
 pub mod poll;
 pub mod server;
 
-pub use client::WireClient;
+pub use client::{ClusterClient, WireClient, DEFAULT_MAX_REDIRECTS};
 pub use frame::{
-    encode_error_into, encode_request_into, encode_response_into, Frame, FrameDecoder,
-    RequestFrame, ResponseBody, ResponseFrame, WireError, WireStatus, POISON_ID, WIRE_VERSION,
+    encode_error_into, encode_hello_into, encode_request_into, encode_response_into,
+    encode_shard_map_into, Frame, FrameDecoder, HelloFrame, RequestFrame, ResponseBody,
+    ResponseFrame, ShardMapFrame, WireError, WireStatus, POISON_ID, WIRE_VERSION,
 };
 pub use server::{WireServer, DRAIN_TIMEOUT};

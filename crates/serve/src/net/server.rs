@@ -61,10 +61,11 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::cluster::{constant_time_eq, shard_hash, ClusterState, ShardMap};
 use crate::config::ServeConfig;
 use crate::net::frame::{
-    encode_error_into, encode_response_into, Frame, FrameDecoder, RequestFrame, WireError,
-    WireStatus, POISON_ID,
+    encode_error_into, encode_hello_into, encode_response_into, encode_shard_map_into, Frame,
+    FrameDecoder, HelloFrame, RequestFrame, WireError, WireStatus, POISON_ID,
 };
 use crate::net::poll::{Event, Poller, Token, Waker, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use crate::request::InferResponse;
@@ -138,6 +139,8 @@ pub struct WireServer {
     event_loops: Vec<JoinHandle<()>>,
     pumps: Vec<JoinHandle<()>>,
     metrics: Option<MetricsServer>,
+    cluster: Option<Arc<ClusterState>>,
+    pinger: Option<JoinHandle<()>>,
 }
 
 impl WireServer {
@@ -152,6 +155,8 @@ impl WireServer {
         let max_outbound_bytes = config.max_outbound_bytes;
         let drain_timeout = config.drain_timeout;
         let metrics_addr = config.metrics_addr;
+        let cluster_config = config.cluster.clone();
+        let auth_token = config.auth_token.clone();
         let reactors = match config.reactors {
             0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
             n => n,
@@ -159,6 +164,13 @@ impl WireServer {
         let listener = TcpListener::bind(listen)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+
+        let cluster: Option<Arc<ClusterState>> = cluster_config.as_ref().map(|cluster_config| {
+            Arc::new(ClusterState::new(
+                cluster_config.node_id,
+                ShardMap::from_config(cluster_config, &local_addr.to_string()),
+            ))
+        });
 
         let server = Arc::new(InferenceServer::start(config));
         let shutdown_flag = Arc::new(AtomicBool::new(false));
@@ -220,6 +232,9 @@ impl WireServer {
                 max_outbound_bytes,
                 drain_timeout,
                 scratch: vec![0u8; 64 * 1024],
+                local_addr,
+                cluster: cluster.clone(),
+                auth_token: auth_token.clone(),
             };
             event_loops.push(
                 std::thread::Builder::new()
@@ -233,6 +248,7 @@ impl WireServer {
             Some(addr) => {
                 let source_server = Arc::clone(&server);
                 let source_stats = stats.clone();
+                let source_cluster = cluster.clone();
                 Some(MetricsServer::start(
                     addr,
                     Arc::new(move || {
@@ -241,11 +257,37 @@ impl WireServer {
                             source_stats.iter().map(|s| s.snapshot()).collect();
                         snapshot.wire = Some(WireStats::merged(&per_reactor));
                         snapshot.wire_reactors = per_reactor;
+                        snapshot.cluster = source_cluster.as_ref().map(|c| c.snapshot());
                         render_prometheus(&snapshot, source_server.telemetry().registry())
                     }),
                 )?)
             }
             None => None,
+        };
+
+        // Peer liveness: a plain thread dialling every configured peer each
+        // `ping_interval` with the same hello exchange clients use. A peer
+        // is declared dead only after `ping_failures` consecutive misses
+        // (one dropped packet must not reshuffle the ring) and resurrected
+        // on the first success; either transition bumps the map version.
+        let pinger = match (&cluster, &cluster_config) {
+            (Some(cluster), Some(cluster_config)) if !cluster_config.peers.is_empty() => {
+                let cluster = Arc::clone(cluster);
+                let peers = cluster_config.peers.clone();
+                let interval = cluster_config.ping_interval;
+                let threshold = cluster_config.ping_failures;
+                let token = auth_token.clone();
+                let flag = Arc::clone(&shutdown_flag);
+                Some(
+                    std::thread::Builder::new()
+                        .name("dsstc-wire-pinger".into())
+                        .spawn(move || {
+                            pinger_loop(&cluster, &peers, interval, threshold, token, &flag)
+                        })
+                        .expect("failed to spawn peer pinger"),
+                )
+            }
+            _ => None,
         };
 
         Ok(WireServer {
@@ -257,7 +299,16 @@ impl WireServer {
             event_loops,
             pumps,
             metrics,
+            cluster,
+            pinger,
         })
+    }
+
+    /// The node's live cluster state, when [`ServeConfig::with_cluster`]
+    /// (see [`crate::ServeConfig`]) was set. Standalone servers return
+    /// `None` but still answer hello frames with a single-node map.
+    pub fn cluster(&self) -> Option<&Arc<ClusterState>> {
+        self.cluster.as_ref()
     }
 
     /// The bound listen address (with the OS-assigned port resolved).
@@ -307,6 +358,7 @@ impl WireServer {
         let per_reactor = self.reactor_stats();
         stats.wire = Some(WireStats::merged(&per_reactor));
         stats.wire_reactors = per_reactor;
+        stats.cluster = self.cluster.as_ref().map(|c| c.snapshot());
         stats
     }
 
@@ -321,6 +373,11 @@ impl WireServer {
         self.shutdown_flag.store(true, Ordering::SeqCst);
         for waker in &self.wakers {
             waker.wake();
+        }
+        if let Some(handle) = self.pinger.take() {
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
         }
         for handle in self.event_loops.drain(..) {
             if let Err(panic) = handle.join() {
@@ -379,6 +436,79 @@ fn pump_loop(
     }
 }
 
+/// Dials `addr`, performs the hello exchange (carrying this cluster's
+/// `token`, if any) and reports whether the peer answered with a shard-map
+/// frame before `timeout`. Anything else — refused connect, timeout, an
+/// error frame, garbage — counts as a failed probe.
+fn probe_peer(addr: &str, token: Option<&str>, timeout: Duration) -> bool {
+    let Ok(sockaddr) = addr.parse::<SocketAddr>() else { return false };
+    let Ok(mut stream) = TcpStream::connect_timeout(&sockaddr, timeout) else { return false };
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let _ = stream.set_nodelay(true);
+    let mut hello = Vec::new();
+    encode_hello_into(&mut hello, token);
+    if stream.write_all(&hello).is_err() {
+        return false;
+    }
+    let mut decoder = FrameDecoder::new(1 << 20);
+    let mut buf = [0u8; 4096];
+    loop {
+        match decoder.next_frame() {
+            Ok(Some(Frame::ShardMap(_))) => return true,
+            Ok(Some(_)) | Err(_) => return false,
+            Ok(None) => {}
+        }
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => return false,
+            Ok(n) => decoder.feed(&buf[..n]),
+        }
+    }
+}
+
+/// The peer-liveness thread: probes every configured peer once per
+/// `interval`, declaring a peer dead after `threshold` consecutive failures
+/// and alive again on the first success. Liveness transitions go through
+/// [`ClusterState::set_alive`], which bumps the shard-map version so
+/// clients (and the redirect path) reroute.
+fn pinger_loop(
+    cluster: &ClusterState,
+    peers: &[(u16, String)],
+    interval: Duration,
+    threshold: u32,
+    token: Option<String>,
+    shutdown_flag: &AtomicBool,
+) {
+    let mut failures: HashMap<u16, u32> = peers.iter().map(|(id, _)| (*id, 0)).collect();
+    loop {
+        // Sleep in short slices so a shutdown never waits a full interval.
+        let deadline = Instant::now() + interval;
+        while Instant::now() < deadline {
+            if shutdown_flag.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10).min(interval));
+        }
+        for (id, addr) in peers {
+            if shutdown_flag.load(Ordering::SeqCst) {
+                return;
+            }
+            let ok = probe_peer(addr, token.as_deref(), interval);
+            cluster.record_peer_probe(!ok);
+            let count = failures.entry(*id).or_insert(0);
+            if ok {
+                *count = 0;
+                cluster.set_alive(*id, true);
+            } else {
+                *count = count.saturating_add(1);
+                if *count >= threshold {
+                    cluster.set_alive(*id, false);
+                }
+            }
+        }
+    }
+}
+
 /// Per-connection state owned by one reactor's event loop.
 struct Connection {
     stream: TcpStream,
@@ -408,6 +538,10 @@ struct Connection {
     /// `flushed_total` passes a mark the trace is stamped
     /// [`Stage::WireFlushed`] and recorded.
     flush_marks: VecDeque<(u64, RequestTrace)>,
+    /// A hello frame passed the auth check (always flipped by a hello on
+    /// servers without an `auth_token`; requests on servers *with* one are
+    /// refused until it is set).
+    authenticated: bool,
 }
 
 impl Connection {
@@ -465,6 +599,13 @@ struct Reactor {
     max_outbound_bytes: usize,
     drain_timeout: Duration,
     scratch: Vec<u8>,
+    /// The bound listen address; standalone hello replies advertise it.
+    local_addr: SocketAddr,
+    /// Shared cluster state (`None` on standalone servers).
+    cluster: Option<Arc<ClusterState>>,
+    /// When set, hellos must carry this token and requests must follow an
+    /// authenticated hello.
+    auth_token: Option<String>,
 }
 
 impl Reactor {
@@ -633,6 +774,7 @@ impl Reactor {
                 enqueued_total: 0,
                 flushed_total: 0,
                 flush_marks: VecDeque::new(),
+                authenticated: false,
             },
         );
         // Bytes may already be waiting (clients often write immediately
@@ -701,14 +843,36 @@ impl Reactor {
             match next {
                 Ok(Some(Frame::Request(frame))) => {
                     self.stats.frame_received();
+                    if self.auth_token.is_some()
+                        && !self.conns.get(&conn_id).is_some_and(|c| c.authenticated)
+                    {
+                        self.stats.request_rejected();
+                        self.poison(
+                            conn_id,
+                            WireStatus::Unauthorized,
+                            "authenticate with a hello frame before sending requests",
+                        );
+                        return;
+                    }
                     let mut trace = RequestTrace::new();
                     trace.record(Stage::WireDecoded);
                     self.submit_wire_request(conn_id, frame, trace);
+                }
+                Ok(Some(Frame::Hello(hello))) => {
+                    if self.handle_hello(conn_id, &hello).is_err() {
+                        return; // Auth failed: the connection is poisoned.
+                    }
                 }
                 Ok(Some(Frame::Response(_))) => {
                     // Clients must not send response frames.
                     self.stats.decode_error();
                     self.poison(conn_id, WireStatus::InvalidRequest, "unexpected response frame");
+                    return;
+                }
+                Ok(Some(Frame::ShardMap(_))) => {
+                    // Shard maps only ever flow server → client.
+                    self.stats.decode_error();
+                    self.poison(conn_id, WireStatus::InvalidRequest, "unexpected shard-map frame");
                     return;
                 }
                 Ok(None) => return,
@@ -725,12 +889,65 @@ impl Reactor {
         }
     }
 
+    /// Answers a hello: checks the auth token (constant-time compare;
+    /// mismatch poisons the connection with `Unauthorized` and returns
+    /// `Err`), marks the connection authenticated, and replies with the
+    /// node's current shard map — a standalone server publishes a
+    /// single-node map so cluster-aware clients work against it unchanged.
+    fn handle_hello(&mut self, conn_id: u64, hello: &HelloFrame) -> Result<(), ()> {
+        if let Some(cluster) = &self.cluster {
+            cluster.record_hello();
+        }
+        if let Some(expected) = &self.auth_token {
+            let presented = hello.token.as_deref().unwrap_or("");
+            if !constant_time_eq(presented.as_bytes(), expected.as_bytes()) {
+                if let Some(cluster) = &self.cluster {
+                    cluster.record_auth_failure();
+                }
+                self.poison(
+                    conn_id,
+                    WireStatus::Unauthorized,
+                    "hello rejected: bad or missing auth token",
+                );
+                return Err(());
+            }
+        }
+        if let Some(conn) = self.conns.get_mut(&conn_id) {
+            conn.authenticated = true;
+        }
+        let map = match &self.cluster {
+            Some(cluster) => cluster.map(),
+            None => ShardMap::standalone(self.local_addr.to_string()),
+        };
+        self.append_frame(conn_id, None, |out| encode_shard_map_into(out, &map));
+        Ok(())
+    }
+
     /// Converts one decoded request frame into an [`crate::InferRequest`]
     /// and submits it. Request-level failures answer with an error frame
     /// and leave the connection open.
     fn submit_wire_request(&mut self, conn_id: u64, frame: RequestFrame, trace: RequestTrace) {
         let client_id = frame.id;
         let request = frame.into_request();
+        // Cluster routing: a request for a shard this node does not own is
+        // answered with a `NotMine` redirect naming the owners (connection
+        // stays open — redirects are routing, not errors). Owning it as a
+        // non-primary replica serves normally but counts a failover serve.
+        if let Some(cluster) = &self.cluster {
+            let (owners, version) = cluster.route(shard_hash(&request.key()));
+            let me = cluster.node_id();
+            if !owners.contains(&me) {
+                cluster.record_redirect();
+                let map = cluster.map();
+                let addrs: Vec<&str> = owners.iter().filter_map(|id| map.addr_of(*id)).collect();
+                let message = format!("owners={};version={version}", addrs.join(","));
+                self.send_error_frame(conn_id, client_id, WireStatus::NotMine, &message);
+                return;
+            }
+            if owners.first() != Some(&me) {
+                cluster.record_failover_serve();
+            }
+        }
         // Holding the registry lock across the submit makes the insert
         // atomic with the id assignment: the pump cannot observe (and drop)
         // a completion before its registry entry exists.

@@ -941,12 +941,19 @@ impl ModelRepository {
         self.update_store_gauges(&entries);
     }
 
-    /// Evicts least-recently-restored artifacts until the store budget
-    /// holds (keeping at least one, mirroring the memory tier), deleting
-    /// both the file and its manifest entry. Ties on timestamp break by
-    /// filename so GC order is deterministic. Returns how many were
-    /// removed. Caller holds the store lock.
+    /// Evicts artifacts until the store budget holds (keeping at least
+    /// one, mirroring the memory tier), deleting both the file and its
+    /// manifest entry. **Foreign-proxy-width artifacts go first**: warm
+    /// boot skips them (this repository can never restore them) yet their
+    /// bytes still count against the budget, so they must not be able to
+    /// squeeze out artifacts this process actually serves from. Within
+    /// each class eviction is least-recently-restored, with timestamp ties
+    /// broken by filename so GC order is deterministic. Returns how many
+    /// were removed. Caller holds the store lock.
     fn gc_entries(&self, dir: &Path, entries: &mut Vec<ManifestEntry>) -> u64 {
+        let native = |e: &ManifestEntry| {
+            parse_artifact_name(&e.file).is_some_and(|(_, dim, _)| dim == self.proxy_dim)
+        };
         let mut removed = 0;
         while entries.len() > 1
             && (entries.len() > self.store_budget.max_entries
@@ -956,7 +963,10 @@ impl ModelRepository {
                 .iter()
                 .enumerate()
                 .min_by(|(_, a), (_, b)| {
-                    a.last_restore_us.cmp(&b.last_restore_us).then_with(|| a.file.cmp(&b.file))
+                    native(a)
+                        .cmp(&native(b))
+                        .then_with(|| a.last_restore_us.cmp(&b.last_restore_us))
+                        .then_with(|| a.file.cmp(&b.file))
                 })
                 .map(|(i, _)| i)
                 .expect("non-empty entries");

@@ -132,6 +132,10 @@ pub struct ServerStats {
     /// in-process server; a single-reactor front-end reports one entry
     /// equal to `wire`.
     pub wire_reactors: Vec<WireStats>,
+    /// Cluster routing counters, when the snapshot came from a wire server
+    /// (standalone servers report a single-node map; `None` for a plain
+    /// in-process server). See [`crate::cluster`].
+    pub cluster: Option<ClusterStats>,
 }
 
 impl ServerStats {
@@ -243,8 +247,54 @@ impl ServerStats {
                 wire.shed_high,
             ));
         }
+        if let Some(cluster) = &self.cluster {
+            out.push_str(&format!(
+                "cluster: node {}  shard map v{}  peers {}/{} alive\n",
+                cluster.node_id,
+                cluster.shard_map_version,
+                cluster.peers_alive,
+                cluster.peers_total,
+            ));
+            out.push_str(&format!(
+                "  redirects: {}   failover serves: {}   hellos: {} ({} auth failures)   peer probes: {} ({} failed)\n",
+                cluster.redirects,
+                cluster.failover_serves,
+                cluster.hellos,
+                cluster.auth_failures,
+                cluster.peer_probes,
+                cluster.peer_failures,
+            ));
+        }
         out
     }
+}
+
+/// Cluster routing counters of one serving node (see
+/// [`crate::cluster::ClusterState::snapshot`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// This node's id in the shard map.
+    pub node_id: u64,
+    /// Current shard-map version (bumped on every liveness transition).
+    pub shard_map_version: u64,
+    /// Members currently marked alive (including this node).
+    pub peers_alive: u64,
+    /// All known members, dead or alive.
+    pub peers_total: u64,
+    /// Requests answered with a `NotMine` redirect because this node does
+    /// not own their shard.
+    pub redirects: u64,
+    /// Requests served as a non-primary replica of their shard (the
+    /// failover path).
+    pub failover_serves: u64,
+    /// Hello handshakes answered with a shard map.
+    pub hellos: u64,
+    /// Hellos rejected for a wrong or missing auth token.
+    pub auth_failures: u64,
+    /// Peer liveness probes sent (failed or not).
+    pub peer_probes: u64,
+    /// Peer liveness probes that failed.
+    pub peer_failures: u64,
 }
 
 /// Per-connection / per-frame counters of the TCP front-end (see
@@ -645,6 +695,7 @@ impl StatsCollector {
             timing_hit_rate,
             wire: None,
             wire_reactors: Vec::new(),
+            cluster: None,
         }
     }
 }
@@ -854,6 +905,10 @@ mod tests {
             "44000 B in / 52000 B out",
             "decode errors: 1   requests rejected: 1   in flight: 0",
             "shed 4 (3 low / 1 normal / 0 high)",
+            "cluster: node 2  shard map v5  peers 2/3 alive",
+            "redirects: 7   failover serves: 3",
+            "hellos: 12 (1 auth failures)",
+            "peer probes: 40 (4 failed)",
         ];
         let mut cursor = 0;
         for fragment in fragments {

@@ -399,6 +399,63 @@ pub fn render_prometheus(stats: &ServerStats, registry: &MetricsRegistry) -> Str
         }
     }
 
+    if let Some(cluster) = &stats.cluster {
+        let node = format!("node=\"{}\"", cluster.node_id);
+        family(
+            &mut out,
+            "dsstc_cluster_shard_map_version",
+            "gauge",
+            "Current shard-map version (bumped on every liveness transition)",
+        );
+        sample_u64(&mut out, "dsstc_cluster_shard_map_version", &node, cluster.shard_map_version);
+        family(
+            &mut out,
+            "dsstc_cluster_peers_alive",
+            "gauge",
+            "Cluster members currently marked alive",
+        );
+        sample_u64(&mut out, "dsstc_cluster_peers_alive", &node, cluster.peers_alive);
+        family(&mut out, "dsstc_cluster_peers_total", "gauge", "All known cluster members");
+        sample_u64(&mut out, "dsstc_cluster_peers_total", &node, cluster.peers_total);
+        family(
+            &mut out,
+            "dsstc_cluster_redirects_total",
+            "counter",
+            "Requests answered with a NotMine redirect",
+        );
+        sample_u64(&mut out, "dsstc_cluster_redirects_total", &node, cluster.redirects);
+        family(
+            &mut out,
+            "dsstc_cluster_failover_serves_total",
+            "counter",
+            "Requests served as a non-primary replica of their shard",
+        );
+        sample_u64(&mut out, "dsstc_cluster_failover_serves_total", &node, cluster.failover_serves);
+        family(
+            &mut out,
+            "dsstc_cluster_hellos_total",
+            "counter",
+            "Hello handshakes answered with a shard map",
+        );
+        sample_u64(&mut out, "dsstc_cluster_hellos_total", &node, cluster.hellos);
+        family(
+            &mut out,
+            "dsstc_cluster_auth_failures_total",
+            "counter",
+            "Hellos rejected for a wrong or missing auth token",
+        );
+        sample_u64(&mut out, "dsstc_cluster_auth_failures_total", &node, cluster.auth_failures);
+        family(&mut out, "dsstc_cluster_peer_probes_total", "counter", "Peer liveness probes sent");
+        sample_u64(&mut out, "dsstc_cluster_peer_probes_total", &node, cluster.peer_probes);
+        family(
+            &mut out,
+            "dsstc_cluster_peer_failures_total",
+            "counter",
+            "Peer liveness probes that failed",
+        );
+        sample_u64(&mut out, "dsstc_cluster_peer_failures_total", &node, cluster.peer_failures);
+    }
+
     registry.render(&mut out);
     out
 }
@@ -638,7 +695,7 @@ pub(crate) use tests::sample_stats;
 mod tests {
     use super::*;
     use crate::request::Priority;
-    use crate::stats::{DeviceStats, PriorityLatency, ServerStats, WireStats};
+    use crate::stats::{ClusterStats, DeviceStats, PriorityLatency, ServerStats, WireStats};
 
     /// A fully-populated snapshot for exposition tests (and the render
     /// golden test in `stats.rs`).
@@ -755,6 +812,18 @@ mod tests {
                     shed_high: 0,
                 },
             ],
+            cluster: Some(ClusterStats {
+                node_id: 2,
+                shard_map_version: 5,
+                peers_alive: 2,
+                peers_total: 3,
+                redirects: 7,
+                failover_serves: 3,
+                hellos: 12,
+                auth_failures: 1,
+                peer_probes: 40,
+                peer_failures: 4,
+            }),
         }
     }
 
@@ -801,6 +870,17 @@ mod tests {
         assert!(text.contains("dsstc_wire_reactor_connections_accepted_total{reactor=\"0\"} 3"));
         assert!(text.contains("dsstc_wire_reactor_bytes_sent_total{reactor=\"1\"} 22000"));
         assert!(text.contains("dsstc_wire_reactor_in_flight{reactor=\"0\"} 0"));
+        // Cluster families mirror ClusterStats field for field, labelled
+        // with the reporting node's id.
+        assert!(text.contains("dsstc_cluster_shard_map_version{node=\"2\"} 5"));
+        assert!(text.contains("dsstc_cluster_peers_alive{node=\"2\"} 2"));
+        assert!(text.contains("dsstc_cluster_peers_total{node=\"2\"} 3"));
+        assert!(text.contains("dsstc_cluster_redirects_total{node=\"2\"} 7"));
+        assert!(text.contains("dsstc_cluster_failover_serves_total{node=\"2\"} 3"));
+        assert!(text.contains("dsstc_cluster_hellos_total{node=\"2\"} 12"));
+        assert!(text.contains("dsstc_cluster_auth_failures_total{node=\"2\"} 1"));
+        assert!(text.contains("dsstc_cluster_peer_probes_total{node=\"2\"} 40"));
+        assert!(text.contains("dsstc_cluster_peer_failures_total{node=\"2\"} 4"));
         // Registry-backed live metrics ride along.
         assert!(text.contains("dsstc_traces_recorded_total 7"));
         assert!(text.contains("dsstc_e2e_us_bucket{priority=\"high\",le=\"+Inf\"} 1"));
@@ -816,8 +896,10 @@ mod tests {
         let mut stats = sample_stats();
         stats.wire = None;
         stats.wire_reactors = Vec::new();
+        stats.cluster = None;
         let text = render_prometheus(&stats, &MetricsRegistry::new());
         assert!(!text.contains("dsstc_wire_"));
+        assert!(!text.contains("dsstc_cluster_"));
         assert!(text.contains("dsstc_requests_completed_total 120"));
     }
 

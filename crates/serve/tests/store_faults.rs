@@ -217,6 +217,40 @@ proptest! {
     }
 }
 
+/// Regression: a foreign-proxy-width artifact (written by a process with a
+/// different `proxy_dim`) is skipped by warm boot but still counts against
+/// the store byte budget — GC must treat it as a first-class (indeed,
+/// preferred) eviction candidate. Before the fix, eviction was strictly
+/// LRU, so a *newer* foreign artifact could push the only natively
+/// servable artifact out of the store.
+#[test]
+fn gc_evicts_foreign_width_artifacts_before_native_ones() {
+    let store = TempStore::new("foreign");
+    // Native artifact first (older last-restore timestamp).
+    let _ = seed_store(store.path());
+    // A foreign-width artifact lands second, so plain LRU would keep it.
+    let foreign =
+        ModelRepository::new(GpuConfig::v100(), 2 * PROXY_DIM).with_disk_cache(store.path());
+    let _ = foreign.get_for(key(), spec());
+    let names = artifact_names(store.path());
+    assert_eq!(names.len(), 2, "native + foreign artifacts seeded: {names:?}");
+
+    let gc =
+        repo(store.path()).with_store_budget(CacheBudget { max_entries: usize::MAX, max_bytes: 1 });
+    assert_eq!(gc.gc_store(), 1, "over-budget store evicts exactly one artifact");
+    let survivors = artifact_names(store.path());
+    assert_eq!(survivors.len(), 1);
+    assert!(
+        survivors[0].contains(&format!("-d{PROXY_DIM}-")),
+        "the native-width artifact survives, not the newer foreign one: {survivors:?}"
+    );
+
+    // The survivor is genuinely servable by this process: a fresh repo
+    // restores it from disk.
+    let r = repo(store.path());
+    assert!(r.get_for(key(), spec()).from_disk, "survivor restores cleanly");
+}
+
 /// Lookups (not just warm boot) self-heal too: a poisoned artifact under a
 /// live repository falls back to a fresh encode and rewrites the file.
 #[test]

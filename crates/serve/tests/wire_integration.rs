@@ -594,6 +594,128 @@ fn metric_value(body: &str, name: &str) -> f64 {
         .expect("numeric sample")
 }
 
+/// Version-bump regression (wire v2): a client still speaking the previous
+/// `WIRE_VERSION` must get an `UnsupportedVersion` error frame whose
+/// **envelope is encoded in the server's version** — the reply names what
+/// the server speaks, it does not parrot the client's version back.
+#[test]
+fn previous_version_client_gets_an_error_encoded_in_the_servers_version() {
+    use std::io::{Read, Write};
+    let mut server = wire_server();
+    let mut bytes = dsstc_serve::net::RequestFrame::from_request(1, &request(0)).to_bytes();
+    // The checksum only covers the body, so patching the envelope version
+    // is exactly what a not-yet-upgraded v1 client's frames look like.
+    bytes[4..6].copy_from_slice(&(WIRE_VERSION - 1).to_le_bytes());
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    stream.write_all(&bytes).expect("send v1 frame");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read until server close");
+    assert!(raw.len() > 6, "a final error frame precedes the close");
+    assert_eq!(
+        u16::from_le_bytes([raw[4], raw[5]]),
+        WIRE_VERSION,
+        "the error reply's envelope carries the server's version"
+    );
+    let mut decoder = dsstc_serve::net::FrameDecoder::new(1 << 20);
+    decoder.feed(&raw);
+    let frame = decoder.next_frame().expect("decodable reply").expect("one frame");
+    let dsstc_serve::net::Frame::Response(response) = frame else {
+        panic!("expected an error response frame");
+    };
+    assert_eq!(response.id, dsstc_serve::net::POISON_ID);
+    assert_eq!(response.status, WireStatus::UnsupportedVersion);
+    assert!(
+        response.message.contains(&format!("this peer speaks {WIRE_VERSION}")),
+        "{}",
+        response.message
+    );
+    server.shutdown();
+}
+
+fn auth_server(token: &str) -> WireServer {
+    WireServer::start(
+        ServeConfig::default()
+            .with_max_queue_wait(Duration::from_millis(1))
+            .with_proxy_dim(PROXY_DIM)
+            .with_auth_token(token),
+    )
+    .expect("bind loopback")
+}
+
+#[test]
+fn hello_with_the_right_token_authenticates_and_serves() {
+    let mut server = auth_server("sesame");
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+    let map = client.hello(Some("sesame")).expect("authenticated hello");
+    // A standalone server publishes a single-node map of itself.
+    assert_eq!(map.nodes.len(), 1);
+    assert_eq!(map.addr_of(0), Some(server.local_addr().to_string().as_str()));
+    let body = client.infer(&request(0)).expect("served after auth");
+    assert_eq!(body.output.cols(), PROXY_DIM);
+    server.shutdown();
+}
+
+#[test]
+fn hello_with_a_wrong_token_is_rejected_and_closed() {
+    let mut server = auth_server("sesame");
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+    match client.hello(Some("SESAME")) {
+        Err(WireError::Rejected { status, message }) => {
+            assert_eq!(status, WireStatus::Unauthorized);
+            assert!(message.contains("auth token"), "{message}");
+        }
+        other => panic!("wrong token must be rejected, got {other:?}"),
+    }
+    // The server closed the connection after the error frame.
+    assert!(matches!(client.recv(), Err(WireError::Truncated | WireError::Io(_))));
+    server.shutdown();
+}
+
+#[test]
+fn hello_without_a_token_is_rejected_when_auth_is_required() {
+    let mut server = auth_server("sesame");
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+    match client.hello(None) {
+        Err(WireError::Rejected { status, .. }) => assert_eq!(status, WireStatus::Unauthorized),
+        other => panic!("missing token must be rejected, got {other:?}"),
+    }
+    assert!(matches!(client.recv(), Err(WireError::Truncated | WireError::Io(_))));
+    server.shutdown();
+}
+
+#[test]
+fn requests_before_an_authenticated_hello_are_refused() {
+    let mut server = auth_server("sesame");
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+    client.send(&request(0)).expect("send without hello");
+    let response = client.recv().expect("error frame");
+    assert_eq!(response.id, dsstc_serve::net::POISON_ID);
+    assert_eq!(response.status, WireStatus::Unauthorized);
+    assert!(matches!(client.recv(), Err(WireError::Truncated | WireError::Io(_))));
+    // A fresh, authenticated connection works against the same server.
+    let mut good = WireClient::connect(server.local_addr()).expect("connect");
+    good.hello(Some("sesame")).expect("authenticated hello");
+    good.infer(&request(1)).expect("served after auth");
+    server.shutdown();
+}
+
+#[test]
+fn hello_against_an_open_server_is_optional_and_answers_a_standalone_map() {
+    let mut server = wire_server();
+    let mut client = WireClient::connect(server.local_addr()).expect("connect");
+    // No auth configured: hello still answers (with a single-node map) and
+    // tokens are simply ignored.
+    let map = client.hello(None).expect("hello on an open server");
+    assert_eq!(map.version, 1);
+    assert_eq!(map.nodes.len(), 1);
+    assert!(map.nodes[0].alive);
+    client.infer(&request(0)).expect("served");
+    // And a client that never says hello is served as before.
+    let mut silent = WireClient::connect(server.local_addr()).expect("connect");
+    silent.infer(&request(1)).expect("served without hello");
+    server.shutdown();
+}
+
 #[test]
 fn live_metrics_scrape_is_consistent_with_wire_stats() {
     let metrics_bind: std::net::SocketAddr = "127.0.0.1:0".parse().expect("literal addr");

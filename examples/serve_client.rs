@@ -26,7 +26,8 @@ use dsstc::serve::{percentile, InferRequest, ModelId, Priority};
 use dsstc_tensor::{Matrix, SparsityPattern};
 
 #[cfg(target_os = "linux")]
-const USAGE: &str = "usage: serve_client --addr ADDR:PORT [--requests N] [--connections C]";
+const USAGE: &str = "usage: serve_client --addr ADDR:PORT [--requests N] [--connections C] \
+[--cluster]";
 
 #[cfg(target_os = "linux")]
 fn usage_error(message: &str) -> ! {
@@ -42,6 +43,59 @@ fn request_for(seed: u64) -> InferRequest {
     InferRequest::new(model, features).with_priority(priority)
 }
 
+/// `--cluster` mode: treat `--addr` as a seed node of a consistent-hash
+/// serving cluster, fetch the shard map with a `HELO` exchange, and route
+/// every request to its shard's owner through the cluster-aware client —
+/// following `NotMine` redirects and failing over to replica peers when a
+/// node dies. Requests spread over many distinct shard keys (weight
+/// sparsity varies per seed) so the stream exercises the whole ring; the
+/// closing line reports the redirects and failovers the client performed,
+/// which the CI cluster smoke greps after killing a node.
+#[cfg(target_os = "linux")]
+fn run_cluster(addr: std::net::SocketAddr, requests: u64) {
+    use dsstc::serve::net::ClusterClient;
+    // The seed node may still be booting; retry the initial hello like the
+    // plain mode retries its connect.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut client = loop {
+        match ClusterClient::connect(&[addr]) {
+            Ok(client) => break client,
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    panic!("could not reach the cluster at {addr} within 60s: {e}");
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    };
+    println!(
+        "serve_client: {requests} cluster-routed requests via seed {addr} \
+         (shard map v{}, {} node(s))",
+        client.map().version,
+        client.map().nodes.len()
+    );
+    let started = Instant::now();
+    let mut latencies_us = Vec::with_capacity(requests as usize);
+    for seed in 0..requests {
+        let request = request_for(seed).with_weight_sparsity(0.50 + (seed % 48) as f64 * 0.01);
+        let sent = Instant::now();
+        let body = client.infer(&request).expect("cluster serves every request");
+        assert_eq!(body.output.rows(), 4, "seed {seed}");
+        assert_eq!(body.output.cols(), 64, "seed {seed}");
+        latencies_us.push(sent.elapsed().as_secs_f64() * 1e6);
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    println!(
+        "cluster ok: {requests} responses in {elapsed:.2}s ({:.1} req/s), \
+         {} redirects followed, {} failovers   end-to-end us: p50 {:.0}  p99 {:.0}",
+        requests as f64 / elapsed,
+        client.redirects_followed(),
+        client.failovers(),
+        percentile(&latencies_us, 0.50),
+        percentile(&latencies_us, 0.99),
+    );
+}
+
 /// The wire protocol client needs the epoll front-end (Linux-only).
 #[cfg(not(target_os = "linux"))]
 fn main() {
@@ -55,6 +109,7 @@ fn main() {
     let mut addr: Option<std::net::SocketAddr> = None;
     let mut requests: u64 = 48;
     let mut connections: usize = 2;
+    let mut cluster = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -74,12 +129,22 @@ fn main() {
                     None => usage_error("--connections needs a positive integer"),
                 }
             }
+            "--cluster" => cluster = true,
             unknown => usage_error(&format!("unknown flag {unknown}")),
         }
     }
     let Some(addr) = addr else {
         usage_error("--addr is required");
     };
+    if cluster {
+        // The cluster client owns one pooled connection per node; the
+        // plain mode's --connections fan-out does not apply.
+        if connections != 2 {
+            usage_error("--connections applies to the plain mode, not --cluster");
+        }
+        run_cluster(addr, requests);
+        return;
+    }
 
     println!(
         "serve_client: {requests} pipelined requests over {connections} connection(s) to {addr}"

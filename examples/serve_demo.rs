@@ -33,6 +33,13 @@
 //! (0 = one per host core). `examples/serve_client.rs` is the matching
 //! driver; the CI wire smoke runs the two against each other.
 //!
+//! Cluster knobs (see `docs/CLUSTER.md`): `--cluster-node ID` joins the
+//! listener to a consistent-hash serving cluster, `--cluster-peer ID=ADDR`
+//! (repeatable) names the other members, `--cluster-replication N` sizes
+//! each shard's replica group, and `--auth-token TOKEN` requires clients to
+//! present the shared secret in their `HELO` frame. The CI cluster smoke
+//! boots three of these on loopback and kills one under load.
+//!
 //! Observability knobs (see `docs/OBSERVABILITY.md`): `--trace-out PATH`
 //! streams one chrome-trace JSON line per completed request, and
 //! `--metrics-addr ADDR` (with `--listen`) binds a Prometheus-text scrape
@@ -43,14 +50,17 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use dsstc::serve::{
-    CacheBudget, DevicePool, InferRequest, InferenceServer, ModelId, Priority, ServeConfig,
+    CacheBudget, ClusterConfig, DevicePool, InferRequest, InferenceServer, ModelId, Priority,
+    ServeConfig,
 };
 use dsstc_sim::GpuConfig;
 use dsstc_tensor::{Matrix, SparsityPattern};
 
 const USAGE: &str = "usage: serve_demo [--encode-cache-dir DIR] [--expect-warm] \
 [--store-budget-bytes N] [--trace-out PATH] \
-[--listen ADDR [--wire-requests N] [--reactors N] [--metrics-addr ADDR]]";
+[--listen ADDR [--wire-requests N] [--reactors N] [--metrics-addr ADDR] \
+[--auth-token TOKEN] [--cluster-node ID] [--cluster-peer ID=ADDR]... \
+[--cluster-replication N]]";
 
 fn usage_error(message: &str) -> ! {
     eprintln!("serve_demo: {message}\n{USAGE}");
@@ -122,6 +132,10 @@ fn main() {
     let mut reactors: Option<usize> = None;
     let mut metrics_addr: Option<std::net::SocketAddr> = None;
     let mut trace_out: Option<PathBuf> = None;
+    let mut auth_token: Option<String> = None;
+    let mut cluster_node: Option<u16> = None;
+    let mut cluster_peers: Vec<(u16, String)> = Vec::new();
+    let mut cluster_replication: Option<usize> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -166,6 +180,33 @@ fn main() {
                     usage_error("--trace-out needs a file path");
                 }
             }
+            "--auth-token" => {
+                auth_token = iter.next().filter(|v| !v.starts_with("--")).cloned();
+                if auth_token.is_none() {
+                    usage_error("--auth-token needs a shared-secret value");
+                }
+            }
+            "--cluster-node" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(id) => cluster_node = Some(id),
+                None => usage_error("--cluster-node needs a numeric node id"),
+            },
+            "--cluster-peer" => {
+                // ID=ADDR, repeatable — one flag per peer in the cluster.
+                let peer = iter.next().and_then(|v| {
+                    let (id, addr) = v.split_once('=')?;
+                    Some((id.parse().ok()?, addr.to_string()))
+                });
+                match peer {
+                    Some(p) => cluster_peers.push(p),
+                    None => usage_error("--cluster-peer needs ID=ADDR (e.g. 1=127.0.0.1:7101)"),
+                }
+            }
+            "--cluster-replication" => {
+                match iter.next().and_then(|v| v.parse().ok()).filter(|&n: &usize| n > 0) {
+                    Some(n) => cluster_replication = Some(n),
+                    None => usage_error("--cluster-replication needs a positive replica count"),
+                }
+            }
             unknown => usage_error(&format!("unknown flag {unknown}")),
         }
     }
@@ -204,6 +245,17 @@ fn main() {
     if reactors.is_some() && listen.is_none() {
         usage_error("--reactors needs --listen (it shards the wire front-end)");
     }
+    if listen.is_none()
+        && (auth_token.is_some()
+            || cluster_node.is_some()
+            || !cluster_peers.is_empty()
+            || cluster_replication.is_some())
+    {
+        usage_error("--auth-token and --cluster-* need --listen (they configure the wire server)");
+    }
+    if cluster_node.is_none() && (!cluster_peers.is_empty() || cluster_replication.is_some()) {
+        usage_error("--cluster-peer/--cluster-replication need --cluster-node ID");
+    }
     if let Some(addr) = listen {
         if expect_warm {
             usage_error("--expect-warm applies to the in-process demo, not --listen");
@@ -214,12 +266,29 @@ fn main() {
             if let Some(n) = reactors {
                 config = config.with_reactors(n);
             }
+            if let Some(token) = auth_token {
+                config = config.with_auth_token(token);
+            }
+            if let Some(node_id) = cluster_node {
+                // Advertise the listen address itself: the demo cluster is a
+                // loopback topology where clients share the node's namespace.
+                let mut cluster = ClusterConfig::new(node_id, addr.to_string(), cluster_peers);
+                if let Some(r) = cluster_replication {
+                    cluster = cluster.with_replication(r);
+                }
+                println!(
+                    "cluster member: node {node_id}, {} peer(s), replication {}",
+                    cluster.peers.len(),
+                    cluster.replication
+                );
+                config = config.with_cluster(cluster);
+            }
             run_listen(config, wire_requests);
             return;
         }
         #[cfg(not(target_os = "linux"))]
         {
-            let _ = (addr, wire_requests);
+            let _ = (addr, wire_requests, auth_token, cluster_node, cluster_replication);
             usage_error("--listen needs the epoll front-end, which is Linux-only");
         }
     }
